@@ -1,0 +1,148 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI). Each benchmark runs one experiment end to end at a reduced scale
+// (benchmarks measure the harness; `cmd/tasterbench` prints the full
+// tables). b.ReportMetric exposes the experiment's headline number so
+// `go test -bench` output doubles as a results summary.
+package taster_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/experiments"
+)
+
+// benchCfg keeps the full pipeline (3 datasets × 4-6 systems × N queries)
+// fast enough for -bench=. runs while preserving the paper's shapes.
+var benchCfg = experiments.Config{SF: 0.004, Queries: 30, Seed: 42}
+
+// BenchmarkFigure3TPCH regenerates Fig. 3a: end-to-end time of Baseline,
+// Quickr, BlinkDB 50/100% and Taster 50/100% on the TPC-H workload.
+func BenchmarkFigure3TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure3("tpch", benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Runs {
+			if r.System == "Taster(50%)" {
+				b.ReportMetric(r.Speedup, "taster-speedup-x")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3TPCDS regenerates Fig. 3b (TPC-DS, 50% budget).
+func BenchmarkFigure3TPCDS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure3("tpcds", benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Runs {
+			if r.System == "Taster(50%)" {
+				b.ReportMetric(r.Speedup, "taster-speedup-x")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3Instacart regenerates Fig. 3c (instacart, 50% budget).
+func BenchmarkFigure3Instacart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure3("instacart", benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Runs {
+			if r.System == "Taster(50%)" {
+				b.ReportMetric(r.Speedup, "taster-speedup-x")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the per-query speed-up CDF (Fig. 4).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.MedianSpeedup, "median-speedup-x")
+		b.ReportMetric(f.MaxSpeedup, "max-speedup-x")
+	}
+}
+
+// BenchmarkFigure5 regenerates the approximation-error CDF (Fig. 5).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*f.FracUnder10, "pct-queries-under-10pct-err")
+		b.ReportMetric(float64(f.MissingGroups), "missing-groups")
+	}
+}
+
+// BenchmarkFigure6 regenerates the workload-adaptivity trace (Fig. 6).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure6(experiments.Config{SF: 0.004, Queries: 80, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.EpochAvg[3], "epoch4-avg-sim-s")
+	}
+}
+
+// BenchmarkFigure7 regenerates the user-hints comparison (Fig. 7).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure7(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.SpeedupAll, "hints-speedup-x")
+		b.ReportMetric(f.SpeedupDboff, "dboff-speedup-x")
+	}
+}
+
+// BenchmarkFigure8 regenerates the horizon-length comparison (Fig. 8).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure8(experiments.Config{SF: 0.004, Queries: 60, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Totals["adaptive"], "adaptive-total-sim-s")
+	}
+}
+
+// BenchmarkFigure9 regenerates the storage-elasticity sweep (Fig. 9).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure9(experiments.Config{SF: 0.004, Queries: 40, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Speedups[len(f.Speedups)-1], "final-phase-speedup-x")
+	}
+}
+
+// BenchmarkTableI regenerates the instacart template table (Table I).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.TableI(experiments.Config{SF: 0.004, Queries: 10, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agrees := 0
+		for _, r := range f.Rows {
+			if r.Agrees {
+				agrees++
+			}
+		}
+		b.ReportMetric(float64(agrees), "templates-matching-family")
+	}
+}

@@ -1,0 +1,86 @@
+// Command datagen writes the synthetic benchmark datasets to CSV files for
+// inspection or for loading into other systems.
+//
+// Usage:
+//
+//	datagen [-workload tpch|tpcds|instacart] [-sf 0.01] [-out ./data]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func main() {
+	var (
+		wl   = flag.String("workload", "tpch", "dataset to generate")
+		sf   = flag.Float64("sf", 0.01, "scale factor")
+		out  = flag.String("out", "./data", "output directory")
+		seed = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	switch *wl {
+	case "tpch":
+		w = workload.TPCH(*sf, *seed)
+	case "tpcds":
+		w = workload.TPCDS(*sf, *seed)
+	case "instacart":
+		w = workload.Instacart(*sf*5, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	dir := filepath.Join(*out, w.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range w.Catalog.Names() {
+		tbl, err := w.Catalog.Table(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := writeCSV(filepath.Join(dir, name+".csv"), tbl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", filepath.Join(dir, name+".csv"), tbl.NumRows())
+	}
+}
+
+func writeCSV(path string, tbl *storage.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	defer cw.Flush()
+	if err := cw.Write(tbl.Schema().Names()); err != nil {
+		return err
+	}
+	row := make([]string, len(tbl.Schema()))
+	for p := 0; p < tbl.Partitions(); p++ {
+		for _, b := range tbl.Scan(p, storage.BatchSize) {
+			for i := 0; i < b.Len(); i++ {
+				for c := range row {
+					row[c] = b.Vecs[c].Get(i).String()
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command tasterbench regenerates the paper's evaluation (§VI): every
+// figure and table, printed as ASCII tables of simulated cluster seconds.
+//
+// Usage:
+//
+//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei]
+//	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
+//	            [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tasterdb/taster/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run")
+		wl      = flag.String("workload", "tpch", "workload for fig3 (tpch|tpcds|instacart)")
+		sf      = flag.Float64("sf", 0.004, "workload scale factor")
+		queries = flag.Int("queries", 200, "query sequence length")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{SF: *sf, Queries: *queries, Seed: *seed}
+
+	out, err := run(*exp, *wl, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tasterbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func run(exp, wl string, cfg experiments.Config) (string, error) {
+	switch exp {
+	case "all":
+		return experiments.RunAll(cfg)
+	case "fig3":
+		f, err := experiments.Figure3(wl, cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig4":
+		f, err := experiments.Figure4(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig5":
+		f, err := experiments.Figure5(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig6":
+		f, err := experiments.Figure6(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig7":
+		f, err := experiments.Figure7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig8":
+		f, err := experiments.Figure8(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "fig9":
+		f, err := experiments.Figure9(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "tablei":
+		f, err := experiments.TableI(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q", exp)
+}

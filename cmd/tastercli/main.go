@@ -1,0 +1,131 @@
+// Command tastercli is an interactive SQL shell over a generated benchmark
+// dataset, answering queries approximately through Taster and printing
+// estimates with their confidence intervals and the chosen plan.
+//
+// Usage:
+//
+//	tastercli [-workload tpch|tpcds|instacart] [-sf 0.01] [-budget 0.5]
+//
+// Commands: plain SQL (terminated by newline), ".synopses", ".budget N",
+// ".help", ".quit".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "tpch", "dataset to load")
+		sf     = flag.Float64("sf", 0.01, "scale factor")
+		budget = flag.Float64("budget", 0.5, "storage budget as a fraction of the dataset")
+		seed   = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	switch *wl {
+	case "tpch":
+		w = workload.TPCH(*sf, *seed)
+	case "tpcds":
+		w = workload.TPCDS(*sf, *seed)
+	case "instacart":
+		w = workload.Instacart(*sf*5, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+	bytes, rows := w.CostScale()
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: int64(float64(bytes) * *budget),
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          uint64(*seed),
+	})
+
+	fmt.Printf("taster> loaded %s (%d rows, %.1f MB); tables: %v\n",
+		w.Name, rows, float64(bytes)/1e6, w.Catalog.Names())
+	fmt.Println(`taster> approximate queries end with "ERROR WITHIN 10% AT CONFIDENCE 95%"; .help for commands`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("taster> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println("  <SQL>            run a query (append ERROR WITHIN x% AT CONFIDENCE y% to approximate)")
+			fmt.Println("  .synopses        list materialized synopses")
+			fmt.Println("  .budget <bytes>  change the storage budget (elasticity)")
+			fmt.Println("  .quit            exit")
+		case line == ".synopses":
+			for _, e := range eng.Store().Materialized() {
+				d := e.Desc
+				fmt.Printf("  %s [%s, %d bytes]\n", d.Label(), d.Location, d.SizeBytes())
+			}
+		case strings.HasPrefix(line, ".budget "):
+			n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, ".budget ")), 10, 64)
+			if err != nil {
+				fmt.Println("  bad budget:", err)
+				continue
+			}
+			eng.SetStorageBudget(n)
+			fmt.Println("  budget set; warehouse retuned")
+		default:
+			runSQL(eng, w.Catalog, line)
+		}
+	}
+}
+
+func runSQL(eng *core.Engine, cat *storage.Catalog, sql string) {
+	q, err := sqlparser.Parse(sql, cat)
+	if err != nil {
+		fmt.Println("  parse error:", err)
+		return
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		fmt.Println("  exec error:", err)
+		return
+	}
+	fmt.Println("  " + strings.Join(res.Columns, " | "))
+	for i, row := range res.Rows {
+		if i >= 20 {
+			fmt.Printf("  ... (%d more rows)\n", len(res.Rows)-20)
+			break
+		}
+		cells := make([]string, len(row))
+		for c, v := range row {
+			cells[c] = v.String()
+		}
+		line := "  " + strings.Join(cells, " | ")
+		if res.Intervals != nil && i < len(res.Intervals) {
+			for _, iv := range res.Intervals[i] {
+				if iv.HalfWidth > 0 {
+					line += fmt.Sprintf("  (±%.3g)", iv.HalfWidth)
+				}
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  plan: %s  |  simulated %.2fs  |  wall %.1fms\n",
+		res.Report.PlanDesc, res.Report.SimSeconds, res.Report.WallSeconds*1000)
+}

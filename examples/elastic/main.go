@@ -1,0 +1,59 @@
+// Elastic: an administrator grows and shrinks the synopsis storage budget
+// at runtime (the paper's Fig. 9 scenario). The engine retunes on every
+// change, evicting the lowest-gain synopses, and queries keep working at
+// every budget.
+package main
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func main() {
+	w := workload.TPCH(0.004, 21)
+	bytes, rows := w.CostScale()
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: bytes / 5,
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          21,
+	})
+
+	phases := []struct {
+		frac  float64
+		label string
+	}{
+		{0.2, "20% budget"}, {0.5, "50% budget"}, {1.0, "100% budget"},
+		{0.5, "back to 50%"}, {1.0, "back to 100%"},
+	}
+	queries := w.Queries(50, 5)
+	per := len(queries) / len(phases)
+
+	for pi, ph := range phases {
+		eng.SetStorageBudget(int64(float64(bytes) * ph.frac))
+		var sim float64
+		var reused int
+		for _, sql := range queries[pi*per : (pi+1)*per] {
+			q, err := sqlparser.Parse(sql, w.Catalog)
+			if err != nil {
+				panic(err)
+			}
+			res, err := eng.Execute(q)
+			if err != nil {
+				panic(err)
+			}
+			sim += res.Report.SimSeconds
+			if len(res.Report.UsedSynopses) > 0 {
+				reused++
+			}
+		}
+		_, wh := eng.Warehouse().Usage()
+		fmt.Printf("%-13s: %2d/%d queries reused synopses, warehouse %6.0fKB, total sim %.0fs\n",
+			ph.label, reused, per, float64(wh)/1e3, sim)
+	}
+}

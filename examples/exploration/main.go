@@ -1,0 +1,54 @@
+// Exploration: a data-exploration session whose interests shift across
+// TPC-H template groups (the paper's Fig. 6 scenario). Watch the tuner
+// evict stale synopses and build new ones at each epoch boundary.
+package main
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func main() {
+	w := workload.TPCH(0.004, 11)
+	bytes, rows := w.CostScale()
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: int64(float64(bytes) * 0.12), // ≈ the paper's 35 GB/300 GB
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          11,
+	})
+
+	for epoch := 1; epoch <= 4; epoch++ {
+		fmt.Printf("=== epoch %d: templates %v ===\n", epoch, workload.TPCHEpoch(epoch))
+		queries := w.QueriesFromTemplates(workload.TPCHEpoch(epoch), 10, int64(epoch))
+		for i, sql := range queries {
+			q, err := sqlparser.Parse(sql, w.Catalog)
+			if err != nil {
+				panic(err)
+			}
+			res, err := eng.Execute(q)
+			if err != nil {
+				panic(err)
+			}
+			rep := res.Report
+			marker := ""
+			if len(rep.Evicted) > 0 {
+				marker += fmt.Sprintf(" evicted %d", len(rep.Evicted))
+			}
+			if len(rep.CreatedSynopses) > 0 {
+				marker += fmt.Sprintf(" built %v", rep.CreatedSynopses)
+			}
+			if len(rep.UsedSynopses) > 0 {
+				marker += fmt.Sprintf(" reused %v", rep.UsedSynopses)
+			}
+			fmt.Printf("  q%02d %-42s sim=%6.1fs warehouse=%6.0fKB%s\n",
+				i, rep.PlanDesc, rep.SimSeconds,
+				float64(rep.WarehouseBytes+rep.BufferBytes)/1e3, marker)
+		}
+	}
+}

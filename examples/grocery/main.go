@@ -1,0 +1,43 @@
+// Grocery: the paper's instacart micro-benchmark (Table I). The four
+// "sketch-N" templates group by a join key and collapse into sketch-joins;
+// the four "sample-N" templates group on fact columns and use samples.
+package main
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func main() {
+	w := workload.Instacart(0.05, 3)
+	bytes, rows := w.CostScale()
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: bytes / 2,
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          3,
+	})
+
+	for _, tmpl := range w.Templates {
+		queries := w.QueriesFromTemplates([]string{tmpl.Name}, 3, 99)
+		var last *core.Result
+		for _, sql := range queries {
+			q, err := sqlparser.Parse(sql, w.Catalog)
+			if err != nil {
+				panic(err)
+			}
+			res, err := eng.Execute(q)
+			if err != nil {
+				panic(err)
+			}
+			last = res
+		}
+		fmt.Printf("%-9s (paper: %-6s) → %-45s rows=%d sim=%.1fs\n",
+			tmpl.Name, tmpl.Kind, last.Report.PlanDesc, len(last.Rows), last.Report.SimSeconds)
+	}
+}

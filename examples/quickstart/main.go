@@ -1,0 +1,64 @@
+// Quickstart: build two small tables, run the same approximate join
+// aggregate repeatedly, and watch Taster switch from online sampling to
+// synopsis reuse — the core loop of the paper.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	taster "github.com/tasterdb/taster"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(1))
+	cat := taster.NewCatalog()
+
+	sales := taster.NewTableBuilder("sales", taster.Schema{
+		{Name: "sales.cust", Typ: taster.Int64},
+		{Name: "sales.amount", Typ: taster.Float64},
+	})
+	for i := 0; i < 200000; i++ {
+		sales.Int(0, int64(r.Intn(50)))
+		sales.Float(1, 10+r.Float64()*990)
+	}
+	cat.Register(sales.Build(4))
+
+	customers := taster.NewTableBuilder("customers", taster.Schema{
+		{Name: "customers.id", Typ: taster.Int64},
+		{Name: "customers.region", Typ: taster.String},
+	})
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 50; i++ {
+		customers.AddRow(
+			taster.Value{Typ: taster.Int64, I: int64(i)},
+			taster.Value{Typ: taster.String, S: regions[i%len(regions)]})
+	}
+	cat.Register(customers.Build(1))
+
+	eng := taster.Open(cat, taster.Options{Seed: 7, SimulatedScale: true})
+
+	const sql = `SELECT region, SUM(amount), COUNT(*) FROM sales
+		JOIN customers ON sales.cust = customers.id
+		GROUP BY region
+		ERROR WITHIN 10% AT CONFIDENCE 95%`
+
+	for run := 1; run <= 4; run++ {
+		res, err := eng.Query(sql)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("run %d — plan: %s (simulated %.1fs)\n",
+			run, res.Stats.Plan, res.Stats.SimulatedSeconds)
+		for i, row := range res.Rows {
+			fmt.Printf("  %-6s SUM=%.0f ±%.0f   COUNT=%.0f ±%.0f\n",
+				row[0].S,
+				res.Intervals[i][0].Estimate, res.Intervals[i][0].HalfWidth,
+				res.Intervals[i][1].Estimate, res.Intervals[i][1].HalfWidth)
+		}
+	}
+	fmt.Println("\nmaterialized synopses:")
+	for _, s := range eng.Synopses() {
+		fmt.Println("  " + s)
+	}
+}

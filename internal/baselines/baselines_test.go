@@ -1,0 +1,137 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+func tpchSmall() *workload.Workload { return workload.TPCH(0.002, 11) }
+
+func TestBlinkDBOfflineBuildsWithinBudget(t *testing.T) {
+	w := tpchSmall()
+	bytes, rows := w.CostScale()
+	model := storage.ScaledCostModel(bytes, rows)
+	oracle := w.Queries(30, 5)
+	budget := bytes / 2
+
+	eng, off, err := BlinkDBOffline(w.Catalog, oracle, budget, model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.SamplesBuilt == 0 {
+		t.Fatal("no samples built")
+	}
+	if off.BytesGenerated > budget {
+		t.Fatalf("samples %d bytes exceed budget %d", off.BytesGenerated, budget)
+	}
+	if off.SimSeconds <= 0 {
+		t.Fatal("offline phase must cost time")
+	}
+	_, wu := eng.Warehouse().Usage()
+	if wu != off.BytesGenerated {
+		t.Fatalf("warehouse usage %d != generated %d", wu, off.BytesGenerated)
+	}
+
+	// Queries covered by the oracle get approximate (reuse) plans; the
+	// engine never samples at query time.
+	reused, exact := 0, 0
+	for _, sql := range w.Queries(20, 6) {
+		q, err := sqlparser.Parse(sql, w.Catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if len(res.Report.CreatedSynopses) != 0 {
+			t.Fatal("BlinkDB must not materialize at query time")
+		}
+		if len(res.Report.UsedSynopses) > 0 {
+			reused++
+		} else {
+			exact++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("oracle-covered workload must reuse offline samples")
+	}
+	t.Logf("blinkdb: %d reused, %d exact, %d samples, offline %.1fs",
+		reused, exact, off.SamplesBuilt, off.SimSeconds)
+}
+
+func TestBlinkDBSmallBudgetBuildsLess(t *testing.T) {
+	w := tpchSmall()
+	bytes, rows := w.CostScale()
+	model := storage.ScaledCostModel(bytes, rows)
+	oracle := w.Queries(30, 5)
+
+	_, offBig, err := BlinkDBOffline(w.Catalog, oracle, bytes, model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offSmall, err := BlinkDBOffline(w.Catalog, oracle, bytes/20, model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offSmall.BytesGenerated > offBig.BytesGenerated {
+		t.Fatalf("smaller budget generated more bytes: %d vs %d",
+			offSmall.BytesGenerated, offBig.BytesGenerated)
+	}
+	if offSmall.SimSeconds > offBig.SimSeconds {
+		t.Fatal("smaller budget must not cost more offline time")
+	}
+}
+
+func TestBlinkDBRejectsBadOracle(t *testing.T) {
+	w := tpchSmall()
+	bytes, rows := w.CostScale()
+	model := storage.ScaledCostModel(bytes, rows)
+	if _, _, err := BlinkDBOffline(w.Catalog, []string{"NOT SQL"}, bytes, model, 1); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestApplyHints(t *testing.T) {
+	w := tpchSmall()
+	bytes, rows := w.CostScale()
+	model := storage.ScaledCostModel(bytes, rows)
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: bytes,
+		BufferSize:    bytes / 4,
+		CostModel:     model,
+		Seed:          5,
+	})
+	off, err := ApplyHints(eng, []Hint{{
+		Table:     "lineitem",
+		StratCols: []string{"lineitem.l_returnflag", "lineitem.l_linestatus"},
+		AggCols:   []string{"lineitem.l_quantity", "lineitem.l_extendedprice", "lineitem.l_discount"},
+	}}, model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.SamplesBuilt != 1 || off.ScrambleSecs <= 0 || off.SimSeconds <= off.ScrambleSecs {
+		t.Fatalf("offline stats: %+v", off)
+	}
+	// The pinned hint must serve a q1-style query immediately.
+	q, err := sqlparser.Parse(w.QueriesFromTemplates([]string{"q1"}, 1, 2)[0], w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.UsedSynopses) == 0 {
+		t.Fatalf("hinted sample unused; plan = %s", res.Report.PlanDesc)
+	}
+	// Unknown table errors.
+	if _, err := ApplyHints(eng, []Hint{{Table: "nope"}}, model, 1); err == nil {
+		t.Fatal("want unknown table error")
+	}
+}

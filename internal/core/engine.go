@@ -1,0 +1,401 @@
+// Package core wires Taster together: for every query it runs the
+// cost-based planner, hands the candidates to the tuner, applies the
+// tuner's eviction/promotion decisions to the synopsis warehouse, executes
+// the chosen physical plan (materializing synopses as byproducts into the
+// in-memory buffer), and updates the metadata store — the full §III
+// execution workflow.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tasterdb/taster/internal/exec"
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+	"github.com/tasterdb/taster/internal/tuner"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// Mode selects the engine's behaviour, letting the same machinery serve as
+// the paper's baselines.
+type Mode uint8
+
+// Engine modes.
+const (
+	// ModeTaster is the full system: online approximation + materialization
+	// + reuse + tuning.
+	ModeTaster Mode = iota
+	// ModeQuickr injects samplers per query but never materializes or
+	// reuses synopses (the online-AQP baseline, paper §VI).
+	ModeQuickr
+	// ModeExact always runs the exact plan (the vanilla-SparkSQL baseline).
+	ModeExact
+	// ModeOffline answers from pre-built (pinned) synopses when one
+	// matches and falls back to the exact plan otherwise — no query-time
+	// sampling, no materialization. This is the BlinkDB-style behaviour.
+	ModeOffline
+)
+
+// String returns the mode name.
+func (m Mode) String() string { return [...]string{"taster", "quickr", "exact", "offline"}[m] }
+
+// Config configures an Engine.
+type Config struct {
+	// Mode selects full Taster or a baseline behaviour.
+	Mode Mode
+	// StorageBudget is the warehouse quota in bytes (the paper expresses it
+	// as a fraction of the dataset size).
+	StorageBudget int64
+	// BufferSize is the in-memory synopsis buffer quota in bytes.
+	BufferSize int64
+	// CostModel is the simulated cluster; zero value → defaults.
+	CostModel storage.CostModel
+	// Tuner configures the sliding window; zero value → defaults.
+	Tuner tuner.Config
+	// DefaultAccuracy applies to queries without an ERROR WITHIN clause.
+	DefaultAccuracy stats.AccuracySpec
+	// Seed drives all sampling randomness.
+	Seed uint64
+	// TuneOverheadSeconds is the per-query simulated planning+tuning
+	// overhead (the paper measures ~2 s for Taster's centralized tuner).
+	// Negative means "use the mode default" (2.0 taster / 0.2 quickr / 0).
+	TuneOverheadSeconds float64
+}
+
+// Report is the per-query telemetry the experiments aggregate.
+type Report struct {
+	QueryID         int
+	Mode            Mode
+	PlanDesc        string
+	PlanTree        string
+	UsedSynopses    []uint64
+	CreatedSynopses []uint64
+	Evicted         []uint64
+	Promoted        []uint64
+	EstimatedCost   float64 // planner's estimate for the chosen plan
+	EstimatedExact  float64 // planner's estimate for the exact plan
+	SimSeconds      float64 // measured simulated cluster time (incl. overhead)
+	WallSeconds     float64
+	WarehouseBytes  int64 // warehouse usage after the query
+	BufferBytes     int64
+	Window          int // tuner window length after the query
+}
+
+// Result is a completed query: rows plus estimation intervals and telemetry.
+type Result struct {
+	Columns   []string
+	Rows      [][]storage.Value
+	Intervals [][]stats.Interval
+	Report    Report
+}
+
+// Engine is a Taster instance over a catalog.
+type Engine struct {
+	cfg   Config
+	cat   *storage.Catalog
+	store *meta.Store
+	wh    *warehouse.Manager
+	pl    *planner.Planner
+	tn    *tuner.Tuner
+
+	mu         sync.Mutex
+	queryCount int
+	reports    []Report
+}
+
+// New creates an engine. A zero CostModel or Tuner config is replaced by
+// defaults; the default accuracy defaults to the paper's 10%@95%.
+func New(cat *storage.Catalog, cfg Config) *Engine {
+	if cfg.CostModel == (storage.CostModel{}) {
+		cfg.CostModel = storage.DefaultCostModel()
+	}
+	if cfg.Tuner == (tuner.Config{}) {
+		cfg.Tuner = tuner.DefaultConfig()
+	}
+	if !cfg.DefaultAccuracy.Valid() {
+		cfg.DefaultAccuracy = stats.DefaultAccuracy
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 64 << 20
+	}
+	if cfg.StorageBudget <= 0 {
+		cfg.StorageBudget = 256 << 20
+	}
+	if cfg.TuneOverheadSeconds < 0 {
+		switch cfg.Mode {
+		case ModeTaster:
+			cfg.TuneOverheadSeconds = 2.0
+		case ModeQuickr:
+			cfg.TuneOverheadSeconds = 0.2
+		default:
+			cfg.TuneOverheadSeconds = 0
+		}
+	}
+	store := meta.NewStore()
+	wh := warehouse.NewManager(cfg.BufferSize, cfg.StorageBudget)
+	pl := planner.New(store, wh, cfg.CostModel)
+	pl.Seed = cfg.Seed
+	return &Engine{
+		cfg:   cfg,
+		cat:   cat,
+		store: store,
+		wh:    wh,
+		pl:    pl,
+		tn:    tuner.New(cfg.Tuner, store, wh),
+	}
+}
+
+// Catalog returns the engine's table catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Store exposes the metadata store (read-mostly; used by experiments).
+func (e *Engine) Store() *meta.Store { return e.store }
+
+// Warehouse exposes the warehouse manager (used by experiments and hints).
+func (e *Engine) Warehouse() *warehouse.Manager { return e.wh }
+
+// Reports returns the per-query telemetry collected so far.
+func (e *Engine) Reports() []Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Report(nil), e.reports...)
+}
+
+// Execute plans, tunes and runs one query.
+func (e *Engine) Execute(q *planner.Query) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := time.Now()
+
+	q.ID = e.queryCount
+	e.queryCount++
+	if !q.Accuracy.Valid() {
+		q.Accuracy = e.cfg.DefaultAccuracy
+	}
+	if e.cfg.Mode == ModeExact {
+		q.Exact = true
+	}
+
+	ps, err := e.pl.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+
+	var dec tuner.Decision
+	switch e.cfg.Mode {
+	case ModeTaster:
+		dec = e.tn.Tune(ps)
+	case ModeQuickr:
+		// Quickr: best per-query plan with no reuse and no materialization.
+		// The paper's Quickr implements only the sampler operators — no
+		// sketch-joins — so sketch plans are out of scope for this mode.
+		dec.Chosen = ps.Exact
+		for _, c := range ps.Candidates {
+			if _, isSketch := c.Root.(*plan.SketchJoin); isSketch {
+				continue
+			}
+			if len(c.Uses) == 0 && c.Cost < dec.Chosen.Cost {
+				dec.Chosen = c
+			}
+		}
+	case ModeOffline:
+		// BlinkDB-style: reuse a pre-built sample when one matches, else
+		// run exact; never sample at query time.
+		dec.Chosen = ps.Exact
+		for _, c := range ps.Candidates {
+			if len(c.Creates) == 0 && c.Cost < dec.Chosen.Cost {
+				dec.Chosen = c
+			}
+		}
+	default:
+		dec.Chosen = ps.Exact
+	}
+
+	rep := Report{
+		QueryID:        q.ID,
+		Mode:           e.cfg.Mode,
+		PlanDesc:       dec.Chosen.Desc,
+		EstimatedCost:  dec.Chosen.Cost,
+		EstimatedExact: ps.Exact.Cost,
+		UsedSynopses:   dec.Chosen.Uses,
+	}
+
+	// Apply evictions and promotions before executing (the tuner freed the
+	// space the chosen plan's materializations need).
+	for _, id := range dec.Evict {
+		if err := e.wh.Delete(id); err == nil {
+			e.store.SetLocation(id, meta.LocNone)
+			rep.Evicted = append(rep.Evicted, id)
+		}
+	}
+	for _, id := range dec.Promote {
+		if err := e.wh.Promote(id); err == nil {
+			e.store.SetLocation(id, meta.LocWarehouse)
+			rep.Promoted = append(rep.Promoted, id)
+		}
+	}
+
+	// Execute.
+	ctx := exec.NewContext(q.Accuracy.Confidence)
+	matNames := make(map[*plan.SynopsisOp]uint64)
+	keepSketch := make(map[*plan.SketchJoin]uint64)
+	for _, cs := range dec.Materialize {
+		if cs.SampleNode != nil {
+			ctx.MaterializeSamples[cs.SampleNode] = fmt.Sprintf("synopsis_%d", cs.Entry.Desc.ID)
+			matNames[cs.SampleNode] = cs.Entry.Desc.ID
+		}
+		if cs.SketchNode != nil {
+			keepSketch[cs.SketchNode] = cs.Entry.Desc.ID
+		}
+	}
+	op, err := exec.Compile(dec.Chosen.Root, e.cfg.Seed+uint64(q.ID)*2654435761, ctx)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := exec.Run(op)
+	if err != nil {
+		return nil, err
+	}
+
+	// Store byproducts in the buffer (decoupled from the warehouse write).
+	for _, bs := range ctx.Stats.BuiltSamples {
+		id, ok := matNames[bs.Op]
+		if !ok {
+			continue
+		}
+		e.admit(warehouse.NewSampleItem(id, bs.Sample), id, rep.QueryID)
+		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
+	}
+	for _, bk := range ctx.Stats.BuiltSketches {
+		id, ok := keepSketch[bk.Op]
+		if !ok {
+			continue
+		}
+		e.admit(warehouse.NewSketchItem(id, bk.Sketch), id, rep.QueryID)
+		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
+	}
+
+	res := assemble(op, batches)
+	res.Report = rep
+	res.Report.SimSeconds = ctx.Stats.SimulatedSeconds(e.cfg.CostModel) + e.cfg.TuneOverheadSeconds
+	res.Report.WallSeconds = time.Since(start).Seconds()
+	res.Report.BufferBytes, res.Report.WarehouseBytes = e.wh.Usage()
+	res.Report.PlanTree = plan.Format(dec.Chosen.Root)
+	res.Report.Window = e.tn.Window()
+	e.reports = append(e.reports, res.Report)
+	return res, nil
+}
+
+// admit places a freshly built synopsis in the buffer, overflowing to the
+// warehouse, dropping it if neither tier has room.
+func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int) {
+	if err := e.wh.PutBuffer(it); err == nil {
+		e.store.SetLocation(id, meta.LocBuffer)
+		e.store.SetActualSize(id, it.Size)
+		return
+	}
+	if err := e.wh.PutWarehouse(it); err == nil {
+		e.store.SetLocation(id, meta.LocWarehouse)
+		e.store.SetActualSize(id, it.Size)
+		return
+	}
+	// No room anywhere: the synopsis is dropped; metadata remembers the
+	// measured size for better future decisions.
+	e.store.SetActualSize(id, it.Size)
+}
+
+// assemble converts operator output into a Result.
+func assemble(op exec.Operator, batches []*storage.Batch) *Result {
+	res := &Result{Columns: op.Schema().Names()}
+	for _, b := range batches {
+		for i := 0; i < b.Len(); i++ {
+			res.Rows = append(res.Rows, b.Row(i))
+		}
+	}
+	if rep, ok := op.(exec.IntervalReporter); ok {
+		res.Intervals = rep.Intervals()
+	}
+	return res
+}
+
+// SetStorageBudget changes the warehouse quota at runtime and immediately
+// retunes, evicting the lowest-gain synopses until the warehouse fits —
+// the paper's storage elasticity (§V, §VI-D).
+func (e *Engine) SetStorageBudget(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wh.SetWarehouseQuota(bytes)
+	if e.cfg.Mode != ModeTaster {
+		return
+	}
+	dec := e.tn.Retune()
+	for _, id := range dec.Evict {
+		if err := e.wh.Delete(id); err == nil {
+			e.store.SetLocation(id, meta.LocNone)
+		}
+	}
+	// A shrink can leave overflow even after gain-based eviction (e.g. all
+	// remaining synopses beneficial); drop smallest-gain leftovers until
+	// the quota holds.
+	for e.wh.Overflow() > 0 {
+		items := e.wh.WarehouseItems()
+		if len(items) == 0 {
+			break
+		}
+		victim := items[0]
+		for _, it := range items {
+			if !it.Pinned && (victim.Pinned || it.Size > victim.Size) {
+				victim = it
+			}
+		}
+		if victim.Pinned {
+			break
+		}
+		if err := e.wh.Delete(victim.ID); err != nil {
+			break
+		}
+		e.store.SetLocation(victim.ID, meta.LocNone)
+	}
+}
+
+// PinSample registers an offline-built sample (user hints, §V): it is
+// placed directly in the warehouse, marked pinned, and the tuner will never
+// evict it. stratCols/aggCols/accuracy describe what queries it can serve.
+func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols []string, acc stats.AccuracySpec) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tbl, err := e.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	desc := meta.Descriptor{
+		Kind:      plan.DistinctSample,
+		Sig:       plan.SignatureOf(&plan.Scan{Table: tbl}),
+		StratCols: stratCols,
+		P:         s.P,
+		Delta:     s.Delta,
+		AggCols:   aggCols,
+		Accuracy:  acc,
+		Pinned:    true,
+	}
+	if s.Strategy == "uniform" || s.Strategy == "variational" {
+		desc.Kind = plan.UniformSample
+	}
+	entry := e.store.Intern(desc)
+	id := entry.Desc.ID
+	e.store.SetPinned(id, true)
+	it := warehouse.NewSampleItem(id, s)
+	it.Pinned = true
+	if err := e.wh.PutWarehouse(it); err != nil {
+		return 0, fmt.Errorf("core: pinning sample: %w", err)
+	}
+	e.store.SetActualSize(id, it.Size)
+	e.store.SetLocation(id, meta.LocWarehouse)
+	return id, nil
+}

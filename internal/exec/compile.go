@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/plan"
+)
+
+// Compile lowers a logical plan into a physical operator tree. The seed
+// drives every random choice (sampling) so runs are reproducible; the
+// context collects cost counters and materialized byproducts.
+func Compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return NewTableScan(t.Table, ctx), nil
+
+	case *plan.SynopsisScan:
+		return NewSynopsisScan(t.Sample, t.InBuffer, ctx), nil
+
+	case *plan.Filter:
+		child, err := Compile(t.Child, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewFilterOp(child, t.Pred, ctx), nil
+
+	case *plan.Project:
+		child, err := Compile(t.Child, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(t.Exprs))
+		exprs := make([]expr.Expr, len(t.Exprs))
+		for i, ne := range t.Exprs {
+			names[i], exprs[i] = ne.Name, ne.E
+		}
+		return NewProjectOp(child, names, exprs, ctx)
+
+	case *plan.Join:
+		left, err := Compile(t.Left, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(t.Right, seed*31+7, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashJoinOp(left, right, t.LeftKeys, t.RightKeys, ctx)
+
+	case *plan.Aggregate:
+		child, err := Compile(t.Child, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashAggOp(child, t.GroupBy, t.Aggs, ctx)
+
+	case *plan.SynopsisOp:
+		child, err := Compile(t.Child, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewSamplerOp(child, t, seed, ctx)
+
+	case *plan.SketchJoin:
+		probe, err := Compile(t.Probe, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		var build Operator
+		if t.Sketch == nil && t.Build != nil {
+			build, err = Compile(t.Build, seed*131+13, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return NewSketchJoinOp(t, probe, build, seed, ctx)
+
+	case *plan.Sort:
+		child, err := Compile(t.Child, seed, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewSortOp(child, t.By, t.Desc, t.Limit, ctx)
+	}
+	return nil, fmt.Errorf("exec: cannot compile plan node %T", n)
+}

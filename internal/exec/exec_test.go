@@ -1,0 +1,556 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// orders: 1000 rows, 10 customers, amount = row index.
+func ordersTable() *storage.Table {
+	b := storage.NewBuilder("orders", storage.Schema{
+		{Name: "orders.id", Typ: storage.Int64},
+		{Name: "orders.cust", Typ: storage.Int64},
+		{Name: "orders.amount", Typ: storage.Float64},
+	})
+	for i := 0; i < 1000; i++ {
+		b.Int(0, int64(i))
+		b.Int(1, int64(i%10))
+		b.Float(2, float64(i))
+	}
+	return b.Build(3)
+}
+
+// customers: 10 rows with a region each (2 regions).
+func customersTable() *storage.Table {
+	b := storage.NewBuilder("cust", storage.Schema{
+		{Name: "cust.id", Typ: storage.Int64},
+		{Name: "cust.region", Typ: storage.String},
+	})
+	for i := 0; i < 10; i++ {
+		region := "east"
+		if i%2 == 1 {
+			region = "west"
+		}
+		b.Int(0, int64(i))
+		b.Str(1, region)
+	}
+	return b.Build(1)
+}
+
+func runPlan(t *testing.T, n plan.Node, ctx *Context) []*storage.Batch {
+	t.Helper()
+	op, err := Compile(n, 42, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func allRows(batches []*storage.Batch) [][]storage.Value {
+	var rows [][]storage.Value
+	for _, b := range batches {
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+	return rows
+}
+
+func TestScanCountsBytes(t *testing.T) {
+	tbl := ordersTable()
+	ctx := NewContext(0.95)
+	out := runPlan(t, &plan.Scan{Table: tbl}, ctx)
+	if n := len(allRows(out)); n != 1000 {
+		t.Fatalf("scanned %d rows", n)
+	}
+	if ctx.Stats.BaseBytes != tbl.Bytes() {
+		t.Fatalf("BaseBytes = %d, want %d", ctx.Stats.BaseBytes, tbl.Bytes())
+	}
+	if ctx.Stats.SimulatedSeconds(storage.DefaultCostModel()) <= 0 {
+		t.Fatal("simulated time must be positive")
+	}
+}
+
+func TestFilterProject(t *testing.T) {
+	tbl := ordersTable()
+	ctx := NewContext(0.95)
+	f := &plan.Filter{
+		Child: &plan.Scan{Table: tbl},
+		Pred:  &expr.Cmp{Op: expr.LT, L: &expr.Col{Name: "orders.id"}, R: expr.Int(10)},
+	}
+	p, err := plan.NewProject(f, []plan.NamedExpr{
+		{Name: "double", E: &expr.Bin{Op: expr.Mul, L: &expr.Col{Name: "orders.amount"}, R: expr.Int(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(runPlan(t, p, ctx))
+	if len(rows) != 10 {
+		t.Fatalf("filtered rows = %d", len(rows))
+	}
+	if rows[3][0].F != 6 {
+		t.Fatalf("projected value = %v", rows[3][0])
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	ctx := NewContext(0.95)
+	j := &plan.Join{
+		Left:      &plan.Scan{Table: ordersTable()},
+		Right:     &plan.Scan{Table: customersTable()},
+		LeftKeys:  []string{"orders.cust"},
+		RightKeys: []string{"cust.id"},
+	}
+	rows := allRows(runPlan(t, j, ctx))
+	if len(rows) != 1000 {
+		t.Fatalf("join rows = %d, want 1000 (every order matches)", len(rows))
+	}
+	// Output schema: orders cols ++ cust cols.
+	if len(rows[0]) != 5 {
+		t.Fatalf("join width = %d", len(rows[0]))
+	}
+	if ctx.Stats.ShuffleBytes <= 0 {
+		t.Fatal("join must charge shuffle bytes")
+	}
+}
+
+func TestHashJoinErrors(t *testing.T) {
+	ctx := NewContext(0.95)
+	if _, err := NewHashJoinOp(NewTableScan(ordersTable(), ctx), NewTableScan(customersTable(), ctx),
+		[]string{"nope"}, []string{"cust.id"}, ctx); err == nil {
+		t.Fatal("want unknown left key error")
+	}
+	if _, err := NewHashJoinOp(NewTableScan(ordersTable(), ctx), NewTableScan(customersTable(), ctx),
+		[]string{"orders.cust"}, []string{"nope"}, ctx); err == nil {
+		t.Fatal("want unknown right key error")
+	}
+	if _, err := NewHashJoinOp(NewTableScan(ordersTable(), ctx), NewTableScan(customersTable(), ctx),
+		nil, nil, ctx); err == nil {
+		t.Fatal("want empty key error")
+	}
+}
+
+func TestExactAggregate(t *testing.T) {
+	ctx := NewContext(0.95)
+	agg := &plan.Aggregate{
+		Child:   &plan.Scan{Table: ordersTable()},
+		GroupBy: []string{"orders.cust"},
+		Aggs: []plan.AggSpec{
+			{Kind: stats.Count},
+			{Kind: stats.Sum, Col: "orders.amount"},
+			{Kind: stats.Avg, Col: "orders.amount"},
+			{Kind: stats.Min, Col: "orders.amount"},
+			{Kind: stats.Max, Col: "orders.amount"},
+		},
+	}
+	op, err := Compile(agg, 1, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 10 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// Group 0: ids 0,10,...,990 → count 100, sum 49500, avg 495, min 0, max 990.
+	g0 := rows[0]
+	if g0[0].I != 0 {
+		t.Fatalf("first group = %v (must be sorted)", g0[0])
+	}
+	if g0[1].F != 100 || g0[2].F != 49500 || g0[3].F != 495 || g0[4].F != 0 || g0[5].F != 990 {
+		t.Fatalf("group 0 aggregates = %v", g0)
+	}
+	// Exact execution → zero-width intervals.
+	ivs := op.(IntervalReporter).Intervals()
+	if len(ivs) != 10 {
+		t.Fatalf("interval rows = %d", len(ivs))
+	}
+	for _, row := range ivs {
+		for _, iv := range row {
+			if iv.HalfWidth != 0 {
+				t.Fatalf("exact interval has width: %+v", iv)
+			}
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	ctx := NewContext(0.95)
+	if _, err := NewHashAggOp(NewTableScan(ordersTable(), ctx), []string{"nope"}, nil, ctx); err == nil {
+		t.Fatal("want unknown group column error")
+	}
+	if _, err := NewHashAggOp(NewTableScan(ordersTable(), ctx), nil,
+		[]plan.AggSpec{{Kind: stats.Sum, Col: "nope"}}, ctx); err == nil {
+		t.Fatal("want unknown agg column error")
+	}
+	if _, err := NewHashAggOp(NewTableScan(customersTable(), ctx), nil,
+		[]plan.AggSpec{{Kind: stats.Sum, Col: "cust.region"}}, ctx); err == nil {
+		t.Fatal("want non-numeric agg error")
+	}
+	if _, err := NewHashAggOp(NewTableScan(ordersTable(), ctx), nil,
+		[]plan.AggSpec{{Kind: stats.Sum}}, ctx); err == nil {
+		t.Fatal("want missing column error")
+	}
+}
+
+func TestSampledAggregateWithinError(t *testing.T) {
+	ctx := NewContext(0.95)
+	syn := &plan.SynopsisOp{
+		Child: &plan.Scan{Table: ordersTable()},
+		Kind:  plan.DistinctSample,
+		P:     0.3, Delta: 20, StratCols: []string{"orders.cust"},
+	}
+	agg := &plan.Aggregate{
+		Child:   syn,
+		GroupBy: []string{"orders.cust"},
+		Aggs:    []plan.AggSpec{{Kind: stats.Sum, Col: "orders.amount"}, {Kind: stats.Count}},
+	}
+	op, err := Compile(agg, 7, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 10 {
+		t.Fatalf("missing groups: %d/10", len(rows))
+	}
+	// The honest check is against the reported CI: the true value must fall
+	// within a few half-widths (4σ-ish) of every estimate, and within 1
+	// half-width for most groups (95% nominal coverage).
+	ivs := op.(IntervalReporter).Intervals()
+	covered := 0
+	for i, row := range rows {
+		cust := row[0].I
+		trueSum := 0.0
+		for v := int64(cust); v < 1000; v += 10 {
+			trueSum += float64(v)
+		}
+		iv := ivs[i][0]
+		if iv.HalfWidth <= 0 {
+			t.Fatalf("sampled aggregate must carry CI, got %+v", iv)
+		}
+		dev := math.Abs(iv.Estimate - trueSum)
+		if dev > 4*iv.HalfWidth {
+			t.Fatalf("group %d: estimate %v vs %v exceeds 4 half-widths (%v)",
+				cust, iv.Estimate, trueSum, iv.HalfWidth)
+		}
+		if dev <= iv.HalfWidth {
+			covered++
+		}
+		cnt := row[2].F
+		if math.Abs(cnt-100) > 60 {
+			t.Fatalf("group %d count estimate %v", cust, cnt)
+		}
+	}
+	if covered < 6 {
+		t.Fatalf("only %d/10 groups inside their 95%% CI", covered)
+	}
+}
+
+func TestSamplerMaterializesByproduct(t *testing.T) {
+	ctx := NewContext(0.95)
+	syn := &plan.SynopsisOp{
+		Child: &plan.Scan{Table: ordersTable()},
+		Kind:  plan.UniformSample,
+		P:     0.5,
+	}
+	ctx.MaterializeSamples[syn] = "orders_sample"
+	agg := &plan.Aggregate{
+		Child: syn,
+		Aggs:  []plan.AggSpec{{Kind: stats.Count}},
+	}
+	runPlan(t, agg, ctx)
+	if len(ctx.Stats.BuiltSamples) != 1 {
+		t.Fatalf("built samples = %d", len(ctx.Stats.BuiltSamples))
+	}
+	s := ctx.Stats.BuiltSamples[0].Sample
+	if s.SourceRows != 1000 || s.Strategy != "uniform" {
+		t.Fatalf("sample = %+v", s)
+	}
+	if n := s.Rows.NumRows(); n < 400 || n > 600 {
+		t.Fatalf("sample rows = %d, want ≈500", n)
+	}
+	if s.Rows.Name != "orders_sample" {
+		t.Fatalf("sample name = %q", s.Rows.Name)
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	ctx := NewContext(0.95)
+	syn := &plan.SynopsisOp{
+		Child:     &plan.Scan{Table: ordersTable()},
+		Kind:      plan.DistinctSample,
+		P:         0.1,
+		Delta:     5,
+		StratCols: []string{"nope"},
+	}
+	if _, err := Compile(syn, 1, ctx); err == nil {
+		t.Fatal("want unknown stratification column error")
+	}
+	bad := &plan.SynopsisOp{Child: &plan.Scan{Table: ordersTable()}, Kind: plan.SketchJoinSynopsis}
+	if _, err := Compile(bad, 1, ctx); err == nil {
+		t.Fatal("want unsupported kind error")
+	}
+}
+
+func TestJoinOfSampledSideCarriesWeights(t *testing.T) {
+	ctx := NewContext(0.95)
+	syn := &plan.SynopsisOp{
+		Child: &plan.Scan{Table: ordersTable()},
+		Kind:  plan.UniformSample,
+		P:     0.5,
+	}
+	j := &plan.Join{
+		Left:      syn,
+		Right:     &plan.Scan{Table: customersTable()},
+		LeftKeys:  []string{"orders.cust"},
+		RightKeys: []string{"cust.id"},
+	}
+	agg := &plan.Aggregate{
+		Child:   j,
+		GroupBy: []string{"cust.region"},
+		Aggs:    []plan.AggSpec{{Kind: stats.Count}},
+	}
+	rows := allRows(runPlan(t, agg, ctx))
+	if len(rows) != 2 {
+		t.Fatalf("regions = %d", len(rows))
+	}
+	// Each region truly has 500 orders; HT estimate should be close.
+	for _, r := range rows {
+		if math.Abs(r[1].F-500) > 150 {
+			t.Fatalf("region %v count = %v, want ≈500", r[0], r[1].F)
+		}
+	}
+	// Join schema must contain exactly one weight column, at the end.
+	jo, err := Compile(j, 3, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := jo.Schema()
+	wcount := 0
+	for _, c := range sc {
+		if c.Name == synopses.WeightCol {
+			wcount++
+		}
+	}
+	if wcount != 1 || sc[len(sc)-1].Name != synopses.WeightCol {
+		t.Fatalf("join schema weights wrong: %v", sc.Names())
+	}
+}
+
+func TestSketchJoinOpInlineBuild(t *testing.T) {
+	ctx := NewContext(0.95)
+	node := &plan.SketchJoin{
+		Probe:     &plan.Scan{Table: customersTable()},
+		Build:     &plan.Scan{Table: ordersTable()},
+		ProbeKeys: []string{"cust.id"},
+		BuildKeys: []string{"orders.cust"},
+		AggCol:    "orders.amount",
+		GroupBy:   []string{"cust.region"},
+		Aggs: []plan.AggSpec{
+			{Kind: stats.Count},
+			{Kind: stats.Sum, Col: "orders.amount"},
+		},
+	}
+	op, err := Compile(node, 5, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// True totals: east (even custs) count 500, sum = Σ even-cust amounts.
+	var eastSum, westSum float64
+	for i := 0; i < 1000; i++ {
+		if (i%10)%2 == 0 {
+			eastSum += float64(i)
+		} else {
+			westSum += float64(i)
+		}
+	}
+	for _, r := range rows {
+		wantCount, wantSum := 500.0, eastSum
+		if r[0].S == "west" {
+			wantSum = westSum
+		}
+		if math.Abs(r[1].F-wantCount)/wantCount > 0.05 {
+			t.Fatalf("region %v count = %v, want ≈%v", r[0], r[1].F, wantCount)
+		}
+		if math.Abs(r[2].F-wantSum)/wantSum > 0.05 {
+			t.Fatalf("region %v sum = %v, want ≈%v", r[0], r[2].F, wantSum)
+		}
+	}
+	if len(ctx.Stats.BuiltSketches) != 1 {
+		t.Fatal("inline build must record the sketch for retention")
+	}
+	ivs := op.(IntervalReporter).Intervals()
+	if len(ivs) != 2 || ivs[0][0].HalfWidth <= 0 {
+		t.Fatalf("sketch intervals = %+v", ivs)
+	}
+}
+
+func TestSketchJoinOpReuseMaterialized(t *testing.T) {
+	orders := ordersTable()
+	sk, err := synopses.BuildSketchJoin(orders, []string{"orders.cust"}, "orders.amount", 0.001, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(0.95)
+	node := &plan.SketchJoin{
+		Probe:     &plan.Scan{Table: customersTable()},
+		Sketch:    sk,
+		ProbeKeys: []string{"cust.id"},
+		BuildKeys: []string{"orders.cust"},
+		AggCol:    "orders.amount",
+		GroupBy:   []string{"cust.region"},
+		Aggs:      []plan.AggSpec{{Kind: stats.Avg, Col: "orders.amount"}},
+	}
+	rows := allRows(runPlan(t, node, ctx))
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// Reuse path must not rescan the orders table.
+	if ctx.Stats.BaseBytes >= orders.Bytes() {
+		t.Fatalf("BaseBytes = %d includes build side; reuse must avoid it", ctx.Stats.BaseBytes)
+	}
+	// AVG(amount) per region ≈ 495 (east) / 500 (west lean).
+	for _, r := range rows {
+		if r[1].F < 400 || r[1].F > 600 {
+			t.Fatalf("avg = %v", r[1].F)
+		}
+	}
+	if len(ctx.Stats.BuiltSketches) != 0 {
+		t.Fatal("reuse path must not record a new sketch")
+	}
+}
+
+func TestSketchJoinErrors(t *testing.T) {
+	ctx := NewContext(0.95)
+	node := &plan.SketchJoin{
+		Probe:     &plan.Scan{Table: customersTable()},
+		ProbeKeys: []string{"cust.id"},
+		BuildKeys: []string{"orders.cust"},
+		GroupBy:   []string{"cust.region"},
+	}
+	if _, err := NewSketchJoinOp(node, NewTableScan(customersTable(), ctx), nil, 1, ctx); err == nil {
+		t.Fatal("want error: no sketch and no build input")
+	}
+	bad := &plan.SketchJoin{
+		Probe:     &plan.Scan{Table: customersTable()},
+		Build:     &plan.Scan{Table: ordersTable()},
+		ProbeKeys: []string{"nope"},
+	}
+	if _, err := Compile(bad, 1, ctx); err == nil {
+		t.Fatal("want unknown probe key error")
+	}
+}
+
+func TestSynopsisScanChargesWarehouseBytes(t *testing.T) {
+	tbl := ordersTable()
+	smp := synopses.BuildSampleFromTable("s", tbl, synopses.NewUniformSampler(0.2, 3), nil)
+	ctx := NewContext(0.95)
+	ss := &plan.SynopsisScan{SynopsisID: 1, Sample: smp, Label: "orders"}
+	runPlan(t, ss, ctx)
+	if ctx.Stats.WarehouseBytes != smp.Rows.Bytes() {
+		t.Fatalf("WarehouseBytes = %d, want %d", ctx.Stats.WarehouseBytes, smp.Rows.Bytes())
+	}
+	if ctx.Stats.BaseBytes != 0 {
+		t.Fatal("synopsis scan must not charge base bytes")
+	}
+	// Buffer-resident scans are free of I/O.
+	ctx2 := NewContext(0.95)
+	ss2 := &plan.SynopsisScan{SynopsisID: 1, Sample: smp, Label: "orders", InBuffer: true}
+	runPlan(t, ss2, ctx2)
+	if ctx2.Stats.WarehouseBytes != 0 {
+		t.Fatal("buffer scan must be free")
+	}
+}
+
+func TestAggregateOverSynopsisScanIsHT(t *testing.T) {
+	tbl := ordersTable()
+	smp := synopses.BuildSampleFromTable("s", tbl,
+		synopses.NewDistinctSampler(0.3, 10, []int{1}, 11), []string{"orders.cust"})
+	ctx := NewContext(0.95)
+	agg := &plan.Aggregate{
+		Child:   &plan.SynopsisScan{SynopsisID: 2, Sample: smp, Label: "orders"},
+		GroupBy: []string{"orders.cust"},
+		Aggs:    []plan.AggSpec{{Kind: stats.Count}},
+	}
+	rows := allRows(runPlan(t, agg, ctx))
+	if len(rows) != 10 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r[1].F-100) > 50 {
+			t.Fatalf("HT count = %v, want ≈100", r[1].F)
+		}
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	ctx := NewContext(0.95)
+	agg := &plan.Aggregate{
+		Child:   &plan.Scan{Table: ordersTable()},
+		GroupBy: []string{"orders.cust"},
+		Aggs:    []plan.AggSpec{{Kind: stats.Sum, Col: "orders.amount"}},
+	}
+	srt := &plan.Sort{Child: agg, By: []string{"sum_orders_amount"}, Desc: []bool{true}, Limit: 3}
+	op, err := Compile(srt, 1, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 3 {
+		t.Fatalf("limit produced %d rows", len(rows))
+	}
+	if rows[0][1].F < rows[1][1].F || rows[1][1].F < rows[2][1].F {
+		t.Fatalf("descending order violated: %v", rows)
+	}
+	// Intervals permuted alongside.
+	ivs := op.(IntervalReporter).Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("sorted intervals = %d", len(ivs))
+	}
+	if _, err := NewSortOp(NewTableScan(ordersTable(), ctx), []string{"nope"}, nil, 0, ctx); err == nil {
+		t.Fatal("want unknown sort column error")
+	}
+}
+
+func TestCompileUnknownNode(t *testing.T) {
+	ctx := NewContext(0.95)
+	if _, err := Compile(nil, 1, ctx); err == nil {
+		t.Fatal("want error for nil node")
+	}
+}
+
+func TestNewContextDefaults(t *testing.T) {
+	c := NewContext(0)
+	if c.Confidence != stats.DefaultAccuracy.Confidence {
+		t.Fatalf("confidence = %v", c.Confidence)
+	}
+}

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// HashAggOp groups rows and computes aggregates. When the input carries the
+// sampler weight column it transparently switches to Horvitz-Thompson
+// estimation with the single-pass per-group variance tracking of paper
+// §IV-B; on unweighted input the results are exact (zero-width intervals).
+type HashAggOp struct {
+	Child   Operator
+	GroupBy []string
+	Aggs    []plan.AggSpec
+
+	ctx    *Context
+	schema storage.Schema
+
+	groupIdx  []int
+	aggIdx    []int // column index per agg, -1 for COUNT(*)
+	weightIdx int
+
+	groups    map[string]*aggGroup
+	emitted   bool
+	intervals [][]stats.Interval
+}
+
+type aggGroup struct {
+	keyVals []storage.Value
+	accs    []*stats.GroupAccumulator
+}
+
+// NewHashAggOp resolves columns and prepares the aggregation.
+func NewHashAggOp(child Operator, groupBy []string, aggs []plan.AggSpec, ctx *Context) (*HashAggOp, error) {
+	a := &HashAggOp{Child: child, GroupBy: groupBy, Aggs: aggs, ctx: ctx}
+	in := child.Schema()
+	for _, g := range groupBy {
+		i := in.Index(g)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: aggregate: group column %q not in %v", g, in.Names())
+		}
+		a.groupIdx = append(a.groupIdx, i)
+		a.schema = append(a.schema, in[i])
+	}
+	for _, ag := range aggs {
+		idx := -1
+		if ag.Col != "" {
+			idx = in.Index(ag.Col)
+			if idx < 0 {
+				return nil, fmt.Errorf("exec: aggregate: column %q not in %v", ag.Col, in.Names())
+			}
+			if !in[idx].Typ.Numeric() && ag.Kind != stats.Count {
+				return nil, fmt.Errorf("exec: %s over non-numeric column %q", ag.Kind, ag.Col)
+			}
+		} else if ag.Kind != stats.Count {
+			return nil, fmt.Errorf("exec: %s requires a column", ag.Kind)
+		}
+		a.aggIdx = append(a.aggIdx, idx)
+		a.schema = append(a.schema, storage.Col{Name: ag.DefaultAlias(), Typ: storage.Float64})
+	}
+	a.weightIdx = in.Index(synopses.WeightCol)
+	return a, nil
+}
+
+// Open implements Operator.
+func (a *HashAggOp) Open() error {
+	a.groups = make(map[string]*aggGroup, 256)
+	a.emitted = false
+	a.intervals = nil
+	return a.Child.Open()
+}
+
+// Next implements Operator: drains the child, then emits one batch with all
+// groups in deterministic (sorted) order.
+func (a *HashAggOp) Next() (*storage.Batch, error) {
+	if a.emitted {
+		return nil, nil
+	}
+	var key []byte
+	for {
+		b, err := a.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		a.ctx.Stats.ShuffleBytes += batchBytes(b)
+		n := b.Len()
+		a.ctx.Stats.CPUTuples += int64(n)
+		for i := 0; i < n; i++ {
+			key = groupKey(key, b.Vecs, a.groupIdx, i)
+			g, ok := a.groups[string(key)]
+			if !ok {
+				g = &aggGroup{accs: make([]*stats.GroupAccumulator, len(a.Aggs))}
+				for k, ag := range a.Aggs {
+					g.accs[k] = stats.NewGroupAccumulator(ag.Kind)
+				}
+				for _, gi := range a.groupIdx {
+					g.keyVals = append(g.keyVals, b.Vecs[gi].Get(i))
+				}
+				a.groups[string(key)] = g
+			}
+			w := 1.0
+			if a.weightIdx >= 0 {
+				w = b.Vecs[a.weightIdx].F64[i]
+			}
+			for k := range a.Aggs {
+				y := 1.0
+				if ci := a.aggIdx[k]; ci >= 0 {
+					y = b.Vecs[ci].Float(i)
+				}
+				g.accs[k].Observe(y, w)
+			}
+		}
+	}
+	a.emitted = true
+
+	// SQL semantics: a global aggregate (no GROUP BY) over empty input
+	// still yields one row (COUNT 0, zero-valued aggregates).
+	if len(a.groups) == 0 && len(a.GroupBy) == 0 {
+		g := &aggGroup{accs: make([]*stats.GroupAccumulator, len(a.Aggs))}
+		for k, ag := range a.Aggs {
+			g.accs[k] = stats.NewGroupAccumulator(ag.Kind)
+		}
+		a.groups[""] = g
+	}
+
+	// Deterministic output: sort groups by key values.
+	all := make([]*aggGroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		all = append(all, g)
+	}
+	keys := make([][]storage.Value, len(all))
+	for i, g := range all {
+		keys[i] = g.keyVals
+	}
+	order := sortRowsByValues(keys)
+
+	out := storage.NewBatch(a.schema, len(all))
+	a.intervals = make([][]stats.Interval, 0, len(all))
+	for _, oi := range order {
+		g := all[oi]
+		for c, v := range g.keyVals {
+			out.Vecs[c].Append(v)
+		}
+		rowIv := make([]stats.Interval, len(a.Aggs))
+		for k, acc := range g.accs {
+			iv := acc.Interval(a.ctx.Confidence)
+			rowIv[k] = iv
+			out.Vecs[len(a.groupIdx)+k].F64 = append(out.Vecs[len(a.groupIdx)+k].F64, iv.Estimate)
+		}
+		a.intervals = append(a.intervals, rowIv)
+	}
+	a.ctx.Stats.OutputRows += int64(out.Len())
+	return out, nil
+}
+
+// Close implements Operator.
+func (a *HashAggOp) Close() error { return a.Child.Close() }
+
+// Schema implements Operator.
+func (a *HashAggOp) Schema() storage.Schema { return a.schema }
+
+// Intervals implements IntervalReporter.
+func (a *HashAggOp) Intervals() [][]stats.Interval { return a.intervals }

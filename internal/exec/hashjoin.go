@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// HashJoinOp is an inner equi-join: it builds a hash table over the right
+// input, then streams the left input against it. If either input carries a
+// sampler weight column, the join merges them into a single trailing weight
+// column whose value is the product of the sides' weights (joining two
+// independent samples multiplies inclusion probabilities).
+type HashJoinOp struct {
+	Left, Right Operator
+	leftKeys    []int
+	rightKeys   []int
+
+	ctx    *Context
+	schema storage.Schema
+
+	leftWeight  int // index of weight col in left schema, -1 if none
+	rightWeight int
+	leftCols    []int // left columns copied to output (weight excluded)
+	rightCols   []int
+
+	built      *storage.Batch // all right rows concatenated
+	hash       map[string][]int
+	outWeights bool
+}
+
+// NewHashJoinOp resolves join key columns by name and prepares the operator.
+func NewHashJoinOp(left, right Operator, leftKeys, rightKeys []string, ctx *Context) (*HashJoinOp, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: hash join needs equal, non-empty key lists")
+	}
+	j := &HashJoinOp{Left: left, Right: right, ctx: ctx}
+	ls, rs := left.Schema(), right.Schema()
+	for _, k := range leftKeys {
+		i := ls.Index(k)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: hash join: left key %q not in %v", k, ls.Names())
+		}
+		j.leftKeys = append(j.leftKeys, i)
+	}
+	for _, k := range rightKeys {
+		i := rs.Index(k)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: hash join: right key %q not in %v", k, rs.Names())
+		}
+		j.rightKeys = append(j.rightKeys, i)
+	}
+	j.leftWeight = ls.Index(synopses.WeightCol)
+	j.rightWeight = rs.Index(synopses.WeightCol)
+	j.outWeights = j.leftWeight >= 0 || j.rightWeight >= 0
+	for i, c := range ls {
+		if i == j.leftWeight {
+			continue
+		}
+		j.schema = append(j.schema, c)
+		j.leftCols = append(j.leftCols, i)
+	}
+	for i, c := range rs {
+		if i == j.rightWeight {
+			continue
+		}
+		j.schema = append(j.schema, c)
+		j.rightCols = append(j.rightCols, i)
+	}
+	if j.outWeights {
+		j.schema = append(j.schema, storage.Col{Name: synopses.WeightCol, Typ: storage.Float64})
+	}
+	return j, nil
+}
+
+// Open implements Operator: it drains and hashes the right (build) input.
+func (j *HashJoinOp) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	rs := j.Right.Schema()
+	j.built = storage.NewBatch(rs, 0)
+	j.hash = make(map[string][]int, 1024)
+	var key []byte
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		j.ctx.Stats.ShuffleBytes += batchBytes(b)
+		base := j.built.Len()
+		for i := 0; i < b.Len(); i++ {
+			j.built.AppendRow(b, i)
+			key = groupKey(key, b.Vecs, j.rightKeys, i)
+			j.hash[string(key)] = append(j.hash[string(key)], base+i)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next() (*storage.Batch, error) {
+	for {
+		b, err := j.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		j.ctx.Stats.ShuffleBytes += batchBytes(b)
+		out := storage.NewBatch(j.schema, b.Len())
+		var key []byte
+		for i := 0; i < b.Len(); i++ {
+			key = groupKey(key, b.Vecs, j.leftKeys, i)
+			matches := j.hash[string(key)]
+			for _, m := range matches {
+				col := 0
+				for _, lc := range j.leftCols {
+					out.Vecs[col].AppendFrom(b.Vecs[lc], i)
+					col++
+				}
+				for _, rc := range j.rightCols {
+					out.Vecs[col].AppendFrom(j.built.Vecs[rc], m)
+					col++
+				}
+				if j.outWeights {
+					w := 1.0
+					if j.leftWeight >= 0 {
+						w *= b.Vecs[j.leftWeight].F64[i]
+					}
+					if j.rightWeight >= 0 {
+						w *= j.built.Vecs[j.rightWeight].F64[m]
+					}
+					out.Vecs[col].F64 = append(out.Vecs[col].F64, w)
+				}
+			}
+		}
+		if out.Len() == 0 {
+			continue
+		}
+		j.ctx.Stats.CPUTuples += int64(out.Len())
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Schema implements Operator.
+func (j *HashJoinOp) Schema() storage.Schema { return j.schema }
+
+func batchBytes(b *storage.Batch) int64 {
+	var n int64
+	for _, v := range b.Vecs {
+		n += v.Bytes()
+	}
+	return n
+}

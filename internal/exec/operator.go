@@ -1,0 +1,166 @@
+// Package exec implements the physical, batch-at-a-time (Volcano-with-
+// vectors) execution engine: scans, filters, projections, hash joins,
+// weighted hash aggregation with single-pass error tracking, the sampler
+// operators (pipelined, with materialization as a byproduct — paper §III),
+// the sketch-join operator, and the compiler from logical plans.
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// Operator is a physical operator producing batches until nil (EOF).
+type Operator interface {
+	// Open prepares the operator (and its inputs) for execution.
+	Open() error
+	// Next returns the next batch, or nil at end of stream.
+	Next() (*storage.Batch, error)
+	// Close releases resources; safe after partial consumption.
+	Close() error
+	// Schema returns the operator's output schema.
+	Schema() storage.Schema
+}
+
+// RunStats accumulates the logical work counters the simulated-cluster cost
+// model converts to seconds, plus every synopsis built as a byproduct of the
+// run (paper §III: "all synopses are constructed as byproducts of query
+// answering").
+type RunStats struct {
+	BaseBytes      int64 // cold bytes scanned from base tables
+	WarehouseBytes int64 // bytes scanned from materialized synopses
+	CPUTuples      int64 // tuples pushed through operators
+	ShuffleBytes   int64 // bytes exchanged for joins/aggregations
+	OutputRows     int64
+
+	BuiltSamples  []BuiltSample
+	BuiltSketches []BuiltSketch
+}
+
+// BuiltSample records a sample materialized during execution.
+type BuiltSample struct {
+	Op     *plan.SynopsisOp
+	Sample *synopses.Sample
+}
+
+// BuiltSketch records a sketch-join synopsis built during execution.
+type BuiltSketch struct {
+	Op     *plan.SketchJoin
+	Sketch *synopses.SketchJoin
+}
+
+// SimulatedSeconds converts the counters into simulated cluster time. The
+// seek charge models per-query job startup and is paid once, matching the
+// planner's cost convention.
+func (s *RunStats) SimulatedSeconds(m storage.CostModel) float64 {
+	sec := m.CPUSeconds(s.CPUTuples) + m.ShuffleSeconds(s.ShuffleBytes)
+	if s.BaseBytes > 0 || s.WarehouseBytes > 0 {
+		sec += m.SeekSeconds
+	}
+	sec += float64(s.BaseBytes) / m.ScanBytesPerSec
+	sec += float64(s.WarehouseBytes) / (m.ScanBytesPerSec * m.WarehouseReadFrac)
+	return sec
+}
+
+// Context carries per-run state shared by the operator tree.
+type Context struct {
+	Confidence float64 // confidence level for reported intervals
+	Stats      *RunStats
+	// MaterializeSamples maps SynopsisOp nodes whose output the tuner chose
+	// to keep; the sampler operator tees into a builder for each.
+	MaterializeSamples map[*plan.SynopsisOp]string // node → synopsis name
+}
+
+// NewContext returns a context with fresh stats at the given confidence.
+func NewContext(confidence float64) *Context {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = stats.DefaultAccuracy.Confidence
+	}
+	return &Context{
+		Confidence:         confidence,
+		Stats:              &RunStats{},
+		MaterializeSamples: make(map[*plan.SynopsisOp]string),
+	}
+}
+
+// IntervalReporter is implemented by the terminal aggregation operators;
+// after the stream is drained it reports the confidence interval of every
+// aggregate cell, row-aligned with the emitted output.
+type IntervalReporter interface {
+	Intervals() [][]stats.Interval
+}
+
+// Run opens, drains and closes an operator, returning all batches.
+func Run(op Operator) ([]*storage.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []*storage.Batch
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if b.Len() > 0 {
+			out = append(out, b)
+		}
+	}
+}
+
+// groupKey builds a deterministic byte key from selected columns of a row.
+func groupKey(dst []byte, vecs []*storage.Vector, cols []int, row int) []byte {
+	dst = dst[:0]
+	for _, c := range cols {
+		v := vecs[c]
+		switch v.Typ {
+		case storage.Int64:
+			x := uint64(v.I64[row])
+			dst = append(dst, 1, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+				byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case storage.Float64:
+			x := math.Float64bits(v.F64[row])
+			dst = append(dst, 2, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+				byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+		case storage.String:
+			dst = append(dst, 3)
+			dst = append(dst, v.Str[row]...)
+			dst = append(dst, 0)
+		case storage.Bool:
+			if v.B[row] {
+				dst = append(dst, 4, 1)
+			} else {
+				dst = append(dst, 4, 0)
+			}
+		}
+	}
+	return dst
+}
+
+// sortRowsByValues orders row indices by the given value tuples
+// lexicographically — used for deterministic aggregate output.
+func sortRowsByValues(keys [][]storage.Value) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range ka {
+			if ka[i].Equal(kb[i]) {
+				continue
+			}
+			return ka[i].Less(kb[i])
+		}
+		return false
+	})
+	return idx
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// SamplerOp is the pipelined sampler operator the planner injects below
+// aggregators (paper §IV-A). It forwards passing rows downstream with their
+// HT weight appended, and — when the tuner chose this plan for its reusable
+// synopsis — simultaneously materializes the very same rows into a Sample
+// (the "byproduct of query execution" materialization of paper §III).
+type SamplerOp struct {
+	Child Operator
+	Node  *plan.SynopsisOp
+
+	ctx     *Context
+	sampler synopses.Sampler
+	schema  storage.Schema
+
+	matBuilder *synopses.SampleBuilder
+	matCols    []string
+}
+
+// NewSamplerOp builds the sampler described by the plan node. The context's
+// MaterializeSamples map decides whether the output is also materialized.
+func NewSamplerOp(child Operator, node *plan.SynopsisOp, seed uint64, ctx *Context) (*SamplerOp, error) {
+	in := child.Schema()
+	op := &SamplerOp{Child: child, Node: node, ctx: ctx}
+	op.schema = synopses.SampleSchema(in)
+
+	switch node.Kind {
+	case plan.UniformSample:
+		op.sampler = synopses.NewUniformSampler(node.P, seed)
+	case plan.DistinctSample:
+		idxs := make([]int, 0, len(node.StratCols))
+		for _, c := range node.StratCols {
+			i := in.Index(c)
+			if i < 0 {
+				return nil, fmt.Errorf("exec: sampler: stratification column %q not in %v", c, in.Names())
+			}
+			idxs = append(idxs, i)
+		}
+		op.sampler = synopses.NewDistinctSampler(node.P, node.Delta, idxs, seed)
+	default:
+		return nil, fmt.Errorf("exec: sampler: unsupported synopsis kind %s", node.Kind)
+	}
+
+	if name, ok := ctx.MaterializeSamples[node]; ok {
+		op.matBuilder = synopses.NewSampleBuilder(name, in)
+		op.matCols = node.StratCols
+	}
+	return op, nil
+}
+
+// Open implements Operator.
+func (s *SamplerOp) Open() error { return s.Child.Open() }
+
+// Next implements Operator.
+func (s *SamplerOp) Next() (*storage.Batch, error) {
+	for {
+		b, err := s.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.finishMaterialization()
+			return nil, nil
+		}
+		n := b.Len()
+		s.ctx.Stats.CPUTuples += int64(n)
+		out := storage.NewBatch(s.schema, n/4+1)
+		wcol := len(s.schema) - 1
+		for i := 0; i < n; i++ {
+			var d synopses.Decision
+			if s.matBuilder != nil {
+				d = s.matBuilder.Offer(s.sampler, b.Vecs, i)
+			} else {
+				d = s.sampler.Decide(b.Vecs, i)
+			}
+			if !d.Pass {
+				continue
+			}
+			for c := 0; c < wcol; c++ {
+				out.Vecs[c].AppendFrom(b.Vecs[c], i)
+			}
+			out.Vecs[wcol].F64 = append(out.Vecs[wcol].F64, d.Weight)
+		}
+		if out.Len() == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (s *SamplerOp) finishMaterialization() {
+	if s.matBuilder == nil {
+		return
+	}
+	sample := s.matBuilder.Build(s.sampler, 1)
+	sample.StratCols = append([]string(nil), s.matCols...)
+	s.ctx.Stats.BuiltSamples = append(s.ctx.Stats.BuiltSamples, BuiltSample{Op: s.Node, Sample: sample})
+	s.matBuilder = nil
+}
+
+// Close implements Operator.
+func (s *SamplerOp) Close() error { return s.Child.Close() }
+
+// Schema implements Operator.
+func (s *SamplerOp) Schema() storage.Schema { return s.schema }

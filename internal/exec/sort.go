@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// SortOp materializes its input, orders it by the sort columns and emits a
+// single batch (optionally truncated to a limit). When the child reports
+// confidence intervals, the sort permutes them alongside the rows so the
+// final result stays row-aligned.
+type SortOp struct {
+	Child Operator
+	By    []string
+	Desc  []bool
+	Limit int
+	ctx   *Context
+
+	byIdx     []int
+	emitted   bool
+	intervals [][]stats.Interval
+}
+
+// NewSortOp resolves the sort columns against the child schema.
+func NewSortOp(child Operator, by []string, desc []bool, limit int, ctx *Context) (*SortOp, error) {
+	s := &SortOp{Child: child, By: by, Desc: desc, Limit: limit, ctx: ctx}
+	for _, c := range by {
+		i := child.Schema().Index(c)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: sort: column %q not in %v", c, child.Schema().Names())
+		}
+		s.byIdx = append(s.byIdx, i)
+	}
+	return s, nil
+}
+
+// Open implements Operator.
+func (s *SortOp) Open() error {
+	s.emitted = false
+	s.intervals = nil
+	return s.Child.Open()
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (*storage.Batch, error) {
+	if s.emitted {
+		return nil, nil
+	}
+	all := storage.NewBatch(s.Child.Schema(), 0)
+	var childIvs [][]stats.Interval
+	for {
+		b, err := s.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			all.AppendRow(b, i)
+		}
+	}
+	if rep, ok := s.Child.(IntervalReporter); ok {
+		childIvs = rep.Intervals()
+	}
+	s.emitted = true
+
+	n := all.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, c := range s.byIdx {
+			va, vb := all.Vecs[c].Get(idx[a]), all.Vecs[c].Get(idx[b])
+			if va.Equal(vb) {
+				continue
+			}
+			less := va.Less(vb)
+			if k < len(s.Desc) && s.Desc[k] {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	if s.Limit > 0 && s.Limit < len(idx) {
+		idx = idx[:s.Limit]
+	}
+	out := all.Gather(idx)
+	if childIvs != nil && len(childIvs) == n {
+		s.intervals = make([][]stats.Interval, len(idx))
+		for i, j := range idx {
+			s.intervals[i] = childIvs[j]
+		}
+	}
+	s.ctx.Stats.CPUTuples += int64(n)
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error { return s.Child.Close() }
+
+// Schema implements Operator.
+func (s *SortOp) Schema() storage.Schema { return s.Child.Schema() }
+
+// Intervals implements IntervalReporter.
+func (s *SortOp) Intervals() [][]stats.Interval { return s.intervals }

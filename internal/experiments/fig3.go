@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/baselines"
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// SystemRun is one bar of Fig. 3: a system's offline and query-execution
+// time over the whole sequence.
+type SystemRun struct {
+	System     string
+	OfflineSec float64 // simulated offline phase (BlinkDB sampling)
+	QuerySec   float64 // simulated query execution, summed
+	Speedup    float64 // Baseline query time / this system's total time
+}
+
+// Figure3Result is the full figure for one workload.
+type Figure3Result struct {
+	Workload string
+	Queries  int
+	Runs     []SystemRun
+}
+
+// Table renders the figure as rows.
+func (f *Figure3Result) Table() string {
+	rows := make([][]string, 0, len(f.Runs))
+	for _, r := range f.Runs {
+		rows = append(rows, []string{
+			r.System,
+			fmt.Sprintf("%.0f", r.OfflineSec),
+			fmt.Sprintf("%.0f", r.QuerySec),
+			fmt.Sprintf("%.0f", r.OfflineSec+r.QuerySec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return fmt.Sprintf("Figure 3 (%s, %d queries) — simulated cluster seconds\n", f.Workload, f.Queries) +
+		table([]string{"system", "offline", "query exec", "total", "speedup"}, rows)
+}
+
+// Figure3 reproduces Fig. 3a/b/c: end-to-end execution time of the 200-query
+// random workload for Baseline, Quickr, BlinkDB and Taster. TPC-H also runs
+// the 100% budget variants (paper §VI-A). BlinkDB receives the whole query
+// sequence as its oracle, exactly as the paper's footnote 2 grants it.
+func Figure3(workloadName string, cfg Config) (*Figure3Result, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload(workloadName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Queries(cfg.Queries, cfg.Seed)
+	bytes, rows := w.CostScale()
+	model := storage.ScaledCostModel(bytes, rows)
+
+	out := &Figure3Result{Workload: workloadName, Queries: cfg.Queries}
+
+	// Baseline.
+	base := newEngine(w, core.ModeExact, 1, uint64(cfg.Seed))
+	baseSims, _, err := runSeq(base, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	baseTotal := sum(baseSims)
+	out.Runs = append(out.Runs, SystemRun{System: "Baseline", QuerySec: baseTotal, Speedup: 1})
+
+	// Quickr.
+	quickr := newEngine(w, core.ModeQuickr, 1, uint64(cfg.Seed))
+	qSims, _, err := runSeq(quickr, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	out.Runs = append(out.Runs, SystemRun{
+		System: "Quickr", QuerySec: sum(qSims), Speedup: baseTotal / sum(qSims),
+	})
+
+	budgets := []float64{0.5}
+	if workloadName == "tpch" {
+		budgets = []float64{0.5, 1.0}
+	}
+	for _, frac := range budgets {
+		pct := int(frac * 100)
+
+		// BlinkDB at this budget, oracle-fed.
+		bdb, off, err := baselines.BlinkDBOffline(w.Catalog, queries,
+			int64(float64(bytes)*frac), model, uint64(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		bSims, _, err := runSeq(bdb, w.Catalog, queries)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, SystemRun{
+			System:     fmt.Sprintf("BlinkDB(%d%%)", pct),
+			OfflineSec: off.SimSeconds,
+			QuerySec:   sum(bSims),
+			Speedup:    baseTotal / (off.SimSeconds + sum(bSims)),
+		})
+
+		// Taster at this budget, no oracle, no offline phase.
+		taster := newEngine(w, core.ModeTaster, frac, uint64(cfg.Seed))
+		tSims, _, err := runSeq(taster, w.Catalog, queries)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, SystemRun{
+			System:   fmt.Sprintf("Taster(%d%%)", pct),
+			QuerySec: sum(tSims),
+			Speedup:  baseTotal / sum(tSims),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Figure4Result is the CDF of per-query speed-up of Taster over Baseline
+// (paper Fig. 4: <10% of queries slow down, >50% sped up more than 6×,
+// max ≈13× via sketches).
+type Figure4Result struct {
+	Speedups       CDF
+	FracSlowedDown float64 // speedup < 1
+	FracAbove6x    float64
+	MaxSpeedup     float64
+	MedianSpeedup  float64
+}
+
+// Table renders CDF landmarks.
+func (f *Figure4Result) Table() string {
+	rows := [][]string{
+		{"queries slowed down", fmt.Sprintf("%.1f%%", 100*f.FracSlowedDown)},
+		{"median speed-up", fmt.Sprintf("%.2fx", f.MedianSpeedup)},
+		{"queries sped up >6x", fmt.Sprintf("%.1f%%", 100*f.FracAbove6x)},
+		{"max speed-up", fmt.Sprintf("%.2fx", f.MaxSpeedup)},
+		{"p10 / p50 / p90", fmt.Sprintf("%.2fx / %.2fx / %.2fx",
+			f.Speedups.Percentile(10), f.Speedups.Percentile(50), f.Speedups.Percentile(90))},
+	}
+	return "Figure 4 (per-query speed-up CDF, TPC-H)\n" + table([]string{"metric", "value"}, rows)
+}
+
+// Figure4 reproduces the per-query speed-up CDF on TPC-H.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload("tpch", cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Queries(cfg.Queries, cfg.Seed)
+
+	base := newEngine(w, core.ModeExact, 1, uint64(cfg.Seed))
+	baseSims, _, err := runSeq(base, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	taster := newEngine(w, core.ModeTaster, 0.5, uint64(cfg.Seed))
+	tSims, _, err := runSeq(taster, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make([]float64, len(queries))
+	for i := range queries {
+		speedups[i] = baseSims[i] / tSims[i]
+	}
+	cdf := NewCDF(speedups)
+	out := &Figure4Result{
+		Speedups:       cdf,
+		FracSlowedDown: cdf.FractionBelow(1.0 - 1e-9),
+		FracAbove6x:    1 - cdf.FractionBelow(6.0),
+		MaxSpeedup:     cdf.Percentile(100),
+		MedianSpeedup:  cdf.Percentile(50),
+	}
+	return out, nil
+}
+
+// Figure5Result is the CDF of per-query relative error (paper Fig. 5: no
+// missing groups, >93% of queries under 10% error, all under 12%).
+type Figure5Result struct {
+	Errors        CDF
+	MissingGroups int     // total groups present exactly but absent approximately
+	FracUnder10   float64 // queries with mean group error < 10%
+	MaxError      float64
+}
+
+// Table renders the landmarks.
+func (f *Figure5Result) Table() string {
+	rows := [][]string{
+		{"missing groups (total)", fmt.Sprintf("%d", f.MissingGroups)},
+		{"queries with error <10%", fmt.Sprintf("%.1f%%", 100*f.FracUnder10)},
+		{"max per-query error", fmt.Sprintf("%.1f%%", 100*f.MaxError)},
+		{"p50 / p90 / p99 error", fmt.Sprintf("%.1f%% / %.1f%% / %.1f%%",
+			100*f.Errors.Percentile(50), 100*f.Errors.Percentile(90), 100*f.Errors.Percentile(99))},
+	}
+	return "Figure 5 (approximation error CDF, TPC-H)\n" + table([]string{"metric", "value"}, rows)
+}
+
+// Figure5 runs the TPC-H sequence through Taster and through the exact
+// engine, then compares per-group aggregates. A query's error is the mean
+// relative error across its groups and aggregate columns.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload("tpch", cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Queries(cfg.Queries, cfg.Seed)
+
+	exact := newEngine(w, core.ModeExact, 1, uint64(cfg.Seed))
+	_, exactRes, err := runSeq(exact, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	taster := newEngine(w, core.ModeTaster, 0.5, uint64(cfg.Seed))
+	_, tasterRes, err := runSeq(taster, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure5Result{}
+	var perQuery []float64
+	for i := range queries {
+		errv, missing := resultError(exactRes[i], tasterRes[i])
+		perQuery = append(perQuery, errv)
+		out.MissingGroups += missing
+	}
+	out.Errors = NewCDF(perQuery)
+	out.FracUnder10 = out.Errors.FractionBelow(0.10)
+	out.MaxError = out.Errors.Percentile(100)
+	return out, nil
+}
+
+// resultError compares an approximate result against the exact one. Group
+// identity is the tuple of group-by values (the leading non-aggregate
+// columns); error averages |approx−exact|/|exact| over matched cells.
+func resultError(exact, approx *core.Result) (meanErr float64, missing int) {
+	nGroupCols := len(exact.Columns) - len(exact.Intervals[0])
+	if len(exact.Intervals) == 0 {
+		nGroupCols = len(exact.Columns)
+	}
+	key := func(row []storage.Value) string {
+		s := ""
+		for i := 0; i < nGroupCols; i++ {
+			s += row[i].String() + "\x00"
+		}
+		return s
+	}
+	approxRows := make(map[string][]storage.Value, len(approx.Rows))
+	for _, r := range approx.Rows {
+		approxRows[key(r)] = r
+	}
+	var total float64
+	var cells int
+	for _, er := range exact.Rows {
+		ar, ok := approxRows[key(er)]
+		if !ok {
+			missing++
+			continue
+		}
+		for c := nGroupCols; c < len(er); c++ {
+			ev, av := er[c].F, ar[c].F
+			if ev == 0 {
+				continue
+			}
+			total += math.Abs(av-ev) / math.Abs(ev)
+			cells++
+		}
+	}
+	if cells == 0 {
+		return 0, missing
+	}
+	return total / float64(cells), missing
+}

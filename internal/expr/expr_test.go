@@ -1,0 +1,267 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+func testBatch() *storage.Batch {
+	schema := storage.Schema{
+		{Name: "t.a", Typ: storage.Int64},
+		{Name: "t.b", Typ: storage.Float64},
+		{Name: "t.s", Typ: storage.String},
+	}
+	b := storage.NewBatch(schema, 4)
+	for i := 0; i < 4; i++ {
+		b.Vecs[0].Append(storage.IntValue(int64(i)))
+		b.Vecs[1].Append(storage.FloatValue(float64(i) * 2.5))
+		b.Vecs[2].Append(storage.StringValue(string(rune('a' + i))))
+	}
+	return b
+}
+
+func TestColAndConstEval(t *testing.T) {
+	b := testBatch()
+	v, err := (&Col{Name: "a"}).Eval(b)
+	if err != nil || v.I64[3] != 3 {
+		t.Fatalf("col eval: %v %v", v, err)
+	}
+	cv, err := Int(7).Eval(b)
+	if err != nil || cv.Len() != 4 || cv.I64[0] != 7 {
+		t.Fatalf("const eval: %v %v", cv, err)
+	}
+	if _, err := (&Col{Name: "zzz"}).Eval(b); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	b := testBatch()
+	e := &Bin{Op: Add, L: &Col{Name: "a"}, R: Int(10)}
+	v, err := e.Eval(b)
+	if err != nil || v.Typ != storage.Int64 || v.I64[2] != 12 {
+		t.Fatalf("int add: %v %v", v, err)
+	}
+	e2 := &Bin{Op: Mul, L: &Col{Name: "a"}, R: &Col{Name: "b"}}
+	v2, err := e2.Eval(b)
+	if err != nil || v2.Typ != storage.Float64 || v2.F64[2] != 10 {
+		t.Fatalf("mixed mul: %v %v", v2, err)
+	}
+	e3 := &Bin{Op: Div, L: Int(7), R: Int(2)}
+	v3, err := e3.Eval(b)
+	if err != nil || v3.Typ != storage.Float64 || v3.F64[0] != 3.5 {
+		t.Fatalf("div promotes: %v %v", v3, err)
+	}
+	// Division by zero yields 0 rather than a panic.
+	v4, err := (&Bin{Op: Div, L: Int(1), R: Int(0)}).Eval(b)
+	if err != nil || v4.F64[0] != 0 {
+		t.Fatalf("div by zero: %v %v", v4, err)
+	}
+	if _, err := (&Bin{Op: Add, L: &Col{Name: "s"}, R: Int(1)}).Type(b.Schema); err == nil {
+		t.Fatal("want type error adding string")
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	b := testBatch()
+	ge := &Cmp{Op: GE, L: &Col{Name: "a"}, R: Int(2)}
+	idx, err := EvalBool(ge, b)
+	if err != nil || len(idx) != 2 || idx[0] != 2 {
+		t.Fatalf("GE: %v %v", idx, err)
+	}
+	sEq := &Cmp{Op: EQ, L: &Col{Name: "s"}, R: Str("b")}
+	idx, _ = EvalBool(sEq, b)
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("string EQ: %v", idx)
+	}
+	both := &Logic{Op: And, L: ge, R: &Cmp{Op: LT, L: &Col{Name: "b"}, R: Float(7)}}
+	idx, _ = EvalBool(both, b)
+	if len(idx) != 1 || idx[0] != 2 {
+		t.Fatalf("AND: %v", idx)
+	}
+	either := &Logic{Op: Or, L: sEq, R: &Cmp{Op: EQ, L: &Col{Name: "a"}, R: Int(0)}}
+	idx, _ = EvalBool(either, b)
+	if len(idx) != 2 {
+		t.Fatalf("OR: %v", idx)
+	}
+	neg := &Not{E: ge}
+	idx, _ = EvalBool(neg, b)
+	if len(idx) != 2 || idx[1] != 1 {
+		t.Fatalf("NOT: %v", idx)
+	}
+	in := &In{E: &Col{Name: "s"}, Vals: []storage.Value{storage.StringValue("a"), storage.StringValue("d")}}
+	idx, _ = EvalBool(in, b)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 3 {
+		t.Fatalf("IN: %v", idx)
+	}
+	// Flipped const-op-col comparisons evaluate correctly too.
+	flip := &Cmp{Op: LT, L: Int(1), R: &Col{Name: "a"}}
+	idx, _ = EvalBool(flip, b)
+	if len(idx) != 2 || idx[0] != 2 {
+		t.Fatalf("flipped cmp: %v", idx)
+	}
+	if _, err := EvalBool(&Col{Name: "a"}, b); err == nil {
+		t.Fatal("want error for non-bool filter")
+	}
+}
+
+func TestMixedNumericCompare(t *testing.T) {
+	b := testBatch()
+	e := &Cmp{Op: GT, L: &Col{Name: "b"}, R: Int(4)}
+	idx, err := EvalBool(e, b)
+	if err != nil || len(idx) != 2 || idx[0] != 2 {
+		t.Fatalf("mixed compare: %v %v", idx, err)
+	}
+}
+
+func col(n string) Expr             { return &Col{Name: n} }
+func eq(n string, v int64) Expr     { return &Cmp{Op: EQ, L: col(n), R: Int(v)} }
+func lt(n string, v int64) Expr     { return &Cmp{Op: LT, L: col(n), R: Int(v)} }
+func le(n string, v int64) Expr     { return &Cmp{Op: LE, L: col(n), R: Int(v)} }
+func gt(n string, v int64) Expr     { return &Cmp{Op: GT, L: col(n), R: Int(v)} }
+func ge(n string, v int64) Expr     { return &Cmp{Op: GE, L: col(n), R: Int(v)} }
+func ne(n string, v int64) Expr     { return &Cmp{Op: NE, L: col(n), R: Int(v)} }
+func and(a, b Expr) Expr            { return &Logic{Op: And, L: a, R: b} }
+func strEq(n string, v string) Expr { return &Cmp{Op: EQ, L: col(n), R: Str(v)} }
+func inList(n string, vs ...string) Expr {
+	vals := make([]storage.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = storage.StringValue(v)
+	}
+	return &In{E: col(n), Vals: vals}
+}
+
+func TestConjuncts(t *testing.T) {
+	e := and(and(eq("x", 1), lt("y", 5)), gt("z", 0))
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	if Conjuncts(nil) != nil {
+		t.Fatal("nil conjuncts")
+	}
+	if AndAll(nil) != nil {
+		t.Fatal("AndAll(nil)")
+	}
+	back := AndAll(cs)
+	if CanonicalPredicate(back) != CanonicalPredicate(e) {
+		t.Fatal("AndAll round trip")
+	}
+}
+
+func TestImpliesBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Expr
+		want bool
+	}{
+		{"anything implies nil", eq("x", 1), nil, true},
+		{"nil implies nothing", nil, eq("x", 1), false},
+		{"self", eq("x", 1), eq("x", 1), true},
+		{"conjunct subset", and(eq("x", 1), lt("y", 5)), eq("x", 1), true},
+		{"superset fails", eq("x", 1), and(eq("x", 1), lt("y", 5)), false},
+		{"tighter range implies looser", lt("x", 5), lt("x", 10), true},
+		{"looser range fails", lt("x", 10), lt("x", 5), false},
+		{"le vs lt boundary", le("x", 5), lt("x", 5), false},
+		{"lt implies le", lt("x", 5), le("x", 5), true},
+		{"ge vs gt", gt("x", 5), ge("x", 5), true},
+		{"eq implies range", eq("x", 5), lt("x", 10), true},
+		{"eq implies ge", eq("x", 5), ge("x", 5), true},
+		{"eq fails outside range", eq("x", 50), lt("x", 10), false},
+		{"range sandwich implies eq never", and(ge("x", 5), le("x", 5)), eq("x", 5), true},
+		{"eq implies ne other", eq("x", 5), ne("x", 7), true},
+		{"eq fails ne same", eq("x", 5), ne("x", 5), false},
+		{"range implies ne outside", lt("x", 5), ne("x", 9), true},
+		{"string eq self", strEq("s", "a"), strEq("s", "a"), true},
+		{"string eq other fails", strEq("s", "a"), strEq("s", "b"), false},
+		{"string eq implies in", strEq("s", "a"), inList("s", "a", "b"), true},
+		{"in subset implies in", inList("s", "a"), inList("s", "a", "b"), true},
+		{"in superset fails", inList("s", "a", "c"), inList("s", "a", "b"), false},
+		{"different columns fail", eq("x", 1), eq("y", 1), false},
+	}
+	for _, tc := range cases {
+		if got := Implies(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Implies=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEqualityColumns(t *testing.T) {
+	e := and(and(eq("x", 1), lt("y", 5)), inList("s", "a"))
+	got := EqualityColumns(e)
+	if len(got) != 2 || got[0] != "s" || got[1] != "x" {
+		t.Fatalf("EqualityColumns = %v", got)
+	}
+}
+
+func TestDedupCols(t *testing.T) {
+	got := DedupCols([]string{"b", "a", "b", "a"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("DedupCols = %v", got)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	b := storage.NewBuilder("t", storage.Schema{
+		{Name: "t.k", Typ: storage.Int64},
+		{Name: "t.v", Typ: storage.Float64},
+	})
+	for i := 0; i < 1000; i++ {
+		b.Int(0, int64(i%10))
+		b.Float(1, float64(i))
+	}
+	tbl := b.Build(1)
+	if s := Selectivity(eq("t.k", 3), tbl); s < 0.09 || s > 0.11 {
+		t.Fatalf("eq selectivity = %v", s)
+	}
+	if s := Selectivity(lt("t.v", 100), tbl); s < 0.05 || s > 0.15 {
+		t.Fatalf("range selectivity = %v", s)
+	}
+	if s := Selectivity(nil, tbl); s != 1 {
+		t.Fatalf("nil selectivity = %v", s)
+	}
+}
+
+func TestCanonicalPredicateOrderIndependent(t *testing.T) {
+	a := and(eq("x", 1), lt("y", 5))
+	b := and(lt("y", 5), eq("x", 1))
+	if CanonicalPredicate(a) != CanonicalPredicate(b) {
+		t.Fatal("canonical predicate must ignore conjunct order")
+	}
+}
+
+// Property: for random integer thresholds, a < min(x,y) implies a < max(x,y),
+// and implication is consistent with direct evaluation on sample points.
+func TestImpliesConsistentWithEvalQuick(t *testing.T) {
+	f := func(x, y int8, probe int8) bool {
+		lo, hi := int64(x), int64(y)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tight, loose := lt("c", lo), lt("c", hi)
+		if !Implies(tight, loose) {
+			return false
+		}
+		// If Implies claims tight⇒loose, any value passing tight passes loose.
+		v := int64(probe)
+		passesTight := v < lo
+		passesLoose := v < hi
+		return !passesTight || passesLoose
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprStringsAreCanonical(t *testing.T) {
+	if eq("x", 1).String() != "x = 1" {
+		t.Fatalf("render: %q", eq("x", 1).String())
+	}
+	in1 := inList("s", "b", "a").String()
+	in2 := inList("s", "a", "b").String()
+	if in1 != in2 {
+		t.Fatalf("IN rendering must sort values: %q vs %q", in1, in2)
+	}
+}

@@ -1,0 +1,409 @@
+package expr
+
+import (
+	"math"
+	"sort"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Conjuncts splits a predicate into its top-level AND-ed parts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logic); ok && l.Op == And {
+		return append(Conjuncts(l.L), Conjuncts(l.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines predicates into one conjunction. nil for an empty list.
+func AndAll(preds []Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Logic{Op: And, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// CanonicalPredicate renders a predicate with its conjuncts sorted, so that
+// logically reordered but equal predicates produce identical signatures.
+func CanonicalPredicate(e Expr) string {
+	cs := Conjuncts(e)
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " AND "
+		}
+		out += p
+	}
+	return out
+}
+
+// colConstraint is the region a source predicate confines one column to:
+// a numeric interval and/or a finite set of admissible values.
+type colConstraint struct {
+	hasRange       bool
+	lo, hi         float64
+	loOpen, hiOpen bool
+	eq             []storage.Value // if non-empty: value ∈ eq (IN / string EQ)
+}
+
+func newColConstraint() *colConstraint {
+	return &colConstraint{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+func (c *colConstraint) tightenLo(v float64, open bool) {
+	c.hasRange = true
+	if v > c.lo || (v == c.lo && open && !c.loOpen) {
+		c.lo, c.loOpen = v, open
+	}
+}
+
+func (c *colConstraint) tightenHi(v float64, open bool) {
+	c.hasRange = true
+	if v < c.hi || (v == c.hi && open && !c.hiOpen) {
+		c.hi, c.hiOpen = v, open
+	}
+}
+
+// simpleConjunct is a conjunct of the form col ⟨op⟩ literal or col IN (...).
+type simpleConjunct struct {
+	col  string
+	op   CmpOp
+	val  storage.Value
+	in   []storage.Value
+	isIn bool
+}
+
+// asSimple recognizes col-op-const conjuncts (flipping const-op-col).
+func asSimple(e Expr) (simpleConjunct, bool) {
+	switch t := e.(type) {
+	case *Cmp:
+		if c, ok := t.L.(*Col); ok {
+			if k, ok := t.R.(*Const); ok {
+				return simpleConjunct{col: c.Name, op: t.Op, val: k.Val}, true
+			}
+		}
+		if k, ok := t.L.(*Const); ok {
+			if c, ok := t.R.(*Col); ok {
+				// const op col  ⇒  col flipped-op const
+				flip := [...]CmpOp{EQ, NE, GT, GE, LT, LE}[t.Op]
+				return simpleConjunct{col: c.Name, op: flip, val: k.Val}, true
+			}
+		}
+	case *In:
+		if c, ok := t.E.(*Col); ok {
+			return simpleConjunct{col: c.Name, isIn: true, in: t.Vals}, true
+		}
+	}
+	return simpleConjunct{}, false
+}
+
+// constraintsOf folds the recognizable conjuncts of a predicate into
+// per-column constraints. Unrecognized conjuncts are dropped, which is sound
+// for implication checking: ignoring information from the antecedent can only
+// make implication harder to prove, never easier.
+func constraintsOf(e Expr) map[string]*colConstraint {
+	out := make(map[string]*colConstraint)
+	for _, cj := range Conjuncts(e) {
+		sc, ok := asSimple(cj)
+		if !ok {
+			continue
+		}
+		cc := out[sc.col]
+		if cc == nil {
+			cc = newColConstraint()
+			out[sc.col] = cc
+		}
+		if sc.isIn {
+			cc.eq = mergeEqSets(cc.eq, sc.in)
+			continue
+		}
+		switch sc.op {
+		case EQ:
+			if sc.val.Typ.Numeric() {
+				v := sc.val.AsFloat()
+				cc.tightenLo(v, false)
+				cc.tightenHi(v, false)
+			}
+			cc.eq = mergeEqSets(cc.eq, []storage.Value{sc.val})
+		case LT:
+			if sc.val.Typ.Numeric() {
+				cc.tightenHi(sc.val.AsFloat(), true)
+			}
+		case LE:
+			if sc.val.Typ.Numeric() {
+				cc.tightenHi(sc.val.AsFloat(), false)
+			}
+		case GT:
+			if sc.val.Typ.Numeric() {
+				cc.tightenLo(sc.val.AsFloat(), true)
+			}
+		case GE:
+			if sc.val.Typ.Numeric() {
+				cc.tightenLo(sc.val.AsFloat(), false)
+			}
+		}
+	}
+	return out
+}
+
+// mergeEqSets intersects two admissible-value sets; a nil set means
+// "unconstrained", so the other set wins.
+func mergeEqSets(a, b []storage.Value) []storage.Value {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	var out []storage.Value
+	for _, x := range a {
+		for _, y := range b {
+			if x.Equal(y) {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	if out == nil {
+		out = []storage.Value{} // contradictory; empty but non-nil
+	}
+	return out
+}
+
+// Implies reports whether predicate a logically implies predicate b, using a
+// conservative, sound analysis over col-op-const conjuncts. nil b is
+// TRUE (always implied); nil a implies only nil b.
+//
+// This is the subsumption direction the planner needs: a stored synopsis with
+// filter F_s can serve a query with filter F_q when F_q ⇒ F_s (the synopsis
+// retained at least the rows the query needs; a compensating filter removes
+// the rest).
+func Implies(a, b Expr) bool {
+	if b == nil {
+		return true
+	}
+	if a == nil {
+		return false
+	}
+	if CanonicalPredicate(a) == CanonicalPredicate(b) {
+		return true
+	}
+	src := constraintsOf(a)
+	aRendered := make(map[string]bool)
+	for _, cj := range Conjuncts(a) {
+		aRendered[cj.String()] = true
+	}
+	for _, cj := range Conjuncts(b) {
+		if aRendered[cj.String()] {
+			continue // identical conjunct present in a
+		}
+		sc, ok := asSimple(cj)
+		if !ok {
+			return false // cannot reason about this target conjunct
+		}
+		cc := src[sc.col]
+		if cc == nil || !impliedBy(cc, sc) {
+			return false
+		}
+	}
+	return true
+}
+
+// impliedBy reports whether every value admitted by cc satisfies sc.
+func impliedBy(cc *colConstraint, sc simpleConjunct) bool {
+	if sc.isIn {
+		return eqSubset(cc.eq, sc.in)
+	}
+	switch sc.op {
+	case EQ:
+		if eqSubset(cc.eq, []storage.Value{sc.val}) {
+			return true
+		}
+		return sc.val.Typ.Numeric() && cc.hasRange &&
+			cc.lo == cc.hi && !cc.loOpen && !cc.hiOpen && cc.lo == sc.val.AsFloat()
+	case NE:
+		if len(cc.eq) > 0 {
+			for _, v := range cc.eq {
+				if v.Equal(sc.val) {
+					return false
+				}
+			}
+			return true
+		}
+		if sc.val.Typ.Numeric() && cc.hasRange {
+			v := sc.val.AsFloat()
+			return v < cc.lo || v > cc.hi ||
+				(v == cc.lo && cc.loOpen) || (v == cc.hi && cc.hiOpen)
+		}
+		return false
+	case LT, LE, GT, GE:
+		if !sc.val.Typ.Numeric() {
+			return false
+		}
+		v := sc.val.AsFloat()
+		if len(cc.eq) > 0 && allEqNumericSatisfy(cc.eq, sc.op, v) {
+			return true
+		}
+		if !cc.hasRange {
+			return false
+		}
+		switch sc.op {
+		case LT:
+			return cc.hi < v || (cc.hi == v && cc.hiOpen)
+		case LE:
+			return cc.hi <= v
+		case GT:
+			return cc.lo > v || (cc.lo == v && cc.loOpen)
+		case GE:
+			return cc.lo >= v
+		}
+	}
+	return false
+}
+
+func allEqNumericSatisfy(eq []storage.Value, op CmpOp, v float64) bool {
+	if len(eq) == 0 {
+		return false
+	}
+	for _, e := range eq {
+		if !e.Typ.Numeric() {
+			return false
+		}
+		x := e.AsFloat()
+		ok := false
+		switch op {
+		case LT:
+			ok = x < v
+		case LE:
+			ok = x <= v
+		case GT:
+			ok = x > v
+		case GE:
+			ok = x >= v
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// eqSubset reports whether sub is a non-empty set entirely contained in sup.
+func eqSubset(sub, sup []storage.Value) bool {
+	if len(sub) == 0 {
+		return false
+	}
+	for _, x := range sub {
+		found := false
+		for _, y := range sup {
+			if x.Equal(y) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualityColumns returns the columns constrained by equality or IN
+// conjuncts in the predicate — the candidates the planner adds to the
+// stratification set when their distribution is skewed (paper §IV-A).
+func EqualityColumns(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, cj := range Conjuncts(e) {
+		sc, ok := asSimple(cj)
+		if !ok {
+			continue
+		}
+		if (sc.isIn || sc.op == EQ) && !seen[sc.col] {
+			seen[sc.col] = true
+			out = append(out, sc.col)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DedupCols returns the sorted, de-duplicated column list.
+func DedupCols(cols []string) []string {
+	seen := make(map[string]bool, len(cols))
+	out := make([]string, 0, len(cols))
+	for _, c := range cols {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Selectivity estimates the fraction of rows of tbl satisfying the
+// predicate's recognizable conjuncts, assuming independence. Used by the
+// planner's cardinality model.
+func Selectivity(e Expr, tbl *storage.Table) float64 {
+	if e == nil {
+		return 1
+	}
+	sel := 1.0
+	st := tbl.Stats()
+	for _, cj := range Conjuncts(e) {
+		sc, ok := asSimple(cj)
+		if !ok {
+			sel *= 0.5 // unknown conjunct: textbook default
+			continue
+		}
+		i := tbl.Schema().Index(sc.col)
+		if i < 0 {
+			continue // predicate on a column from another relation
+		}
+		cs := st.Columns[i]
+		switch {
+		case sc.isIn:
+			if cs.Distinct > 0 {
+				sel *= math.Min(1, float64(len(sc.in))/float64(cs.Distinct))
+			}
+		case sc.op == EQ:
+			if cs.Distinct > 0 {
+				sel *= 1 / float64(cs.Distinct)
+			}
+		case sc.op == NE:
+			if cs.Distinct > 0 {
+				sel *= 1 - 1/float64(cs.Distinct)
+			}
+		default: // range predicate on numeric column
+			if sc.val.Typ.Numeric() && cs.Max > cs.Min {
+				v := sc.val.AsFloat()
+				frac := (v - cs.Min) / (cs.Max - cs.Min)
+				frac = math.Max(0, math.Min(1, frac))
+				if sc.op == GT || sc.op == GE {
+					frac = 1 - frac
+				}
+				sel *= frac
+			} else {
+				sel *= 0.3
+			}
+		}
+	}
+	return math.Max(sel, 1e-9)
+}

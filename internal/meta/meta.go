@@ -1,0 +1,251 @@
+// Package meta implements Taster's synopsis-centric metadata store
+// (paper §III): descriptors for every synopsis that ever appeared in a
+// candidate plan (materialized or not), per-synopsis lists of recent queries
+// that could exploit it with their estimated costs, and the base-relation
+// index plus subsumption matcher used to map query subplans onto
+// materialized synopses (paper §IV-A).
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+)
+
+// Location says where a synopsis currently lives.
+type Location uint8
+
+// Synopsis locations.
+const (
+	LocNone      Location = iota // candidate only, never materialized (or evicted)
+	LocBuffer                    // in-memory synopsis buffer
+	LocWarehouse                 // persistent synopsis warehouse
+)
+
+// String returns the location name.
+func (l Location) String() string {
+	return [...]string{"none", "buffer", "warehouse"}[l]
+}
+
+// Descriptor is the logical definition of a synopsis: the subplan it
+// summarizes plus its configuration and accuracy (paper §III metadata items
+// (a) and (b)).
+type Descriptor struct {
+	ID   uint64
+	Kind plan.SynopsisKind
+
+	// Sig identifies the summarized subplan (tables, join preds, filters,
+	// output columns).
+	Sig plan.Signature
+	// FilterPred is the subplan's filter conjunction, kept as an expression
+	// for implication checks during subsumption.
+	FilterPred expr.Expr
+
+	// Sample configuration.
+	StratCols []string
+	P         float64
+	Delta     int
+
+	// Sketch-join configuration.
+	BuildKeys []string
+	AggCol    string
+
+	// AggCols are the columns aggregated by the creating query; a sample
+	// sized for these columns' variance serves queries aggregating a subset.
+	AggCols []string
+
+	Accuracy stats.AccuracySpec
+
+	// EstSizeBytes is the planner's size estimate before the synopsis
+	// exists; ActualSize replaces it after materialization.
+	EstSizeBytes int64
+	ActualSize   int64
+
+	Location Location
+	// Pinned synopses come from user hints and are never evicted (§V).
+	Pinned bool
+}
+
+// SizeBytes returns the best known size (actual if materialized).
+func (d *Descriptor) SizeBytes() int64 {
+	if d.ActualSize > 0 {
+		return d.ActualSize
+	}
+	return d.EstSizeBytes
+}
+
+// IdentityKey distinguishes synopses of the same subplan with different
+// kinds/configurations, used to dedupe candidate descriptors across queries.
+func (d *Descriptor) IdentityKey() string {
+	return fmt.Sprintf("%s|%s|A=[%s]|agg=%s|aggs=[%s]|acc=%.4f@%.4f",
+		d.Kind, d.Sig.Key(), strings.Join(d.StratCols, ","), d.AggCol,
+		strings.Join(d.AggCols, ","), d.Accuracy.RelError, d.Accuracy.Confidence)
+}
+
+// Label is a short human-readable name for logs.
+func (d *Descriptor) Label() string {
+	return fmt.Sprintf("#%d %s over %s", d.ID, d.Kind, strings.Join(d.Sig.Tables, "⋈"))
+}
+
+// QueryBenefit records what one query would save if the synopsis existed
+// (paper §III metadata item (d)).
+type QueryBenefit struct {
+	QueryID   int
+	CostWith  float64 // estimated cost of the best plan using this synopsis
+	CostExact float64 // estimated cost of the exact (no-synopsis) plan
+}
+
+// Gain returns the non-negative saving.
+func (b QueryBenefit) Gain() float64 {
+	if g := b.CostExact - b.CostWith; g > 0 {
+		return g
+	}
+	return 0
+}
+
+// Entry couples a descriptor with its recent-query benefit list.
+type Entry struct {
+	Desc     Descriptor
+	Benefits []QueryBenefit
+}
+
+// BenefitFor returns the benefit recorded for a specific query (ok=false if
+// the query cannot use this synopsis).
+func (e *Entry) BenefitFor(queryID int) (QueryBenefit, bool) {
+	for i := len(e.Benefits) - 1; i >= 0; i-- {
+		if e.Benefits[i].QueryID == queryID {
+			return e.Benefits[i], true
+		}
+	}
+	return QueryBenefit{}, false
+}
+
+// Store is the concurrency-safe metadata repository.
+type Store struct {
+	mu         sync.RWMutex
+	nextID     uint64
+	byID       map[uint64]*Entry
+	byIdentity map[string]uint64
+	byIndexKey map[string][]uint64
+}
+
+// NewStore returns an empty metadata store.
+func NewStore() *Store {
+	return &Store{
+		byID:       make(map[uint64]*Entry),
+		byIdentity: make(map[string]uint64),
+		byIndexKey: make(map[string][]uint64),
+	}
+}
+
+// Intern registers a candidate descriptor, returning the existing entry when
+// an identical synopsis (same subplan, kind and configuration) was seen
+// before. The returned entry's descriptor carries the assigned ID.
+func (s *Store) Intern(d Descriptor) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := d.IdentityKey()
+	if id, ok := s.byIdentity[key]; ok {
+		return s.byID[id]
+	}
+	s.nextID++
+	d.ID = s.nextID
+	e := &Entry{Desc: d}
+	s.byID[d.ID] = e
+	s.byIdentity[key] = d.ID
+	ik := d.Sig.IndexKey()
+	s.byIndexKey[ik] = append(s.byIndexKey[ik], d.ID)
+	return e
+}
+
+// Get returns the entry for id.
+func (s *Store) Get(id uint64) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// RecordBenefit appends a query-benefit observation for the synopsis,
+// keeping at most keep entries (the tuner's window upper bound).
+func (s *Store) RecordBenefit(id uint64, b QueryBenefit, keep int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	e.Benefits = append(e.Benefits, b)
+	if keep > 0 && len(e.Benefits) > keep {
+		e.Benefits = e.Benefits[len(e.Benefits)-keep:]
+	}
+}
+
+// SetLocation updates where the synopsis lives.
+func (s *Store) SetLocation(id uint64, loc Location) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byID[id]; ok {
+		e.Desc.Location = loc
+	}
+}
+
+// SetActualSize records the measured size after materialization.
+func (s *Store) SetActualSize(id uint64, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byID[id]; ok {
+		e.Desc.ActualSize = size
+	}
+}
+
+// SetPinned marks a synopsis as pinned (user hints) or not.
+func (s *Store) SetPinned(id uint64, pinned bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byID[id]; ok {
+		e.Desc.Pinned = pinned
+	}
+}
+
+// Entries returns all entries sorted by ID (stable snapshots for the tuner).
+func (s *Store) Entries() []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Entry, 0, len(s.byID))
+	for _, e := range s.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Desc.ID < out[j].Desc.ID })
+	return out
+}
+
+// Materialized returns entries currently in the buffer or warehouse.
+func (s *Store) Materialized() []*Entry {
+	all := s.Entries()
+	out := all[:0:0]
+	for _, e := range all {
+		if e.Desc.Location != LocNone {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// lookupIndex returns entries sharing the coarse base-relations/join key —
+// the index that "effectively limits the search space" (paper §IV-A).
+func (s *Store) lookupIndex(indexKey string) []*Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byIndexKey[indexKey]
+	out := make([]*Entry, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.byID[id])
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+// Package plan defines the logical query plans Taster's planner operates on,
+// including the synopsis operators the paper promotes to "first-class
+// citizens" of planning (§IV), and the canonical subplan signatures used to
+// identify and match synopses across queries.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// Node is a logical plan operator. Nodes are immutable after construction;
+// rewrites build new trees sharing subtrees.
+type Node interface {
+	// Schema returns the output schema of the operator.
+	Schema() storage.Schema
+	// Children returns the input operators.
+	Children() []Node
+	// String renders one line for plan display.
+	String() string
+}
+
+// Scan reads a base table.
+type Scan struct {
+	Table *storage.Table
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() storage.Schema { return s.Table.Schema() }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// String implements Node.
+func (s *Scan) String() string { return "Scan(" + s.Table.Name + ")" }
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() storage.Schema { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// String implements Node.
+func (f *Filter) String() string { return "Filter(" + f.Pred.String() + ")" }
+
+// NamedExpr pairs a projection expression with its output name.
+type NamedExpr struct {
+	Name string
+	E    expr.Expr
+}
+
+// Project computes expressions over its input.
+type Project struct {
+	Child Node
+	Exprs []NamedExpr
+
+	schema storage.Schema // resolved lazily
+}
+
+// NewProject builds a projection, resolving output types against the child.
+func NewProject(child Node, exprs []NamedExpr) (*Project, error) {
+	schema := make(storage.Schema, 0, len(exprs))
+	in := child.Schema()
+	for _, ne := range exprs {
+		t, err := ne.E.Type(in)
+		if err != nil {
+			return nil, fmt.Errorf("plan: project %s: %w", ne.Name, err)
+		}
+		schema = append(schema, storage.Col{Name: ne.Name, Typ: t})
+	}
+	return &Project{Child: child, Exprs: exprs, schema: schema}, nil
+}
+
+// Schema implements Node.
+func (p *Project) Schema() storage.Schema { return p.schema }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// String implements Node.
+func (p *Project) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		parts[i] = ne.E.String() + " AS " + ne.Name
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Join is an inner equi-join on LeftKeys[i] = RightKeys[i].
+type Join struct {
+	Left, Right Node
+	LeftKeys    []string
+	RightKeys   []string
+}
+
+// Schema implements Node.
+func (j *Join) Schema() storage.Schema { return j.Left.Schema().Concat(j.Right.Schema()) }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// String implements Node.
+func (j *Join) String() string {
+	parts := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		parts[i] = j.LeftKeys[i] + " = " + j.RightKeys[i]
+	}
+	return "Join(" + strings.Join(parts, " AND ") + ")"
+}
+
+// PredStrings returns the canonical, order-independent join predicate
+// strings ("a.x=b.y" with the lexically smaller side first).
+func (j *Join) PredStrings() []string {
+	out := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		l, r := j.LeftKeys[i], j.RightKeys[i]
+		if r < l {
+			l, r = r, l
+		}
+		out[i] = l + "=" + r
+	}
+	return out
+}
+
+// AggSpec is one aggregate in an Aggregate node.
+type AggSpec struct {
+	Kind  stats.AggKind
+	Col   string // aggregated column; "" for COUNT(*)
+	Alias string
+}
+
+// DefaultAlias returns a name like "sum_l_qty" when Alias is empty.
+func (a AggSpec) DefaultAlias() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	col := a.Col
+	if col == "" {
+		col = "star"
+	}
+	col = strings.ReplaceAll(col, ".", "_")
+	return strings.ToLower(a.Kind.String()) + "_" + col
+}
+
+// Aggregate groups by GroupBy columns and computes Aggs. When its input
+// carries the sampler weight column, the physical operator automatically
+// switches to Horvitz-Thompson estimation.
+type Aggregate struct {
+	Child   Node
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Schema implements Node: group-by columns followed by aggregate outputs
+// (all Float64: approximate aggregates are real-valued).
+func (a *Aggregate) Schema() storage.Schema {
+	in := a.Child.Schema()
+	out := make(storage.Schema, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		t := storage.Int64
+		if i := in.Index(g); i >= 0 {
+			t = in[i].Typ
+		}
+		out = append(out, storage.Col{Name: g, Typ: t})
+	}
+	for _, ag := range a.Aggs {
+		out = append(out, storage.Col{Name: ag.DefaultAlias(), Typ: storage.Float64})
+	}
+	return out
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// String implements Node.
+func (a *Aggregate) String() string {
+	parts := make([]string, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		col := ag.Col
+		if col == "" {
+			col = "*"
+		}
+		parts[i] = ag.Kind.String() + "(" + col + ")"
+	}
+	return "Aggregate(by=[" + strings.Join(a.GroupBy, ",") + "] " + strings.Join(parts, ", ") + ")"
+}
+
+// SynopsisKind enumerates the synopsis operator flavours.
+type SynopsisKind uint8
+
+// Synopsis flavours the planner injects.
+const (
+	UniformSample SynopsisKind = iota
+	DistinctSample
+	SketchJoinSynopsis
+)
+
+// String returns the flavour name.
+func (k SynopsisKind) String() string {
+	return [...]string{"uniform-sample", "distinct-sample", "sketch-join"}[k]
+}
+
+// SynopsisOp is the generic synopsis operator Γ^S injected below aggregators
+// (paper §IV-A). It summarizes the output of Child. Whether the summary
+// already exists (reuse) or will be built as a byproduct is decided later by
+// the planner/tuner; the logical node carries the configuration only.
+type SynopsisOp struct {
+	Child     Node
+	Kind      SynopsisKind
+	P         float64  // sampling probability (samples)
+	Delta     int      // minimum rows per stratum (distinct sample)
+	StratCols []string // stratification attributes A, sorted
+	Accuracy  stats.AccuracySpec
+}
+
+// Schema implements Node: sampler output carries the weight column.
+func (s *SynopsisOp) Schema() storage.Schema {
+	return synopses.SampleSchema(s.Child.Schema())
+}
+
+// Children implements Node.
+func (s *SynopsisOp) Children() []Node { return []Node{s.Child} }
+
+// String implements Node.
+func (s *SynopsisOp) String() string {
+	return fmt.Sprintf("Synopsis(%s p=%.4g δ=%d A=[%s])",
+		s.Kind, s.P, s.Delta, strings.Join(s.StratCols, ","))
+}
+
+// SynopsisScan reads a materialized sample from the warehouse/buffer,
+// replacing the whole subplan the sample summarizes.
+type SynopsisScan struct {
+	SynopsisID uint64
+	Sample     *synopses.Sample
+	// Label names the summarized subplan for display.
+	Label string
+	// InBuffer marks samples served from the in-memory buffer (no I/O cost).
+	InBuffer bool
+}
+
+// Schema implements Node.
+func (s *SynopsisScan) Schema() storage.Schema { return s.Sample.Rows.Schema() }
+
+// Children implements Node.
+func (s *SynopsisScan) Children() []Node { return nil }
+
+// String implements Node.
+func (s *SynopsisScan) String() string {
+	return fmt.Sprintf("SynopsisScan(#%d %s)", s.SynopsisID, s.Label)
+}
+
+// SketchJoin replaces Join + Aggregate for eligible queries (paper §II,
+// §IV-A): the build side is summarized into a count-min sketch keyed by the
+// join key, and the probe side streams against it. Group-by columns must
+// come from the probe side.
+type SketchJoin struct {
+	Probe     Node   // scanned side (dimension/filtered side)
+	BuildDesc string // label of the summarized build subplan
+	Sketch    *synopses.SketchJoin
+	// SynopsisID links to the metadata store entry; 0 when the sketch is
+	// built inline during this query.
+	SynopsisID uint64
+	// Build is the subplan to summarize when Sketch must be built now.
+	Build     Node
+	ProbeKeys []string // join key columns on the probe side
+	BuildKeys []string // join key columns on the build side
+	AggCol    string   // build-side aggregate column ("" = COUNT)
+	GroupBy   []string // probe-side grouping columns
+	Aggs      []AggSpec
+	// CMWidth/CMDepth size the count-min planes when the sketch is built
+	// inline. The planner derives the width from the build side's distinct
+	// key count (collisions, not the εN bound, dominate point-query error
+	// when keys are few); 0 falls back to accuracy-derived geometry.
+	CMWidth int
+	CMDepth int
+}
+
+// Schema implements Node: same shape as the Aggregate it replaces.
+func (s *SketchJoin) Schema() storage.Schema {
+	probe := s.Probe.Schema()
+	out := make(storage.Schema, 0, len(s.GroupBy)+len(s.Aggs))
+	for _, g := range s.GroupBy {
+		t := storage.Int64
+		if i := probe.Index(g); i >= 0 {
+			t = probe[i].Typ
+		}
+		out = append(out, storage.Col{Name: g, Typ: t})
+	}
+	for _, ag := range s.Aggs {
+		out = append(out, storage.Col{Name: ag.DefaultAlias(), Typ: storage.Float64})
+	}
+	return out
+}
+
+// Children implements Node.
+func (s *SketchJoin) Children() []Node {
+	if s.Build != nil {
+		return []Node{s.Probe, s.Build}
+	}
+	return []Node{s.Probe}
+}
+
+// String implements Node.
+func (s *SketchJoin) String() string {
+	return fmt.Sprintf("SketchJoin(build=%s agg=%s)", s.BuildDesc, s.AggCol)
+}
+
+// Sort orders its input by the given columns (ascending unless Desc) and
+// optionally truncates to Limit rows (0 = no limit). It sits above the
+// aggregate in ORDER BY ... LIMIT queries.
+type Sort struct {
+	Child Node
+	By    []string
+	Desc  []bool
+	Limit int
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() storage.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// String implements Node.
+func (s *Sort) String() string {
+	parts := make([]string, len(s.By))
+	for i, b := range s.By {
+		parts[i] = b
+		if i < len(s.Desc) && s.Desc[i] {
+			parts[i] += " DESC"
+		}
+	}
+	out := "Sort(" + strings.Join(parts, ", ")
+	if s.Limit > 0 {
+		out += fmt.Sprintf(" LIMIT %d", s.Limit)
+	}
+	return out + ")"
+}
+
+// Format renders the plan tree indented, for logs and the REPL.
+func Format(n Node) string {
+	var sb strings.Builder
+	var walk func(Node, int)
+	walk = func(m Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(m.String())
+		sb.WriteByte('\n')
+		for _, c := range m.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// Walk visits every node of the tree in pre-order.
+func Walk(n Node, visit func(Node)) {
+	visit(n)
+	for _, c := range n.Children() {
+		Walk(c, visit)
+	}
+}
+
+// BaseTables returns the sorted names of all base tables under n.
+func BaseTables(n Node) []string {
+	var out []string
+	Walk(n, func(m Node) {
+		if s, ok := m.(*Scan); ok {
+			out = append(out, s.Table.Name)
+		}
+		if s, ok := m.(*SynopsisScan); ok {
+			out = append(out, "synopsis:"+s.Label)
+		}
+	})
+	return expr.DedupCols(out)
+}

@@ -1,0 +1,216 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+func mkTable(name string, cols ...string) *storage.Table {
+	schema := make(storage.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = storage.Col{Name: name + "." + c, Typ: storage.Int64}
+	}
+	b := storage.NewBuilder(name, schema)
+	for r := 0; r < 10; r++ {
+		for i := range cols {
+			b.Int(i, int64(r+i))
+		}
+	}
+	return b.Build(2)
+}
+
+func samplePlan() (*Aggregate, *storage.Table, *storage.Table) {
+	r := mkTable("r", "x", "y", "v")
+	s := mkTable("s", "x", "z")
+	j := &Join{
+		Left: &Filter{
+			Child: &Scan{Table: r},
+			Pred:  &expr.Cmp{Op: expr.GT, L: &expr.Col{Name: "r.y"}, R: expr.Int(1)},
+		},
+		Right:     &Scan{Table: s},
+		LeftKeys:  []string{"r.x"},
+		RightKeys: []string{"s.x"},
+	}
+	agg := &Aggregate{
+		Child:   j,
+		GroupBy: []string{"s.z"},
+		Aggs:    []AggSpec{{Kind: stats.Sum, Col: "r.v"}},
+	}
+	return agg, r, s
+}
+
+func TestSchemas(t *testing.T) {
+	agg, r, s := samplePlan()
+	if got := agg.Schema(); len(got) != 2 || got[0].Name != "s.z" || got[1].Name != "sum_r_v" {
+		t.Fatalf("aggregate schema = %v", got)
+	}
+	if got := agg.Schema()[1].Typ; got != storage.Float64 {
+		t.Fatalf("aggregate output type = %v", got)
+	}
+	j := agg.Child.(*Join)
+	if len(j.Schema()) != len(r.Schema())+len(s.Schema()) {
+		t.Fatal("join schema must concat inputs")
+	}
+	f := j.Left.(*Filter)
+	if !f.Schema().Equal(r.Schema()) {
+		t.Fatal("filter schema must pass through")
+	}
+}
+
+func TestProjectTypeResolution(t *testing.T) {
+	r := mkTable("r", "x", "v")
+	p, err := NewProject(&Scan{Table: r}, []NamedExpr{
+		{Name: "double_v", E: &expr.Bin{Op: expr.Mul, L: &expr.Col{Name: "r.v"}, R: expr.Int(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema()[0].Typ != storage.Int64 || p.Schema()[0].Name != "double_v" {
+		t.Fatalf("project schema = %v", p.Schema())
+	}
+	_, err = NewProject(&Scan{Table: r}, []NamedExpr{
+		{Name: "bad", E: &expr.Col{Name: "nope"}},
+	})
+	if err == nil {
+		t.Fatal("want error for unknown column")
+	}
+}
+
+func TestSynopsisOpSchemaAddsWeight(t *testing.T) {
+	r := mkTable("r", "x")
+	op := &SynopsisOp{Child: &Scan{Table: r}, Kind: UniformSample, P: 0.1}
+	sc := op.Schema()
+	if sc[len(sc)-1].Name != synopses.WeightCol {
+		t.Fatalf("synopsis op schema = %v", sc)
+	}
+}
+
+func TestSignatureCanonical(t *testing.T) {
+	agg, _, _ := samplePlan()
+	sig := SignatureOf(agg.Child)
+	if len(sig.Tables) != 2 || sig.Tables[0] != "r" || sig.Tables[1] != "s" {
+		t.Fatalf("tables = %v", sig.Tables)
+	}
+	if len(sig.JoinPreds) != 1 || sig.JoinPreds[0] != "r.x=s.x" {
+		t.Fatalf("join preds = %v", sig.JoinPreds)
+	}
+	if len(sig.Filters) != 1 || sig.Filters[0] != "r.y > 1" {
+		t.Fatalf("filters = %v", sig.Filters)
+	}
+	// Flipped join side must produce the same canonical predicate.
+	agg2, _, _ := samplePlan()
+	j2 := agg2.Child.(*Join)
+	flipped := &Join{Left: j2.Right, Right: j2.Left, LeftKeys: j2.RightKeys, RightKeys: j2.LeftKeys}
+	sig2 := SignatureOf(flipped)
+	if sig2.JoinPreds[0] != sig.JoinPreds[0] {
+		t.Fatalf("flipped join pred %q != %q", sig2.JoinPreds[0], sig.JoinPreds[0])
+	}
+	if !sig.SameRelationsAndJoins(sig2) {
+		t.Fatal("same relations+joins must match")
+	}
+	if sig.Key() != sig2.Key() {
+		t.Fatal("commuted joins must canonicalize to the same key")
+	}
+	if sig.IndexKey() != sig2.IndexKey() {
+		t.Fatal("index keys must match for same tables+joins")
+	}
+}
+
+func TestFilterPredicateReconstruction(t *testing.T) {
+	agg, _, _ := samplePlan()
+	pred := FilterPredicate(agg)
+	if pred == nil || pred.String() != "r.y > 1" {
+		t.Fatalf("pred = %v", pred)
+	}
+	if FilterPredicate(&Scan{Table: mkTable("t", "a")}) != nil {
+		t.Fatal("scan has no filters")
+	}
+}
+
+func TestOutputAndColSupersets(t *testing.T) {
+	if !OutputSuperset([]string{"a", "b", "c"}, []string{"a", "c"}) {
+		t.Fatal("superset")
+	}
+	if OutputSuperset([]string{"a"}, []string{"a", "b"}) {
+		t.Fatal("not superset")
+	}
+	if !ColSuperset([]string{"x"}, nil) {
+		t.Fatal("empty set is subset of anything")
+	}
+}
+
+func TestBaseTablesAndWalk(t *testing.T) {
+	agg, _, _ := samplePlan()
+	tables := BaseTables(agg)
+	if len(tables) != 2 || tables[0] != "r" || tables[1] != "s" {
+		t.Fatalf("base tables = %v", tables)
+	}
+	count := 0
+	Walk(agg, func(Node) { count++ })
+	if count != 5 { // agg, join, filter, scan r, scan s
+		t.Fatalf("walk visited %d nodes", count)
+	}
+}
+
+func TestFormatShowsTree(t *testing.T) {
+	agg, _, _ := samplePlan()
+	out := Format(agg)
+	if !strings.Contains(out, "Aggregate") || !strings.Contains(out, "  Join") ||
+		!strings.Contains(out, "    Filter") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestAggSpecAlias(t *testing.T) {
+	a := AggSpec{Kind: stats.Sum, Col: "r.v"}
+	if a.DefaultAlias() != "sum_r_v" {
+		t.Fatalf("alias = %q", a.DefaultAlias())
+	}
+	b := AggSpec{Kind: stats.Count, Alias: "n"}
+	if b.DefaultAlias() != "n" {
+		t.Fatalf("alias = %q", b.DefaultAlias())
+	}
+	c := AggSpec{Kind: stats.Count}
+	if c.DefaultAlias() != "count_star" {
+		t.Fatalf("alias = %q", c.DefaultAlias())
+	}
+}
+
+func TestSketchJoinSchema(t *testing.T) {
+	r := mkTable("r", "x", "g")
+	sj := &SketchJoin{
+		Probe:     &Scan{Table: r},
+		ProbeKeys: []string{"r.x"},
+		BuildKeys: []string{"f.x"},
+		AggCol:    "f.v",
+		GroupBy:   []string{"r.g"},
+		Aggs:      []AggSpec{{Kind: stats.Count}, {Kind: stats.Sum, Col: "f.v"}},
+	}
+	sc := sj.Schema()
+	if len(sc) != 3 || sc[0].Name != "r.g" || sc[0].Typ != storage.Int64 {
+		t.Fatalf("sketch join schema = %v", sc)
+	}
+	if len(sj.Children()) != 1 {
+		t.Fatal("children without build")
+	}
+	sj.Build = &Scan{Table: r}
+	if len(sj.Children()) != 2 {
+		t.Fatal("children with build")
+	}
+}
+
+func TestSynopsisScanString(t *testing.T) {
+	smp := &synopses.Sample{Rows: mkTable("samp", "a"), Strategy: "uniform"}
+	ss := &SynopsisScan{SynopsisID: 7, Sample: smp, Label: "r"}
+	if !strings.Contains(ss.String(), "#7") {
+		t.Fatalf("string = %q", ss.String())
+	}
+	if !ss.Schema().Equal(smp.Rows.Schema()) {
+		t.Fatal("schema must come from sample")
+	}
+}

@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"math"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// estimator provides cardinality and cost estimates over the query IR. It
+// mirrors what the physical engine charges (scan bytes, shuffle bytes, CPU
+// tuples) so estimated and measured simulated times track each other.
+type estimator struct {
+	model storage.CostModel
+}
+
+// scanEst describes one joined branch: cardinality and average row width.
+type scanEst struct {
+	rows  float64
+	width float64 // bytes per row
+}
+
+// tableEst returns the branch estimate for a filtered base table.
+func (e estimator) tableEst(t TableRef, filter expr.Expr) scanEst {
+	rows := float64(t.Table.NumRows()) * expr.Selectivity(filter, t.Table)
+	return scanEst{rows: rows, width: t.Table.AvgRowBytes()}
+}
+
+// joinEst estimates |L ⋈ R| with the textbook formula
+// |L|·|R| / max(d(Lkey), d(Rkey)), composed over multiple key pairs.
+func (e estimator) joinEst(q *Query, left scanEst, leftTables []string, right TableRef, rightFiltered scanEst) scanEst {
+	denom := 1.0
+	for _, j := range q.Joins {
+		var keyTable, keyCol, otherCol string
+		switch {
+		case j.RightTable == right.Name && contains(leftTables, j.LeftTable):
+			keyTable, keyCol, otherCol = j.LeftTable, j.LeftCol, j.RightCol
+		case j.LeftTable == right.Name && contains(leftTables, j.RightTable):
+			keyTable, keyCol, otherCol = j.RightTable, j.RightCol, j.LeftCol
+		default:
+			continue
+		}
+		dLeft := 1
+		if ref, ok := q.ref(keyTable); ok {
+			dLeft = ref.Table.DistinctOf(keyCol)
+		}
+		dRight := right.Table.DistinctOf(otherCol)
+		d := dLeft
+		if dRight > d {
+			d = dRight
+		}
+		if d > 1 {
+			denom *= float64(d)
+		}
+	}
+	rows := left.rows * rightFiltered.rows / denom
+	if rows < 1 {
+		rows = 1
+	}
+	return scanEst{rows: rows, width: left.width + rightFiltered.width}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// planCost accumulates the simulated-seconds cost of a candidate.
+type planCost struct {
+	baseBytes      int64
+	warehouseBytes int64
+	cpuTuples      int64
+	shuffleBytes   int64
+}
+
+func (c *planCost) scanTable(t TableRef) {
+	c.baseBytes += t.Table.Bytes()
+	c.cpuTuples += int64(t.Table.NumRows())
+}
+
+func (c *planCost) scanSynopsis(bytes int64, rows float64) {
+	c.warehouseBytes += bytes
+	c.cpuTuples += int64(rows)
+}
+
+// joinWork charges one hash join: both inputs shuffle, output pays CPU.
+func (c *planCost) joinWork(build, probe, out scanEst) {
+	c.shuffleBytes += int64(build.rows*build.width) + int64(probe.rows*probe.width)
+	c.cpuTuples += int64(build.rows + probe.rows + out.rows)
+}
+
+// aggWork charges the aggregation exchange plus per-tuple work.
+func (c *planCost) aggWork(in scanEst) {
+	c.shuffleBytes += int64(in.rows * in.width)
+	c.cpuTuples += int64(in.rows)
+}
+
+// samplerWork charges the pipelined sampler (one pass over its input).
+func (c *planCost) samplerWork(inRows float64) {
+	c.cpuTuples += int64(inRows)
+}
+
+// sketchProbeWork charges probing a CM sketch per probe tuple.
+func (c *planCost) sketchProbeWork(probeRows float64) {
+	c.cpuTuples += int64(probeRows * 4) // d hash rows per probe
+}
+
+// seconds converts accumulated work into simulated cluster time. The seek
+// charge models per-query job startup and is paid once, not per source.
+func (c *planCost) seconds(m storage.CostModel) float64 {
+	s := m.CPUSeconds(c.cpuTuples) + m.ShuffleSeconds(c.shuffleBytes)
+	if c.baseBytes > 0 || c.warehouseBytes > 0 {
+		s += m.SeekSeconds
+	}
+	s += float64(c.baseBytes) / m.ScanBytesPerSec
+	s += float64(c.warehouseBytes) / (m.ScanBytesPerSec * m.WarehouseReadFrac)
+	if s <= 0 {
+		s = 1e-6
+	}
+	return s
+}
+
+// sampleOutRows estimates the rows a sampler passes.
+func sampleOutRows(inRows float64, uniform bool, p float64, delta, groups int) float64 {
+	if uniform {
+		return math.Max(1, inRows*p)
+	}
+	freq := float64(delta * groups)
+	if freq > inRows {
+		freq = inRows
+	}
+	return math.Max(1, freq+(inRows-freq)*p)
+}
+
+// sampleBytes estimates a materialized sample's size.
+func sampleBytes(rows, width float64) int64 {
+	return int64(rows * (width + 8)) // + weight column
+}

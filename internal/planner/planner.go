@@ -1,0 +1,474 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// CreateSpec describes a synopsis a candidate plan would materialize as a
+// byproduct of its execution.
+type CreateSpec struct {
+	Entry *meta.Entry
+	// SampleNode is the sampler operator whose output is materialized
+	// (sample synopses).
+	SampleNode *plan.SynopsisOp
+	// SketchNode is the sketch-join node whose inline-built sketch is
+	// retained (sketch synopses).
+	SketchNode *plan.SketchJoin
+}
+
+// Candidate is one executable plan with its estimated cost and the synopses
+// it consumes/produces.
+type Candidate struct {
+	Root    plan.Node
+	Cost    float64 // estimated simulated seconds
+	Uses    []uint64
+	Creates []CreateSpec
+	Desc    string
+}
+
+// PlanSet is the planner's output for one query: the exact plan plus every
+// approximate candidate, and the hypothetical reuse cost per candidate
+// synopsis (what the query would cost if that synopsis existed) — the
+// quantity the tuner's gain function consumes.
+type PlanSet struct {
+	Query      *Query
+	Exact      Candidate
+	Candidates []Candidate
+	ReuseCost  map[uint64]float64
+}
+
+// Planner generates and costs candidate plans.
+type Planner struct {
+	Store *meta.Store
+	WH    *warehouse.Manager
+	Model storage.CostModel
+	// BenefitKeep bounds the per-synopsis benefit history (≥ the tuner's
+	// maximum window length).
+	BenefitKeep int
+	// Seed drives sampler seeds derived per synopsis.
+	Seed uint64
+
+	est     estimator
+	mu      sync.Mutex
+	mgCache map[string]int
+}
+
+// New returns a planner over the given metadata store and warehouse.
+func New(store *meta.Store, wh *warehouse.Manager, model storage.CostModel) *Planner {
+	return &Planner{
+		Store:       store,
+		WH:          wh,
+		Model:       model,
+		BenefitKeep: 64,
+		est:         estimator{model: model},
+		mgCache:     make(map[string]int),
+	}
+}
+
+// Plan generates the candidate set for a query (paper §IV-A).
+func (p *Planner) Plan(q *Query) (*PlanSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	exact, err := p.exactPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PlanSet{Query: q, Exact: exact, ReuseCost: make(map[uint64]float64)}
+	ps.Candidates = append(ps.Candidates, exact)
+
+	if q.Exact || !q.approximableAggs() || !q.Accuracy.Valid() {
+		return ps, nil
+	}
+
+	p.addBaseSampleCandidates(q, ps)
+	if len(q.Tables) > 1 {
+		p.addJoinSampleCandidates(q, ps)
+		p.addSketchJoinCandidates(q, ps)
+	}
+
+	// Record what this query would save for every candidate synopsis —
+	// the metadata the tuner's gain function is computed from (§III, §V).
+	for id, reuse := range ps.ReuseCost {
+		p.Store.RecordBenefit(id, meta.QueryBenefit{
+			QueryID:   q.ID,
+			CostWith:  reuse,
+			CostExact: exact.Cost,
+		}, p.BenefitKeep)
+	}
+	return ps, nil
+}
+
+// samplerConfig decides between uniform and distinct sampling and sets the
+// parameters for the given stratification set (paper §IV-A "Choosing and
+// configuring the synopses").
+type samplerConfig struct {
+	kind  plan.SynopsisKind
+	p     float64
+	delta int
+	ok    bool // false when sampling cannot pay for itself
+}
+
+// minCoverageRows is the expected post-filter sample rows per result group
+// below which sampling is rejected: groups thinner than this have a real
+// chance of vanishing from the result, violating the no-missing-groups
+// guarantee.
+const minCoverageRows = 16
+
+// configureSampler sizes a sampler so that the query's *result groups* each
+// receive ~k rows, while the (possibly wider) stratification set guarantees
+// coverage. stratGroups counts distinct combinations of the stratification
+// set; coverGroups/coverMinGroup describe the query's own grouping columns.
+// When stratification includes join keys, stratGroups ≫ coverGroups and δ
+// shrinks proportionally: δ rows per join key still covers every result
+// group while thinning aggressively.
+//
+// sel is the combined selectivity of the filters that execute *above* the
+// sampler (push-down puts the sampler below them): group coverage must hold
+// on the filtered stream, so p is sized against inRows·sel and sampling is
+// rejected when even the capped probability cannot keep groups populated —
+// the paper's "requirements too restrictive" case falls out here.
+func (p *Planner) configureSampler(q *Query, strat []string, inRows float64, sel float64, stratGroups, coverMinGroup, coverGroups int) samplerConfig {
+	k := p.requiredK(q)
+	if sel <= 0 {
+		sel = 1
+	}
+	if sel > 1 {
+		sel = 1
+	}
+
+	if len(strat) == 0 {
+		pr, ok := stats.UniformProbability(k, int(inRows*sel))
+		if !ok {
+			return samplerConfig{}
+		}
+		return samplerConfig{kind: plan.UniformSample, p: pr, ok: true}
+	}
+	if coverMinGroup < 1 {
+		coverMinGroup = 1
+	}
+	if coverGroups < 1 {
+		coverGroups = 1
+	}
+	if stratGroups < 1 {
+		stratGroups = 1
+	}
+	if pr, ok := stats.UniformProbability(k, int(float64(coverMinGroup)*sel)); ok {
+		return samplerConfig{kind: plan.UniformSample, p: pr, ok: true}
+	}
+	// Distinct sampler: δ per stratification combo such that each result
+	// group (≈ stratGroups/coverGroups combos) accumulates ~k rows.
+	delta := int(math.Ceil(float64(k) * float64(coverGroups) / float64(stratGroups)))
+	if delta < 1 {
+		delta = 1
+	}
+	// p targets k probabilistic rows in the *smallest* result group on the
+	// filtered stream — sizing against the average group would starve the
+	// thin groups of skewed distributions.
+	pr := float64(k) / (float64(coverMinGroup) * sel)
+	if pr > 0.1 {
+		pr = 0.1
+	}
+	if pr < 0.001 {
+		pr = 0.001
+	}
+	// Feasibility: expected post-filter rows of the smallest result group
+	// must support both coverage (absolute floor) and the error target
+	// (a k-proportional bar).
+	expected := pr * float64(coverMinGroup) * sel
+	if expected < float64(p.feasibilityRows(k)) {
+		// Paper: "Taster generates a plan without samplers if stratification
+		// and accuracy requirements are so restrictive that they cannot be
+		// satisfied with a reasonable sampling probability."
+		return samplerConfig{}
+	}
+	out := sampleOutRows(inRows, false, pr, delta, stratGroups)
+	if out > 0.5*inRows {
+		return samplerConfig{}
+	}
+	return samplerConfig{kind: plan.DistinctSample, p: pr, delta: delta, ok: true}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// requiredK derives the per-group sample size from the query's accuracy
+// spec and the worst coefficient of variation among its aggregate columns.
+func (p *Planner) requiredK(q *Query) int {
+	cv := 0.0
+	for _, c := range q.aggCols() {
+		t := q.tableOf(c)
+		if ref, ok := q.ref(t); ok {
+			if i := ref.Table.Schema().Index(c); i >= 0 {
+				if v := ref.Table.Stats().Columns[i].CV(); v > cv {
+					cv = v
+				}
+			}
+		}
+	}
+	if cv == 0 {
+		cv = 1 // COUNT-only queries: conservative default
+	}
+	return stats.RequiredRowsPerGroup(cv, q.Accuracy)
+}
+
+// feasibilityRows is the expected-rows-per-group bar a sampler (or a
+// matched sample) must clear: the absolute coverage floor, or half the
+// CLT requirement — whichever is higher.
+func (p *Planner) feasibilityRows(k int) int {
+	return maxInt(minCoverageRows, k/2)
+}
+
+// totalFilterSelectivity multiplies the per-table filter selectivities: the
+// fraction of fact rows that survive the whole query's predicates through
+// the joins (independence-assumption estimate).
+func (p *Planner) totalFilterSelectivity(q *Query) float64 {
+	sel := 1.0
+	for _, t := range q.Tables {
+		if f := q.filterForTable(t.Name); f != nil {
+			sel *= expr.Selectivity(f, t.Table)
+		}
+	}
+	return sel
+}
+
+// minGroupOf returns (cached) the smallest group size of the column set on
+// a base table.
+func (p *Planner) minGroupOf(t *storage.Table, cols []string) int {
+	key := t.Name + "|" + strings.Join(cols, ",")
+	p.mu.Lock()
+	if v, ok := p.mgCache[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	v := t.MinGroupOf(cols)
+	p.mu.Lock()
+	p.mgCache[key] = v
+	p.mu.Unlock()
+	return v
+}
+
+// groupCountOf is minGroupOf's sibling for the number of groups.
+func (p *Planner) groupCountOf(t *storage.Table, cols []string) int {
+	key := "g|" + t.Name + "|" + strings.Join(cols, ",")
+	p.mu.Lock()
+	if v, ok := p.mgCache[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	v := t.GroupCount(cols)
+	p.mu.Lock()
+	p.mgCache[key] = v
+	p.mu.Unlock()
+	return v
+}
+
+// addBaseSampleCandidates generates position-A plans: the sampler pushed all
+// the way below the fact table's filter (paper §IV-A push-down), plus reuse
+// plans for every matching materialized sample of that base relation.
+func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
+	fact := q.factTable()
+	factFilter := q.filterForTable(fact.Name)
+
+	strat := expr.DedupCols(append(append(
+		q.groupColsOn(fact.Name),
+		q.joinKeysOf(fact.Name)...),
+		q.skewedEqFilterCols(fact)...))
+
+	inRows := float64(fact.Table.NumRows())
+	stratGroups := 1
+	if len(strat) > 0 {
+		stratGroups = p.groupCountOf(fact.Table, strat)
+	}
+	// Result-group structure: every query group must end up with ~k fact
+	// rows. Group columns on the fact table give exact counts; probe-side
+	// group columns fan out over fact rows through the join, estimated by
+	// their distinct counts.
+	factCover := q.groupColsOn(fact.Name)
+	coverGroups, coverMinGroup := 1, int(inRows)
+	if len(factCover) > 0 {
+		coverGroups = p.groupCountOf(fact.Table, factCover)
+		coverMinGroup = p.minGroupOf(fact.Table, factCover)
+	}
+	for _, g := range q.GroupBy {
+		owner := q.tableOf(g)
+		if owner == fact.Name || owner == "" {
+			continue
+		}
+		if ref, ok := q.ref(owner); ok {
+			if d := ref.Table.DistinctOf(g); d > 0 {
+				coverGroups *= d
+			}
+		}
+	}
+	if len(factCover) == 0 && coverGroups > 1 {
+		coverMinGroup = maxInt(1, int(inRows)/coverGroups/2)
+	}
+	// Coverage must survive every filter in the query: probe-side filters
+	// thin the fact rows through the join just like fact-side ones.
+	selAll := p.totalFilterSelectivity(q)
+	sel := expr.Selectivity(factFilter, fact.Table)
+	cfg := p.configureSampler(q, strat, inRows, selAll, stratGroups, coverMinGroup, coverGroups)
+	if !cfg.ok {
+		return
+	}
+	groups := stratGroups
+
+	scanSig := plan.SignatureOf(&plan.Scan{Table: fact.Table})
+	desc := meta.Descriptor{
+		Kind:      cfg.kind,
+		Sig:       scanSig,
+		StratCols: strat,
+		P:         cfg.p,
+		Delta:     cfg.delta,
+		AggCols:   q.aggCols(),
+		Accuracy:  q.Accuracy,
+	}
+	outRows := sampleOutRows(inRows, cfg.kind == plan.UniformSample, cfg.p, cfg.delta, groups)
+	desc.EstSizeBytes = sampleBytes(outRows, fact.Table.AvgRowBytes())
+	entry := p.Store.Intern(desc)
+
+	// Build-inline candidate.
+	synNode := &plan.SynopsisOp{
+		Child: &plan.Scan{Table: fact.Table},
+		Kind:  cfg.kind, P: cfg.p, Delta: cfg.delta,
+		StratCols: strat, Accuracy: q.Accuracy,
+	}
+	var branch plan.Node = synNode
+	if factFilter != nil {
+		branch = &plan.Filter{Child: branch, Pred: factFilter}
+	}
+	root, err := p.joinTree(q, map[string]plan.Node{fact.Name: branch}, true)
+	if err != nil {
+		return
+	}
+	full := p.finishPlan(q, root, nil)
+
+	var cost planCost
+	overrides := map[string]scanEst{fact.Name: {rows: outRows * sel, width: fact.Table.AvgRowBytes() + 8}}
+	cost.scanTable(fact)
+	cost.samplerWork(inRows)
+	out := p.costFilteredJoinTree(q, overrides, &cost)
+	cost.aggWork(out)
+	ps.Candidates = append(ps.Candidates, Candidate{
+		Root:    full,
+		Cost:    cost.seconds(p.Model),
+		Creates: []CreateSpec{{Entry: entry, SampleNode: synNode}},
+		Desc:    fmt.Sprintf("build %s sample on %s", cfg.kind, fact.Name),
+	})
+
+	// Hypothetical reuse cost (drives the tuner's gain for this synopsis).
+	reuseCost := p.costBaseSampleReuse(q, fact, factFilter, desc.EstSizeBytes, outRows*sel)
+	if prev, ok := ps.ReuseCost[entry.Desc.ID]; !ok || reuseCost < prev {
+		ps.ReuseCost[entry.Desc.ID] = reuseCost
+	}
+
+	// Reuse candidates for every matching materialized sample. The match
+	// requires only the stratification needed for group coverage (grouping
+	// columns on the fact side plus skewed filter columns): join-key
+	// stratification improves variance — Taster builds with it — but a
+	// sample without it still yields unbiased HT estimates through the
+	// join, so demanding it would reject BlinkDB-style QCS samples.
+	requireStrat := expr.DedupCols(append(
+		q.groupColsOn(fact.Name), q.skewedEqFilterCols(fact)...))
+	req := meta.Requirements{
+		Sig:       scanSig,
+		Filter:    factFilter,
+		NeedCols:  p.factNeedCols(q, fact),
+		StratCols: requireStrat,
+		AggCols:   p.aggColsOn(q, fact.Name),
+		Accuracy:  q.Accuracy,
+	}
+	for _, m := range p.Store.MatchSamples(req) {
+		item, inBuffer, ok := p.WH.Get(m.Entry.Desc.ID)
+		if !ok || item.Sample == nil {
+			continue
+		}
+		// Coverage feasibility for THIS query's filters: the stored sample
+		// must leave enough expected rows in the thinnest result group.
+		sampleRows := float64(item.Sample.Rows.NumRows())
+		if sampleRows*selAll/float64(coverGroups) < float64(p.feasibilityRows(p.requiredK(q))) {
+			continue
+		}
+		ss := &plan.SynopsisScan{
+			SynopsisID: m.Entry.Desc.ID,
+			Sample:     item.Sample,
+			Label:      fact.Name,
+			InBuffer:   inBuffer,
+		}
+		var rbranch plan.Node = ss
+		if m.CompensateFilter != nil {
+			rbranch = &plan.Filter{Child: rbranch, Pred: m.CompensateFilter}
+		}
+		rroot, err := p.joinTree(q, map[string]plan.Node{fact.Name: rbranch}, true)
+		if err != nil {
+			continue
+		}
+		rfull := p.finishPlan(q, rroot, nil)
+		// sampleRows computed above for the coverage check.
+		var rcost planCost
+		if !inBuffer {
+			rcost.scanSynopsis(item.Size, sampleRows)
+		} else {
+			rcost.cpuTuples += int64(sampleRows)
+		}
+		rOverrides := map[string]scanEst{fact.Name: {rows: sampleRows * sel, width: fact.Table.AvgRowBytes() + 8}}
+		rout := p.costFilteredJoinTree(q, rOverrides, &rcost)
+		rcost.aggWork(rout)
+		ps.Candidates = append(ps.Candidates, Candidate{
+			Root: rfull,
+			Cost: rcost.seconds(p.Model),
+			Uses: []uint64{m.Entry.Desc.ID},
+			Desc: fmt.Sprintf("reuse sample #%d on %s", m.Entry.Desc.ID, fact.Name),
+		})
+	}
+}
+
+// costBaseSampleReuse estimates what the query costs if the base sample
+// existed in the warehouse.
+func (p *Planner) costBaseSampleReuse(q *Query, fact TableRef, factFilter expr.Expr, sizeBytes int64, outRows float64) float64 {
+	var cost planCost
+	cost.scanSynopsis(sizeBytes, outRows)
+	overrides := map[string]scanEst{fact.Name: {rows: math.Max(outRows, 1), width: fact.Table.AvgRowBytes() + 8}}
+	out := p.costFilteredJoinTree(q, overrides, &cost)
+	cost.aggWork(out)
+	return cost.seconds(p.Model)
+}
+
+// factNeedCols lists the fact-table columns the query consumes.
+func (p *Planner) factNeedCols(q *Query, fact TableRef) []string {
+	need := append([]string(nil), q.groupColsOn(fact.Name)...)
+	need = append(need, q.joinKeysOf(fact.Name)...)
+	need = append(need, p.aggColsOn(q, fact.Name)...)
+	if f := q.filterForTable(fact.Name); f != nil {
+		need = append(need, f.Columns(nil)...)
+	}
+	return expr.DedupCols(need)
+}
+
+// aggColsOn returns the aggregate columns owned by the table.
+func (p *Planner) aggColsOn(q *Query, table string) []string {
+	var out []string
+	for _, c := range q.aggCols() {
+		if q.tableOf(c) == table {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// fixture: fact table "sales" (20k rows, 50 products, 10 stores) and
+// dimension "products" (50 rows, 5 categories).
+func salesTable() *storage.Table {
+	b := storage.NewBuilder("sales", storage.Schema{
+		{Name: "sales.product", Typ: storage.Int64},
+		{Name: "sales.store", Typ: storage.Int64},
+		{Name: "sales.amount", Typ: storage.Float64},
+	})
+	for i := 0; i < 20000; i++ {
+		b.Int(0, int64(i%50))
+		b.Int(1, int64(i%10))
+		b.Float(2, float64(i%1000))
+	}
+	return b.Build(4)
+}
+
+func productsTable() *storage.Table {
+	b := storage.NewBuilder("products", storage.Schema{
+		{Name: "products.id", Typ: storage.Int64},
+		{Name: "products.category", Typ: storage.Int64},
+	})
+	for i := 0; i < 50; i++ {
+		b.Int(0, int64(i))
+		b.Int(1, int64(i%5))
+	}
+	return b.Build(1)
+}
+
+func testPlanner() (*Planner, *meta.Store, *warehouse.Manager) {
+	store := meta.NewStore()
+	wh := warehouse.NewManager(64<<20, 256<<20)
+	p := New(store, wh, storage.DefaultCostModel())
+	return p, store, wh
+}
+
+func joinQuery() *Query {
+	sales, products := salesTable(), productsTable()
+	return &Query{
+		Tables: []TableRef{{Name: "sales", Table: sales}, {Name: "products", Table: products}},
+		Joins: []JoinPred{{
+			LeftTable: "sales", LeftCol: "sales.product",
+			RightTable: "products", RightCol: "products.id",
+		}},
+		GroupBy:  []string{"products.category"},
+		Aggs:     []plan.AggSpec{{Kind: stats.Sum, Col: "sales.amount"}},
+		Accuracy: stats.DefaultAccuracy,
+	}
+}
+
+func singleTableQuery() *Query {
+	return &Query{
+		Tables:   []TableRef{{Name: "sales", Table: salesTable()}},
+		GroupBy:  []string{"sales.store"},
+		Aggs:     []plan.AggSpec{{Kind: stats.Avg, Col: "sales.amount"}},
+		Accuracy: stats.DefaultAccuracy,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Query{}).Validate(); err == nil {
+		t.Fatal("empty query must fail")
+	}
+	q := singleTableQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q.Aggs = nil
+	if err := q.Validate(); err == nil {
+		t.Fatal("aggregate-free query must fail")
+	}
+	bad := joinQuery()
+	bad.Joins[0].LeftTable = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown join table must fail")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q := joinQuery()
+	q.Filter = &expr.Cmp{Op: expr.GT, L: &expr.Col{Name: "sales.amount"}, R: expr.Int(10)}
+	if q.tableOf("sales.amount") != "sales" || q.tableOf("bogus") != "" {
+		t.Fatal("tableOf")
+	}
+	if f := q.filterForTable("sales"); f == nil {
+		t.Fatal("sales filter missing")
+	}
+	if f := q.filterForTable("products"); f != nil {
+		t.Fatal("products filter must be empty")
+	}
+	if q.residualFilter() != nil {
+		t.Fatal("no residual expected")
+	}
+	if got := q.joinKeysOf("sales"); len(got) != 1 || got[0] != "sales.product" {
+		t.Fatalf("joinKeysOf = %v", got)
+	}
+	if q.factTable().Name != "sales" {
+		t.Fatal("fact table must follow the aggregate column")
+	}
+	if got := q.groupColsOn("products"); len(got) != 1 {
+		t.Fatalf("groupColsOn = %v", got)
+	}
+	if !q.approximableAggs() {
+		t.Fatal("SUM is approximable")
+	}
+	q.Aggs = append(q.Aggs, plan.AggSpec{Kind: stats.Min, Col: "sales.amount"})
+	if q.approximableAggs() {
+		t.Fatal("MIN must disable approximation")
+	}
+}
+
+func TestFactTableForCountStar(t *testing.T) {
+	q := joinQuery()
+	q.Aggs = []plan.AggSpec{{Kind: stats.Count}}
+	if q.factTable().Name != "sales" {
+		t.Fatal("COUNT(*) fact must be the largest table")
+	}
+}
+
+func TestExactPlanShape(t *testing.T) {
+	p, _, _ := testPlanner()
+	q := joinQuery()
+	ps, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := plan.Format(ps.Exact.Root)
+	if !strings.Contains(tree, "Aggregate") || !strings.Contains(tree, "Join") {
+		t.Fatalf("exact plan:\n%s", tree)
+	}
+	if ps.Exact.Cost <= 0 {
+		t.Fatal("exact cost must be positive")
+	}
+	if len(ps.Exact.Uses) != 0 || len(ps.Exact.Creates) != 0 {
+		t.Fatal("exact plan must not involve synopses")
+	}
+}
+
+func TestCandidatesIncludeBuildPlans(t *testing.T) {
+	p, store, _ := testPlanner()
+	ps, err := p.Plan(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasBase, hasJoin, hasSketch bool
+	for _, c := range ps.Candidates {
+		switch {
+		case strings.Contains(c.Desc, "sample on sales"):
+			hasBase = true
+		case strings.Contains(c.Desc, "sample on join"):
+			hasJoin = true
+		case strings.Contains(c.Desc, "sketch-join"):
+			hasSketch = true
+		}
+	}
+	if !hasBase || !hasJoin || !hasSketch {
+		t.Fatalf("missing candidates (base=%v join=%v sketch=%v):\n%v",
+			hasBase, hasJoin, hasSketch, descs(ps))
+	}
+	// Benefits must be recorded for every candidate synopsis.
+	if len(store.Entries()) < 3 {
+		t.Fatalf("interned synopses = %d", len(store.Entries()))
+	}
+	for _, e := range store.Entries() {
+		if len(e.Benefits) == 0 {
+			t.Fatalf("synopsis %s has no recorded benefit", e.Desc.Label())
+		}
+		if b := e.Benefits[0]; b.CostWith >= b.CostExact {
+			t.Fatalf("synopsis %s: reuse cost %v must beat exact %v",
+				e.Desc.Label(), b.CostWith, b.CostExact)
+		}
+	}
+}
+
+func descs(ps *PlanSet) []string {
+	out := make([]string, len(ps.Candidates))
+	for i, c := range ps.Candidates {
+		out[i] = c.Desc
+	}
+	return out
+}
+
+func TestExactOnlyForMinMaxOrExactFlag(t *testing.T) {
+	p, _, _ := testPlanner()
+	q := singleTableQuery()
+	q.Aggs = []plan.AggSpec{{Kind: stats.Max, Col: "sales.amount"}}
+	ps, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Candidates) != 1 {
+		t.Fatalf("MIN/MAX query must be exact-only, got %v", descs(ps))
+	}
+	q2 := singleTableQuery()
+	q2.Exact = true
+	ps2, _ := p.Plan(q2)
+	if len(ps2.Candidates) != 1 {
+		t.Fatal("Exact flag must suppress approximation")
+	}
+}
+
+func TestReuseCandidateAfterMaterialization(t *testing.T) {
+	p, store, wh := testPlanner()
+	q := singleTableQuery()
+	ps, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the base-sample create spec and materialize it manually.
+	var spec *CreateSpec
+	for i := range ps.Candidates {
+		if len(ps.Candidates[i].Creates) == 1 {
+			spec = &ps.Candidates[i].Creates[0]
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatalf("no build candidate in %v", descs(ps))
+	}
+	sample := synopses.BuildSampleFromTable("syn",
+		salesTable(),
+		synopses.NewDistinctSampler(spec.Entry.Desc.P, maxInt(spec.Entry.Desc.Delta, 1), []int{1}, 1),
+		spec.Entry.Desc.StratCols)
+	if err := wh.PutWarehouse(warehouse.NewSampleItem(spec.Entry.Desc.ID, sample)); err != nil {
+		t.Fatal(err)
+	}
+	store.SetLocation(spec.Entry.Desc.ID, meta.LocWarehouse)
+	store.SetActualSize(spec.Entry.Desc.ID, sample.SizeBytes())
+
+	// Re-plan the same query: a reuse candidate must appear and be cheaper
+	// than both exact and build.
+	q2 := singleTableQuery()
+	q2.ID = 1
+	ps2, err := p.Plan(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reuse *Candidate
+	for i := range ps2.Candidates {
+		if len(ps2.Candidates[i].Uses) > 0 {
+			reuse = &ps2.Candidates[i]
+		}
+	}
+	if reuse == nil {
+		t.Fatalf("no reuse candidate after materialization: %v", descs(ps2))
+	}
+	if reuse.Cost >= ps2.Exact.Cost {
+		t.Fatalf("reuse cost %v must beat exact %v", reuse.Cost, ps2.Exact.Cost)
+	}
+}
+
+func TestSketchEligibility(t *testing.T) {
+	p, _, _ := testPlanner()
+	q := joinQuery()
+	if _, ok := p.sketchEligible(q); !ok {
+		t.Fatal("canonical star query must be sketch-eligible")
+	}
+	// Grouping on a non-key fact column disqualifies.
+	q2 := joinQuery()
+	q2.GroupBy = []string{"sales.store"}
+	if _, ok := p.sketchEligible(q2); ok {
+		t.Fatal("fact-side non-key grouping must disqualify")
+	}
+	// Grouping on the fact join key is rewritten to the probe side.
+	q3 := joinQuery()
+	q3.GroupBy = []string{"sales.product"}
+	sh, ok := p.sketchEligible(q3)
+	if !ok || sh.groupBy[0] != "products.id" {
+		t.Fatalf("fact join-key grouping must rewrite, got %+v ok=%v", sh.groupBy, ok)
+	}
+	// MIN/MAX aggregates disqualify.
+	q4 := joinQuery()
+	q4.Aggs = []plan.AggSpec{{Kind: stats.Min, Col: "sales.amount"}}
+	if _, ok := p.sketchEligible(q4); ok {
+		t.Fatal("MIN must disqualify sketch-join")
+	}
+	// Two fact-side aggregate columns disqualify.
+	q5 := joinQuery()
+	q5.Aggs = []plan.AggSpec{
+		{Kind: stats.Sum, Col: "sales.amount"},
+		{Kind: stats.Sum, Col: "sales.store"},
+	}
+	if _, ok := p.sketchEligible(q5); ok {
+		t.Fatal("two fact aggregate columns must disqualify")
+	}
+	// Single-table queries are not sketch-joins.
+	if _, ok := p.sketchEligible(singleTableQuery()); ok {
+		t.Fatal("single table must disqualify")
+	}
+}
+
+func TestCrossJoinRejected(t *testing.T) {
+	p, _, _ := testPlanner()
+	q := joinQuery()
+	q.Joins = nil
+	if _, err := p.Plan(q); err == nil {
+		t.Fatal("cross join must be rejected")
+	}
+}
+
+func TestSamplerConfigurationFollowsAccuracy(t *testing.T) {
+	p, _, _ := testPlanner()
+	loose := p.configureSampler(singleTableQuery(), []string{"sales.store"}, 20000, 1, 10, 2000, 10)
+	if !loose.ok {
+		t.Fatal("loose accuracy must admit a sampler")
+	}
+	// Tighter accuracy needs more rows per group.
+	strict := singleTableQuery()
+	strict.Accuracy = stats.AccuracySpec{RelError: 0.01, Confidence: 0.99}
+	sCfg := p.configureSampler(strict, []string{"sales.store"}, 20000, 1, 10, 2000, 10)
+	if sCfg.ok && sCfg.kind == loose.kind && sCfg.p <= loose.p && sCfg.delta <= loose.delta {
+		t.Fatalf("stricter accuracy must sample more: %+v vs %+v", sCfg, loose)
+	}
+	// Impossible accuracy (tiny groups) must reject sampling.
+	none := p.configureSampler(strict, []string{"sales.store"}, 100, 1, 50, 2, 50)
+	if none.ok {
+		t.Fatal("infeasible accuracy must reject sampling")
+	}
+	// Join-key stratification: many strat combos, few result groups → tiny δ
+	// (a smallest-group size below the uniform bar forces the distinct path).
+	wide := p.configureSampler(singleTableQuery(), []string{"sales.store", "sales.product"},
+		1e6, 1, 100000, 1200, 10)
+	if !wide.ok || wide.kind != plan.DistinctSample {
+		t.Fatalf("wide stratification should still sample: %+v", wide)
+	}
+	if wide.delta > 4 {
+		t.Fatalf("δ must shrink with strat/cover ratio, got %d", wide.delta)
+	}
+}

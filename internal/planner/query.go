@@ -1,0 +1,250 @@
+// Package planner implements Taster's cost-based planner (paper §IV): it
+// generates candidate logical plans that inject synopsis operators below
+// aggregators, pushes them down under filters and joins (stratifying on
+// skewed predicate columns and join keys), recognizes sketch-join
+// eligibility, configures samplers from the query's accuracy requirements,
+// matches subplans against materialized synopses through the metadata
+// store, and costs every candidate with the simulated-cluster model.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// TableRef names a base table participating in a query.
+type TableRef struct {
+	Name  string
+	Table *storage.Table
+}
+
+// JoinPred is one equi-join predicate between two tables, with fully
+// qualified column names.
+type JoinPred struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+}
+
+// Canonical renders the predicate order-independently.
+func (j JoinPred) Canonical() string {
+	l, r := j.LeftCol, j.RightCol
+	if r < l {
+		l, r = r, l
+	}
+	return l + "=" + r
+}
+
+// Query is the bound intermediate representation the planner consumes —
+// produced by the SQL binder or constructed directly by programmatic
+// callers. Tables joined left-deep in the given order.
+type Query struct {
+	ID      int
+	Tables  []TableRef
+	Joins   []JoinPred
+	Filter  expr.Expr // full WHERE conjunction over qualified columns
+	GroupBy []string
+	Aggs    []plan.AggSpec
+	OrderBy []string
+	Desc    []bool
+	Limit   int
+
+	Accuracy stats.AccuracySpec
+	// Exact disables approximation for this query.
+	Exact bool
+}
+
+// Validate sanity-checks the IR.
+func (q *Query) Validate() error {
+	if len(q.Tables) == 0 {
+		return fmt.Errorf("planner: query has no tables")
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("planner: query has no aggregates (only aggregate queries are supported)")
+	}
+	names := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		if t.Table == nil {
+			return fmt.Errorf("planner: table %q not bound", t.Name)
+		}
+		names[t.Name] = true
+	}
+	for _, j := range q.Joins {
+		if !names[j.LeftTable] || !names[j.RightTable] {
+			return fmt.Errorf("planner: join %s references unknown table", j.Canonical())
+		}
+	}
+	return nil
+}
+
+// FactTable exposes the fact-table choice to other packages (baselines).
+func (q *Query) FactTable() TableRef { return q.factTable() }
+
+// TableOf exposes column ownership resolution.
+func (q *Query) TableOf(col string) string { return q.tableOf(col) }
+
+// JoinKeysOf exposes a table's join-key columns.
+func (q *Query) JoinKeysOf(name string) []string { return q.joinKeysOf(name) }
+
+// FilterForTable exposes a table's single-table filter conjunction.
+func (q *Query) FilterForTable(name string) expr.Expr { return q.filterForTable(name) }
+
+// tableOf returns the table owning a qualified column name, or "".
+func (q *Query) tableOf(col string) string {
+	i := strings.IndexByte(col, '.')
+	if i <= 0 {
+		return ""
+	}
+	prefix := col[:i]
+	for _, t := range q.Tables {
+		if t.Name == prefix {
+			return t.Name
+		}
+	}
+	return ""
+}
+
+// ref returns the TableRef by name.
+func (q *Query) ref(name string) (TableRef, bool) {
+	for _, t := range q.Tables {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TableRef{}, false
+}
+
+// filterForTable returns the conjunction of filter conjuncts that reference
+// only the given table's columns; ok is false when no conjunct applies.
+func (q *Query) filterForTable(name string) expr.Expr {
+	var keep []expr.Expr
+	for _, c := range expr.Conjuncts(q.Filter) {
+		if conjunctTable(c, q) == name {
+			keep = append(keep, c)
+		}
+	}
+	return expr.AndAll(keep)
+}
+
+// residualFilter returns conjuncts spanning multiple tables (applied above
+// the join tree).
+func (q *Query) residualFilter() expr.Expr {
+	var keep []expr.Expr
+	for _, c := range expr.Conjuncts(q.Filter) {
+		if t := conjunctTable(c, q); t == "" {
+			keep = append(keep, c)
+		}
+	}
+	return expr.AndAll(keep)
+}
+
+// conjunctTable returns the single table a conjunct touches, or "".
+func conjunctTable(c expr.Expr, q *Query) string {
+	cols := c.Columns(nil)
+	table := ""
+	for _, col := range cols {
+		t := q.tableOf(col)
+		if t == "" {
+			return ""
+		}
+		if table == "" {
+			table = t
+		} else if table != t {
+			return ""
+		}
+	}
+	return table
+}
+
+// joinKeysOf returns the qualified join-key columns of the given table
+// across all join predicates.
+func (q *Query) joinKeysOf(name string) []string {
+	var out []string
+	for _, j := range q.Joins {
+		if j.LeftTable == name {
+			out = append(out, j.LeftCol)
+		}
+		if j.RightTable == name {
+			out = append(out, j.RightCol)
+		}
+	}
+	return expr.DedupCols(out)
+}
+
+// factTable picks the relation "on which the aggregation takes place"
+// (paper §IV-A): the table owning the first aggregate column; for pure
+// COUNT(*) queries, the largest table (the side worth summarizing).
+func (q *Query) factTable() TableRef {
+	for _, a := range q.Aggs {
+		if a.Col != "" {
+			if t := q.tableOf(a.Col); t != "" {
+				ref, _ := q.ref(t)
+				return ref
+			}
+		}
+	}
+	best := q.Tables[0]
+	for _, t := range q.Tables[1:] {
+		if t.Table.NumRows() > best.Table.NumRows() {
+			best = t
+		}
+	}
+	return best
+}
+
+// aggCols returns the non-empty aggregate columns, deduped.
+func (q *Query) aggCols() []string {
+	var out []string
+	for _, a := range q.Aggs {
+		if a.Col != "" {
+			out = append(out, a.Col)
+		}
+	}
+	return expr.DedupCols(out)
+}
+
+// approximableAggs reports whether every aggregate supports HT estimation
+// (MIN/MAX force exact execution, mirroring the paper's non-approximable
+// query handling).
+func (q *Query) approximableAggs() bool {
+	for _, a := range q.Aggs {
+		if !a.Kind.Approximable() {
+			return false
+		}
+	}
+	return true
+}
+
+// groupColsOn returns the grouping columns owned by the given table.
+func (q *Query) groupColsOn(name string) []string {
+	var out []string
+	for _, g := range q.GroupBy {
+		if q.tableOf(g) == name {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// skewedEqFilterCols returns equality-filtered columns of the table whose
+// value distribution is skewed — the columns the push-down rule adds to the
+// stratification set (paper §IV-A).
+func (q *Query) skewedEqFilterCols(t TableRef) []string {
+	f := q.filterForTable(t.Name)
+	if f == nil {
+		return nil
+	}
+	var out []string
+	st := t.Table.Stats()
+	for _, col := range expr.EqualityColumns(f) {
+		i := t.Table.Schema().Index(col)
+		if i >= 0 && st.Columns[i].Skewed {
+			out = append(out, col)
+		}
+	}
+	return out
+}

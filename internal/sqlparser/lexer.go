@@ -1,0 +1,118 @@
+// Package sqlparser implements the SQL subset Taster accepts: single-block
+// aggregate queries with equi-joins, conjunctive predicates, GROUP BY /
+// ORDER BY / LIMIT, and the paper's approximation clause
+// "ERROR WITHIN x% AT CONFIDENCE y%" (§III, Supported Queries).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * = < > <= >= <> %
+	tokKeyword
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+// keywords recognized by the parser (upper-case canonical).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "JOIN": true, "ON": true, "WHERE": true,
+	"AND": true, "GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"AS": true, "IN": true, "BETWEEN": true, "DESC": true, "ASC": true,
+	"ERROR": true, "WITHIN": true, "AT": true, "CONFIDENCE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"EXACT": true, "NOT": true, "INNER": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'': // string literal
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != '\'' {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", i)
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					// "1.5" vs "t.c": digit must follow the dot
+					if j+1 >= n || input[j+1] < '0' || input[j+1] > '9' {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			out = append(out, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case c == '<' && i+1 < n && (input[i+1] == '=' || input[i+1] == '>'):
+			out = append(out, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+			i += 2
+		case c == '>' && i+1 < n && input[i+1] == '=':
+			out = append(out, token{kind: tokSymbol, text: ">=", pos: i})
+			i += 2
+		case c == '!' && i+1 < n && input[i+1] == '=':
+			out = append(out, token{kind: tokSymbol, text: "<>", pos: i})
+			i += 2
+		case strings.ContainsRune("(),.*=<>%", rune(c)):
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

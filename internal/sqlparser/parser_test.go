@@ -1,0 +1,195 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+func testCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	orders := storage.NewBuilder("orders", storage.Schema{
+		{Name: "orders.id", Typ: storage.Int64},
+		{Name: "orders.cust", Typ: storage.Int64},
+		{Name: "orders.amount", Typ: storage.Float64},
+		{Name: "orders.status", Typ: storage.String},
+	})
+	for i := 0; i < 100; i++ {
+		orders.AddRow(storage.IntValue(int64(i)), storage.IntValue(int64(i%10)),
+			storage.FloatValue(float64(i)), storage.StringValue("OK"))
+	}
+	cat.Register(orders.Build(1))
+	cust := storage.NewBuilder("cust", storage.Schema{
+		{Name: "cust.id", Typ: storage.Int64},
+		{Name: "cust.region", Typ: storage.String},
+	})
+	for i := 0; i < 10; i++ {
+		cust.AddRow(storage.IntValue(int64(i)), storage.StringValue("r"))
+	}
+	cat.Register(cust.Build(1))
+	return cat
+}
+
+func TestParseSimpleAggregate(t *testing.T) {
+	q, err := Parse("SELECT cust, SUM(amount) FROM orders GROUP BY cust", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 1 || q.Tables[0].Name != "orders" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "orders.cust" {
+		t.Fatalf("group by = %v (must bind to qualified name)", q.GroupBy)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Kind != stats.Sum || q.Aggs[0].Col != "orders.amount" {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+}
+
+func TestParseJoinQuery(t *testing.T) {
+	q, err := Parse(`SELECT region, COUNT(*) AS n, AVG(amount)
+		FROM orders JOIN cust ON orders.cust = cust.id
+		WHERE amount > 10 AND region = 'r'
+		GROUP BY region ORDER BY n DESC LIMIT 5
+		ERROR WITHIN 10% AT CONFIDENCE 95%`, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.LeftCol != "orders.cust" || j.RightCol != "cust.id" {
+		t.Fatalf("join = %+v", j)
+	}
+	if q.Filter == nil || !strings.Contains(q.Filter.String(), "orders.amount > 10") {
+		t.Fatalf("filter = %v", q.Filter)
+	}
+	if q.Limit != 5 || len(q.OrderBy) != 1 || q.OrderBy[0] != "n" || !q.Desc[0] {
+		t.Fatalf("order/limit = %v %v %d", q.OrderBy, q.Desc, q.Limit)
+	}
+	if q.Accuracy.RelError != 0.10 || q.Accuracy.Confidence != 0.95 {
+		t.Fatalf("accuracy = %+v", q.Accuracy)
+	}
+	if len(q.Aggs) != 2 || q.Aggs[0].Alias != "n" {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+}
+
+func TestParseInAndBetween(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM orders
+		WHERE status IN ('OK', 'LATE') AND amount BETWEEN 5 AND 20`, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Filter.String()
+	if !strings.Contains(s, "IN") || !strings.Contains(s, ">= 5") || !strings.Contains(s, "<= 20") {
+		t.Fatalf("filter = %s", s)
+	}
+}
+
+func TestParseNumericCoercion(t *testing.T) {
+	// Integer literal against DOUBLE column becomes a float constant so
+	// predicate implication sees consistent types.
+	q, err := Parse("SELECT SUM(amount) FROM orders WHERE amount > 10", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Filter.String(), "10") {
+		t.Fatalf("filter = %s", q.Filter)
+	}
+	q2, err := Parse("SELECT SUM(amount) FROM orders WHERE cust = 3", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Filter.String() != "orders.cust = 3" {
+		t.Fatalf("filter = %s", q2.Filter)
+	}
+}
+
+func TestParseExactFlag(t *testing.T) {
+	q, err := Parse("SELECT MAX(amount) FROM orders EXACT", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Exact {
+		t.Fatal("EXACT not set")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := testCatalog()
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM orders",
+		"SELECT cust FROM orders",         // non-agg col without GROUP BY
+		"SELECT SUM(amount) FROM missing", // unknown table
+		"SELECT SUM(bogus) FROM orders",   // unknown column
+		"SELECT SUM(id) FROM orders JOIN cust ON id = id", // ambiguous column
+		"SELECT SUM(amount) FROM orders WHERE",
+		"SELECT SUM(amount) FROM orders WHERE amount >",
+		"SELECT SUM(amount) FROM orders LIMIT x",
+		"SELECT SUM(amount) FROM orders ERROR WITHIN 10 CONFIDENCE 95%",   // missing %
+		"SELECT SUM(amount) FROM orders ERROR WITHIN 150% CONFIDENCE 95%", // invalid spec
+		"SELECT SUM(*) FROM orders",
+		"SELECT SUM(amount) FROM orders JOIN orders ON id = id", // self join
+		"SELECT SUM(amount) FROM orders trailing",
+		"SELECT SUM(amount) FROM orders WHERE status ~ 'x'",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql, cat); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'str', 1.5 <= <> !=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.kind
+	}
+	if toks[0].text != "SELECT" || toks[0].kind != tokKeyword {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[5].kind != tokString || toks[5].text != "str" {
+		t.Fatalf("string tok = %+v", toks[5])
+	}
+	if toks[7].kind != tokNumber || toks[7].text != "1.5" {
+		t.Fatalf("number tok = %+v", toks[7])
+	}
+	if toks[8].text != "<=" || toks[9].text != "<>" || toks[10].text != "<>" {
+		t.Fatalf("operators = %+v %+v %+v", toks[8], toks[9], toks[10])
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Fatal("want unterminated string error")
+	}
+	if _, err := lex("a $ b"); err == nil {
+		t.Fatal("want bad character error")
+	}
+}
+
+func TestParseMultiJoin(t *testing.T) {
+	cat := testCatalog()
+	extra := storage.NewBuilder("region", storage.Schema{
+		{Name: "region.name", Typ: storage.String},
+		{Name: "region.code", Typ: storage.Int64},
+	})
+	extra.AddRow(storage.StringValue("r"), storage.IntValue(1))
+	cat.Register(extra.Build(1))
+	q, err := Parse(`SELECT COUNT(*) FROM orders
+		JOIN cust ON orders.cust = cust.id
+		JOIN region ON cust.region = region.name`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 3 || len(q.Joins) != 2 {
+		t.Fatalf("tables=%d joins=%d", len(q.Tables), len(q.Joins))
+	}
+}

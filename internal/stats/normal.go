@@ -1,0 +1,61 @@
+// Package stats implements the estimation theory Taster relies on
+// (paper §IV-B): Horvitz-Thompson estimators with CLT confidence intervals,
+// the single-pass per-group variance algorithm, and the sample-size planning
+// that turns "ERROR WITHIN x% AT CONFIDENCE y%" into sampler parameters.
+package stats
+
+import "math"
+
+// ZQuantile returns the z-value z such that a symmetric normal interval
+// ±z·σ has the given two-sided confidence (e.g. 0.95 → ≈1.96). It uses the
+// Acklam rational approximation of the inverse normal CDF (|ε| < 1.15e-9).
+func ZQuantile(confidence float64) float64 {
+	if confidence <= 0 {
+		return 0
+	}
+	if confidence >= 1 {
+		confidence = 0.9999999
+	}
+	p := 0.5 + confidence/2 // upper quantile of two-sided interval
+	return inverseNormalCDF(p)
+}
+
+// Coefficients of Acklam's inverse normal CDF approximation.
+var (
+	icdfA = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01,
+		2.506628277459239e+00}
+	icdfB = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	icdfC = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00,
+		2.938163982698783e+00}
+	icdfD = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+)
+
+func inverseNormalCDF(p float64) float64 {
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((icdfC[0]*q+icdfC[1])*q+icdfC[2])*q+icdfC[3])*q+icdfC[4])*q + icdfC[5]) /
+			((((icdfD[0]*q+icdfD[1])*q+icdfD[2])*q+icdfD[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((icdfA[0]*r+icdfA[1])*r+icdfA[2])*r+icdfA[3])*r+icdfA[4])*r + icdfA[5]) * q /
+			(((((icdfB[0]*r+icdfB[1])*r+icdfB[2])*r+icdfB[3])*r+icdfB[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((icdfC[0]*q+icdfC[1])*q+icdfC[2])*q+icdfC[3])*q+icdfC[4])*q + icdfC[5]) /
+			((((icdfD[0]*q+icdfD[1])*q+icdfD[2])*q+icdfD[3])*q + 1)
+	}
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"math"
+	"sort"
+)
+
+// ColumnStats summarizes one column. The planner uses these to size samplers
+// (choose p and δ from the accuracy spec), to decide between uniform and
+// distinct sampling, and to detect skew when pushing synopses under filters
+// (paper §IV-A: skewed predicate columns join the stratification set).
+type ColumnStats struct {
+	Distinct int     // exact number of distinct values
+	MinGroup int     // size of the smallest value group
+	MaxGroup int     // size of the largest value group
+	Min      float64 // numeric columns only
+	Max      float64
+	Mean     float64
+	Variance float64 // population variance
+	Skewed   bool    // true when the value distribution is heavy-tailed
+}
+
+// CV returns the coefficient of variation (σ/|μ|), the quantity that drives
+// required sample sizes for relative-error targets. Returns 1 for degenerate
+// columns so sizing stays sane.
+func (s ColumnStats) CV() float64 {
+	if s.Mean == 0 || s.Variance <= 0 {
+		return 1
+	}
+	cv := math.Sqrt(s.Variance) / math.Abs(s.Mean)
+	if cv == 0 || math.IsNaN(cv) || math.IsInf(cv, 0) {
+		return 1
+	}
+	return cv
+}
+
+// TableStats holds per-column statistics plus the row count.
+type TableStats struct {
+	Rows    int
+	Columns []ColumnStats
+}
+
+// Stats returns the table statistics, computing them on first call. This is
+// the "statistics of the dataset ... calculated on-the-fly during the first
+// access to any table" behaviour from paper §III.
+func (t *Table) Stats() *TableStats {
+	t.statsOnce.Do(func() {
+		ts := &TableStats{Rows: t.rows, Columns: make([]ColumnStats, len(t.cols))}
+		for i, c := range t.cols {
+			ts.Columns[i] = computeColumnStats(c)
+		}
+		t.stats = ts
+	})
+	return t.stats
+}
+
+// skewRatio is the MaxGroup/avgGroup threshold above which a column counts
+// as skewed. 3 is a conventional heavy-hitter cutoff; the paper does not
+// give a number.
+const skewRatio = 3.0
+
+func computeColumnStats(c *Vector) ColumnStats {
+	n := c.Len()
+	var st ColumnStats
+	if n == 0 {
+		return st
+	}
+	// Distinct/group statistics via a frequency map keyed by the value's
+	// canonical representation. Exact counting is fine at our scales; the
+	// paper computes the same statistics on a cluster.
+	freq := make(map[Value]int, 1024)
+	switch c.Typ {
+	case Int64:
+		for _, v := range c.I64 {
+			freq[Value{Typ: Int64, I: v}]++
+		}
+	case Float64:
+		for _, v := range c.F64 {
+			freq[Value{Typ: Float64, F: v}]++
+		}
+	case String:
+		for _, v := range c.Str {
+			freq[Value{Typ: String, S: v}]++
+		}
+	case Bool:
+		for _, v := range c.B {
+			freq[Value{Typ: Bool, B: v}]++
+		}
+	}
+	st.Distinct = len(freq)
+	st.MinGroup = n
+	for _, f := range freq {
+		if f < st.MinGroup {
+			st.MinGroup = f
+		}
+		if f > st.MaxGroup {
+			st.MaxGroup = f
+		}
+	}
+	avgGroup := float64(n) / float64(st.Distinct)
+	st.Skewed = float64(st.MaxGroup) > skewRatio*avgGroup && st.Distinct > 1
+
+	if c.Typ.Numeric() {
+		var sum, sumSq float64
+		st.Min = math.Inf(1)
+		st.Max = math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := c.Float(i)
+			sum += v
+			sumSq += v * v
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+		st.Mean = sum / float64(n)
+		st.Variance = sumSq/float64(n) - st.Mean*st.Mean
+		if st.Variance < 0 {
+			st.Variance = 0
+		}
+	}
+	return st
+}
+
+// DistinctOf returns the distinct count of the named column, or 0 when the
+// column is unknown. Convenience wrapper used by the planner.
+func (t *Table) DistinctOf(col string) int {
+	i := t.schema.Index(col)
+	if i < 0 {
+		return 0
+	}
+	return t.Stats().Columns[i].Distinct
+}
+
+// GroupCount returns the exact number of distinct combinations of the given
+// columns — the planner's estimate for "number of groups" of a GROUP BY over
+// the base table. For a single column it reuses per-column stats.
+func (t *Table) GroupCount(cols []string) int {
+	if len(cols) == 0 {
+		return 1
+	}
+	if len(cols) == 1 {
+		if d := t.DistinctOf(cols[0]); d > 0 {
+			return d
+		}
+		return 1
+	}
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		i := t.schema.Index(c)
+		if i < 0 {
+			return 1
+		}
+		idx = append(idx, i)
+	}
+	seen := make(map[string]struct{}, 1024)
+	var key []byte
+	for r := 0; r < t.rows; r++ {
+		key = key[:0]
+		for _, i := range idx {
+			key = appendValueKey(key, t.cols[i], r)
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MinGroupOf returns the size of the smallest group for the given column
+// set: the quantity that determines whether uniform sampling can guarantee
+// k rows per group (paper §IV-A).
+func (t *Table) MinGroupOf(cols []string) int {
+	if len(cols) == 0 || t.rows == 0 {
+		return t.rows
+	}
+	if len(cols) == 1 {
+		i := t.schema.Index(cols[0])
+		if i < 0 {
+			return t.rows
+		}
+		return t.Stats().Columns[i].MinGroup
+	}
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		i := t.schema.Index(c)
+		if i < 0 {
+			return t.rows
+		}
+		idx = append(idx, i)
+	}
+	counts := make(map[string]int, 1024)
+	var key []byte
+	for r := 0; r < t.rows; r++ {
+		key = key[:0]
+		for _, i := range idx {
+			key = appendValueKey(key, t.cols[i], r)
+		}
+		counts[string(key)]++
+	}
+	minG := t.rows
+	for _, f := range counts {
+		if f < minG {
+			minG = f
+		}
+	}
+	return minG
+}
+
+func appendValueKey(key []byte, v *Vector, i int) []byte {
+	switch v.Typ {
+	case Int64:
+		x := uint64(v.I64[i])
+		key = append(key, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+			byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56), 0)
+	case Float64:
+		x := math.Float64bits(v.F64[i])
+		key = append(key, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+			byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56), 1)
+	case String:
+		key = append(key, v.Str[i]...)
+		key = append(key, 0xff, 2)
+	case Bool:
+		if v.B[i] {
+			key = append(key, 1, 3)
+		} else {
+			key = append(key, 0, 3)
+		}
+	}
+	return key
+}
+
+// TopValues returns up to k (value, count) pairs for a column ordered by
+// descending frequency — used in tests and for skew diagnostics.
+func (t *Table) TopValues(col string, k int) []ValueCount {
+	i := t.schema.Index(col)
+	if i < 0 {
+		return nil
+	}
+	c := t.cols[i]
+	freq := make(map[Value]int)
+	for r := 0; r < c.Len(); r++ {
+		freq[c.Get(r)]++
+	}
+	out := make([]ValueCount, 0, len(freq))
+	for v, f := range freq {
+		out = append(out, ValueCount{Value: v, Count: f})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value.Less(out[b].Value)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ValueCount pairs a value with its frequency.
+type ValueCount struct {
+	Value Value
+	Count int
+}

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is an immutable-after-build columnar table, horizontally divided into
+// partitions (the analogue of the paper's Spark/HDFS partitions). Statistics
+// are computed lazily on first access, exactly as the paper's engine computes
+// dataset statistics "on-the-fly during the first access to any table".
+type Table struct {
+	Name   string
+	schema Schema
+	cols   []*Vector
+	rows   int
+	parts  int
+
+	statsOnce sync.Once
+	stats     *TableStats
+}
+
+// NewTable builds a table from fully populated column vectors. All vectors
+// must have identical lengths matching the schema.
+func NewTable(name string, schema Schema, cols []*Vector, partitions int) (*Table, error) {
+	if len(cols) != len(schema) {
+		return nil, fmt.Errorf("storage: table %s: %d columns for %d schema entries", name, len(cols), len(schema))
+	}
+	rows := -1
+	for i, c := range cols {
+		if c.Typ != schema[i].Typ {
+			return nil, fmt.Errorf("storage: table %s column %s: vector type %s != schema type %s",
+				name, schema[i].Name, c.Typ, schema[i].Typ)
+		}
+		if rows == -1 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("storage: table %s: ragged columns (%d vs %d rows)", name, c.Len(), rows)
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	return &Table{Name: name, schema: schema, cols: cols, rows: rows, parts: partitions}, nil
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Partitions returns the partition count.
+func (t *Table) Partitions() int { return t.parts }
+
+// Column returns the full column vector at position i.
+func (t *Table) Column(i int) *Vector { return t.cols[i] }
+
+// PartitionRange returns the [lo, hi) row range of partition p.
+func (t *Table) PartitionRange(p int) (lo, hi int) {
+	per := (t.rows + t.parts - 1) / t.parts
+	lo = p * per
+	hi = lo + per
+	if lo > t.rows {
+		lo = t.rows
+	}
+	if hi > t.rows {
+		hi = t.rows
+	}
+	return lo, hi
+}
+
+// Bytes returns the total payload size of the table in bytes. This is the
+// quantity storage quotas and scan costs are charged against.
+func (t *Table) Bytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// AvgRowBytes returns the average row width in bytes (≥1).
+func (t *Table) AvgRowBytes() float64 {
+	if t.rows == 0 {
+		return 1
+	}
+	w := float64(t.Bytes()) / float64(t.rows)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Scan returns batches of up to batchSize rows covering partition p.
+// The returned batches share storage with the table (zero copy).
+func (t *Table) Scan(p, batchSize int) []*Batch {
+	lo, hi := t.PartitionRange(p)
+	var out []*Batch
+	for start := lo; start < hi; start += batchSize {
+		end := start + batchSize
+		if end > hi {
+			end = hi
+		}
+		b := &Batch{Schema: t.schema, Vecs: make([]*Vector, len(t.cols))}
+		for i, c := range t.cols {
+			b.Vecs[i] = c.Slice(start, end)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Builder accumulates rows for a new table.
+type Builder struct {
+	name   string
+	schema Schema
+	cols   []*Vector
+}
+
+// NewBuilder returns a Builder for the schema.
+func NewBuilder(name string, schema Schema) *Builder {
+	cols := make([]*Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = NewVector(c.Typ, 0)
+	}
+	return &Builder{name: name, schema: schema, cols: cols}
+}
+
+// AddRow appends one row; values must match the schema order and types.
+func (b *Builder) AddRow(vals ...Value) {
+	if len(vals) != len(b.cols) {
+		panic(fmt.Sprintf("storage: AddRow: %d values for %d columns", len(vals), len(b.cols)))
+	}
+	for i, v := range vals {
+		b.cols[i].Append(v)
+	}
+}
+
+// Int appends an int64 to column i (fast path for generators).
+func (b *Builder) Int(i int, v int64) { b.cols[i].I64 = append(b.cols[i].I64, v) }
+
+// Float appends a float64 to column i.
+func (b *Builder) Float(i int, v float64) { b.cols[i].F64 = append(b.cols[i].F64, v) }
+
+// Str appends a string to column i.
+func (b *Builder) Str(i int, v string) { b.cols[i].Str = append(b.cols[i].Str, v) }
+
+// CopyFrom appends the value at src[row] onto column i (same type).
+func (b *Builder) CopyFrom(i int, src *Vector, row int) { b.cols[i].AppendFrom(src, row) }
+
+// Build finalizes the table with the given partition count.
+func (b *Builder) Build(partitions int) *Table {
+	t, err := NewTable(b.name, b.schema, b.cols, partitions)
+	if err != nil {
+		panic(err) // builder guarantees shape; an error here is a bug
+	}
+	return t
+}
+
+// Catalog is a concurrency-safe registry of base tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds or replaces a table.
+func (c *Catalog) Register(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns all registered table names (unsorted).
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TotalBytes returns the summed payload of all registered tables; storage
+// budgets in the experiments are expressed as a fraction of this.
+func (c *Catalog) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, t := range c.tables {
+		n += t.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package storage
+
+import "fmt"
+
+// Vector is a typed column of values. Exactly one of the data slices is in
+// use, selected by Typ. Vectors are the unit of data flow between physical
+// operators (grouped into Batches).
+type Vector struct {
+	Typ Type
+	I64 []int64
+	F64 []float64
+	Str []string
+	B   []bool
+}
+
+// NewVector returns an empty vector of the given type with capacity hint n.
+func NewVector(t Type, n int) *Vector {
+	v := &Vector{Typ: t}
+	switch t {
+	case Int64:
+		v.I64 = make([]int64, 0, n)
+	case Float64:
+		v.F64 = make([]float64, 0, n)
+	case String:
+		v.Str = make([]string, 0, n)
+	case Bool:
+		v.B = make([]bool, 0, n)
+	}
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Typ {
+	case Int64:
+		return len(v.I64)
+	case Float64:
+		return len(v.F64)
+	case String:
+		return len(v.Str)
+	case Bool:
+		return len(v.B)
+	}
+	return 0
+}
+
+// Append adds a Value, which must match the vector type.
+func (v *Vector) Append(val Value) {
+	if val.Typ != v.Typ {
+		panic(fmt.Sprintf("storage: appending %s value to %s vector", val.Typ, v.Typ))
+	}
+	switch v.Typ {
+	case Int64:
+		v.I64 = append(v.I64, val.I)
+	case Float64:
+		v.F64 = append(v.F64, val.F)
+	case String:
+		v.Str = append(v.Str, val.S)
+	case Bool:
+		v.B = append(v.B, val.B)
+	}
+}
+
+// AppendFrom copies value at index i of src (same type) onto v.
+func (v *Vector) AppendFrom(src *Vector, i int) {
+	switch v.Typ {
+	case Int64:
+		v.I64 = append(v.I64, src.I64[i])
+	case Float64:
+		v.F64 = append(v.F64, src.F64[i])
+	case String:
+		v.Str = append(v.Str, src.Str[i])
+	case Bool:
+		v.B = append(v.B, src.B[i])
+	}
+}
+
+// Get returns the i-th element boxed as a Value.
+func (v *Vector) Get(i int) Value {
+	switch v.Typ {
+	case Int64:
+		return Value{Typ: Int64, I: v.I64[i]}
+	case Float64:
+		return Value{Typ: Float64, F: v.F64[i]}
+	case String:
+		return Value{Typ: String, S: v.Str[i]}
+	case Bool:
+		return Value{Typ: Bool, B: v.B[i]}
+	}
+	return Value{}
+}
+
+// Float returns element i coerced to float64 (numeric vectors only).
+func (v *Vector) Float(i int) float64 {
+	switch v.Typ {
+	case Int64:
+		return float64(v.I64[i])
+	case Float64:
+		return v.F64[i]
+	}
+	panic("storage: Float on non-numeric vector " + v.Typ.String())
+}
+
+// Slice returns a view of [lo, hi). The returned vector shares storage.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Typ: v.Typ}
+	switch v.Typ {
+	case Int64:
+		out.I64 = v.I64[lo:hi]
+	case Float64:
+		out.F64 = v.F64[lo:hi]
+	case String:
+		out.Str = v.Str[lo:hi]
+	case Bool:
+		out.B = v.B[lo:hi]
+	}
+	return out
+}
+
+// Gather returns a new vector containing v[idx[0]], v[idx[1]], ...
+func (v *Vector) Gather(idx []int) *Vector {
+	out := NewVector(v.Typ, len(idx))
+	switch v.Typ {
+	case Int64:
+		for _, i := range idx {
+			out.I64 = append(out.I64, v.I64[i])
+		}
+	case Float64:
+		for _, i := range idx {
+			out.F64 = append(out.F64, v.F64[i])
+		}
+	case String:
+		for _, i := range idx {
+			out.Str = append(out.Str, v.Str[i])
+		}
+	case Bool:
+		for _, i := range idx {
+			out.B = append(out.B, v.B[i])
+		}
+	}
+	return out
+}
+
+// Bytes returns the in-memory size of the vector payload in bytes.
+func (v *Vector) Bytes() int64 {
+	switch v.Typ {
+	case Int64:
+		return int64(len(v.I64)) * 8
+	case Float64:
+		return int64(len(v.F64)) * 8
+	case Bool:
+		return int64(len(v.B))
+	case String:
+		var n int64
+		for _, s := range v.Str {
+			n += int64(len(s)) + 16 // string header overhead
+		}
+		return n
+	}
+	return 0
+}
+
+// Batch is a horizontal slice of rows in columnar form: all vectors have the
+// same length. It is the unit passed between operators.
+type Batch struct {
+	Schema Schema
+	Vecs   []*Vector
+}
+
+// BatchSize is the default number of rows per batch produced by scans.
+const BatchSize = 1024
+
+// NewBatch allocates an empty batch for the schema with capacity hint n.
+func NewBatch(schema Schema, n int) *Batch {
+	b := &Batch{Schema: schema, Vecs: make([]*Vector, len(schema))}
+	for i, c := range schema {
+		b.Vecs[i] = NewVector(c.Typ, n)
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if len(b.Vecs) == 0 {
+		return 0
+	}
+	return b.Vecs[0].Len()
+}
+
+// AppendRow copies row i of src into b. Schemas must be compatible.
+func (b *Batch) AppendRow(src *Batch, i int) {
+	for c, v := range b.Vecs {
+		v.AppendFrom(src.Vecs[c], i)
+	}
+}
+
+// Row returns row i boxed as a slice of Values (for tests and result sets).
+func (b *Batch) Row(i int) []Value {
+	out := make([]Value, len(b.Vecs))
+	for c, v := range b.Vecs {
+		out[c] = v.Get(i)
+	}
+	return out
+}
+
+// Gather returns a new batch with only the rows at idx, preserving order.
+func (b *Batch) Gather(idx []int) *Batch {
+	out := &Batch{Schema: b.Schema, Vecs: make([]*Vector, len(b.Vecs))}
+	for c, v := range b.Vecs {
+		out.Vecs[c] = v.Gather(idx)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package synopses
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AMS is an Alon-Matias-Szegedy sketch (tug-of-war variant): s2 independent
+// groups of s1 ±1-hashed counters. It estimates the second frequency moment
+// F2 = Σ f(x)², and the inner product of two streams — the classic join-size
+// estimator the paper cites ([6]).
+type AMS struct {
+	s1, s2 int
+	seed   uint64
+	hash   pairwise
+	cells  []float64 // row-major: cells[g*s1 + j], one hash per (g,j) pair
+}
+
+// NewAMS returns a sketch with s1 counters averaged per group (variance
+// control) and s2 groups combined by median (confidence control).
+func NewAMS(s1, s2 int, seed uint64) *AMS {
+	if s1 < 1 {
+		s1 = 16
+	}
+	if s2 < 1 {
+		s2 = 5
+	}
+	return &AMS{
+		s1: s1, s2: s2, seed: seed,
+		hash:  newPairwise(s1*s2, seed),
+		cells: make([]float64, s1*s2),
+	}
+}
+
+// Add inserts key with the given weight (frequency increment).
+func (a *AMS) Add(key uint64, weight float64) {
+	for i := range a.cells {
+		a.cells[i] += weight * float64(a.hash.sign(i, key))
+	}
+}
+
+// F2 estimates Σ f(x)² by median-of-means over the counter squares.
+func (a *AMS) F2() float64 {
+	return a.medianOfMeans(func(i int) float64 { return a.cells[i] * a.cells[i] })
+}
+
+// JoinSize estimates Σ f(x)·g(x) given another sketch built with the same
+// geometry and seed over the other relation's join column.
+func (a *AMS) JoinSize(b *AMS) (float64, error) {
+	if a.s1 != b.s1 || a.s2 != b.s2 || a.seed != b.seed {
+		return 0, fmt.Errorf("synopses: join-size estimate over incompatible AMS sketches")
+	}
+	return a.medianOfMeans(func(i int) float64 { return a.cells[i] * b.cells[i] }), nil
+}
+
+func (a *AMS) medianOfMeans(cell func(int) float64) float64 {
+	means := make([]float64, a.s2)
+	for g := 0; g < a.s2; g++ {
+		sum := 0.0
+		for j := 0; j < a.s1; j++ {
+			sum += cell(g*a.s1 + j)
+		}
+		means[g] = sum / float64(a.s1)
+	}
+	sort.Float64s(means)
+	mid := len(means) / 2
+	if len(means)%2 == 1 {
+		return means[mid]
+	}
+	return (means[mid-1] + means[mid]) / 2
+}
+
+// Merge adds another sketch elementwise (same stream split across nodes).
+func (a *AMS) Merge(b *AMS) error {
+	if a.s1 != b.s1 || a.s2 != b.s2 || a.seed != b.seed {
+		return fmt.Errorf("synopses: merging incompatible AMS sketches")
+	}
+	for i := range a.cells {
+		a.cells[i] += b.cells[i]
+	}
+	return nil
+}
+
+// RelativeStdError returns the expected relative standard error of the F2
+// estimate, O(1/√s1).
+func (a *AMS) RelativeStdError() float64 { return math.Sqrt(2 / float64(a.s1)) }
+
+// SizeBytes returns the sketch's serialized size.
+func (a *AMS) SizeBytes() int64 { return int64(8*len(a.cells)) + 24 }

@@ -1,0 +1,83 @@
+package synopses
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bloom is a classic Bloom filter (Bloom 1970), the synopsis the paper cites
+// for approximating EXISTS subqueries and membership tests. False positives
+// occur with probability ≈ (1−e^{−kn/m})^k; false negatives never.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // hash functions
+	seed uint64
+	n    int // inserted elements
+}
+
+// NewBloom sizes a filter for n expected elements at false-positive rate p:
+// m = −n·ln p / (ln 2)², k = (m/n)·ln 2.
+func NewBloom(n int, p float64, seed uint64) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k, seed: seed}
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key uint64) {
+	h1 := mix64(key ^ b.seed)
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := 0; i < b.k; i++ {
+		// Kirsch-Mitzenmacher double hashing.
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.n++
+}
+
+// MayContain reports whether key may have been inserted. False positives
+// possible; false negatives impossible.
+func (b *Bloom) MayContain(key uint64) bool {
+	h1 := mix64(key ^ b.seed)
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FalsePositiveRate returns the expected FP rate at the current load.
+func (b *Bloom) FalsePositiveRate() float64 {
+	return math.Pow(1-math.Exp(-float64(b.k)*float64(b.n)/float64(b.m)), float64(b.k))
+}
+
+// Merge ORs o into b; geometries and seeds must match.
+func (b *Bloom) Merge(o *Bloom) error {
+	if b.m != o.m || b.k != o.k || b.seed != o.seed {
+		return fmt.Errorf("synopses: merging incompatible Bloom filters")
+	}
+	for i := range b.bits {
+		b.bits[i] |= o.bits[i]
+	}
+	b.n += o.n
+	return nil
+}
+
+// SizeBytes returns the filter's serialized size.
+func (b *Bloom) SizeBytes() int64 { return int64(8*len(b.bits)) + 24 }

@@ -1,0 +1,174 @@
+package synopses
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// CMSketch is a count-min sketch (Cormode & Muthukrishnan): a w×d array of
+// counters with d pairwise-independent hash functions. Point queries
+// overestimate by at most εN with probability ≥ 1−δ when w = ⌈e/ε⌉ and
+// d = ⌈ln(1/δ)⌉, where N is the L1 norm of all frequencies (paper §II, §IV-B).
+//
+// Counters are float64 so the same structure serves both frequency counting
+// (Add with weight 1) and the sketch-join's SUM-valued variant (Add with the
+// aggregated measure); the estimate keeps the min-over-rows guarantee because
+// all weights are non-negative.
+type CMSketch struct {
+	w, d  int
+	seed  uint64
+	hash  pairwise
+	cells []float64 // row-major: cells[row*w + col]
+	n     float64   // L1 norm of inserted weights
+}
+
+// NewCMSketch returns a sketch with εN additive error at confidence 1−δ.
+func NewCMSketch(eps, delta float64, seed uint64) *CMSketch {
+	if eps <= 0 {
+		eps = 0.001
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return NewCMSketchWD(w, d, seed)
+}
+
+// NewCMSketchWD returns a sketch with explicit width and depth.
+func NewCMSketchWD(w, d int, seed uint64) *CMSketch {
+	if w < 1 {
+		w = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	return &CMSketch{
+		w: w, d: d, seed: seed,
+		hash:  newPairwise(d, seed),
+		cells: make([]float64, w*d),
+	}
+}
+
+// Width returns the number of counters per row.
+func (s *CMSketch) Width() int { return s.w }
+
+// Depth returns the number of rows (hash functions).
+func (s *CMSketch) Depth() int { return s.d }
+
+// Seed returns the hash seed; merges require equal seeds and dimensions.
+func (s *CMSketch) Seed() uint64 { return s.seed }
+
+// N returns the L1 norm of all inserted weights.
+func (s *CMSketch) N() float64 { return s.n }
+
+// Add inserts key with the given non-negative weight.
+func (s *CMSketch) Add(key uint64, weight float64) {
+	for r := 0; r < s.d; r++ {
+		c := int(s.hash.at(r, key) % uint64(s.w))
+		s.cells[r*s.w+c] += weight
+	}
+	s.n += weight
+}
+
+// Estimate returns the point estimate f̂(key) = min over rows. It never
+// underestimates the true weight.
+func (s *CMSketch) Estimate(key uint64) float64 {
+	est := math.Inf(1)
+	for r := 0; r < s.d; r++ {
+		c := int(s.hash.at(r, key) % uint64(s.w))
+		if v := s.cells[r*s.w+c]; v < est {
+			est = v
+		}
+	}
+	if math.IsInf(est, 1) {
+		return 0
+	}
+	return est
+}
+
+// ErrorBound returns the additive error bound εN implied by the sketch
+// geometry and current load.
+func (s *CMSketch) ErrorBound() float64 {
+	return math.E / float64(s.w) * s.n
+}
+
+// ExpectedErrorBound returns a load-aware expected overestimation bound for
+// point queries: a point estimate is inflated only when every one of the d
+// rows suffers a collision, which happens with probability ≈ fill^d (fill =
+// occupied-cell fraction); the expected inflation is then ~N/w. The εN
+// worst-case bound is hopelessly pessimistic for lightly loaded sketches —
+// exactly the regime the planner sizes sketch-joins into.
+func (s *CMSketch) ExpectedErrorBound() float64 {
+	occupied := 0
+	for _, c := range s.cells {
+		if c != 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		return 0
+	}
+	fill := float64(occupied) / float64(len(s.cells))
+	return s.n / float64(s.w) * math.Pow(fill, float64(s.d))
+}
+
+// Merge adds o into s cell-wise. Sketches must share geometry and seed
+// (the paper merges per-node sketches pair-wise to summarize a whole RDD).
+func (s *CMSketch) Merge(o *CMSketch) error {
+	if s.w != o.w || s.d != o.d || s.seed != o.seed {
+		return fmt.Errorf("synopses: merging incompatible CM sketches (%dx%d/%d vs %dx%d/%d)",
+			s.w, s.d, s.seed, o.w, o.d, o.seed)
+	}
+	for i := range s.cells {
+		s.cells[i] += o.cells[i]
+	}
+	s.n += o.n
+	return nil
+}
+
+// SizeBytes returns the serialized size, charged against storage quotas.
+func (s *CMSketch) SizeBytes() int64 {
+	return int64(8*len(s.cells)) + 32 // header: w, d, seed, n
+}
+
+// Encode serializes the sketch.
+func (s *CMSketch) Encode() []byte {
+	buf := make([]byte, 0, s.SizeBytes())
+	var tmp [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], x)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(s.w))
+	put(uint64(s.d))
+	put(s.seed)
+	put(math.Float64bits(s.n))
+	for _, c := range s.cells {
+		put(math.Float64bits(c))
+	}
+	return buf
+}
+
+// DecodeCMSketch reverses Encode.
+func DecodeCMSketch(b []byte) (*CMSketch, error) {
+	if len(b) < 32 {
+		return nil, fmt.Errorf("synopses: CM sketch payload too short (%d bytes)", len(b))
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off : off+8]) }
+	w := int(get(0))
+	d := int(get(8))
+	if w < 1 || d < 1 || len(b) != 32+8*w*d {
+		return nil, fmt.Errorf("synopses: corrupt CM sketch header (w=%d d=%d len=%d)", w, d, len(b))
+	}
+	s := NewCMSketchWD(w, d, get(16))
+	s.n = math.Float64frombits(get(24))
+	for i := range s.cells {
+		s.cells[i] = math.Float64frombits(get(32 + 8*i))
+	}
+	return s, nil
+}

@@ -1,0 +1,136 @@
+// Package synopses implements every summary structure Taster materializes:
+// count-min sketches (counts and sums), Bloom filters, Flajolet-Martin
+// distinct-count sketches, AMS F2 sketches, SpaceSaving heavy hitters,
+// uniform / distinct / stratified samples with Horvitz-Thompson weights,
+// VerdictDB-style variational subsampling, and the sketch-join synopsis.
+//
+// All structures are single-pass ("pipelineable") and mergeable
+// ("partitionable"), the two requirements paper §II imposes.
+package synopses
+
+import (
+	"math"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashBytes returns the FNV-1a hash of b seeded with seed.
+func hashBytes(b []byte, seed uint64) uint64 {
+	h := uint64(fnvOffset) ^ seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hashString is hashBytes for strings without allocation.
+func hashString(s string, seed uint64) uint64 {
+	h := uint64(fnvOffset) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 finalizes a 64-bit value (SplitMix64 finalizer), giving good
+// avalanche behaviour for integer keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashValue hashes a single storage value with a seed. Int64(5) and
+// Float64(5.0) hash differently: key identity is typed.
+func HashValue(v storage.Value, seed uint64) uint64 {
+	switch v.Typ {
+	case storage.Int64:
+		return mix64(uint64(v.I) ^ mix64(seed) ^ 0x1)
+	case storage.Float64:
+		return mix64(math.Float64bits(v.F) ^ mix64(seed) ^ 0x2)
+	case storage.String:
+		return hashString(v.S, seed)
+	case storage.Bool:
+		x := uint64(0x3)
+		if v.B {
+			x = 0x4
+		}
+		return mix64(x ^ mix64(seed))
+	}
+	return 0
+}
+
+// HashVectorElem hashes element i of a vector without boxing.
+func HashVectorElem(v *storage.Vector, i int, seed uint64) uint64 {
+	switch v.Typ {
+	case storage.Int64:
+		return mix64(uint64(v.I64[i]) ^ mix64(seed) ^ 0x1)
+	case storage.Float64:
+		return mix64(math.Float64bits(v.F64[i]) ^ mix64(seed) ^ 0x2)
+	case storage.String:
+		return hashString(v.Str[i], seed)
+	case storage.Bool:
+		x := uint64(0x3)
+		if v.B[i] {
+			x = 0x4
+		}
+		return mix64(x ^ mix64(seed))
+	}
+	return 0
+}
+
+// RowKey combines the values of the given columns of row i into a composite
+// 64-bit key, used for group-by hashing, stratification and join keys.
+func RowKey(vecs []*storage.Vector, cols []int, i int, seed uint64) uint64 {
+	h := mix64(seed ^ 0x9e3779b97f4a7c15)
+	for _, c := range cols {
+		h = mix64(h ^ HashVectorElem(vecs[c], i, seed))
+	}
+	return h
+}
+
+// pairwise is a family of pairwise-independent hash functions over uint64,
+// h_i(x) = (a_i·x + b_i) with a final mix, indexed by row. CM sketches and
+// AMS sketches draw their per-row hashes from it.
+type pairwise struct {
+	a, b []uint64
+}
+
+// newPairwise derives d hash functions deterministically from a seed, so
+// sketches built independently (e.g. per partition) with the same seed are
+// mergeable.
+func newPairwise(d int, seed uint64) pairwise {
+	p := pairwise{a: make([]uint64, d), b: make([]uint64, d)}
+	s := seed
+	for i := 0; i < d; i++ {
+		s = mix64(s + 0x9e3779b97f4a7c15)
+		p.a[i] = s | 1 // multiplier must be odd
+		s = mix64(s + 0x9e3779b97f4a7c15)
+		p.b[i] = s
+	}
+	return p
+}
+
+// at returns h_row(x).
+func (p pairwise) at(row int, x uint64) uint64 {
+	return mix64(p.a[row]*x + p.b[row])
+}
+
+// sign returns ±1 from h_row(x) for AMS sketches.
+func (p pairwise) sign(row int, x uint64) int64 {
+	if p.at(row, x)&1 == 1 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,146 @@
+package synopses
+
+// SpaceSaving is the Metwally et al. heavy-hitters summary. The distinct
+// sampler uses it (or a CM sketch) as its per-key counter so that "at least
+// δ rows per distinct value" can be tracked in space logarithmic in the
+// number of rows (paper §II cites [12] for this implementation strategy).
+type SpaceSaving struct {
+	capacity int
+	counts   map[uint64]ssEntry
+}
+
+type ssEntry struct {
+	count uint64
+	err   uint64 // overestimation bound for this key
+}
+
+// NewSpaceSaving returns a summary tracking at most capacity keys.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{capacity: capacity, counts: make(map[uint64]ssEntry, capacity)}
+}
+
+// Inc increments key's count and returns the (possibly overestimated) new
+// count. Overestimation only ever inflates counts, so a distinct sampler
+// backed by SpaceSaving may pass slightly fewer than δ frequency-check rows
+// for cold keys, never more — the same trade the paper's sketch-backed
+// implementation makes.
+func (s *SpaceSaving) Inc(key uint64) uint64 {
+	if e, ok := s.counts[key]; ok {
+		e.count++
+		s.counts[key] = e
+		return e.count
+	}
+	if len(s.counts) < s.capacity {
+		s.counts[key] = ssEntry{count: 1}
+		return 1
+	}
+	// Evict the minimum-count key and inherit its count as error bound.
+	var minKey uint64
+	minCount := ^uint64(0)
+	for k, e := range s.counts {
+		if e.count < minCount {
+			minCount, minKey = e.count, k
+		}
+	}
+	delete(s.counts, minKey)
+	e := ssEntry{count: minCount + 1, err: minCount}
+	s.counts[key] = e
+	return e.count
+}
+
+// Count returns the current (over)estimate for key; 0 if never seen and the
+// summary has spare capacity, otherwise the minimum count in the summary.
+func (s *SpaceSaving) Count(key uint64) uint64 {
+	if e, ok := s.counts[key]; ok {
+		return e.count
+	}
+	if len(s.counts) < s.capacity {
+		return 0
+	}
+	minCount := ^uint64(0)
+	for _, e := range s.counts {
+		if e.count < minCount {
+			minCount = e.count
+		}
+	}
+	return minCount
+}
+
+// Top returns up to k (key, count) pairs with the highest counts.
+func (s *SpaceSaving) Top(k int) []KeyCount {
+	out := make([]KeyCount, 0, len(s.counts))
+	for key, e := range s.counts {
+		out = append(out, KeyCount{Key: key, Count: e.count})
+	}
+	// Simple selection; summaries are small by construction.
+	for i := 0; i < len(out) && i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Count > out[maxJ].Count {
+				maxJ = j
+			}
+		}
+		out[i], out[maxJ] = out[maxJ], out[i]
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// KeyCount pairs a hashed key with a count.
+type KeyCount struct {
+	Key   uint64
+	Count uint64
+}
+
+// SizeBytes returns the summary's approximate in-memory size.
+func (s *SpaceSaving) SizeBytes() int64 { return int64(len(s.counts))*24 + 16 }
+
+// KeyCounter is the per-key counting interface the distinct sampler draws
+// on. Exact (map-based) counting is used in tests and small builds; the
+// sketch-backed counters bound memory like the paper's implementation.
+type KeyCounter interface {
+	// Inc records one more occurrence of key and returns the updated count
+	// estimate (may overestimate, never underestimates for CM; SpaceSaving
+	// overestimates for retained keys).
+	Inc(key uint64) uint64
+	// SizeBytes reports memory charged to the synopsis build.
+	SizeBytes() int64
+}
+
+// ExactCounter counts keys exactly in a map.
+type ExactCounter struct{ m map[uint64]uint64 }
+
+// NewExactCounter returns an empty exact counter.
+func NewExactCounter() *ExactCounter { return &ExactCounter{m: make(map[uint64]uint64)} }
+
+// Inc implements KeyCounter.
+func (c *ExactCounter) Inc(key uint64) uint64 {
+	c.m[key]++
+	return c.m[key]
+}
+
+// SizeBytes implements KeyCounter.
+func (c *ExactCounter) SizeBytes() int64 { return int64(len(c.m))*16 + 8 }
+
+// CMCounter counts keys in a count-min sketch: constant space, counts may
+// overestimate under heavy collision load.
+type CMCounter struct{ s *CMSketch }
+
+// NewCMCounter returns a CM-backed counter with the given geometry.
+func NewCMCounter(w, d int, seed uint64) *CMCounter {
+	return &CMCounter{s: NewCMSketchWD(w, d, seed)}
+}
+
+// Inc implements KeyCounter.
+func (c *CMCounter) Inc(key uint64) uint64 {
+	c.s.Add(key, 1)
+	return uint64(c.s.Estimate(key))
+}
+
+// SizeBytes implements KeyCounter.
+func (c *CMCounter) SizeBytes() int64 { return c.s.SizeBytes() }

@@ -1,0 +1,292 @@
+package synopses
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// WeightCol is the name of the weight attribute every sampler appends
+// (paper §II: "each sampler appends an additional attribute that represents
+// the weight associated with the row").
+const WeightCol = "__weight"
+
+// Decision is a sampler's verdict for one input row.
+type Decision struct {
+	Pass   bool
+	Weight float64
+}
+
+// Sampler decides row by row whether input passes and with what
+// Horvitz-Thompson weight. Implementations are single-pass (pipelineable).
+type Sampler interface {
+	// Decide examines row i of the given column vectors.
+	Decide(vecs []*storage.Vector, row int) Decision
+	// MemBytes reports the construction-time memory footprint.
+	MemBytes() int64
+	// Describe returns a short human-readable description.
+	Describe() string
+}
+
+// rng is a small deterministic counter-based PRNG (SplitMix64) so sample
+// construction is reproducible for a given seed.
+type rng struct {
+	state uint64
+}
+
+func newRng(seed uint64) *rng { return &rng{state: mix64(seed ^ 0x5851f42d4c957f2d)} }
+
+// next returns a uniform float64 in [0, 1).
+func (r *rng) next() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	return float64(mix64(r.state)>>11) / float64(1<<53)
+}
+
+// UniformSampler is Γ^U_p: each row passes independently with probability p
+// and weight 1/p.
+type UniformSampler struct {
+	P   float64
+	rnd *rng
+}
+
+// NewUniformSampler returns a uniform sampler with probability p.
+func NewUniformSampler(p float64, seed uint64) *UniformSampler {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &UniformSampler{P: p, rnd: newRng(seed)}
+}
+
+// Decide implements Sampler.
+func (s *UniformSampler) Decide(_ []*storage.Vector, _ int) Decision {
+	if s.rnd.next() < s.P {
+		return Decision{Pass: true, Weight: 1 / s.P}
+	}
+	return Decision{}
+}
+
+// MemBytes implements Sampler; the uniform sampler is O(1).
+func (s *UniformSampler) MemBytes() int64 { return 16 }
+
+// Describe implements Sampler.
+func (s *UniformSampler) Describe() string { return fmt.Sprintf("uniform(p=%.4g)", s.P) }
+
+// DistinctSampler is Γ^D_{p,A,δ}: it passes at least δ rows for every
+// distinct combination of the stratification columns A (weight 1), and
+// subsequent rows of the same combination with probability p (weight 1/p).
+// Per-key counting goes through a KeyCounter: exact in tests, sketch-backed
+// (logarithmic space, paper §II) in production mode.
+type DistinctSampler struct {
+	P         float64
+	Delta     int
+	StratIdxs []int // column positions of A in the input vectors
+	counter   KeyCounter
+	rnd       *rng
+	seed      uint64
+}
+
+// NewDistinctSampler returns a distinct sampler over the given stratification
+// column positions using an exact counter.
+func NewDistinctSampler(p float64, delta int, stratIdxs []int, seed uint64) *DistinctSampler {
+	return newDistinctSampler(p, delta, stratIdxs, NewExactCounter(), seed)
+}
+
+// NewDistinctSamplerSketch is NewDistinctSampler with a CM-sketch-backed
+// counter of the given geometry, bounding memory like the paper's
+// heavy-hitters implementation.
+func NewDistinctSamplerSketch(p float64, delta int, stratIdxs []int, w, d int, seed uint64) *DistinctSampler {
+	return newDistinctSampler(p, delta, stratIdxs, NewCMCounter(w, d, seed), seed)
+}
+
+func newDistinctSampler(p float64, delta int, stratIdxs []int, c KeyCounter, seed uint64) *DistinctSampler {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p > 1 {
+		p = 1
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	return &DistinctSampler{P: p, Delta: delta, StratIdxs: stratIdxs, counter: c, rnd: newRng(seed), seed: seed}
+}
+
+// PartitionDelta returns the per-instance minimum row requirement when the
+// sampler runs with distribution factor D: δ' = δ/D + ε with ε = δ/D
+// (paper §II), i.e. 2δ/D rounded up.
+func PartitionDelta(delta, d int) int {
+	if d <= 1 {
+		return delta
+	}
+	return int(math.Ceil(2 * float64(delta) / float64(d)))
+}
+
+// Decide implements Sampler.
+func (s *DistinctSampler) Decide(vecs []*storage.Vector, row int) Decision {
+	key := RowKey(vecs, s.StratIdxs, row, s.seed)
+	cnt := s.counter.Inc(key)
+	if cnt <= uint64(s.Delta) {
+		return Decision{Pass: true, Weight: 1}
+	}
+	if s.rnd.next() < s.P {
+		return Decision{Pass: true, Weight: 1 / s.P}
+	}
+	return Decision{}
+}
+
+// MemBytes implements Sampler.
+func (s *DistinctSampler) MemBytes() int64 { return s.counter.SizeBytes() + 32 }
+
+// Describe implements Sampler.
+func (s *DistinctSampler) Describe() string {
+	return fmt.Sprintf("distinct(p=%.4g, δ=%d, |A|=%d)", s.P, s.Delta, len(s.StratIdxs))
+}
+
+// Sample is a materialized weighted sample of some relation (base table or
+// subplan output). Rows carries the source schema plus the weight column.
+type Sample struct {
+	Rows       *storage.Table
+	Strategy   string // "uniform" | "distinct" | "stratified" | "variational"
+	P          float64
+	Delta      int
+	StratCols  []string // stratification column names (source schema)
+	SourceRows int      // rows of the summarized input
+	Seed       uint64
+}
+
+// SizeBytes returns the payload size charged against storage quotas.
+func (s *Sample) SizeBytes() int64 { return s.Rows.Bytes() }
+
+// SampleSchema returns the source schema extended with the weight column.
+func SampleSchema(src storage.Schema) storage.Schema {
+	out := src.Clone()
+	return append(out, storage.Col{Name: WeightCol, Typ: storage.Float64})
+}
+
+// SampleBuilder accumulates sampled rows plus weights into a Sample.
+type SampleBuilder struct {
+	b          *storage.Builder
+	widx       int
+	srcCols    int
+	sourceRows int
+}
+
+// NewSampleBuilder returns a builder producing a sample table with the given
+// name over the source schema.
+func NewSampleBuilder(name string, src storage.Schema) *SampleBuilder {
+	schema := SampleSchema(src)
+	return &SampleBuilder{b: storage.NewBuilder(name, schema), widx: len(schema) - 1, srcCols: len(src)}
+}
+
+// Offer routes row i of the vectors through the sampler, appending it with
+// its weight when it passes. It returns the decision so callers (the exec
+// sampler operator) can forward passing rows downstream too.
+func (sb *SampleBuilder) Offer(smp Sampler, vecs []*storage.Vector, row int) Decision {
+	sb.sourceRows++
+	d := smp.Decide(vecs, row)
+	if d.Pass {
+		sb.Append(vecs, row, d.Weight)
+	}
+	return d
+}
+
+// Append adds row i with an explicit weight (used when the pass decision was
+// made elsewhere).
+func (sb *SampleBuilder) Append(vecs []*storage.Vector, row int, weight float64) {
+	for c := 0; c < sb.srcCols; c++ {
+		sb.b.CopyFrom(c, vecs[c], row)
+	}
+	sb.b.Float(sb.widx, weight)
+}
+
+// Build finalizes the sample.
+func (sb *SampleBuilder) Build(smp Sampler, partitions int) *Sample {
+	s := &Sample{Rows: sb.b.Build(partitions), SourceRows: sb.sourceRows}
+	switch t := smp.(type) {
+	case *UniformSampler:
+		s.Strategy, s.P = "uniform", t.P
+	case *DistinctSampler:
+		s.Strategy, s.P, s.Delta = "distinct", t.P, t.Delta
+	default:
+		s.Strategy = "custom"
+	}
+	return s
+}
+
+// BuildSampleFromTable scans an entire table through a sampler and
+// materializes the result — the offline path used by baselines and hints.
+// stratCols records the stratification set for matching purposes.
+func BuildSampleFromTable(name string, tbl *storage.Table, smp Sampler, stratCols []string) *Sample {
+	sb := NewSampleBuilder(name, tbl.Schema())
+	for p := 0; p < tbl.Partitions(); p++ {
+		for _, batch := range tbl.Scan(p, storage.BatchSize) {
+			for i := 0; i < batch.Len(); i++ {
+				sb.Offer(smp, batch.Vecs, i)
+			}
+		}
+	}
+	s := sb.Build(smp, tbl.Partitions())
+	s.StratCols = append([]string(nil), stratCols...)
+	return s
+}
+
+// StratifiedSample builds a classic blocking stratified sample capping each
+// group of the given columns at cap rows (BlinkDB's sample family). Groups
+// with at most cap rows are taken whole with weight 1; larger groups are
+// subsampled with probability cap/n_g and weight n_g/cap. This requires two
+// passes, which is exactly why the paper's *online* path uses the distinct
+// sampler instead.
+func StratifiedSample(name string, tbl *storage.Table, stratCols []string, cap int, seed uint64) (*Sample, error) {
+	idxs := make([]int, 0, len(stratCols))
+	for _, c := range stratCols {
+		i := tbl.Schema().Index(c)
+		if i < 0 {
+			return nil, fmt.Errorf("synopses: stratified sample: unknown column %q", c)
+		}
+		idxs = append(idxs, i)
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	// Pass 1: group sizes.
+	sizes := make(map[uint64]int)
+	for p := 0; p < tbl.Partitions(); p++ {
+		for _, batch := range tbl.Scan(p, storage.BatchSize) {
+			for i := 0; i < batch.Len(); i++ {
+				sizes[RowKey(batch.Vecs, idxs, i, seed)]++
+			}
+		}
+	}
+	// Pass 2: emit.
+	sb := NewSampleBuilder(name, tbl.Schema())
+	rnd := newRng(seed ^ 0xfeed)
+	for p := 0; p < tbl.Partitions(); p++ {
+		for _, batch := range tbl.Scan(p, storage.BatchSize) {
+			for i := 0; i < batch.Len(); i++ {
+				sb.sourceRows++
+				n := sizes[RowKey(batch.Vecs, idxs, i, seed)]
+				if n <= cap {
+					sb.Append(batch.Vecs, i, 1)
+					continue
+				}
+				pr := float64(cap) / float64(n)
+				if rnd.next() < pr {
+					sb.Append(batch.Vecs, i, 1/pr)
+				}
+			}
+		}
+	}
+	s := &Sample{
+		Rows:       sb.b.Build(tbl.Partitions()),
+		Strategy:   "stratified",
+		Delta:      cap,
+		StratCols:  append([]string(nil), stratCols...),
+		SourceRows: sb.sourceRows,
+		Seed:       seed,
+	}
+	return s, nil
+}

@@ -1,0 +1,669 @@
+package synopses
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+func TestCMSketchExactWhenSparse(t *testing.T) {
+	s := NewCMSketchWD(1024, 4, 42)
+	for k := uint64(0); k < 50; k++ {
+		s.Add(k, float64(k+1))
+	}
+	for k := uint64(0); k < 50; k++ {
+		if got := s.Estimate(k); got != float64(k+1) {
+			t.Fatalf("estimate(%d) = %v, want %v", k, got, k+1)
+		}
+	}
+	if s.N() != 50*51/2 {
+		t.Fatalf("N = %v", s.N())
+	}
+}
+
+func TestCMSketchNeverUnderestimates(t *testing.T) {
+	s := NewCMSketchWD(64, 4, 7)
+	truth := make(map[uint64]float64)
+	r := newRng(99)
+	for i := 0; i < 20000; i++ {
+		k := uint64(r.next() * 500)
+		s.Add(k, 1)
+		truth[k]++
+	}
+	for k, f := range truth {
+		if est := s.Estimate(k); est < f {
+			t.Fatalf("CM underestimated key %d: est=%v true=%v", k, est, f)
+		}
+	}
+}
+
+func TestCMSketchErrorBound(t *testing.T) {
+	// With w = ⌈e/ε⌉ the additive error should be ≤ εN w.h.p.
+	eps, delta := 0.01, 0.01
+	s := NewCMSketch(eps, delta, 3)
+	truth := make(map[uint64]float64)
+	r := newRng(5)
+	for i := 0; i < 100000; i++ {
+		k := uint64(r.next() * 10000)
+		s.Add(k, 1)
+		truth[k]++
+	}
+	bound := eps * s.N()
+	violations := 0
+	for k, f := range truth {
+		if s.Estimate(k)-f > bound {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(len(truth)); frac > delta {
+		t.Fatalf("error bound violated for %.2f%% of keys (> δ=%v)", 100*frac, delta)
+	}
+	if s.ErrorBound() <= 0 {
+		t.Fatal("ErrorBound must be positive after inserts")
+	}
+}
+
+func TestCMSketchMerge(t *testing.T) {
+	a := NewCMSketchWD(256, 3, 11)
+	b := NewCMSketchWD(256, 3, 11)
+	whole := NewCMSketchWD(256, 3, 11)
+	for k := uint64(0); k < 100; k++ {
+		a.Add(k, 1)
+		b.Add(k, 2)
+		whole.Add(k, 3)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if a.Estimate(k) != whole.Estimate(k) {
+			t.Fatalf("merged estimate differs at %d", k)
+		}
+	}
+	c := NewCMSketchWD(128, 3, 11)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("want geometry mismatch error")
+	}
+	d := NewCMSketchWD(256, 3, 12)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("want seed mismatch error")
+	}
+}
+
+func TestCMSketchEncodeDecode(t *testing.T) {
+	s := NewCMSketchWD(32, 3, 9)
+	for k := uint64(0); k < 500; k++ {
+		s.Add(k, float64(k%7))
+	}
+	enc := s.Encode()
+	if int64(len(enc)) != s.SizeBytes() {
+		t.Fatalf("encoded size %d != SizeBytes %d", len(enc), s.SizeBytes())
+	}
+	got, err := DecodeCMSketch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if got.Estimate(k) != s.Estimate(k) {
+			t.Fatalf("decode mismatch at key %d", k)
+		}
+	}
+	if _, err := DecodeCMSketch(enc[:10]); err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+	enc[0] = 0xff // corrupt width
+	if _, err := DecodeCMSketch(enc); err == nil {
+		t.Fatal("want error for corrupt header")
+	}
+}
+
+// Property: CM estimates dominate true counts for arbitrary key multisets.
+func TestCMSketchDominanceQuick(t *testing.T) {
+	f := func(keys []uint8) bool {
+		s := NewCMSketchWD(64, 3, 1)
+		truth := map[uint64]float64{}
+		for _, k := range keys {
+			s.Add(uint64(k), 1)
+			truth[uint64(k)]++
+		}
+		for k, v := range truth {
+			if s.Estimate(k) < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01, 21)
+	for k := uint64(0); k < 1000; k++ {
+		b.Add(k * 3)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !b.MayContain(k * 3) {
+			t.Fatalf("false negative for %d", k*3)
+		}
+	}
+	fp := 0
+	for k := uint64(0); k < 10000; k++ {
+		if b.MayContain(1<<40 + k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+	if b.FalsePositiveRate() <= 0 || b.FalsePositiveRate() >= 1 {
+		t.Fatalf("FP estimate out of range: %v", b.FalsePositiveRate())
+	}
+}
+
+func TestBloomMerge(t *testing.T) {
+	a := NewBloom(100, 0.01, 5)
+	b := NewBloom(100, 0.01, 5)
+	a.Add(1)
+	b.Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.MayContain(1) || !a.MayContain(2) {
+		t.Fatal("merge lost elements")
+	}
+	c := NewBloom(100, 0.01, 6)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("want seed mismatch error")
+	}
+	if a.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}
+
+func TestFMEstimate(t *testing.T) {
+	for _, n := range []int{1000, 10000} {
+		f := NewFM(256, 77)
+		for k := 0; k < n; k++ {
+			f.Add(uint64(k) * 2654435761)
+		}
+		est := f.Estimate()
+		if est < float64(n)*0.6 || est > float64(n)*1.6 {
+			t.Fatalf("FM estimate for %d distinct = %v (outside ±60%%)", n, est)
+		}
+		// Duplicates must not change the estimate.
+		before := f.Estimate()
+		for k := 0; k < n; k++ {
+			f.Add(uint64(k) * 2654435761)
+		}
+		if f.Estimate() != before {
+			t.Fatal("FM must be insensitive to duplicates")
+		}
+	}
+}
+
+func TestFMMerge(t *testing.T) {
+	a, b, whole := NewFM(128, 3), NewFM(128, 3), NewFM(128, 3)
+	for k := uint64(0); k < 5000; k++ {
+		whole.Add(k)
+		if k%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("merged FM estimate %v != whole %v", a.Estimate(), whole.Estimate())
+	}
+	if err := a.Merge(NewFM(64, 3)); err == nil {
+		t.Fatal("want geometry mismatch error")
+	}
+}
+
+func TestAMSF2(t *testing.T) {
+	a := NewAMS(256, 7, 13)
+	// 100 keys × frequency 10 → F2 = 100·10² = 10000.
+	for k := uint64(0); k < 100; k++ {
+		for i := 0; i < 10; i++ {
+			a.Add(k, 1)
+		}
+	}
+	est := a.F2()
+	if est < 5000 || est > 20000 {
+		t.Fatalf("F2 estimate = %v, want ≈10000", est)
+	}
+	if a.RelativeStdError() <= 0 {
+		t.Fatal("RelativeStdError")
+	}
+}
+
+func TestAMSJoinSize(t *testing.T) {
+	// R has keys 0..99 each ×5; S has keys 0..99 each ×3 → |R⋈S| = 100·15.
+	r := NewAMS(512, 7, 99)
+	s := NewAMS(512, 7, 99)
+	for k := uint64(0); k < 100; k++ {
+		for i := 0; i < 5; i++ {
+			r.Add(k, 1)
+		}
+		for i := 0; i < 3; i++ {
+			s.Add(k, 1)
+		}
+	}
+	est, err := r.JoinSize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 750 || est > 3000 {
+		t.Fatalf("join size estimate = %v, want ≈1500", est)
+	}
+	if _, err := r.JoinSize(NewAMS(512, 7, 98)); err == nil {
+		t.Fatal("want seed mismatch error")
+	}
+	// Merge: two halves of R's stream must equal whole.
+	h1, h2 := NewAMS(64, 3, 4), NewAMS(64, 3, 4)
+	whole := NewAMS(64, 3, 4)
+	for k := uint64(0); k < 200; k++ {
+		whole.Add(k, 1)
+		if k < 100 {
+			h1.Add(k, 1)
+		} else {
+			h2.Add(k, 1)
+		}
+	}
+	if err := h1.Merge(h2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1.F2()-whole.F2()) > 1e-9 {
+		t.Fatal("AMS merge must equal whole-stream sketch")
+	}
+}
+
+func TestSpaceSaving(t *testing.T) {
+	s := NewSpaceSaving(10)
+	// Heavy key 1 appears 100 times among noise.
+	for i := 0; i < 100; i++ {
+		s.Inc(1)
+	}
+	for k := uint64(100); k < 150; k++ {
+		s.Inc(k)
+	}
+	if c := s.Count(1); c < 100 {
+		t.Fatalf("heavy hitter count %d < 100 (SpaceSaving must not underestimate retained keys)", c)
+	}
+	top := s.Top(1)
+	if len(top) != 1 || top[0].Key != 1 {
+		t.Fatalf("top-1 = %+v, want key 1", top)
+	}
+	if s.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}
+
+func TestExactAndCMCounters(t *testing.T) {
+	for _, c := range []KeyCounter{NewExactCounter(), NewCMCounter(1024, 4, 5)} {
+		for i := 0; i < 5; i++ {
+			got := c.Inc(42)
+			if got < uint64(i+1) {
+				t.Fatalf("count after %d incs = %d", i+1, got)
+			}
+		}
+		if c.SizeBytes() <= 0 {
+			t.Fatal("SizeBytes")
+		}
+	}
+}
+
+func sampleInput(rows int, groups int64) *storage.Table {
+	b := storage.NewBuilder("src", storage.Schema{
+		{Name: "src.g", Typ: storage.Int64},
+		{Name: "src.v", Typ: storage.Float64},
+	})
+	for i := 0; i < rows; i++ {
+		b.Int(0, int64(i)%groups)
+		b.Float(1, float64(i))
+	}
+	return b.Build(4)
+}
+
+func TestUniformSamplerHTSum(t *testing.T) {
+	tbl := sampleInput(50000, 10)
+	smp := NewUniformSampler(0.1, 123)
+	s := BuildSampleFromTable("s", tbl, smp, nil)
+	if s.Strategy != "uniform" || s.P != 0.1 {
+		t.Fatalf("sample meta: %+v", s)
+	}
+	// HT estimate of SUM(v) should be within a few percent of the truth.
+	truth := float64(50000) * float64(49999) / 2
+	wi := s.Rows.Schema().Index(WeightCol)
+	vi := s.Rows.Schema().Index("src.v")
+	est := 0.0
+	for p := 0; p < s.Rows.Partitions(); p++ {
+		for _, b := range s.Rows.Scan(p, storage.BatchSize) {
+			for i := 0; i < b.Len(); i++ {
+				est += b.Vecs[vi].F64[i] * b.Vecs[wi].F64[i]
+			}
+		}
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.05 {
+		t.Fatalf("HT sum rel error %.3f > 5%%", rel)
+	}
+	// Sample size ≈ p·n.
+	if n := s.Rows.NumRows(); n < 4000 || n > 6000 {
+		t.Fatalf("sample rows = %d, want ≈5000", n)
+	}
+	if s.SourceRows != 50000 {
+		t.Fatalf("SourceRows = %d", s.SourceRows)
+	}
+}
+
+func TestDistinctSamplerGuaranteesGroups(t *testing.T) {
+	// 100 groups; 99 tiny (5 rows), 1 huge. Uniform sampling at 1% would
+	// miss most tiny groups; the distinct sampler must keep ≥min(δ,size)
+	// rows of every group.
+	b := storage.NewBuilder("sk", storage.Schema{
+		{Name: "sk.g", Typ: storage.Int64},
+		{Name: "sk.v", Typ: storage.Float64},
+	})
+	for g := int64(1); g < 100; g++ {
+		for i := 0; i < 5; i++ {
+			b.Int(0, g)
+			b.Float(1, 1)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		b.Int(0, 0)
+		b.Float(1, 1)
+	}
+	tbl := b.Build(1)
+	delta := 3
+	smp := NewDistinctSampler(0.01, delta, []int{0}, 7)
+	s := BuildSampleFromTable("d", tbl, smp, []string{"sk.g"})
+	counts := map[int64]int{}
+	gi := s.Rows.Schema().Index("sk.g")
+	for p := 0; p < s.Rows.Partitions(); p++ {
+		for _, batch := range s.Rows.Scan(p, storage.BatchSize) {
+			for i := 0; i < batch.Len(); i++ {
+				counts[batch.Vecs[gi].I64[i]]++
+			}
+		}
+	}
+	for g := int64(0); g < 100; g++ {
+		if counts[g] < delta {
+			t.Fatalf("group %d has %d rows, want ≥ δ=%d", g, counts[g], delta)
+		}
+	}
+	// The huge group must have been thinned: far fewer than 100000 rows.
+	if counts[0] > 5000 {
+		t.Fatalf("huge group kept %d rows; sampler not thinning", counts[0])
+	}
+}
+
+func TestDistinctSamplerWeights(t *testing.T) {
+	tbl := sampleInput(20000, 4)
+	smp := NewDistinctSampler(0.05, 10, []int{0}, 3)
+	s := BuildSampleFromTable("d", tbl, smp, []string{"src.g"})
+	// HT COUNT estimate = Σ weights ≈ true row count.
+	wi := s.Rows.Schema().Index(WeightCol)
+	est := 0.0
+	for p := 0; p < s.Rows.Partitions(); p++ {
+		for _, b := range s.Rows.Scan(p, storage.BatchSize) {
+			for i := 0; i < b.Len(); i++ {
+				w := b.Vecs[wi].F64[i]
+				if w != 1 && math.Abs(w-20) > 1e-9 {
+					t.Fatalf("weight %v not in {1, 1/p}", w)
+				}
+				est += w
+			}
+		}
+	}
+	if rel := math.Abs(est-20000) / 20000; rel > 0.1 {
+		t.Fatalf("HT count rel error %.3f > 10%%", rel)
+	}
+}
+
+func TestDistinctSamplerSketchBacked(t *testing.T) {
+	tbl := sampleInput(10000, 50)
+	smp := NewDistinctSamplerSketch(0.05, 5, []int{0}, 2048, 4, 3)
+	s := BuildSampleFromTable("d", tbl, smp, []string{"src.g"})
+	if s.Rows.NumRows() == 0 {
+		t.Fatal("sketch-backed distinct sampler produced empty sample")
+	}
+	if smp.MemBytes() <= 0 {
+		t.Fatal("MemBytes")
+	}
+	// CM overcounting can only reduce frequency-check passes, so the sample
+	// can be at most slightly smaller than the exact-counter sample.
+	exact := BuildSampleFromTable("e", tbl, NewDistinctSampler(0.05, 5, []int{0}, 3), []string{"src.g"})
+	if s.Rows.NumRows() > exact.Rows.NumRows()*2 {
+		t.Fatalf("sketch-backed sample unexpectedly larger: %d vs %d", s.Rows.NumRows(), exact.Rows.NumRows())
+	}
+}
+
+func TestPartitionDelta(t *testing.T) {
+	if PartitionDelta(100, 1) != 100 {
+		t.Fatal("D=1 keeps δ")
+	}
+	if got := PartitionDelta(100, 4); got != 50 {
+		t.Fatalf("PartitionDelta(100,4) = %d, want 2·100/4 = 50", got)
+	}
+	if got := PartitionDelta(10, 3); got != 7 {
+		t.Fatalf("PartitionDelta(10,3) = %d, want ⌈20/3⌉ = 7", got)
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	tbl := sampleInput(10000, 10) // 10 groups × 1000 rows
+	s, err := StratifiedSample("st", tbl, []string{"src.g"}, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	gi := s.Rows.Schema().Index("src.g")
+	wi := s.Rows.Schema().Index(WeightCol)
+	for p := 0; p < s.Rows.Partitions(); p++ {
+		for _, b := range s.Rows.Scan(p, storage.BatchSize) {
+			for i := 0; i < b.Len(); i++ {
+				counts[b.Vecs[gi].I64[i]]++
+				if w := b.Vecs[wi].F64[i]; math.Abs(w-20) > 1e-9 {
+					t.Fatalf("stratified weight = %v, want n_g/cap = 20", w)
+				}
+			}
+		}
+	}
+	for g := int64(0); g < 10; g++ {
+		if counts[g] < 20 || counts[g] > 100 {
+			t.Fatalf("group %d: %d rows, want ≈cap=50", g, counts[g])
+		}
+	}
+	if _, err := StratifiedSample("st", tbl, []string{"nope"}, 50, 7); err == nil {
+		t.Fatal("want unknown column error")
+	}
+}
+
+func TestSketchJoinEstimates(t *testing.T) {
+	// Build side: key k ∈ [0,100) appears k+1 times with value 2.0 each.
+	b := storage.NewBuilder("f", storage.Schema{
+		{Name: "f.k", Typ: storage.Int64},
+		{Name: "f.v", Typ: storage.Float64},
+	})
+	for k := int64(0); k < 100; k++ {
+		for i := int64(0); i <= k; i++ {
+			b.Int(0, k)
+			b.Float(1, 2)
+		}
+	}
+	tbl := b.Build(2)
+	sj, err := BuildSketchJoin(tbl, []string{"f.k"}, "f.v", 0.001, 0.01, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := storage.NewBatch(storage.Schema{{Name: "p.k", Typ: storage.Int64}}, 1)
+	probe.Vecs[0].Append(storage.IntValue(42))
+	cnt, sum := sj.Estimate(probe.Vecs, []int{0}, 0)
+	if cnt < 43 || cnt > 43*1.1 {
+		t.Fatalf("count estimate = %v, want ≈43", cnt)
+	}
+	if sum < 86 || sum > 86*1.1 {
+		t.Fatalf("sum estimate = %v, want ≈86", sum)
+	}
+	if sj.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+	if _, err := BuildSketchJoin(tbl, []string{"nope"}, "f.v", 0.01, 0.01, 1); err == nil {
+		t.Fatal("want unknown key column error")
+	}
+	if _, err := BuildSketchJoin(tbl, []string{"f.k"}, "nope", 0.01, 0.01, 1); err == nil {
+		t.Fatal("want unknown agg column error")
+	}
+}
+
+func TestSketchJoinMerge(t *testing.T) {
+	mk := func() *SketchJoin { return NewSketchJoin(0.01, 0.01, []string{"k"}, "v", 9) }
+	a, b, whole := mk(), mk(), mk()
+	vec := []*storage.Vector{
+		{Typ: storage.Int64, I64: []int64{7}},
+		{Typ: storage.Float64, F64: []float64{3}},
+	}
+	a.AddRow(vec, []int{0}, 1, 0, 1)
+	b.AddRow(vec, []int{0}, 1, 0, 1)
+	whole.AddRow(vec, []int{0}, 1, 0, 1)
+	whole.AddRow(vec, []int{0}, 1, 0, 1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ca, sa := a.Estimate(vec, []int{0}, 0)
+	cw, sw := whole.Estimate(vec, []int{0}, 0)
+	if ca != cw || sa != sw {
+		t.Fatalf("merged (%v,%v) != whole (%v,%v)", ca, sa, cw, sw)
+	}
+}
+
+func TestScrambleIsPermutation(t *testing.T) {
+	tbl := sampleInput(1000, 10)
+	sc := Scramble(tbl, 5)
+	if sc.NumRows() != tbl.NumRows() {
+		t.Fatalf("scramble changed row count: %d", sc.NumRows())
+	}
+	sum := func(t2 *storage.Table) float64 {
+		vi := t2.Schema().Index("src.v")
+		total := 0.0
+		for p := 0; p < t2.Partitions(); p++ {
+			for _, b := range t2.Scan(p, storage.BatchSize) {
+				for i := 0; i < b.Len(); i++ {
+					total += b.Vecs[vi].F64[i]
+				}
+			}
+		}
+		return total
+	}
+	if sum(sc) != sum(tbl) {
+		t.Fatal("scramble must preserve multiset of rows")
+	}
+	// Must actually move rows around.
+	if sc.Column(1).F64[0] == tbl.Column(1).F64[0] &&
+		sc.Column(1).F64[1] == tbl.Column(1).F64[1] &&
+		sc.Column(1).F64[2] == tbl.Column(1).F64[2] {
+		t.Fatal("scramble left prefix unchanged (suspicious)")
+	}
+}
+
+func TestVariationalSample(t *testing.T) {
+	tbl := sampleInput(20000, 10)
+	s := VariationalSample("vs", Scramble(tbl, 1), 0.1, 2)
+	if s.Strategy != "variational" {
+		t.Fatalf("strategy = %q", s.Strategy)
+	}
+	si := s.Rows.Schema().Index(SubsampleCol)
+	if si < 0 {
+		t.Fatal("missing subsample column")
+	}
+	subs := map[int64]int{}
+	for p := 0; p < s.Rows.Partitions(); p++ {
+		for _, b := range s.Rows.Scan(p, storage.BatchSize) {
+			for i := 0; i < b.Len(); i++ {
+				subs[b.Vecs[si].I64[i]]++
+			}
+		}
+	}
+	// ns ≈ √2000 ≈ 45 subsamples.
+	if len(subs) < 20 || len(subs) > 60 {
+		t.Fatalf("subsample count = %d, want ≈45", len(subs))
+	}
+}
+
+func TestVariationalVariance(t *testing.T) {
+	// Identical subsample estimates → zero variance.
+	if v := VariationalVariance([]float64{5, 5, 5}, 10, 100); v != 0 {
+		t.Fatalf("variance of constants = %v", v)
+	}
+	v := VariationalVariance([]float64{4, 6}, 10, 100)
+	if math.Abs(v-0.2) > 1e-12 { // Var=2, scaled by 10/100
+		t.Fatalf("variance = %v, want 0.2", v)
+	}
+	if VariationalVariance([]float64{1}, 10, 100) != 0 {
+		t.Fatal("single estimate must yield 0")
+	}
+}
+
+func TestRowKeyComposite(t *testing.T) {
+	vecs := []*storage.Vector{
+		{Typ: storage.Int64, I64: []int64{1, 1, 2}},
+		{Typ: storage.String, Str: []string{"a", "b", "a"}},
+	}
+	k0 := RowKey(vecs, []int{0, 1}, 0, 9)
+	k1 := RowKey(vecs, []int{0, 1}, 1, 9)
+	k2 := RowKey(vecs, []int{0, 1}, 2, 9)
+	if k0 == k1 || k0 == k2 || k1 == k2 {
+		t.Fatal("composite keys must distinguish rows")
+	}
+	// Same logical values hash equal.
+	vecs2 := []*storage.Vector{
+		{Typ: storage.Int64, I64: []int64{1}},
+		{Typ: storage.String, Str: []string{"a"}},
+	}
+	if RowKey(vecs2, []int{0, 1}, 0, 9) != k0 {
+		t.Fatal("equal rows must produce equal keys")
+	}
+}
+
+func TestHashValueTyped(t *testing.T) {
+	if HashValue(storage.IntValue(5), 1) == HashValue(storage.FloatValue(5), 1) {
+		t.Fatal("int and float keys must hash differently")
+	}
+	if HashValue(storage.BoolValue(true), 1) == HashValue(storage.BoolValue(false), 1) {
+		t.Fatal("bool values must hash differently")
+	}
+	if HashValue(storage.StringValue("x"), 1) == HashValue(storage.StringValue("x"), 2) {
+		t.Fatal("seed must matter")
+	}
+}
+
+// Property: sampler weights are always either 1 (frequency pass) or 1/p.
+func TestSamplerWeightsQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		tbl := sampleInput(2000, 7)
+		smp := NewDistinctSampler(0.2, 2, []int{0}, uint64(seed))
+		s := BuildSampleFromTable("q", tbl, smp, nil)
+		wi := s.Rows.Schema().Index(WeightCol)
+		for p := 0; p < s.Rows.Partitions(); p++ {
+			for _, b := range s.Rows.Scan(p, storage.BatchSize) {
+				for i := 0; i < b.Len(); i++ {
+					w := b.Vecs[wi].F64[i]
+					if w != 1 && math.Abs(w-5) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package tuner implements Taster's continuous synopsis tuning (paper §V):
+// after every query it chooses the execution plan that maximizes long-term
+// throughput, and decides which synopses to keep in the quota-bounded
+// warehouse by maximizing the submodular gain(Q⁺, S) with the greedy
+// algorithm of Leskovec et al. (the (1−1/e)/2 guarantee comes from running
+// both the plain-benefit and benefit-per-byte greedy variants and keeping
+// the better set). The future workload Q⁺ is approximated by a sliding
+// window Q⁻ of the last w queries whose length adapts online.
+package tuner
+
+import (
+	"math"
+
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// Config controls the tuner.
+type Config struct {
+	// Window is the initial sliding window length w (paper default 10).
+	Window int
+	// Alpha is the adaptation step: candidates are ⌈(1+α)w⌉ and ⌊(1−α)w⌋.
+	Alpha float64
+	// Adaptive enables online window-length adaptation (§V).
+	Adaptive bool
+	// MaxWindow caps w (and the benefit history the tuner may consult).
+	MaxWindow int
+}
+
+// DefaultConfig mirrors the paper's defaults (w=10, α=0.25, adaptive).
+func DefaultConfig() Config {
+	return Config{Window: 10, Alpha: 0.25, Adaptive: true, MaxWindow: 64}
+}
+
+// queryRecord is one past query in the sliding window.
+type queryRecord struct {
+	ID        int
+	ExactCost float64
+}
+
+// Tuner owns the window state and the synopsis retention decisions.
+type Tuner struct {
+	cfg   Config
+	store *meta.Store
+	wh    *warehouse.Manager
+
+	w          int
+	history    []queryRecord // most recent last, capped at MaxWindow
+	sinceAdapt int           // queries since the last window adaptation
+}
+
+// New returns a tuner over the metadata store and warehouse manager.
+func New(cfg Config, store *meta.Store, wh *warehouse.Manager) *Tuner {
+	if cfg.Window < 1 {
+		cfg.Window = 10
+	}
+	if cfg.MaxWindow < cfg.Window {
+		cfg.MaxWindow = cfg.Window * 4
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = 0.25
+	}
+	return &Tuner{cfg: cfg, store: store, wh: wh, w: cfg.Window}
+}
+
+// Window returns the current window length (observable for experiments).
+func (t *Tuner) Window() int { return t.w }
+
+// Decision is the tuner's verdict for one query.
+type Decision struct {
+	// Chosen is the plan to execute.
+	Chosen planner.Candidate
+	// Materialize is the subset of the chosen plan's creates worth keeping
+	// (members of the selected synopsis set S*).
+	Materialize []planner.CreateSpec
+	// Evict lists materialized synopses no longer in S* (delete from both
+	// tiers).
+	Evict []uint64
+	// Promote lists buffer-resident synopses in S* to move to the warehouse.
+	Promote []uint64
+	// Keep is S* itself.
+	Keep map[uint64]bool
+}
+
+// Tune runs one tuning round (paper §V): adapt w, select S*, choose the
+// plan, and derive eviction/promotion actions.
+func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
+	if t.cfg.Adaptive {
+		t.adaptWindow(ps)
+	}
+	t.history = append(t.history, queryRecord{ID: ps.Query.ID, ExactCost: ps.Exact.Cost})
+	if len(t.history) > t.cfg.MaxWindow {
+		t.history = t.history[len(t.history)-t.cfg.MaxWindow:]
+	}
+
+	_, quota := t.wh.Quotas()
+	keep, marginal := t.selectSet(t.windowRecords(t.w), quota)
+
+	chosen := t.choosePlan(ps, keep, marginal)
+	dec := Decision{Chosen: chosen, Keep: keep}
+	for _, cs := range chosen.Creates {
+		if keep[cs.Entry.Desc.ID] {
+			dec.Materialize = append(dec.Materialize, cs)
+		}
+	}
+
+	// Evict every materialized synopsis outside S*; promote buffer
+	// residents inside S*.
+	for _, e := range t.store.Materialized() {
+		id := e.Desc.ID
+		if e.Desc.Pinned {
+			continue
+		}
+		if !keep[id] {
+			dec.Evict = append(dec.Evict, id)
+		} else if e.Desc.Location == meta.LocBuffer {
+			dec.Promote = append(dec.Promote, id)
+		}
+	}
+	return dec
+}
+
+// Retune re-evaluates the warehouse against the (possibly changed) quota —
+// the storage-elasticity entry point (paper §V). It returns the synopses to
+// evict.
+func (t *Tuner) Retune() Decision {
+	_, quota := t.wh.Quotas()
+	keep, _ := t.selectSet(t.windowRecords(t.w), quota)
+	dec := Decision{Keep: keep}
+	for _, e := range t.store.Materialized() {
+		if e.Desc.Pinned {
+			continue
+		}
+		if !keep[e.Desc.ID] {
+			dec.Evict = append(dec.Evict, e.Desc.ID)
+		} else if e.Desc.Location == meta.LocBuffer {
+			dec.Promote = append(dec.Promote, e.Desc.ID)
+		}
+	}
+	return dec
+}
+
+// windowRecords returns the last n history records.
+func (t *Tuner) windowRecords(n int) []queryRecord {
+	if n > len(t.history) {
+		n = len(t.history)
+	}
+	return t.history[len(t.history)-n:]
+}
+
+// choosePlan scores candidates by immediate cost minus the amortized future
+// gain of the reusable synopses they create (the "promote plans that
+// generate reusable synopses" half of §V). The amortization divides the
+// window gain by w: deferring a build to a later query forfeits roughly one
+// query's worth of the synopsis' benefit, not the whole window's — counting
+// the full gain would let speculative builds starve already-materialized
+// synopses.
+func (t *Tuner) choosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal map[uint64]float64) planner.Candidate {
+	best := ps.Candidates[0]
+	bestScore := math.Inf(1)
+	for _, c := range ps.Candidates {
+		score := c.Cost
+		for _, cs := range c.Creates {
+			id := cs.Entry.Desc.ID
+			if keep[id] && !t.wh.Has(id) {
+				score -= marginal[id] / float64(t.w) * 2 // build now vs. ~2 queries' delay
+			}
+		}
+		if score < bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	return best
+}
+
+// selectSet runs the Leskovec et al. cost-effective greedy: both the
+// benefit-greedy and benefit-per-byte-greedy variants, returning whichever
+// final set has the higher total gain. Pinned synopses are always included
+// (their bytes count against the quota first).
+func (t *Tuner) selectSet(window []queryRecord, budget int64) (map[uint64]bool, map[uint64]float64) {
+	universe, pinned := t.universe(window)
+
+	bestA, gainA, margA := t.greedy(universe, pinned, window, budget, false)
+	bestB, gainB, margB := t.greedy(universe, pinned, window, budget, true)
+	if gainB > gainA {
+		return bestB, margB
+	}
+	return bestA, margA
+}
+
+// universe collects the synopses with any benefit inside the window, plus
+// pinned ones.
+func (t *Tuner) universe(window []queryRecord) (entries []*meta.Entry, pinned []*meta.Entry) {
+	ids := make(map[int]bool, len(window))
+	for _, r := range window {
+		ids[r.ID] = true
+	}
+	for _, e := range t.store.Entries() {
+		if e.Desc.Pinned {
+			pinned = append(pinned, e)
+			continue
+		}
+		for _, b := range e.Benefits {
+			if ids[b.QueryID] {
+				entries = append(entries, e)
+				break
+			}
+		}
+	}
+	return entries, pinned
+}
+
+// greedy builds S by repeatedly adding the synopsis with the highest
+// marginal gain (optionally per byte) until the quota is exhausted.
+func (t *Tuner) greedy(universe, pinned []*meta.Entry, window []queryRecord, budget int64, perByte bool) (map[uint64]bool, float64, map[uint64]float64) {
+	keep := make(map[uint64]bool)
+	marginal := make(map[uint64]float64)
+
+	// best[q] = cheapest known cost for query q given the current S.
+	best := make(map[int]float64, len(window))
+	for _, r := range window {
+		best[r.ID] = r.ExactCost
+	}
+	// A synopsis that is not yet materialized only delivers its gain after
+	// some future query pays to build it; discounting its benefits keeps
+	// speculative giants from evicting working, materialized synopses.
+	factor := func(e *meta.Entry) float64 {
+		if e.Desc.Location == meta.LocNone {
+			return 0.5
+		}
+		return 1
+	}
+	used := int64(0)
+	addEntry := func(e *meta.Entry) float64 {
+		gain := 0.0
+		f := factor(e)
+		for _, b := range e.Benefits {
+			cur, ok := best[b.QueryID]
+			if !ok {
+				continue
+			}
+			if c := cur - (cur-b.CostWith)*f; b.CostWith < cur {
+				gain += cur - c
+				best[b.QueryID] = c
+			}
+		}
+		keep[e.Desc.ID] = true
+		used += e.Desc.SizeBytes()
+		return gain
+	}
+
+	total := 0.0
+	for _, e := range pinned {
+		total += addEntry(e) // pinned are unconditional; quota may overflow by admin choice
+	}
+
+	remaining := append([]*meta.Entry(nil), universe...)
+	for {
+		bestIdx := -1
+		bestScore := 0.0
+		bestGain := 0.0
+		for i, e := range remaining {
+			if e == nil || keep[e.Desc.ID] {
+				continue
+			}
+			size := e.Desc.SizeBytes()
+			if size <= 0 {
+				size = 1
+			}
+			if used+size > budget {
+				continue
+			}
+			g := 0.0
+			f := factor(e)
+			for _, b := range e.Benefits {
+				if cur, ok := best[b.QueryID]; ok && b.CostWith < cur {
+					g += (cur - b.CostWith) * f
+				}
+			}
+			if g <= 0 {
+				continue
+			}
+			score := g
+			if perByte {
+				score = g / float64(size)
+			}
+			if score > bestScore {
+				bestScore, bestGain, bestIdx = score, g, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = nil
+		got := addEntry(e)
+		_ = bestGain
+		marginal[e.Desc.ID] = got
+		total += got
+	}
+	return keep, total, marginal
+}
+
+// adaptWindow implements the paper's w ∈ {⌊(1−α)w⌋, w, ⌈(1+α)w⌉} hill climb:
+// it asks which window length would have produced the synopsis set that
+// minimizes the estimated execution time of the queries that arrived since
+// the previous invocation, and adopts it.
+func (t *Tuner) adaptWindow(ps *planner.PlanSet) {
+	t.sinceAdapt++
+	if t.sinceAdapt < 1 || len(t.history) < 2 {
+		return
+	}
+	t.sinceAdapt = 0
+
+	newQuery := t.history[len(t.history)-1] // the most recent completed query
+	prior := t.history[:len(t.history)-1]
+
+	wMinus := int(math.Floor((1 - t.cfg.Alpha) * float64(t.w)))
+	wPlus := int(math.Ceil((1 + t.cfg.Alpha) * float64(t.w)))
+	if wMinus < 2 {
+		wMinus = 2
+	}
+	if wPlus > t.cfg.MaxWindow {
+		wPlus = t.cfg.MaxWindow
+	}
+	_, quota := t.wh.Quotas()
+
+	// Evaluate the current w first: a change requires a strict improvement,
+	// otherwise ties would drag w toward one end until the window lost all
+	// predictive power (the failure mode the paper's Fig. 8 shows for tiny
+	// fixed windows).
+	bestW, bestCost := t.w, math.Inf(1)
+	for _, wc := range []int{t.w, wMinus, wPlus} {
+		n := wc
+		if n > len(prior) {
+			n = len(prior)
+		}
+		keep, _ := t.selectSet(prior[len(prior)-n:], quota)
+		cost := t.estimatedCostGiven(newQuery, keep)
+		if cost < bestCost-1e-12 {
+			bestCost, bestW = cost, wc
+		}
+	}
+	t.w = bestW
+}
+
+// estimatedCostGiven returns the estimated cost of the query under synopsis
+// set S (exact cost when no member helps).
+func (t *Tuner) estimatedCostGiven(q queryRecord, keep map[uint64]bool) float64 {
+	cost := q.ExactCost
+	for id := range keep {
+		e, ok := t.store.Get(id)
+		if !ok {
+			continue
+		}
+		if b, ok := e.BenefitFor(q.ID); ok && b.CostWith < cost {
+			cost = b.CostWith
+		}
+	}
+	return cost
+}

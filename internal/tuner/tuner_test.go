@@ -1,0 +1,261 @@
+package tuner
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// harness: synthetic metadata with controllable benefits.
+type harness struct {
+	store *meta.Store
+	wh    *warehouse.Manager
+	t     *Tuner
+}
+
+func newHarness(quota int64, cfg Config) *harness {
+	store := meta.NewStore()
+	wh := warehouse.NewManager(1<<20, quota)
+	return &harness{store: store, wh: wh, t: New(cfg, store, wh)}
+}
+
+// synopsis interns a descriptor of the given size with benefits for queries.
+func (h *harness) synopsis(name string, size int64, benefits map[int][2]float64) *meta.Entry {
+	d := meta.Descriptor{
+		Kind:         plan.DistinctSample,
+		Sig:          plan.Signature{Tables: []string{name}},
+		EstSizeBytes: size,
+		Accuracy:     stats.DefaultAccuracy,
+	}
+	e := h.store.Intern(d)
+	for q, c := range benefits {
+		h.store.RecordBenefit(e.Desc.ID, meta.QueryBenefit{QueryID: q, CostWith: c[0], CostExact: c[1]}, 64)
+	}
+	return e
+}
+
+func planSet(qid int, exactCost float64, cands ...planner.Candidate) *planner.PlanSet {
+	exact := planner.Candidate{Cost: exactCost, Desc: "exact"}
+	ps := &planner.PlanSet{
+		Query:      &planner.Query{ID: qid},
+		Exact:      exact,
+		Candidates: append([]planner.Candidate{exact}, cands...),
+	}
+	return ps
+}
+
+func TestGreedyRespectsQuota(t *testing.T) {
+	h := newHarness(100, DefaultConfig())
+	// Three synopses: a (size 60, gain 10), b (size 60, gain 9), c (size 40, gain 8).
+	a := h.synopsis("a", 60, map[int][2]float64{0: {0, 10}})
+	b := h.synopsis("b", 60, map[int][2]float64{1: {1, 10}})
+	c := h.synopsis("c", 40, map[int][2]float64{2: {2, 10}})
+	for q := 0; q < 3; q++ {
+		h.t.Tune(planSet(q, 10))
+	}
+	keep, _ := h.t.selectSet(h.t.windowRecords(h.t.w), 100)
+	size := int64(0)
+	for id := range keep {
+		e, _ := h.store.Get(id)
+		size += e.Desc.SizeBytes()
+	}
+	if size > 100 {
+		t.Fatalf("selected set size %d exceeds quota", size)
+	}
+	// Optimal under quota: a+c (gain 18) > a+b infeasible, b+c (17).
+	if !keep[a.Desc.ID] || !keep[c.Desc.ID] || keep[b.Desc.ID] {
+		t.Fatalf("greedy picked %v, want {a,c}", keep)
+	}
+}
+
+func TestGreedySubmodularSharing(t *testing.T) {
+	// Two synopses serving the SAME query: marginal gain of the second
+	// must shrink to its incremental value only.
+	h := newHarness(1000, DefaultConfig())
+	a := h.synopsis("a", 10, map[int][2]float64{0: {2, 10}}) // saves 8
+	b := h.synopsis("b", 10, map[int][2]float64{0: {1, 10}}) // saves 9
+	h.t.Tune(planSet(0, 10))
+	keep, marginal := h.t.selectSet(h.t.windowRecords(h.t.w), 1000)
+	if !keep[b.Desc.ID] {
+		t.Fatal("b (bigger saving) must be selected")
+	}
+	// Unmaterialized synopses carry the 0.5 speculation discount: 9 × 0.5.
+	if marginal[b.Desc.ID] != 4.5 {
+		t.Fatalf("marginal(b) = %v", marginal[b.Desc.ID])
+	}
+	// Submodularity: a's marginal gain with b present must be strictly
+	// below its standalone (discounted) gain of (10−2)·0.5 = 4.
+	if marginal[a.Desc.ID] >= 4 {
+		t.Fatalf("marginal(a) = %v, want < 4 (submodularity)", marginal[a.Desc.ID])
+	}
+}
+
+func TestTuneChoosesReusePlan(t *testing.T) {
+	h := newHarness(1<<20, DefaultConfig())
+	e := h.synopsis("s", 100, map[int][2]float64{5: {1, 10}})
+	reuse := planner.Candidate{Cost: 1, Uses: []uint64{e.Desc.ID}, Desc: "reuse"}
+	dec := h.t.Tune(planSet(5, 10, reuse))
+	if dec.Chosen.Desc != "reuse" {
+		t.Fatalf("chose %q, want reuse", dec.Chosen.Desc)
+	}
+}
+
+func TestTunePrefersBuildingKeptSynopses(t *testing.T) {
+	h := newHarness(1<<20, DefaultConfig())
+	// The synopsis pays off over several recent queries.
+	e := h.synopsis("s", 100, map[int][2]float64{
+		0: {1, 10}, 1: {1, 10}, 2: {1, 10},
+	})
+	for q := 0; q < 2; q++ {
+		h.t.Tune(planSet(q, 10))
+	}
+	build := planner.Candidate{
+		Cost:    11, // slightly above exact: building costs extra now
+		Creates: []planner.CreateSpec{{Entry: e}},
+		Desc:    "build",
+	}
+	dec := h.t.Tune(planSet(2, 10, build))
+	if dec.Chosen.Desc != "build" {
+		t.Fatalf("chose %q; future gain must justify building", dec.Chosen.Desc)
+	}
+	if len(dec.Materialize) != 1 {
+		t.Fatal("chosen build's synopsis must be materialized")
+	}
+	if !dec.Keep[e.Desc.ID] {
+		t.Fatal("built synopsis must be in S*")
+	}
+}
+
+func TestEvictionOfUselessSynopses(t *testing.T) {
+	h := newHarness(1<<20, DefaultConfig())
+	// Materialized synopsis with benefits only for long-gone queries.
+	old := h.synopsis("old", 100, map[int][2]float64{-50: {1, 10}})
+	h.store.SetLocation(old.Desc.ID, meta.LocWarehouse)
+	fresh := h.synopsis("fresh", 100, map[int][2]float64{0: {1, 10}})
+	h.store.SetLocation(fresh.Desc.ID, meta.LocBuffer)
+
+	dec := h.t.Tune(planSet(0, 10))
+	if len(dec.Evict) != 1 || dec.Evict[0] != old.Desc.ID {
+		t.Fatalf("evict = %v, want [old]", dec.Evict)
+	}
+	if len(dec.Promote) != 1 || dec.Promote[0] != fresh.Desc.ID {
+		t.Fatalf("promote = %v, want [fresh]", dec.Promote)
+	}
+}
+
+func TestPinnedNeverEvicted(t *testing.T) {
+	h := newHarness(10, DefaultConfig()) // tiny quota
+	p := h.synopsis("pinned", 1000, nil) // way over quota
+	h.store.SetPinned(p.Desc.ID, true)
+	h.store.SetLocation(p.Desc.ID, meta.LocWarehouse)
+	dec := h.t.Tune(planSet(0, 10))
+	for _, id := range dec.Evict {
+		if id == p.Desc.ID {
+			t.Fatal("pinned synopsis evicted")
+		}
+	}
+	if !dec.Keep[p.Desc.ID] {
+		t.Fatal("pinned synopsis must be in S*")
+	}
+}
+
+func TestRetuneAfterQuotaShrink(t *testing.T) {
+	h := newHarness(200, DefaultConfig())
+	a := h.synopsis("a", 100, map[int][2]float64{0: {1, 10}})
+	b := h.synopsis("b", 100, map[int][2]float64{1: {5, 10}})
+	h.store.SetLocation(a.Desc.ID, meta.LocWarehouse)
+	h.store.SetLocation(b.Desc.ID, meta.LocWarehouse)
+	h.t.Tune(planSet(0, 10))
+	h.t.Tune(planSet(1, 10))
+	// Both fit at quota 200; shrink to 100 → keep only a (gain 9 > 5).
+	h.wh.SetWarehouseQuota(100)
+	dec := h.t.Retune()
+	if !dec.Keep[a.Desc.ID] || dec.Keep[b.Desc.ID] {
+		t.Fatalf("keep = %v, want only a", dec.Keep)
+	}
+	if len(dec.Evict) != 1 || dec.Evict[0] != b.Desc.ID {
+		t.Fatalf("evict = %v", dec.Evict)
+	}
+}
+
+func TestAdaptiveWindowMoves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 8
+	h := newHarness(1000, cfg)
+	// A synopsis that helps every query: larger windows see more of its
+	// benefits, so w should not collapse.
+	e := h.synopsis("s", 10, nil)
+	for q := 0; q < 40; q++ {
+		h.store.RecordBenefit(e.Desc.ID, meta.QueryBenefit{QueryID: q, CostWith: 1, CostExact: 10}, 64)
+		h.t.Tune(planSet(q, 10))
+	}
+	if h.t.Window() < 2 || h.t.Window() > cfg.MaxWindow {
+		t.Fatalf("window %d out of bounds", h.t.Window())
+	}
+}
+
+func TestWindowedHistoryBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxWindow = 16
+	h := newHarness(1000, cfg)
+	for q := 0; q < 100; q++ {
+		h.t.Tune(planSet(q, 1))
+	}
+	if len(h.t.history) > 16 {
+		t.Fatalf("history length %d exceeds MaxWindow", len(h.t.history))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tn := New(Config{}, meta.NewStore(), warehouse.NewManager(1, 1))
+	if tn.w != 10 || tn.cfg.Alpha != 0.25 || tn.cfg.MaxWindow != 40 {
+		t.Fatalf("defaults: %+v w=%d", tn.cfg, tn.w)
+	}
+}
+
+func TestChoosePlanIgnoresAlreadyMaterialized(t *testing.T) {
+	h := newHarness(1<<20, DefaultConfig())
+	e := h.synopsis("s", 100, map[int][2]float64{0: {1, 10}})
+	h.store.SetLocation(e.Desc.ID, meta.LocWarehouse)
+	// Simulate it being in the warehouse manager too.
+	if err := h.wh.PutWarehouse(&warehouse.Item{ID: e.Desc.ID, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// A "build" plan for an already-materialized synopsis gets no bonus.
+	build := planner.Candidate{Cost: 9.5, Creates: []planner.CreateSpec{{Entry: e}}, Desc: "build"}
+	dec := h.t.Tune(planSet(0, 10, build))
+	// build still wins on raw cost (9.5 < 10) but not via bonus; verify the
+	// decision is deterministic and sane.
+	if dec.Chosen.Desc != "build" {
+		t.Fatalf("chose %q", dec.Chosen.Desc)
+	}
+}
+
+func TestGainNonNegative(t *testing.T) {
+	h := newHarness(1000, DefaultConfig())
+	// Benefit worse than exact: gain must clamp to 0, synopsis not selected.
+	h.synopsis("bad", 10, map[int][2]float64{0: {20, 10}})
+	h.t.Tune(planSet(0, 10))
+	keep, _ := h.t.selectSet(h.t.windowRecords(h.t.w), 1000)
+	if len(keep) != 0 {
+		t.Fatalf("harmful synopsis selected: %v", keep)
+	}
+}
+
+func ExampleTuner_Tune() {
+	store := meta.NewStore()
+	wh := warehouse.NewManager(1<<20, 1<<20)
+	tn := New(DefaultConfig(), store, wh)
+	dec := tn.Tune(&planner.PlanSet{
+		Query:      &planner.Query{ID: 0},
+		Exact:      planner.Candidate{Cost: 5, Desc: "exact"},
+		Candidates: []planner.Candidate{{Cost: 5, Desc: "exact"}},
+	})
+	fmt.Println(dec.Chosen.Desc)
+	// Output: exact
+}

@@ -1,0 +1,214 @@
+// Package warehouse implements the two-tier synopsis storage of paper §III:
+// a fixed-size in-memory buffer holding synopses freshly built as query
+// byproducts (fast, free of I/O at reuse time, decouples materialization
+// from query latency), and a quota-bounded warehouse (the paper's HDFS tier)
+// holding the synopses the tuner decided to keep. All sizes are
+// byte-accurate; the tuner drives every promotion and eviction.
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// Item is one materialized synopsis.
+type Item struct {
+	ID     uint64
+	Sample *synopses.Sample // exactly one of Sample/Sketch is set
+	Sketch *synopses.SketchJoin
+	Size   int64
+	Pinned bool
+}
+
+// NewSampleItem wraps a sample.
+func NewSampleItem(id uint64, s *synopses.Sample) *Item {
+	return &Item{ID: id, Sample: s, Size: s.SizeBytes()}
+}
+
+// NewSketchItem wraps a sketch-join synopsis.
+func NewSketchItem(id uint64, sk *synopses.SketchJoin) *Item {
+	return &Item{ID: id, Sketch: sk, Size: sk.SizeBytes()}
+}
+
+// tier is shared bookkeeping for buffer and warehouse.
+type tier struct {
+	name  string
+	quota int64
+	used  int64
+	items map[uint64]*Item
+}
+
+func (t *tier) put(it *Item) error {
+	if _, dup := t.items[it.ID]; dup {
+		return fmt.Errorf("warehouse: synopsis #%d already in %s", it.ID, t.name)
+	}
+	if t.used+it.Size > t.quota {
+		return fmt.Errorf("warehouse: %s full: %d + %d > quota %d", t.name, t.used, it.Size, t.quota)
+	}
+	t.items[it.ID] = it
+	t.used += it.Size
+	return nil
+}
+
+func (t *tier) delete(id uint64) bool {
+	it, ok := t.items[id]
+	if !ok {
+		return false
+	}
+	delete(t.items, id)
+	t.used -= it.Size
+	return true
+}
+
+func (t *tier) list() []*Item {
+	out := make([]*Item, 0, len(t.items))
+	for _, it := range t.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Manager owns both tiers.
+type Manager struct {
+	mu        sync.RWMutex
+	buffer    tier
+	warehouse tier
+}
+
+// NewManager returns a manager with the given byte quotas. The paper sets
+// the warehouse quota as a fraction of the dataset size and the buffer to a
+// small fixed size.
+func NewManager(bufferQuota, warehouseQuota int64) *Manager {
+	return &Manager{
+		buffer:    tier{name: "buffer", quota: bufferQuota, items: make(map[uint64]*Item)},
+		warehouse: tier{name: "warehouse", quota: warehouseQuota, items: make(map[uint64]*Item)},
+	}
+}
+
+// PutBuffer stores a freshly built synopsis in the in-memory buffer.
+func (m *Manager) PutBuffer(it *Item) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buffer.put(it)
+}
+
+// PutWarehouse stores a synopsis directly in the warehouse (offline builds,
+// promotions).
+func (m *Manager) PutWarehouse(it *Item) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.warehouse.put(it)
+}
+
+// Promote moves a synopsis from the buffer to the warehouse. The caller
+// charges the simulated write cost.
+func (m *Manager) Promote(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := m.buffer.items[id]
+	if !ok {
+		return fmt.Errorf("warehouse: promote: synopsis #%d not in buffer", id)
+	}
+	if err := m.warehouse.put(it); err != nil {
+		return err
+	}
+	m.buffer.delete(id)
+	return nil
+}
+
+// Delete removes the synopsis from whichever tier holds it. Pinned synopses
+// refuse deletion (user hints are never evicted, paper §V).
+func (m *Manager) Delete(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range []*tier{&m.buffer, &m.warehouse} {
+		if it, ok := t.items[id]; ok {
+			if it.Pinned {
+				return fmt.Errorf("warehouse: synopsis #%d is pinned", id)
+			}
+			t.delete(id)
+			return nil
+		}
+	}
+	return fmt.Errorf("warehouse: synopsis #%d not materialized", id)
+}
+
+// Get returns the item and whether it was found in the buffer tier.
+func (m *Manager) Get(id uint64) (it *Item, inBuffer bool, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if it, ok := m.buffer.items[id]; ok {
+		return it, true, true
+	}
+	if it, ok := m.warehouse.items[id]; ok {
+		return it, false, true
+	}
+	return nil, false, false
+}
+
+// Has reports whether the synopsis is materialized in either tier.
+func (m *Manager) Has(id uint64) bool {
+	_, _, ok := m.Get(id)
+	return ok
+}
+
+// BufferItems returns a snapshot of the buffer tier.
+func (m *Manager) BufferItems() []*Item {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.buffer.list()
+}
+
+// WarehouseItems returns a snapshot of the warehouse tier.
+func (m *Manager) WarehouseItems() []*Item {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.warehouse.list()
+}
+
+// Usage returns (bufferUsed, warehouseUsed) bytes.
+func (m *Manager) Usage() (buffer, warehouse int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.buffer.used, m.warehouse.used
+}
+
+// Quotas returns (bufferQuota, warehouseQuota) bytes.
+func (m *Manager) Quotas() (buffer, warehouse int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.buffer.quota, m.warehouse.quota
+}
+
+// SetWarehouseQuota changes the warehouse quota at runtime — the storage
+// elasticity hook (paper §V). It does not evict; the tuner re-evaluates and
+// issues deletions until Overflow reports zero.
+func (m *Manager) SetWarehouseQuota(quota int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.warehouse.quota = quota
+}
+
+// Overflow returns how many bytes the warehouse exceeds its quota by
+// (after an elastic shrink), zero when within quota.
+func (m *Manager) Overflow() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if over := m.warehouse.used - m.warehouse.quota; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// FreeWarehouse returns the remaining warehouse capacity in bytes.
+func (m *Manager) FreeWarehouse() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	free := m.warehouse.quota - m.warehouse.used
+	if free < 0 {
+		return 0
+	}
+	return free
+}

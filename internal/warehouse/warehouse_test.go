@@ -1,0 +1,169 @@
+package warehouse
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+func mkSample(rows int) *synopses.Sample {
+	b := storage.NewBuilder("s", storage.Schema{
+		{Name: "s.v", Typ: storage.Int64},
+		{Name: synopses.WeightCol, Typ: storage.Float64},
+	})
+	for i := 0; i < rows; i++ {
+		b.Int(0, int64(i))
+		b.Float(1, 1)
+	}
+	return &synopses.Sample{Rows: b.Build(1), Strategy: "uniform", P: 1}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m := NewManager(1<<20, 1<<20)
+	it := NewSampleItem(1, mkSample(100))
+	if err := m.PutBuffer(it); err != nil {
+		t.Fatal(err)
+	}
+	got, inBuf, ok := m.Get(1)
+	if !ok || !inBuf || got != it {
+		t.Fatalf("Get = %v %v %v", got, inBuf, ok)
+	}
+	if !m.Has(1) || m.Has(2) {
+		t.Fatal("Has")
+	}
+	bu, wu := m.Usage()
+	if bu != it.Size || wu != 0 {
+		t.Fatalf("usage = %d %d", bu, wu)
+	}
+	if err := m.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has(1) {
+		t.Fatal("deleted item still present")
+	}
+	if err := m.Delete(1); err == nil {
+		t.Fatal("double delete must error")
+	}
+	bu, _ = m.Usage()
+	if bu != 0 {
+		t.Fatalf("usage after delete = %d", bu)
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	s := mkSample(100)
+	m := NewManager(s.SizeBytes(), s.SizeBytes()*2)
+	if err := m.PutBuffer(NewSampleItem(1, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutBuffer(NewSampleItem(2, s)); err == nil {
+		t.Fatal("buffer overflow must error")
+	}
+	if err := m.PutWarehouse(NewSampleItem(2, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutWarehouse(NewSampleItem(3, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutWarehouse(NewSampleItem(4, s)); err == nil {
+		t.Fatal("warehouse overflow must error")
+	}
+	if m.FreeWarehouse() != 0 {
+		t.Fatalf("free = %d", m.FreeWarehouse())
+	}
+	// Duplicate ids rejected.
+	if err := m.PutWarehouse(NewSampleItem(2, s)); err == nil {
+		t.Fatal("duplicate id must error")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	s := mkSample(50)
+	m := NewManager(1<<20, 1<<20)
+	if err := m.PutBuffer(NewSampleItem(7, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Promote(7); err != nil {
+		t.Fatal(err)
+	}
+	_, inBuf, ok := m.Get(7)
+	if !ok || inBuf {
+		t.Fatal("promotion must move item to warehouse")
+	}
+	if err := m.Promote(7); err == nil {
+		t.Fatal("promoting a non-buffer item must error")
+	}
+	bu, wu := m.Usage()
+	if bu != 0 || wu != s.SizeBytes() {
+		t.Fatalf("usage = %d %d", bu, wu)
+	}
+}
+
+func TestPinnedResistDeletion(t *testing.T) {
+	m := NewManager(1<<20, 1<<20)
+	it := NewSampleItem(1, mkSample(10))
+	it.Pinned = true
+	if err := m.PutWarehouse(it); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(1); err == nil {
+		t.Fatal("pinned item must refuse deletion")
+	}
+	if !m.Has(1) {
+		t.Fatal("pinned item vanished")
+	}
+}
+
+func TestElasticQuota(t *testing.T) {
+	s := mkSample(100)
+	m := NewManager(1<<20, s.SizeBytes()*3)
+	for id := uint64(1); id <= 3; id++ {
+		if err := m.PutWarehouse(NewSampleItem(id, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Overflow() != 0 {
+		t.Fatal("no overflow within quota")
+	}
+	// Shrink: overflow appears, existing data intact until tuner evicts.
+	m.SetWarehouseQuota(s.SizeBytes())
+	if m.Overflow() != 2*s.SizeBytes() {
+		t.Fatalf("overflow = %d", m.Overflow())
+	}
+	if len(m.WarehouseItems()) != 3 {
+		t.Fatal("shrink must not silently drop items")
+	}
+	if err := m.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Overflow() != 0 {
+		t.Fatalf("overflow after evictions = %d", m.Overflow())
+	}
+	_, q := m.Quotas()
+	if q != s.SizeBytes() {
+		t.Fatal("quota readback")
+	}
+}
+
+func TestSketchItem(t *testing.T) {
+	sk := synopses.NewSketchJoin(0.01, 0.01, []string{"k"}, "v", 1)
+	it := NewSketchItem(9, sk)
+	if it.Size != sk.SizeBytes() || it.Sketch == nil {
+		t.Fatalf("item = %+v", it)
+	}
+	m := NewManager(1<<10, 1<<30)
+	if err := m.PutWarehouse(it); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := m.Get(9)
+	if !ok || got.Sketch != sk {
+		t.Fatal("sketch round trip")
+	}
+	if len(m.BufferItems()) != 0 || len(m.WarehouseItems()) != 1 {
+		t.Fatal("tier listings")
+	}
+}

@@ -1,0 +1,235 @@
+// Package taster is a self-tuning, elastic, online approximate query
+// processing engine — a from-scratch Go implementation of "Taster:
+// Self-Tuning, Elastic and Online Approximate Query Processing" (Olma,
+// Papapetrou, Appuswamy, Ailamaki; ICDE 2019).
+//
+// Taster answers SQL aggregate queries approximately by injecting samplers
+// and sketches into query plans at runtime. The synopses it builds are
+// byproducts of query execution: they cost the query nothing extra, land in
+// an in-memory buffer, and a tuner decides after every query which of them
+// to keep in a quota-bounded warehouse so that future queries reuse them.
+// The warehouse adapts continuously to the workload and to runtime storage
+// budget changes.
+//
+// Quick start:
+//
+//	cat := taster.NewCatalog()
+//	// ... register tables via taster.TableBuilder ...
+//	eng := taster.Open(cat, taster.Options{StorageBudget: 1 << 28})
+//	res, err := eng.Query(`SELECT region, SUM(amount) FROM sales
+//	    JOIN customers ON sales.cust = customers.id
+//	    GROUP BY region
+//	    ERROR WITHIN 10% AT CONFIDENCE 95%`)
+//	for i, row := range res.Rows {
+//	    fmt.Println(row, "±", res.Intervals[i][0].HalfWidth)
+//	}
+package taster
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/baselines"
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/tuner"
+)
+
+// Catalog registers the base tables an engine can query.
+type Catalog = storage.Catalog
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return storage.NewCatalog() }
+
+// Schema, Col and Type describe table shapes.
+type (
+	// Schema is an ordered list of columns.
+	Schema = storage.Schema
+	// Col is one column: name (qualify as "table.column") and type.
+	Col = storage.Col
+	// Type is a column type.
+	Type = storage.Type
+)
+
+// Column types.
+const (
+	Int64   = storage.Int64
+	Float64 = storage.Float64
+	String  = storage.String
+	Bool    = storage.Bool
+)
+
+// TableBuilder accumulates rows for a new table.
+type TableBuilder = storage.Builder
+
+// NewTableBuilder starts a table. Column names should be qualified with the
+// table name ("sales.amount") so SQL references bind unambiguously.
+func NewTableBuilder(name string, schema Schema) *TableBuilder {
+	return storage.NewBuilder(name, schema)
+}
+
+// Value is a dynamically typed scalar (result cells).
+type Value = storage.Value
+
+// Interval is an estimate with its confidence half-width.
+type Interval = stats.Interval
+
+// Accuracy is an error-at-confidence requirement.
+type Accuracy = stats.AccuracySpec
+
+// Options configures an engine.
+type Options struct {
+	// StorageBudget is the synopsis warehouse quota in bytes. The paper
+	// expresses it as a fraction of the dataset; 0 means 25% of the
+	// catalog's current size.
+	StorageBudget int64
+	// BufferSize is the in-memory synopsis buffer quota (0 → budget/4).
+	BufferSize int64
+	// Window is the tuner's initial sliding-window length (0 → 10); the
+	// window adapts online unless FixedWindow is set.
+	Window      int
+	FixedWindow bool
+	// DefaultAccuracy applies to queries without an ERROR WITHIN clause
+	// (zero value → 10% at 95%).
+	DefaultAccuracy Accuracy
+	// Seed makes sampling reproducible.
+	Seed uint64
+	// SimulatedScale activates the simulated-cluster cost model that treats
+	// the registered data as a miniature of a large cluster-resident
+	// dataset (used by the experiments; optional for library users).
+	SimulatedScale bool
+}
+
+// Engine is a Taster instance.
+type Engine struct {
+	inner *core.Engine
+	cat   *Catalog
+}
+
+// Open creates an engine over the catalog.
+func Open(cat *Catalog, opts Options) *Engine {
+	if opts.StorageBudget <= 0 {
+		opts.StorageBudget = cat.TotalBytes() / 4
+		if opts.StorageBudget <= 0 {
+			opts.StorageBudget = 64 << 20
+		}
+	}
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = opts.StorageBudget / 4
+	}
+	model := storage.DefaultCostModel()
+	if opts.SimulatedScale {
+		var rows int64
+		for _, n := range cat.Names() {
+			if t, err := cat.Table(n); err == nil {
+				rows += int64(t.NumRows())
+			}
+		}
+		model = storage.ScaledCostModel(cat.TotalBytes(), rows)
+	}
+	tcfg := tuner.DefaultConfig()
+	if opts.Window > 0 {
+		tcfg.Window = opts.Window
+	}
+	tcfg.Adaptive = !opts.FixedWindow
+	return &Engine{
+		inner: core.New(cat, core.Config{
+			Mode:            core.ModeTaster,
+			StorageBudget:   opts.StorageBudget,
+			BufferSize:      opts.BufferSize,
+			CostModel:       model,
+			Tuner:           tcfg,
+			DefaultAccuracy: opts.DefaultAccuracy,
+			Seed:            opts.Seed,
+		}),
+		cat: cat,
+	}
+}
+
+// Result is a completed query.
+type Result struct {
+	// Columns names the result columns.
+	Columns []string
+	// Rows holds the result values (group-by columns, then aggregates).
+	Rows [][]Value
+	// Intervals holds, per row, the confidence interval of every aggregate
+	// cell. Exact results have zero-width intervals.
+	Intervals [][]Interval
+	// Stats reports how the query was answered.
+	Stats QueryStats
+}
+
+// QueryStats is per-query telemetry.
+type QueryStats struct {
+	// Plan describes the chosen plan ("exact", "reuse sample #3 ...", ...).
+	Plan string
+	// PlanTree is the full plan rendering.
+	PlanTree string
+	// ReusedSynopses / CreatedSynopses identify warehouse activity.
+	ReusedSynopses  []uint64
+	CreatedSynopses []uint64
+	// SimulatedSeconds is the cluster-time estimate (only meaningful with
+	// Options.SimulatedScale); WallSeconds is measured.
+	SimulatedSeconds float64
+	WallSeconds      float64
+	// WarehouseBytes is the warehouse occupancy after the query.
+	WarehouseBytes int64
+}
+
+// Query parses, plans, tunes and executes one SQL query.
+func (e *Engine) Query(sql string) (*Result, error) {
+	q, err := sqlparser.Parse(sql, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.inner.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:   res.Columns,
+		Rows:      res.Rows,
+		Intervals: res.Intervals,
+		Stats: QueryStats{
+			Plan:             res.Report.PlanDesc,
+			PlanTree:         res.Report.PlanTree,
+			ReusedSynopses:   res.Report.UsedSynopses,
+			CreatedSynopses:  res.Report.CreatedSynopses,
+			SimulatedSeconds: res.Report.SimSeconds,
+			WallSeconds:      res.Report.WallSeconds,
+			WarehouseBytes:   res.Report.WarehouseBytes,
+		},
+	}, nil
+}
+
+// SetStorageBudget changes the warehouse quota at runtime; the tuner
+// immediately re-evaluates the stored synopses (storage elasticity, §V).
+func (e *Engine) SetStorageBudget(bytes int64) { e.inner.SetStorageBudget(bytes) }
+
+// Hint pre-builds a pinned sample for a table offline (VerdictDB-style
+// scramble + variational subsampling), so that the very first queries over
+// it are already fast. stratCols declares the stratification the analysis
+// needs; aggCols the columns that will be aggregated.
+func (e *Engine) Hint(table string, stratCols, aggCols []string) error {
+	_, err := baselines.ApplyHints(e.inner, []baselines.Hint{{
+		Table: table, StratCols: stratCols, AggCols: aggCols,
+	}}, storage.DefaultCostModel(), 1)
+	return err
+}
+
+// WarehouseUsage returns (bufferBytes, warehouseBytes) currently occupied.
+func (e *Engine) WarehouseUsage() (buffer, warehouse int64) {
+	return e.inner.Warehouse().Usage()
+}
+
+// Synopses returns one human-readable line per synopsis the engine has
+// materialized.
+func (e *Engine) Synopses() []string {
+	var out []string
+	for _, entry := range e.inner.Store().Materialized() {
+		d := entry.Desc
+		out = append(out, fmt.Sprintf("%s [%s, %d bytes]", d.Label(), d.Location, d.SizeBytes()))
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package taster_test
+
+import (
+	"math"
+	"testing"
+
+	taster "github.com/tasterdb/taster"
+)
+
+func demoCatalog() *taster.Catalog {
+	cat := taster.NewCatalog()
+	sales := taster.NewTableBuilder("sales", taster.Schema{
+		{Name: "sales.cust", Typ: taster.Int64},
+		{Name: "sales.amount", Typ: taster.Float64},
+	})
+	for i := 0; i < 20000; i++ {
+		sales.Int(0, int64(i%8))
+		sales.Float(1, float64(i%500))
+	}
+	cat.Register(sales.Build(4))
+
+	customers := taster.NewTableBuilder("customers", taster.Schema{
+		{Name: "customers.id", Typ: taster.Int64},
+		{Name: "customers.region", Typ: taster.String},
+	})
+	for i := 0; i < 8; i++ {
+		customers.AddRow(taster.Value{Typ: taster.Int64, I: int64(i)},
+			taster.Value{Typ: taster.String, S: []string{"north", "south"}[i%2]})
+	}
+	cat.Register(customers.Build(1))
+	return cat
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	const sql = `SELECT region, SUM(amount), COUNT(*) FROM sales
+		JOIN customers ON sales.cust = customers.id
+		GROUP BY region ERROR WITHIN 10% AT CONFIDENCE 95%`
+
+	var last *taster.Result
+	for i := 0; i < 5; i++ {
+		res, err := eng.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("run %d: groups = %d", i, len(res.Rows))
+		}
+		// True totals: each region has 10000 rows; SUM ≈ 10000·≈249.75.
+		for r, row := range res.Rows {
+			cnt := row[2].F
+			if math.Abs(cnt-10000) > 3000 {
+				t.Fatalf("count = %v", cnt)
+			}
+			if len(res.Intervals[r]) != 2 {
+				t.Fatalf("intervals per row = %d", len(res.Intervals[r]))
+			}
+		}
+		last = res
+	}
+	if last.Stats.Plan == "" || last.Stats.SimulatedSeconds <= 0 {
+		t.Fatalf("stats = %+v", last.Stats)
+	}
+	// After several identical queries the engine must hold synopses.
+	if buf, wh := eng.WarehouseUsage(); buf+wh == 0 {
+		t.Fatal("no synopses materialized")
+	}
+	if len(eng.Synopses()) == 0 {
+		t.Fatal("Synopses() empty")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	eng := taster.Open(demoCatalog(), taster.Options{})
+	if _, err := eng.Query("SELECT nope FROM nowhere"); err == nil {
+		t.Fatal("want error")
+	}
+	if err := eng.Hint("nowhere", nil, nil); err == nil {
+		t.Fatal("want unknown table error")
+	}
+}
+
+func TestPublicAPIHintAndElasticity(t *testing.T) {
+	eng := taster.Open(demoCatalog(), taster.Options{Seed: 5, SimulatedScale: true})
+	if err := eng.Hint("sales", []string{"sales.cust"}, []string{"sales.amount"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(`SELECT cust, AVG(amount) FROM sales GROUP BY cust
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	// Shrinking the budget must not break subsequent queries.
+	eng.SetStorageBudget(1)
+	if _, err := eng.Query(`SELECT COUNT(*) FROM sales`); err != nil {
+		t.Fatal(err)
+	}
+}
