@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench
+
+all: check
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite under the race detector: morsel-executor determinism
+# and the concurrent serving path.
+race:
+	$(GO) test -race ./internal/core/ ./internal/exec/ .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

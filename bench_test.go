@@ -6,14 +6,102 @@
 package taster_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
+	"github.com/tasterdb/taster/internal/exec"
 	"github.com/tasterdb/taster/internal/experiments"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
 )
 
 // benchCfg keeps the full pipeline (3 datasets × 4-6 systems × N queries)
 // fast enough for -bench=. runs while preserving the paper's shapes.
 var benchCfg = experiments.Config{SF: 0.004, Queries: 30, Seed: 42}
+
+// benchTable lazily builds the grouped-aggregate benchmark input: 2M rows,
+// 64 groups, two numeric measures.
+var benchTable = sync.OnceValue(func() *storage.Table {
+	const rows = 2_000_000
+	b := storage.NewBuilder("bench", storage.Schema{
+		{Name: "bench.grp", Typ: storage.Int64},
+		{Name: "bench.a", Typ: storage.Float64},
+		{Name: "bench.b", Typ: storage.Float64},
+	})
+	for i := 0; i < rows; i++ {
+		b.Int(0, int64(i*2654435761%64))
+		b.Float(1, float64(i%10000))
+		b.Float(2, float64(i%997))
+	}
+	return b.Build(8)
+})
+
+func benchAggPlan() *plan.Aggregate {
+	return &plan.Aggregate{
+		Child:   &plan.Scan{Table: benchTable()},
+		GroupBy: []string{"bench.grp"},
+		Aggs: []plan.AggSpec{
+			{Kind: stats.Count},
+			{Kind: stats.Sum, Col: "bench.a"},
+			{Kind: stats.Avg, Col: "bench.b"},
+		},
+	}
+}
+
+func runGroupedAgg(b *testing.B, workers int) {
+	b.Helper()
+	node := benchAggPlan() // forces the one-time table build
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext(0.95)
+		ctx.Workers = workers
+		op, err := exec.Compile(node, 1, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Run(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupedAggScanSequential is the 1-worker baseline of the
+// morsel-driven executor (same morsel decomposition, no pool parallelism).
+func BenchmarkGroupedAggScanSequential(b *testing.B) { runGroupedAgg(b, 1) }
+
+// BenchmarkGroupedAggScanParallel runs the same grouped-aggregate scan with
+// one worker per CPU.
+func BenchmarkGroupedAggScanParallel(b *testing.B) { runGroupedAgg(b, runtime.NumCPU()) }
+
+// BenchmarkGroupedAggScanSpeedup measures both paths back to back and
+// reports the parallel speedup directly (≈ NumCPU-bound; ~1.0 on one core).
+func BenchmarkGroupedAggScanSpeedup(b *testing.B) {
+	node := benchAggPlan() // forces the one-time table build
+	b.ResetTimer()
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		ctx := exec.NewContext(0.95)
+		ctx.Workers = workers
+		op, err := exec.Compile(node, 1, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Run(op); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		seq += run(1)
+		par += run(runtime.NumCPU())
+	}
+	b.ReportMetric(float64(seq)/float64(par), "parallel-speedup-x")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
 
 // BenchmarkFigure3TPCH regenerates Fig. 3a: end-to-end time of Baseline,
 // Quickr, BlinkDB 50/100% and Taster 50/100% on the TPC-H workload.

@@ -1,0 +1,82 @@
+package taster_test
+
+import (
+	"fmt"
+	"math"
+
+	taster "github.com/tasterdb/taster"
+)
+
+// ExampleOpen registers a table, opens an engine and runs a plain SQL
+// aggregate. Queries this small run exactly, so the confidence intervals are
+// zero-width.
+func ExampleOpen() {
+	cat := taster.NewCatalog()
+	sales := taster.NewTableBuilder("sales", taster.Schema{
+		{Name: "sales.region", Typ: taster.String},
+		{Name: "sales.amount", Typ: taster.Float64},
+	})
+	for i := 0; i < 100; i++ {
+		region := "east"
+		if i%2 == 1 {
+			region = "west"
+		}
+		sales.Str(0, region)
+		sales.Float(1, float64(i))
+	}
+	cat.Register(sales.Build(2))
+
+	eng := taster.Open(cat, taster.Options{Seed: 42})
+	res, err := eng.Query(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
+	if err != nil {
+		panic(err)
+	}
+	for i, row := range res.Rows {
+		fmt.Printf("%s: %.0f (±%.0f)\n", row[0].S, row[1].F, res.Intervals[i][0].HalfWidth)
+	}
+	// Output:
+	// east: 50 (±0)
+	// west: 50 (±0)
+}
+
+// ExampleEngine_Query answers an approximate aggregate with an ERROR WITHIN
+// clause: the engine injects a sampler, returns Horvitz-Thompson estimates
+// with confidence intervals, and materializes the sample as a byproduct so
+// repeated queries get faster. Engines are safe to query from many
+// goroutines concurrently.
+func ExampleEngine_Query() {
+	cat := taster.NewCatalog()
+	sales := taster.NewTableBuilder("sales", taster.Schema{
+		{Name: "sales.grp", Typ: taster.Int64},
+		{Name: "sales.amount", Typ: taster.Float64},
+	})
+	truth := make(map[int64]float64)
+	for i := 0; i < 50000; i++ {
+		g, amt := int64(i%4), float64(i%100)
+		sales.Int(0, g)
+		sales.Float(1, amt)
+		truth[g] += amt
+	}
+	cat.Register(sales.Build(4))
+
+	eng := taster.Open(cat, taster.Options{Seed: 1})
+	res, err := eng.Query(`SELECT grp, SUM(amount) FROM sales GROUP BY grp
+		ERROR WITHIN 10% AT CONFIDENCE 95%`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("groups:", len(res.Rows))
+
+	allClose := true
+	for i, row := range res.Rows {
+		got, want := row[1].F, truth[row[0].I]
+		slack := math.Max(4*res.Intervals[i][0].HalfWidth, 1e-9)
+		if math.Abs(got-want) > slack {
+			allClose = false
+		}
+	}
+	fmt.Println("estimates within their intervals:", allClose)
+	// Output:
+	// groups: 4
+	// estimates within their intervals: true
+}

@@ -1,0 +1,3 @@
+module github.com/tasterdb/taster
+
+go 1.24

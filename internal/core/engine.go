@@ -4,6 +4,15 @@
 // the chosen physical plan (materializing synopses as byproducts into the
 // in-memory buffer), and updates the metadata store — the full §III
 // execution workflow.
+//
+// Concurrency model: Engine is safe for concurrent use. Planning and
+// execution run concurrently across goroutines — the metadata store, the
+// warehouse manager and the catalog are internally locked, and the
+// morsel-driven executor parallelizes within each query too. Only the
+// tuner's window state and the eviction/promotion step it mandates
+// serialize (on tuneMu); per-engine counters and telemetry serialize on mu.
+// Each *planner.Query value must be used by one Execute call at a time (the
+// engine assigns its ID and defaults its accuracy in place).
 package core
 
 import (
@@ -66,6 +75,9 @@ type Config struct {
 	// overhead (the paper measures ~2 s for Taster's centralized tuner).
 	// Negative means "use the mode default" (2.0 taster / 0.2 quickr / 0).
 	TuneOverheadSeconds float64
+	// Workers caps the morsel-driven executor's intra-query parallelism;
+	// 0 means runtime.NumCPU(). Results are byte-identical for any value.
+	Workers int
 }
 
 // Report is the per-query telemetry the experiments aggregate.
@@ -104,9 +116,15 @@ type Engine struct {
 	pl    *planner.Planner
 	tn    *tuner.Tuner
 
+	// mu guards the per-engine counters and telemetry only.
 	mu         sync.Mutex
 	queryCount int
 	reports    []Report
+
+	// tuneMu serializes the tuner's window state and the warehouse
+	// eviction/promotion step it mandates — the only part of the query path
+	// that cannot run concurrently. Planning and execution never hold it.
+	tuneMu sync.Mutex
 }
 
 // New creates an engine. A zero CostModel or Tuner config is replaced by
@@ -167,14 +185,17 @@ func (e *Engine) Reports() []Report {
 	return append([]Report(nil), e.reports...)
 }
 
-// Execute plans, tunes and runs one query.
+// Execute plans, tunes and runs one query. It is safe to call from many
+// goroutines: planning and execution proceed concurrently, and only the
+// tuning step serializes.
 func (e *Engine) Execute(q *planner.Query) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	start := time.Now()
 
+	e.mu.Lock()
 	q.ID = e.queryCount
 	e.queryCount++
+	e.mu.Unlock()
+
 	if !q.Accuracy.Valid() {
 		q.Accuracy = e.cfg.DefaultAccuracy
 	}
@@ -187,10 +208,31 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		return nil, err
 	}
 
+	rep := Report{QueryID: q.ID, Mode: e.cfg.Mode, EstimatedExact: ps.Exact.Cost}
+
 	var dec tuner.Decision
 	switch e.cfg.Mode {
 	case ModeTaster:
+		// Tuning mutates the sliding window and rearranges the warehouse;
+		// it is the serialization point of the engine. Evictions and
+		// promotions apply under the same critical section so concurrent
+		// queries never see a half-applied synopsis set.
+		e.tuneMu.Lock()
 		dec = e.tn.Tune(ps)
+		for _, id := range dec.Evict {
+			if err := e.wh.Delete(id); err == nil {
+				e.store.SetLocation(id, meta.LocNone)
+				rep.Evicted = append(rep.Evicted, id)
+			}
+		}
+		for _, id := range dec.Promote {
+			if err := e.wh.Promote(id); err == nil {
+				e.store.SetLocation(id, meta.LocWarehouse)
+				rep.Promoted = append(rep.Promoted, id)
+			}
+		}
+		rep.Window = e.tn.Window()
+		e.tuneMu.Unlock()
 	case ModeQuickr:
 		// Quickr: best per-query plan with no reuse and no materialization.
 		// The paper's Quickr implements only the sampler operators — no
@@ -204,6 +246,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 				dec.Chosen = c
 			}
 		}
+		rep.Window = e.windowLen()
 	case ModeOffline:
 		// BlinkDB-style: reuse a pre-built sample when one matches, else
 		// run exact; never sample at query time.
@@ -213,36 +256,22 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 				dec.Chosen = c
 			}
 		}
+		rep.Window = e.windowLen()
 	default:
 		dec.Chosen = ps.Exact
+		rep.Window = e.windowLen()
 	}
 
-	rep := Report{
-		QueryID:        q.ID,
-		Mode:           e.cfg.Mode,
-		PlanDesc:       dec.Chosen.Desc,
-		EstimatedCost:  dec.Chosen.Cost,
-		EstimatedExact: ps.Exact.Cost,
-		UsedSynopses:   dec.Chosen.Uses,
-	}
+	rep.PlanDesc = dec.Chosen.Desc
+	rep.EstimatedCost = dec.Chosen.Cost
+	rep.UsedSynopses = dec.Chosen.Uses
 
-	// Apply evictions and promotions before executing (the tuner freed the
-	// space the chosen plan's materializations need).
-	for _, id := range dec.Evict {
-		if err := e.wh.Delete(id); err == nil {
-			e.store.SetLocation(id, meta.LocNone)
-			rep.Evicted = append(rep.Evicted, id)
-		}
-	}
-	for _, id := range dec.Promote {
-		if err := e.wh.Promote(id); err == nil {
-			e.store.SetLocation(id, meta.LocWarehouse)
-			rep.Promoted = append(rep.Promoted, id)
-		}
-	}
-
-	// Execute.
+	// Execute. The executor seed derives from the canonical plan text, not
+	// the query's arrival number, so the randomness a query sees — and with
+	// it the sampled result — is reproducible under concurrent serving
+	// regardless of interleaving.
 	ctx := exec.NewContext(q.Accuracy.Confidence)
+	ctx.Workers = e.cfg.Workers
 	matNames := make(map[*plan.SynopsisOp]uint64)
 	keepSketch := make(map[*plan.SketchJoin]uint64)
 	for _, cs := range dec.Materialize {
@@ -254,7 +283,8 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			keepSketch[cs.SketchNode] = cs.Entry.Desc.ID
 		}
 	}
-	op, err := exec.Compile(dec.Chosen.Root, e.cfg.Seed+uint64(q.ID)*2654435761, ctx)
+	planTree := plan.Format(dec.Chosen.Root)
+	op, err := exec.Compile(dec.Chosen.Root, synopses.SeedFromString(planTree, e.cfg.Seed), ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -286,27 +316,38 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	res.Report.SimSeconds = ctx.Stats.SimulatedSeconds(e.cfg.CostModel) + e.cfg.TuneOverheadSeconds
 	res.Report.WallSeconds = time.Since(start).Seconds()
 	res.Report.BufferBytes, res.Report.WarehouseBytes = e.wh.Usage()
-	res.Report.PlanTree = plan.Format(dec.Chosen.Root)
-	res.Report.Window = e.tn.Window()
+	res.Report.PlanTree = planTree
+	e.mu.Lock()
 	e.reports = append(e.reports, res.Report)
+	e.mu.Unlock()
 	return res, nil
 }
 
+// windowLen reads the tuner's current window length under the tuning lock.
+func (e *Engine) windowLen() int {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	return e.tn.Window()
+}
+
 // admit places a freshly built synopsis in the buffer, overflowing to the
-// warehouse, dropping it if neither tier has room.
+// warehouse, dropping it if neither tier has room. Admission is atomic in
+// the warehouse manager, so two queries concurrently building the same
+// synopsis converge on one stored copy; it also takes tuneMu so the
+// store-then-set-location pair can never interleave with the tuner's
+// delete-then-set-location pair (which would strand a stale location in
+// the metadata store).
 func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int) {
-	if err := e.wh.PutBuffer(it); err == nil {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	switch e.wh.Admit(it) {
+	case warehouse.AdmitBuffer:
 		e.store.SetLocation(id, meta.LocBuffer)
-		e.store.SetActualSize(id, it.Size)
-		return
-	}
-	if err := e.wh.PutWarehouse(it); err == nil {
+	case warehouse.AdmitWarehouse:
 		e.store.SetLocation(id, meta.LocWarehouse)
-		e.store.SetActualSize(id, it.Size)
-		return
 	}
-	// No room anywhere: the synopsis is dropped; metadata remembers the
-	// measured size for better future decisions.
+	// Even for dropped synopses, metadata remembers the measured size for
+	// better future decisions.
 	e.store.SetActualSize(id, it.Size)
 }
 
@@ -328,8 +369,8 @@ func assemble(op exec.Operator, batches []*storage.Batch) *Result {
 // retunes, evicting the lowest-gain synopses until the warehouse fits —
 // the paper's storage elasticity (§V, §VI-D).
 func (e *Engine) SetStorageBudget(bytes int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
 	e.wh.SetWarehouseQuota(bytes)
 	if e.cfg.Mode != ModeTaster {
 		return
@@ -368,8 +409,8 @@ func (e *Engine) SetStorageBudget(bytes int64) {
 // placed directly in the warehouse, marked pinned, and the tuner will never
 // evict it. stratCols/aggCols/accuracy describe what queries it can serve.
 func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols []string, acc stats.AccuracySpec) (uint64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
 	tbl, err := e.cat.Table(table)
 	if err != nil {
 		return 0, err

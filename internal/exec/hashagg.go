@@ -9,43 +9,31 @@ import (
 	"github.com/tasterdb/taster/internal/synopses"
 )
 
-// HashAggOp groups rows and computes aggregates. When the input carries the
-// sampler weight column it transparently switches to Horvitz-Thompson
-// estimation with the single-pass per-group variance tracking of paper
-// §IV-B; on unweighted input the results are exact (zero-width intervals).
-type HashAggOp struct {
-	Child   Operator
-	GroupBy []string
-	Aggs    []plan.AggSpec
-
-	ctx    *Context
-	schema storage.Schema
+// aggSpec is the resolved column binding of one aggregation: group and
+// aggregate column positions in the input schema plus the output schema. It
+// is computed once and shared by every partial hash table of the aggregation
+// (one per morsel in the parallel executor, exactly one in the Volcano
+// operator).
+type aggSpec struct {
+	groupBy []string
+	aggs    []plan.AggSpec
 
 	groupIdx  []int
 	aggIdx    []int // column index per agg, -1 for COUNT(*)
 	weightIdx int
-
-	groups    map[string]*aggGroup
-	emitted   bool
-	intervals [][]stats.Interval
+	schema    storage.Schema
 }
 
-type aggGroup struct {
-	keyVals []storage.Value
-	accs    []*stats.GroupAccumulator
-}
-
-// NewHashAggOp resolves columns and prepares the aggregation.
-func NewHashAggOp(child Operator, groupBy []string, aggs []plan.AggSpec, ctx *Context) (*HashAggOp, error) {
-	a := &HashAggOp{Child: child, GroupBy: groupBy, Aggs: aggs, ctx: ctx}
-	in := child.Schema()
+// resolveAggSpec binds group/aggregate columns against the input schema.
+func resolveAggSpec(in storage.Schema, groupBy []string, aggs []plan.AggSpec) (*aggSpec, error) {
+	s := &aggSpec{groupBy: groupBy, aggs: aggs}
 	for _, g := range groupBy {
 		i := in.Index(g)
 		if i < 0 {
 			return nil, fmt.Errorf("exec: aggregate: group column %q not in %v", g, in.Names())
 		}
-		a.groupIdx = append(a.groupIdx, i)
-		a.schema = append(a.schema, in[i])
+		s.groupIdx = append(s.groupIdx, i)
+		s.schema = append(s.schema, in[i])
 	}
 	for _, ag := range aggs {
 		idx := -1
@@ -60,16 +48,150 @@ func NewHashAggOp(child Operator, groupBy []string, aggs []plan.AggSpec, ctx *Co
 		} else if ag.Kind != stats.Count {
 			return nil, fmt.Errorf("exec: %s requires a column", ag.Kind)
 		}
-		a.aggIdx = append(a.aggIdx, idx)
-		a.schema = append(a.schema, storage.Col{Name: ag.DefaultAlias(), Typ: storage.Float64})
+		s.aggIdx = append(s.aggIdx, idx)
+		s.schema = append(s.schema, storage.Col{Name: ag.DefaultAlias(), Typ: storage.Float64})
 	}
-	a.weightIdx = in.Index(synopses.WeightCol)
-	return a, nil
+	s.weightIdx = in.Index(synopses.WeightCol)
+	return s, nil
+}
+
+type aggGroup struct {
+	keyVals []storage.Value
+	accs    []*stats.GroupAccumulator
+}
+
+// aggTable is one hash table of group accumulators — a complete aggregation
+// state that can observe batches and merge with tables built over disjoint
+// input partitions.
+type aggTable struct {
+	spec   *aggSpec
+	groups map[string]*aggGroup
+	key    []byte // scratch buffer
+}
+
+func newAggTable(spec *aggSpec) *aggTable {
+	return &aggTable{spec: spec, groups: make(map[string]*aggGroup, 64)}
+}
+
+func (t *aggTable) newGroup(b *storage.Batch, row int) *aggGroup {
+	g := &aggGroup{accs: make([]*stats.GroupAccumulator, len(t.spec.aggs))}
+	for k, ag := range t.spec.aggs {
+		g.accs[k] = stats.NewGroupAccumulator(ag.Kind)
+	}
+	if b != nil {
+		for _, gi := range t.spec.groupIdx {
+			g.keyVals = append(g.keyVals, b.Vecs[gi].Get(row))
+		}
+	}
+	return g
+}
+
+// observe folds one batch into the table.
+func (t *aggTable) observe(b *storage.Batch) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		t.key = groupKey(t.key, b.Vecs, t.spec.groupIdx, i)
+		g, ok := t.groups[string(t.key)]
+		if !ok {
+			g = t.newGroup(b, i)
+			t.groups[string(t.key)] = g
+		}
+		w := 1.0
+		if t.spec.weightIdx >= 0 {
+			w = b.Vecs[t.spec.weightIdx].F64[i]
+		}
+		for k := range t.spec.aggs {
+			y := 1.0
+			if ci := t.spec.aggIdx[k]; ci >= 0 {
+				y = b.Vecs[ci].Float(i)
+			}
+			g.accs[k].Observe(y, w)
+		}
+	}
+}
+
+// merge folds o into t. Accumulator merging sums floating-point state, so
+// callers needing bit-reproducible output must merge partial tables in a
+// deterministic order (the morsel executor merges in morsel index order).
+func (t *aggTable) merge(o *aggTable) {
+	for key, og := range o.groups {
+		g, ok := t.groups[key]
+		if !ok {
+			t.groups[key] = og
+			continue
+		}
+		for k := range g.accs {
+			g.accs[k].Merge(og.accs[k])
+		}
+	}
+}
+
+// emit renders the table as one batch with groups in deterministic (sorted)
+// order, plus the row-aligned confidence intervals. SQL semantics: a global
+// aggregate (no GROUP BY) over empty input still yields one row (COUNT 0,
+// zero-valued aggregates).
+func (t *aggTable) emit(confidence float64) (*storage.Batch, [][]stats.Interval) {
+	if len(t.groups) == 0 && len(t.spec.groupBy) == 0 {
+		t.groups[""] = t.newGroup(nil, 0)
+	}
+
+	all := make([]*aggGroup, 0, len(t.groups))
+	for _, g := range t.groups {
+		all = append(all, g)
+	}
+	keys := make([][]storage.Value, len(all))
+	for i, g := range all {
+		keys[i] = g.keyVals
+	}
+	order := sortRowsByValues(keys)
+
+	out := storage.NewBatch(t.spec.schema, len(all))
+	intervals := make([][]stats.Interval, 0, len(all))
+	for _, oi := range order {
+		g := all[oi]
+		for c, v := range g.keyVals {
+			out.Vecs[c].Append(v)
+		}
+		rowIv := make([]stats.Interval, len(t.spec.aggs))
+		for k, acc := range g.accs {
+			iv := acc.Interval(confidence)
+			rowIv[k] = iv
+			out.Vecs[len(t.spec.groupIdx)+k].F64 = append(out.Vecs[len(t.spec.groupIdx)+k].F64, iv.Estimate)
+		}
+		intervals = append(intervals, rowIv)
+	}
+	return out, intervals
+}
+
+// HashAggOp groups rows and computes aggregates. When the input carries the
+// sampler weight column it transparently switches to Horvitz-Thompson
+// estimation with the single-pass per-group variance tracking of paper
+// §IV-B; on unweighted input the results are exact (zero-width intervals).
+type HashAggOp struct {
+	Child   Operator
+	GroupBy []string
+	Aggs    []plan.AggSpec
+
+	ctx  *Context
+	spec *aggSpec
+
+	table     *aggTable
+	emitted   bool
+	intervals [][]stats.Interval
+}
+
+// NewHashAggOp resolves columns and prepares the aggregation.
+func NewHashAggOp(child Operator, groupBy []string, aggs []plan.AggSpec, ctx *Context) (*HashAggOp, error) {
+	spec, err := resolveAggSpec(child.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &HashAggOp{Child: child, GroupBy: groupBy, Aggs: aggs, ctx: ctx, spec: spec}, nil
 }
 
 // Open implements Operator.
 func (a *HashAggOp) Open() error {
-	a.groups = make(map[string]*aggGroup, 256)
+	a.table = newAggTable(a.spec)
 	a.emitted = false
 	a.intervals = nil
 	return a.Child.Open()
@@ -81,7 +203,6 @@ func (a *HashAggOp) Next() (*storage.Batch, error) {
 	if a.emitted {
 		return nil, nil
 	}
-	var key []byte
 	for {
 		b, err := a.Child.Next()
 		if err != nil {
@@ -91,72 +212,13 @@ func (a *HashAggOp) Next() (*storage.Batch, error) {
 			break
 		}
 		a.ctx.Stats.ShuffleBytes += batchBytes(b)
-		n := b.Len()
-		a.ctx.Stats.CPUTuples += int64(n)
-		for i := 0; i < n; i++ {
-			key = groupKey(key, b.Vecs, a.groupIdx, i)
-			g, ok := a.groups[string(key)]
-			if !ok {
-				g = &aggGroup{accs: make([]*stats.GroupAccumulator, len(a.Aggs))}
-				for k, ag := range a.Aggs {
-					g.accs[k] = stats.NewGroupAccumulator(ag.Kind)
-				}
-				for _, gi := range a.groupIdx {
-					g.keyVals = append(g.keyVals, b.Vecs[gi].Get(i))
-				}
-				a.groups[string(key)] = g
-			}
-			w := 1.0
-			if a.weightIdx >= 0 {
-				w = b.Vecs[a.weightIdx].F64[i]
-			}
-			for k := range a.Aggs {
-				y := 1.0
-				if ci := a.aggIdx[k]; ci >= 0 {
-					y = b.Vecs[ci].Float(i)
-				}
-				g.accs[k].Observe(y, w)
-			}
-		}
+		a.ctx.Stats.CPUTuples += int64(b.Len())
+		a.table.observe(b)
 	}
 	a.emitted = true
 
-	// SQL semantics: a global aggregate (no GROUP BY) over empty input
-	// still yields one row (COUNT 0, zero-valued aggregates).
-	if len(a.groups) == 0 && len(a.GroupBy) == 0 {
-		g := &aggGroup{accs: make([]*stats.GroupAccumulator, len(a.Aggs))}
-		for k, ag := range a.Aggs {
-			g.accs[k] = stats.NewGroupAccumulator(ag.Kind)
-		}
-		a.groups[""] = g
-	}
-
-	// Deterministic output: sort groups by key values.
-	all := make([]*aggGroup, 0, len(a.groups))
-	for _, g := range a.groups {
-		all = append(all, g)
-	}
-	keys := make([][]storage.Value, len(all))
-	for i, g := range all {
-		keys[i] = g.keyVals
-	}
-	order := sortRowsByValues(keys)
-
-	out := storage.NewBatch(a.schema, len(all))
-	a.intervals = make([][]stats.Interval, 0, len(all))
-	for _, oi := range order {
-		g := all[oi]
-		for c, v := range g.keyVals {
-			out.Vecs[c].Append(v)
-		}
-		rowIv := make([]stats.Interval, len(a.Aggs))
-		for k, acc := range g.accs {
-			iv := acc.Interval(a.ctx.Confidence)
-			rowIv[k] = iv
-			out.Vecs[len(a.groupIdx)+k].F64 = append(out.Vecs[len(a.groupIdx)+k].F64, iv.Estimate)
-		}
-		a.intervals = append(a.intervals, rowIv)
-	}
+	out, intervals := a.table.emit(a.ctx.Confidence)
+	a.intervals = intervals
 	a.ctx.Stats.OutputRows += int64(out.Len())
 	return out, nil
 }
@@ -165,7 +227,7 @@ func (a *HashAggOp) Next() (*storage.Batch, error) {
 func (a *HashAggOp) Close() error { return a.Child.Close() }
 
 // Schema implements Operator.
-func (a *HashAggOp) Schema() storage.Schema { return a.schema }
+func (a *HashAggOp) Schema() storage.Schema { return a.spec.schema }
 
 // Intervals implements IntervalReporter.
 func (a *HashAggOp) Intervals() [][]stats.Interval { return a.intervals }

@@ -3,6 +3,13 @@
 // weighted hash aggregation with single-pass error tracking, the sampler
 // operators (pipelined, with materialization as a byproduct — paper §III),
 // the sketch-join operator, and the compiler from logical plans.
+//
+// Single-table scan→sample→filter→aggregate chains — the hot path of every
+// grouped-aggregate scan — compile to the morsel-driven ParallelAggOp
+// instead of the Volcano operators: workers claim fixed-size row-range
+// morsels from a shared dispenser and merge per-worker partial hash tables,
+// with per-morsel RNG streams split deterministically from the query seed so
+// results are byte-identical at any worker count.
 package exec
 
 import (
@@ -72,8 +79,18 @@ type Context struct {
 	Confidence float64 // confidence level for reported intervals
 	Stats      *RunStats
 	// MaterializeSamples maps SynopsisOp nodes whose output the tuner chose
-	// to keep; the sampler operator tees into a builder for each.
+	// to keep; the sampler operator tees into a builder for each. The map is
+	// fully populated before execution starts and only read afterwards, so
+	// parallel workers may consult it without locking.
 	MaterializeSamples map[*plan.SynopsisOp]string // node → synopsis name
+	// Workers is the intra-query parallelism degree of the morsel-driven
+	// executor; 0 means runtime.NumCPU(). Results are byte-identical for any
+	// value (see ParallelAggOp).
+	Workers int
+	// MorselRows overrides the morsel granularity (rows per morsel); 0 means
+	// DefaultMorselRows. Changing it changes the per-morsel sampler streams,
+	// so it is part of a query's reproducibility key.
+	MorselRows int
 }
 
 // NewContext returns a context with fresh stats at the given confidence.

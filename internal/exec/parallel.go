@@ -1,0 +1,324 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// DefaultMorselRows is the default morsel granularity: the row-range unit
+// workers claim from the shared dispenser. Small enough that skewed filters
+// cannot stall the pool on one straggler morsel, large enough that the
+// claim-and-merge overhead stays negligible.
+const DefaultMorselRows = 4096
+
+// parallelPipeline is a leaf-to-aggregate operator chain the morsel executor
+// can run: Scan|SynopsisScan → {SynopsisOp | Filter}* → Aggregate. The
+// planner emits exactly this shape for single-table exact plans, inline
+// sampler builds and sample-reuse plans, which makes it the hot path of every
+// grouped-aggregate scan.
+type parallelPipeline struct {
+	leaf      *storage.Table // base table or the sample's row table
+	leafBase  bool           // true: charge BaseBytes; false: synopsis bytes
+	leafFree  bool           // buffer-resident synopsis: no I/O charge
+	leafBytes int64
+
+	// chain lists the unary nodes between leaf (exclusive) and aggregate
+	// (exclusive), bottom-up. At most one SynopsisOp.
+	chain   []plan.Node
+	sampler *plan.SynopsisOp // the chain's sampler node, if any
+	agg     *plan.Aggregate
+}
+
+// matchParallelAgg recognizes the pipeline shape. It returns ok=false for
+// trees with joins, sketch-joins, projections or nested samplers — those
+// keep the Volcano path.
+func matchParallelAgg(a *plan.Aggregate) (*parallelPipeline, bool) {
+	p := &parallelPipeline{agg: a}
+	n := a.Child
+	var down []plan.Node // top-down unary nodes
+	for {
+		switch t := n.(type) {
+		case *plan.Filter:
+			down = append(down, t)
+			n = t.Child
+		case *plan.SynopsisOp:
+			if p.sampler != nil || t.Kind == plan.SketchJoinSynopsis {
+				return nil, false
+			}
+			p.sampler = t
+			down = append(down, t)
+			n = t.Child
+		case *plan.Scan:
+			p.leaf = t.Table
+			p.leafBase = true
+			p.leafBytes = t.Table.Bytes()
+		case *plan.SynopsisScan:
+			p.leaf = t.Sample.Rows
+			p.leafFree = t.InBuffer
+			p.leafBytes = t.Sample.Rows.Bytes()
+		default:
+			return nil, false
+		}
+		if p.leaf != nil {
+			break
+		}
+	}
+	// Reverse to bottom-up order for per-morsel chain construction.
+	for i := len(down) - 1; i >= 0; i-- {
+		p.chain = append(p.chain, down[i])
+	}
+	return p, true
+}
+
+// ParallelAggOp executes a matched pipeline with morsel-driven parallelism:
+// the leaf's rows are split into fixed-size morsels, a pool of workers claims
+// morsels from an atomic dispenser, and each worker runs the full
+// scan→sample→filter→partial-aggregate pipeline on its morsel with
+// worker-local state. Partial hash tables are merged in morsel index order
+// once all morsels are done.
+//
+// Determinism contract: every morsel's sampler draws from the RNG stream
+// SplitSeed(seed, morselIdx) and the distinct sampler's per-instance
+// requirement is PartitionDelta(δ, morsels), so the set of sampled rows, the
+// merged aggregates and the materialized sample bytes depend only on
+// (input, seed, morsel size) — never on the worker count or on scheduling.
+// Running with Workers=1 and Workers=N yields byte-identical results.
+type ParallelAggOp struct {
+	pipe *parallelPipeline
+	seed uint64
+	ctx  *Context
+	spec *aggSpec
+
+	emitted   bool
+	intervals [][]stats.Interval
+}
+
+// NewParallelAggOp binds the aggregation columns and validates the sampler
+// configuration up front, mirroring the Volcano constructors' error behaviour.
+func NewParallelAggOp(pipe *parallelPipeline, seed uint64, ctx *Context) (*ParallelAggOp, error) {
+	spec, err := resolveAggSpec(pipe.agg.Child.Schema(), pipe.agg.GroupBy, pipe.agg.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the chain eagerly (sampler strat columns, filter types) by
+	// building a throwaway morsel pipeline over zero rows.
+	if _, err := buildMorselChain(pipe, 0, 1, seed, NewContext(ctx.Confidence)); err != nil {
+		return nil, err
+	}
+	return &ParallelAggOp{pipe: pipe, seed: seed, ctx: ctx, spec: spec}, nil
+}
+
+// morselResult is everything one morsel produced: its partial hash table,
+// its local cost counters and any per-morsel materialized sample parts.
+type morselResult struct {
+	table *aggTable
+	stats RunStats
+	err   error
+}
+
+// Open implements Operator.
+func (p *ParallelAggOp) Open() error {
+	p.emitted = false
+	p.intervals = nil
+	return nil
+}
+
+// Next implements Operator: the first call runs the whole morsel pool and
+// emits the merged result as a single batch.
+func (p *ParallelAggOp) Next() (*storage.Batch, error) {
+	if p.emitted {
+		return nil, nil
+	}
+	p.emitted = true
+
+	rows := p.pipe.leaf.NumRows()
+	morselRows := p.ctx.MorselRows
+	if morselRows <= 0 {
+		morselRows = DefaultMorselRows
+	}
+	nMorsels := (rows + morselRows - 1) / morselRows
+	if nMorsels < 1 {
+		nMorsels = 1
+	}
+	workers := p.ctx.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+
+	// Charge the leaf scan once, exactly as the Volcano scan operators do.
+	switch {
+	case p.pipe.leafBase:
+		p.ctx.Stats.BaseBytes += p.pipe.leafBytes
+	case !p.pipe.leafFree:
+		p.ctx.Stats.WarehouseBytes += p.pipe.leafBytes
+	}
+
+	results := make([]morselResult, nMorsels)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= nMorsels {
+					return
+				}
+				results[i] = p.runMorsel(i, nMorsels, morselRows)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in morsel index order: float accumulation and sample
+	// concatenation stay bit-reproducible across worker counts.
+	global := newAggTable(p.spec)
+	var parts []*synopses.Sample
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.ctx.Stats.CPUTuples += r.stats.CPUTuples
+		p.ctx.Stats.ShuffleBytes += r.stats.ShuffleBytes
+		for _, bs := range r.stats.BuiltSamples {
+			parts = append(parts, bs.Sample)
+		}
+		global.merge(r.table)
+	}
+
+	if p.pipe.sampler != nil && len(parts) > 0 {
+		name := p.ctx.MaterializeSamples[p.pipe.sampler]
+		merged, err := synopses.MergeSamples(name, parts)
+		if err != nil {
+			return nil, err
+		}
+		// The merged sample carries the node's logical configuration, not
+		// the per-morsel δ' each instance ran with.
+		merged.Delta = p.pipe.sampler.Delta
+		merged.Seed = p.seed
+		p.ctx.Stats.BuiltSamples = append(p.ctx.Stats.BuiltSamples,
+			BuiltSample{Op: p.pipe.sampler, Sample: merged})
+	}
+
+	out, intervals := global.emit(p.ctx.Confidence)
+	p.intervals = intervals
+	p.ctx.Stats.OutputRows += int64(out.Len())
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *ParallelAggOp) Close() error { return nil }
+
+// Schema implements Operator.
+func (p *ParallelAggOp) Schema() storage.Schema { return p.spec.schema }
+
+// Intervals implements IntervalReporter.
+func (p *ParallelAggOp) Intervals() [][]stats.Interval { return p.intervals }
+
+// runMorsel executes the pipeline over morsel i with fully local state.
+func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int) morselResult {
+	mctx := &Context{
+		Confidence:         p.ctx.Confidence,
+		Stats:              &RunStats{},
+		MaterializeSamples: p.ctx.MaterializeSamples,
+	}
+	root, err := buildMorselChain(p.pipe, i, nMorsels, p.seed, mctx)
+	if err != nil {
+		return morselResult{err: err}
+	}
+	lo := i * morselRows
+	hi := lo + morselRows
+	root.src.batches = p.pipe.leaf.ScanRange(lo, hi, storage.BatchSize)
+
+	table := newAggTable(p.spec)
+	if err := root.op.Open(); err != nil {
+		return morselResult{err: err}
+	}
+	defer root.op.Close()
+	for {
+		b, err := root.op.Next()
+		if err != nil {
+			return morselResult{err: err}
+		}
+		if b == nil {
+			break
+		}
+		mctx.Stats.ShuffleBytes += batchBytes(b)
+		mctx.Stats.CPUTuples += int64(b.Len())
+		table.observe(b)
+	}
+	return morselResult{table: table, stats: *mctx.Stats}
+}
+
+// morselChain couples the top operator of a per-morsel pipeline with its
+// leaf, so the caller can install the morsel's batches before running.
+type morselChain struct {
+	op  Operator
+	src *morselScan
+}
+
+// buildMorselChain instantiates the pipeline's operator chain for one morsel:
+// a morsel-local scan, then per-node Filter/Sampler operators. Sampler
+// instances get the morsel's split seed and partitioned δ.
+func buildMorselChain(pipe *parallelPipeline, morsel, nMorsels int, seed uint64, mctx *Context) (*morselChain, error) {
+	src := &morselScan{schema: pipe.leaf.Schema(), ctx: mctx}
+	var cur Operator = src
+	for _, n := range pipe.chain {
+		switch t := n.(type) {
+		case *plan.Filter:
+			cur = NewFilterOp(cur, t.Pred, mctx)
+		case *plan.SynopsisOp:
+			delta := synopses.PartitionDelta(t.Delta, nMorsels)
+			op, err := newSamplerOpDelta(cur, t, delta, synopses.SplitSeed(seed, uint64(morsel)), mctx)
+			if err != nil {
+				return nil, err
+			}
+			cur = op
+		}
+	}
+	return &morselChain{op: cur, src: src}, nil
+}
+
+// morselScan feeds one morsel's pre-sliced batches into a per-morsel
+// pipeline. I/O is charged once by ParallelAggOp, not per morsel; CPU tuples
+// are charged here like any scan.
+type morselScan struct {
+	schema  storage.Schema
+	ctx     *Context
+	batches []*storage.Batch
+	pos     int
+}
+
+// Open implements Operator.
+func (s *morselScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *morselScan) Next() (*storage.Batch, error) {
+	if s.pos >= len(s.batches) {
+		return nil, nil
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	s.ctx.Stats.CPUTuples += int64(b.Len())
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *morselScan) Close() error { return nil }
+
+// Schema implements Operator.
+func (s *morselScan) Schema() storage.Schema { return s.schema }

@@ -28,6 +28,13 @@ type SamplerOp struct {
 // NewSamplerOp builds the sampler described by the plan node. The context's
 // MaterializeSamples map decides whether the output is also materialized.
 func NewSamplerOp(child Operator, node *plan.SynopsisOp, seed uint64, ctx *Context) (*SamplerOp, error) {
+	return newSamplerOpDelta(child, node, node.Delta, seed, ctx)
+}
+
+// newSamplerOpDelta is NewSamplerOp with an explicit per-instance δ: when the
+// morsel executor runs one sampler instance per morsel, each instance carries
+// δ' = PartitionDelta(δ, morsels) (paper §II), not the full requirement.
+func newSamplerOpDelta(child Operator, node *plan.SynopsisOp, delta int, seed uint64, ctx *Context) (*SamplerOp, error) {
 	in := child.Schema()
 	op := &SamplerOp{Child: child, Node: node, ctx: ctx}
 	op.schema = synopses.SampleSchema(in)
@@ -44,7 +51,7 @@ func NewSamplerOp(child Operator, node *plan.SynopsisOp, seed uint64, ctx *Conte
 			}
 			idxs = append(idxs, i)
 		}
-		op.sampler = synopses.NewDistinctSampler(node.P, node.Delta, idxs, seed)
+		op.sampler = synopses.NewDistinctSampler(node.P, delta, idxs, seed)
 	default:
 		return nil, fmt.Errorf("exec: sampler: unsupported synopsis kind %s", node.Kind)
 	}

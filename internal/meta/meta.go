@@ -125,6 +125,16 @@ func (e *Entry) BenefitFor(queryID int) (QueryBenefit, bool) {
 	return QueryBenefit{}, false
 }
 
+// snapshot returns a copy of the entry that is safe to read after the store
+// lock is released: descriptor scalars are copied and the benefit list is
+// cloned. Descriptor slices (StratCols, AggCols, ...) are never mutated
+// after Intern, so sharing them is safe. Read accessors return snapshots so
+// concurrent planners (which append benefits and flip locations) never race
+// with the tuner walking the universe.
+func (e *Entry) snapshot() *Entry {
+	return &Entry{Desc: e.Desc, Benefits: append([]QueryBenefit(nil), e.Benefits...)}
+}
+
 // Store is the concurrency-safe metadata repository.
 type Store struct {
 	mu         sync.RWMutex
@@ -143,15 +153,16 @@ func NewStore() *Store {
 	}
 }
 
-// Intern registers a candidate descriptor, returning the existing entry when
-// an identical synopsis (same subplan, kind and configuration) was seen
-// before. The returned entry's descriptor carries the assigned ID.
+// Intern registers a candidate descriptor, returning a snapshot of the
+// existing entry when an identical synopsis (same subplan, kind and
+// configuration) was seen before. The returned entry's descriptor carries
+// the assigned ID.
 func (s *Store) Intern(d Descriptor) *Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := d.IdentityKey()
 	if id, ok := s.byIdentity[key]; ok {
-		return s.byID[id]
+		return s.byID[id].snapshot()
 	}
 	s.nextID++
 	d.ID = s.nextID
@@ -160,15 +171,18 @@ func (s *Store) Intern(d Descriptor) *Entry {
 	s.byIdentity[key] = d.ID
 	ik := d.Sig.IndexKey()
 	s.byIndexKey[ik] = append(s.byIndexKey[ik], d.ID)
-	return e
+	return e.snapshot()
 }
 
-// Get returns the entry for id.
+// Get returns a snapshot of the entry for id.
 func (s *Store) Get(id uint64) (*Entry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.byID[id]
-	return e, ok
+	if !ok {
+		return nil, false
+	}
+	return e.snapshot(), true
 }
 
 // RecordBenefit appends a query-benefit observation for the synopsis,
@@ -213,13 +227,14 @@ func (s *Store) SetPinned(id uint64, pinned bool) {
 	}
 }
 
-// Entries returns all entries sorted by ID (stable snapshots for the tuner).
+// Entries returns snapshots of all entries sorted by ID (a stable,
+// race-free view for the tuner).
 func (s *Store) Entries() []*Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]*Entry, 0, len(s.byID))
 	for _, e := range s.byID {
-		out = append(out, e)
+		out = append(out, e.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Desc.ID < out[j].Desc.ID })
 	return out
@@ -245,7 +260,7 @@ func (s *Store) lookupIndex(indexKey string) []*Entry {
 	ids := s.byIndexKey[indexKey]
 	out := make([]*Entry, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, s.byID[id])
+		out = append(out, s.byID[id].snapshot())
 	}
 	return out
 }

@@ -99,6 +99,20 @@ func (t *Table) AvgRowBytes() float64 {
 // The returned batches share storage with the table (zero copy).
 func (t *Table) Scan(p, batchSize int) []*Batch {
 	lo, hi := t.PartitionRange(p)
+	return t.ScanRange(lo, hi, batchSize)
+}
+
+// ScanRange returns batches of up to batchSize rows covering rows [lo, hi).
+// Batches share storage with the table (zero copy). The morsel-driven
+// executor uses it to hand disjoint row ranges to workers independently of
+// the table's partition layout.
+func (t *Table) ScanRange(lo, hi, batchSize int) []*Batch {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.rows {
+		hi = t.rows
+	}
 	var out []*Batch
 	for start := lo; start < hi; start += batchSize {
 		end := start + batchSize
@@ -112,6 +126,30 @@ func (t *Table) Scan(p, batchSize int) []*Batch {
 		out = append(out, b)
 	}
 	return out
+}
+
+// ConcatTables concatenates same-schema tables in the given order into one
+// table. The morsel-driven executor uses it to merge per-morsel sample
+// materializations deterministically (parts are always passed in morsel
+// index order).
+func ConcatTables(name string, parts []*Table, partitions int) (*Table, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("storage: ConcatTables %s: no parts", name)
+	}
+	schema := parts[0].schema
+	cols := make([]*Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = NewVector(c.Typ, 0)
+	}
+	for _, p := range parts {
+		if len(p.cols) != len(cols) {
+			return nil, fmt.Errorf("storage: ConcatTables %s: ragged part schemas", name)
+		}
+		for i, c := range p.cols {
+			cols[i].Extend(c)
+		}
+	}
+	return NewTable(name, schema, cols, partitions)
 }
 
 // Builder accumulates rows for a new table.

@@ -75,6 +75,20 @@ func (v *Vector) AppendFrom(src *Vector, i int) {
 	}
 }
 
+// Extend appends all values of src (same type) onto v.
+func (v *Vector) Extend(src *Vector) {
+	switch v.Typ {
+	case Int64:
+		v.I64 = append(v.I64, src.I64...)
+	case Float64:
+		v.F64 = append(v.F64, src.F64...)
+	case String:
+		v.Str = append(v.Str, src.Str...)
+	case Bool:
+		v.B = append(v.B, src.B...)
+	}
+}
+
 // Get returns the i-th element boxed as a Value.
 func (v *Vector) Get(i int) Value {
 	switch v.Typ {

@@ -51,6 +51,24 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// SplitSeed derives an independent child seed from a parent seed and a
+// stream index. The morsel-driven executor gives every morsel the stream
+// SplitSeed(querySeed, morselIdx), so sampling decisions depend only on the
+// morsel's position in the input — never on which worker processed it or in
+// what order — which is what makes parallel runs byte-identical to
+// single-worker runs at the same seed.
+func SplitSeed(seed, idx uint64) uint64 {
+	return mix64(mix64(seed+0x9e3779b97f4a7c15) ^ (idx+1)*0xbf58476d1ce4e5b9)
+}
+
+// SeedFromString hashes an arbitrary string into a seed, used to derive
+// per-query executor seeds from the canonical plan text so that the
+// randomness a query sees does not depend on its arrival order under
+// concurrent serving.
+func SeedFromString(s string, seed uint64) uint64 {
+	return mix64(hashString(s, seed))
+}
+
 // HashValue hashes a single storage value with a seed. Int64(5) and
 // Float64(5.0) hash differently: key identity is typed.
 func HashValue(v storage.Value, seed uint64) uint64 {

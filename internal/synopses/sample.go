@@ -217,6 +217,32 @@ func (sb *SampleBuilder) Build(smp Sampler, partitions int) *Sample {
 	return s
 }
 
+// MergeSamples concatenates per-partition samples of the same relation into
+// one sample ("partitionable", paper §II). Parts must share a schema and be
+// given in a deterministic order (the morsel executor passes them in morsel
+// index order); configuration metadata is taken from the first part and
+// SourceRows are summed.
+func MergeSamples(name string, parts []*Sample) (*Sample, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("synopses: MergeSamples %s: no parts", name)
+	}
+	tables := make([]*storage.Table, len(parts))
+	sourceRows := 0
+	for i, p := range parts {
+		tables[i] = p.Rows
+		sourceRows += p.SourceRows
+	}
+	rows, err := storage.ConcatTables(name, tables, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := *parts[0]
+	out.Rows = rows
+	out.SourceRows = sourceRows
+	out.StratCols = append([]string(nil), parts[0].StratCols...)
+	return &out, nil
+}
+
 // BuildSampleFromTable scans an entire table through a sampler and
 // materializes the result — the offline path used by baselines and hints.
 // stratCols records the stratification set for matching purposes.

@@ -84,10 +84,14 @@ type Decision struct {
 }
 
 // Tune runs one tuning round (paper §V): adapt w, select S*, choose the
-// plan, and derive eviction/promotion actions.
+// plan, and derive eviction/promotion actions. The metadata store is read
+// once per round — a single consistent snapshot shared by window adaptation
+// and set selection — rather than re-cloned per lookup, keeping the
+// serialized tuning path cheap under concurrent serving.
 func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
+	entries := t.store.Entries()
 	if t.cfg.Adaptive {
-		t.adaptWindow(ps)
+		t.adaptWindow(ps, entries)
 	}
 	t.history = append(t.history, queryRecord{ID: ps.Query.ID, ExactCost: ps.Exact.Cost})
 	if len(t.history) > t.cfg.MaxWindow {
@@ -95,7 +99,7 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 	}
 
 	_, quota := t.wh.Quotas()
-	keep, marginal := t.selectSet(t.windowRecords(t.w), quota)
+	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
 
 	chosen := t.choosePlan(ps, keep, marginal)
 	dec := Decision{Chosen: chosen, Keep: keep}
@@ -107,9 +111,9 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 
 	// Evict every materialized synopsis outside S*; promote buffer
 	// residents inside S*.
-	for _, e := range t.store.Materialized() {
+	for _, e := range entries {
 		id := e.Desc.ID
-		if e.Desc.Pinned {
+		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
 			continue
 		}
 		if !keep[id] {
@@ -125,11 +129,12 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 // the storage-elasticity entry point (paper §V). It returns the synopses to
 // evict.
 func (t *Tuner) Retune() Decision {
+	entries := t.store.Entries()
 	_, quota := t.wh.Quotas()
-	keep, _ := t.selectSet(t.windowRecords(t.w), quota)
+	keep, _ := t.selectSet(entries, t.windowRecords(t.w), quota)
 	dec := Decision{Keep: keep}
-	for _, e := range t.store.Materialized() {
-		if e.Desc.Pinned {
+	for _, e := range entries {
+		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
 			continue
 		}
 		if !keep[e.Desc.ID] {
@@ -179,8 +184,8 @@ func (t *Tuner) choosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal m
 // benefit-greedy and benefit-per-byte-greedy variants, returning whichever
 // final set has the higher total gain. Pinned synopses are always included
 // (their bytes count against the quota first).
-func (t *Tuner) selectSet(window []queryRecord, budget int64) (map[uint64]bool, map[uint64]float64) {
-	universe, pinned := t.universe(window)
+func (t *Tuner) selectSet(entries []*meta.Entry, window []queryRecord, budget int64) (map[uint64]bool, map[uint64]float64) {
+	universe, pinned := t.universe(entries, window)
 
 	bestA, gainA, margA := t.greedy(universe, pinned, window, budget, false)
 	bestB, gainB, margB := t.greedy(universe, pinned, window, budget, true)
@@ -192,12 +197,12 @@ func (t *Tuner) selectSet(window []queryRecord, budget int64) (map[uint64]bool, 
 
 // universe collects the synopses with any benefit inside the window, plus
 // pinned ones.
-func (t *Tuner) universe(window []queryRecord) (entries []*meta.Entry, pinned []*meta.Entry) {
+func (t *Tuner) universe(all []*meta.Entry, window []queryRecord) (entries []*meta.Entry, pinned []*meta.Entry) {
 	ids := make(map[int]bool, len(window))
 	for _, r := range window {
 		ids[r.ID] = true
 	}
-	for _, e := range t.store.Entries() {
+	for _, e := range all {
 		if e.Desc.Pinned {
 			pinned = append(pinned, e)
 			continue
@@ -306,13 +311,18 @@ func (t *Tuner) greedy(universe, pinned []*meta.Entry, window []queryRecord, bud
 // adaptWindow implements the paper's w ∈ {⌊(1−α)w⌋, w, ⌈(1+α)w⌉} hill climb:
 // it asks which window length would have produced the synopsis set that
 // minimizes the estimated execution time of the queries that arrived since
-// the previous invocation, and adopts it.
-func (t *Tuner) adaptWindow(ps *planner.PlanSet) {
+// the previous invocation, and adopts it. entries is the tuning round's
+// store snapshot.
+func (t *Tuner) adaptWindow(ps *planner.PlanSet, entries []*meta.Entry) {
 	t.sinceAdapt++
 	if t.sinceAdapt < 1 || len(t.history) < 2 {
 		return
 	}
 	t.sinceAdapt = 0
+	byID := make(map[uint64]*meta.Entry, len(entries))
+	for _, e := range entries {
+		byID[e.Desc.ID] = e
+	}
 
 	newQuery := t.history[len(t.history)-1] // the most recent completed query
 	prior := t.history[:len(t.history)-1]
@@ -337,8 +347,8 @@ func (t *Tuner) adaptWindow(ps *planner.PlanSet) {
 		if n > len(prior) {
 			n = len(prior)
 		}
-		keep, _ := t.selectSet(prior[len(prior)-n:], quota)
-		cost := t.estimatedCostGiven(newQuery, keep)
+		keep, _ := t.selectSet(entries, prior[len(prior)-n:], quota)
+		cost := t.estimatedCostGiven(newQuery, keep, byID)
 		if cost < bestCost-1e-12 {
 			bestCost, bestW = cost, wc
 		}
@@ -347,11 +357,12 @@ func (t *Tuner) adaptWindow(ps *planner.PlanSet) {
 }
 
 // estimatedCostGiven returns the estimated cost of the query under synopsis
-// set S (exact cost when no member helps).
-func (t *Tuner) estimatedCostGiven(q queryRecord, keep map[uint64]bool) float64 {
+// set S (exact cost when no member helps), resolving entries from the
+// tuning round's snapshot.
+func (t *Tuner) estimatedCostGiven(q queryRecord, keep map[uint64]bool, byID map[uint64]*meta.Entry) float64 {
 	cost := q.ExactCost
 	for id := range keep {
-		e, ok := t.store.Get(id)
+		e, ok := byID[id]
 		if !ok {
 			continue
 		}

@@ -58,7 +58,7 @@ func TestGreedyRespectsQuota(t *testing.T) {
 	for q := 0; q < 3; q++ {
 		h.t.Tune(planSet(q, 10))
 	}
-	keep, _ := h.t.selectSet(h.t.windowRecords(h.t.w), 100)
+	keep, _ := h.t.selectSet(h.store.Entries(), h.t.windowRecords(h.t.w), 100)
 	size := int64(0)
 	for id := range keep {
 		e, _ := h.store.Get(id)
@@ -80,7 +80,7 @@ func TestGreedySubmodularSharing(t *testing.T) {
 	a := h.synopsis("a", 10, map[int][2]float64{0: {2, 10}}) // saves 8
 	b := h.synopsis("b", 10, map[int][2]float64{0: {1, 10}}) // saves 9
 	h.t.Tune(planSet(0, 10))
-	keep, marginal := h.t.selectSet(h.t.windowRecords(h.t.w), 1000)
+	keep, marginal := h.t.selectSet(h.store.Entries(), h.t.windowRecords(h.t.w), 1000)
 	if !keep[b.Desc.ID] {
 		t.Fatal("b (bigger saving) must be selected")
 	}
@@ -241,7 +241,7 @@ func TestGainNonNegative(t *testing.T) {
 	// Benefit worse than exact: gain must clamp to 0, synopsis not selected.
 	h.synopsis("bad", 10, map[int][2]float64{0: {20, 10}})
 	h.t.Tune(planSet(0, 10))
-	keep, _ := h.t.selectSet(h.t.windowRecords(h.t.w), 1000)
+	keep, _ := h.t.selectSet(h.store.Entries(), h.t.windowRecords(h.t.w), 1000)
 	if len(keep) != 0 {
 		t.Fatalf("harmful synopsis selected: %v", keep)
 	}

@@ -4,6 +4,12 @@
 // from query latency), and a quota-bounded warehouse (the paper's HDFS tier)
 // holding the synopses the tuner decided to keep. All sizes are
 // byte-accurate; the tuner drives every promotion and eviction.
+//
+// Manager is safe for concurrent use: the read path (Get/Has/Usage, taken
+// by concurrent planners and executors) holds the read lock only, while
+// mutations (puts, promotions, deletions, quota changes) are serialized by
+// the engine's tuning step. Items are immutable once stored, so a plan may
+// keep executing against a sample that was concurrently evicted.
 package warehouse
 
 import (
@@ -92,6 +98,42 @@ func (m *Manager) PutBuffer(it *Item) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.buffer.put(it)
+}
+
+// AdmitResult says where Admit placed (or found) a synopsis.
+type AdmitResult uint8
+
+// Admit outcomes.
+const (
+	// AdmitDropped: no tier had room; the synopsis was not stored.
+	AdmitDropped AdmitResult = iota
+	// AdmitBuffer: stored in (or already present in) the in-memory buffer.
+	AdmitBuffer
+	// AdmitWarehouse: stored in (or already present in) the warehouse.
+	AdmitWarehouse
+)
+
+// Admit places a freshly built synopsis in the buffer, overflowing to the
+// warehouse, as a single atomic operation. When the synopsis is already
+// materialized in either tier — two concurrent queries can build the same
+// descriptor — Admit is a no-op that reports where the existing copy lives,
+// guaranteeing an ID never occupies both tiers.
+func (m *Manager) Admit(it *Item) AdmitResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.buffer.items[it.ID]; ok {
+		return AdmitBuffer
+	}
+	if _, ok := m.warehouse.items[it.ID]; ok {
+		return AdmitWarehouse
+	}
+	if m.buffer.put(it) == nil {
+		return AdmitBuffer
+	}
+	if m.warehouse.put(it) == nil {
+		return AdmitWarehouse
+	}
+	return AdmitDropped
 }
 
 // PutWarehouse stores a synopsis directly in the warehouse (offline builds,

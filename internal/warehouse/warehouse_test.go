@@ -167,3 +167,42 @@ func TestSketchItem(t *testing.T) {
 		t.Fatal("tier listings")
 	}
 }
+
+func TestAdmitIsIdempotentAcrossTiers(t *testing.T) {
+	s := mkSample(100)
+	m := NewManager(s.SizeBytes(), s.SizeBytes()*4)
+
+	if r := m.Admit(NewSampleItem(1, s)); r != AdmitBuffer {
+		t.Fatalf("first admit = %v, want buffer", r)
+	}
+	// A concurrent build of the same ID must be a no-op — never a second
+	// copy in the warehouse while the first sits in the buffer.
+	if r := m.Admit(NewSampleItem(1, s)); r != AdmitBuffer {
+		t.Fatalf("duplicate admit = %v, want buffer no-op", r)
+	}
+	if bu, wu := m.Usage(); bu != s.SizeBytes() || wu != 0 {
+		t.Fatalf("usage after duplicate admit = %d/%d, want single buffer copy", bu, wu)
+	}
+
+	// Buffer full → overflow to warehouse; duplicate again → warehouse no-op.
+	if r := m.Admit(NewSampleItem(2, s)); r != AdmitWarehouse {
+		t.Fatalf("overflow admit = %v, want warehouse", r)
+	}
+	if r := m.Admit(NewSampleItem(2, s)); r != AdmitWarehouse {
+		t.Fatalf("duplicate overflow admit = %v, want warehouse no-op", r)
+	}
+
+	// Both tiers full → dropped.
+	big := mkSample(100000)
+	if r := m.Admit(NewSampleItem(3, big)); r != AdmitDropped {
+		t.Fatalf("oversized admit = %v, want dropped", r)
+	}
+
+	// Deleting an admitted ID frees its single copy everywhere.
+	if err := m.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has(1) {
+		t.Fatal("ID 1 still materialized after delete")
+	}
+}

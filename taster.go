@@ -99,9 +99,15 @@ type Options struct {
 	// the registered data as a miniature of a large cluster-resident
 	// dataset (used by the experiments; optional for library users).
 	SimulatedScale bool
+	// Workers caps the morsel-driven executor's intra-query parallelism;
+	// 0 means all CPUs. Results are byte-identical for any worker count.
+	Workers int
 }
 
-// Engine is a Taster instance.
+// Engine is a Taster instance. It is safe for concurrent use: queries
+// issued from many goroutines plan and execute in parallel (each one also
+// parallelized internally by the morsel-driven executor), and only the
+// tuner's synopsis-retention step serializes.
 type Engine struct {
 	inner *core.Engine
 	cat   *Catalog
@@ -142,6 +148,7 @@ func Open(cat *Catalog, opts Options) *Engine {
 			Tuner:           tcfg,
 			DefaultAccuracy: opts.DefaultAccuracy,
 			Seed:            opts.Seed,
+			Workers:         opts.Workers,
 		}),
 		cat: cat,
 	}
@@ -177,7 +184,8 @@ type QueryStats struct {
 	WarehouseBytes int64
 }
 
-// Query parses, plans, tunes and executes one SQL query.
+// Query parses, plans, tunes and executes one SQL query. It may be called
+// concurrently from any number of goroutines.
 func (e *Engine) Query(sql string) (*Result, error) {
 	q, err := sqlparser.Parse(sql, e.cat)
 	if err != nil {
