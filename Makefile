@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench
+.PHONY: all check fmt vet build test race bench bench-join
 
 all: check
 
@@ -27,3 +27,8 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# One pass over the grouped-join benchmarks: exercises the partitioned
+# parallel hash join end to end (CI runs this as a smoke test).
+bench-join:
+	$(GO) test -run xxx -bench Join -benchtime 1x .

@@ -103,6 +103,118 @@ func BenchmarkGroupedAggScanSpeedup(b *testing.B) {
 	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 }
 
+// benchJoinTables lazily builds the grouped-join benchmark inputs: a 1M-row
+// fact table joining a 40k-row dimension, grouped on a dimension attribute —
+// the TPC-H/TPC-DS shape the parallel join executor targets.
+var benchJoinTables = sync.OnceValues(func() (*storage.Table, *storage.Table) {
+	const factRows, dimRows = 1_000_000, 40_000
+	f := storage.NewBuilder("fact", storage.Schema{
+		{Name: "fact.key", Typ: storage.Int64},
+		{Name: "fact.amount", Typ: storage.Float64},
+	})
+	for i := 0; i < factRows; i++ {
+		f.Int(0, int64(i*2654435761%dimRows))
+		f.Float(1, float64(i%10000))
+	}
+	d := storage.NewBuilder("dim", storage.Schema{
+		{Name: "dim.key", Typ: storage.Int64},
+		{Name: "dim.cat", Typ: storage.Int64},
+	})
+	for i := 0; i < dimRows; i++ {
+		d.Int(0, int64(i))
+		d.Int(1, int64(i%64))
+	}
+	return f.Build(8), d.Build(1)
+})
+
+func benchJoinPlan() *plan.Aggregate {
+	fact, dim := benchJoinTables()
+	return &plan.Aggregate{
+		Child: &plan.Join{
+			Left: &plan.Scan{Table: fact}, Right: &plan.Scan{Table: dim},
+			LeftKeys: []string{"fact.key"}, RightKeys: []string{"dim.key"},
+		},
+		GroupBy: []string{"dim.cat"},
+		Aggs: []plan.AggSpec{
+			{Kind: stats.Count},
+			{Kind: stats.Sum, Col: "fact.amount"},
+		},
+	}
+}
+
+// runJoinVolcano runs the grouped join on the serial Volcano operators
+// (HashJoinOp + HashAggOp), bypassing the parallel compiler route.
+func runJoinVolcano(b *testing.B) {
+	b.Helper()
+	node := benchJoinPlan()
+	fact, dim := benchJoinTables()
+	ctx := exec.NewContext(0.95)
+	j, err := exec.NewHashJoinOp(exec.NewTableScan(fact, ctx), exec.NewTableScan(dim, ctx),
+		node.Child.(*plan.Join).LeftKeys, node.Child.(*plan.Join).RightKeys, ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := exec.NewHashAggOp(j, node.GroupBy, node.Aggs, ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := exec.Run(agg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func runJoinParallel(b *testing.B, workers int) {
+	b.Helper()
+	ctx := exec.NewContext(0.95)
+	ctx.Workers = workers
+	op, err := exec.Compile(benchJoinPlan(), 1, ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := exec.Run(op); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJoinGroupedVolcano is the serial Volcano baseline of the grouped
+// join (build + probe + aggregate on one goroutine).
+func BenchmarkJoinGroupedVolcano(b *testing.B) {
+	benchJoinPlan() // force the one-time table build
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runJoinVolcano(b)
+	}
+}
+
+// BenchmarkJoinGroupedParallel runs the same grouped join on the morsel
+// executor with one worker per CPU (partitioned build + morsel probe).
+func BenchmarkJoinGroupedParallel(b *testing.B) {
+	benchJoinPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runJoinParallel(b, runtime.NumCPU())
+	}
+}
+
+// BenchmarkJoinGroupedSpeedup measures the serial Volcano join and the
+// 8-worker parallel join back to back and reports the speedup directly
+// (≈ core-bound on machines with ≥8 CPUs; ~1.0 on one core).
+func BenchmarkJoinGroupedSpeedup(b *testing.B) {
+	benchJoinPlan()
+	b.ResetTimer()
+	var ser, par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		runJoinVolcano(b)
+		ser += time.Since(start)
+		start = time.Now()
+		runJoinParallel(b, 8)
+		par += time.Since(start)
+	}
+	b.ReportMetric(float64(ser)/float64(par), "join-speedup-x")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
 // BenchmarkFigure3TPCH regenerates Fig. 3a: end-to-end time of Baseline,
 // Quickr, BlinkDB 50/100% and Taster 50/100% on the TPC-H workload.
 func BenchmarkFigure3TPCH(b *testing.B) {

@@ -77,6 +77,10 @@ type Config struct {
 	TuneOverheadSeconds float64
 	// Workers caps the morsel-driven executor's intra-query parallelism;
 	// 0 means runtime.NumCPU(). Results are byte-identical for any value.
+	// An explicit value (>0) additionally informs the planner's cost model:
+	// parallelizable pipeline CPU work is divided by it, so plan choice
+	// reflects the parallel runtime. The default 0 leaves plan costing at
+	// serial parallelism so plan choice stays machine-independent.
 	Workers int
 }
 
@@ -159,6 +163,9 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 	wh := warehouse.NewManager(cfg.BufferSize, cfg.StorageBudget)
 	pl := planner.New(store, wh, cfg.CostModel)
 	pl.Seed = cfg.Seed
+	if cfg.Workers > 0 {
+		pl.Parallelism = float64(cfg.Workers)
+	}
 	return &Engine{
 		cfg:   cfg,
 		cat:   cat,

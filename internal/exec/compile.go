@@ -49,9 +49,10 @@ func Compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
 		return NewHashJoinOp(left, right, t.LeftKeys, t.RightKeys, ctx)
 
 	case *plan.Aggregate:
-		// Single-table scan→sample→filter→aggregate chains run on the
-		// morsel-driven parallel executor; every other shape (joins,
-		// sketch-joins, projections) keeps the Volcano operators.
+		// Scan→sample→filter→join→aggregate chains — single-table and
+		// left-deep join plans alike — run on the morsel-driven parallel
+		// executor; every other shape (sketch-joins, projections) keeps the
+		// Volcano operators.
 		if pipe, ok := matchParallelAgg(t); ok {
 			return NewParallelAggOp(pipe, seed, ctx)
 		}

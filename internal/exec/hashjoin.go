@@ -2,41 +2,47 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tasterdb/taster/internal/storage"
 	"github.com/tasterdb/taster/internal/synopses"
 )
 
-// HashJoinOp is an inner equi-join: it builds a hash table over the right
-// input, then streams the left input against it. If either input carries a
-// sampler weight column, the join merges them into a single trailing weight
-// column whose value is the product of the sides' weights (joining two
-// independent samples multiplies inclusion probabilities).
-type HashJoinOp struct {
-	Left, Right Operator
-	leftKeys    []int
-	rightKeys   []int
+// joinBatchRows caps the number of joined rows emitted per output batch. A
+// high-fanout join (skewed key) would otherwise accumulate every match for a
+// probe batch into one unbounded output batch; the prober instead carries its
+// probe position across Next calls and emits fixed-size chunks.
+const joinBatchRows = storage.BatchSize
 
-	ctx    *Context
-	schema storage.Schema
+// joinSpec is the resolved column binding of one equi-join: key and payload
+// column positions on both sides plus the output schema. It is computed once
+// and shared by every prober of the join (one per morsel in the parallel
+// executor, exactly one in the Volcano operator).
+//
+// If either input carries a sampler weight column, the join merges them into
+// a single trailing weight column whose value is the product of the sides'
+// weights (joining two independent samples multiplies inclusion
+// probabilities).
+type joinSpec struct {
+	leftKeys  []int
+	rightKeys []int
 
 	leftWeight  int // index of weight col in left schema, -1 if none
 	rightWeight int
 	leftCols    []int // left columns copied to output (weight excluded)
 	rightCols   []int
+	outWeights  bool
 
-	built      *storage.Batch // all right rows concatenated
-	hash       map[string][]int
-	outWeights bool
+	schema storage.Schema
 }
 
-// NewHashJoinOp resolves join key columns by name and prepares the operator.
-func NewHashJoinOp(left, right Operator, leftKeys, rightKeys []string, ctx *Context) (*HashJoinOp, error) {
+// resolveJoinSpec binds join key columns by name against both input schemas.
+func resolveJoinSpec(ls, rs storage.Schema, leftKeys, rightKeys []string) (*joinSpec, error) {
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("exec: hash join needs equal, non-empty key lists")
 	}
-	j := &HashJoinOp{Left: left, Right: right, ctx: ctx}
-	ls, rs := left.Schema(), right.Schema()
+	j := &joinSpec{}
 	for _, k := range leftKeys {
 		i := ls.Index(k)
 		if i < 0 {
@@ -74,78 +80,313 @@ func NewHashJoinOp(left, right Operator, leftKeys, rightKeys []string, ctx *Cont
 	return j, nil
 }
 
-// Open implements Operator: it drains and hashes the right (build) input.
-func (j *HashJoinOp) Open() error {
-	if err := j.Left.Open(); err != nil {
-		return err
+// joinTable is the materialized, hashed build side of one join:
+// hash-partitioned sub-tables mapping key bytes to build row indices. Once
+// built it is immutable and safe for concurrent probing.
+//
+// Partitioning is observation-invariant: each key's match list always holds
+// every build row with that key in ascending row order, regardless of the
+// partition count — only which sub-table owns the key changes. Probe results
+// are therefore byte-identical for any partition/worker count.
+type joinTable struct {
+	spec  *joinSpec
+	rows  *storage.Batch // all build rows concatenated, in input order
+	parts []map[string][]int
+}
+
+func (t *joinTable) empty() bool { return t == nil || t.rows == nil || t.rows.Len() == 0 }
+
+func (t *joinTable) lookup(key []byte) []int {
+	if len(t.parts) == 1 {
+		return t.parts[0][string(key)]
 	}
+	return t.parts[fnv1a(key)%uint64(len(t.parts))][string(key)]
+}
+
+// fnv1a hashes key bytes to a partition; any stable byte hash works, the
+// choice only affects load balance, never results.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// drainBuild materializes an operator's full output in input order, charging
+// shuffle bytes (the build side of a hash join is exchanged in the simulated
+// cluster).
+func drainBuild(op Operator, ctx *Context) (*storage.Batch, error) {
+	rows := storage.NewBatch(op.Schema(), 0)
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		ctx.Stats.ShuffleBytes += batchBytes(b)
+		for i := 0; i < b.Len(); i++ {
+			rows.AppendRow(b, i)
+		}
+	}
+}
+
+// buildJoinTable hashes the materialized build rows into `workers`
+// hash-partitioned sub-tables using up to `workers` goroutines. Phase 1
+// splits the rows into fixed-size chunks claimed from an atomic dispenser and
+// computes each row's key bytes and partition; phase 2 builds each
+// partition's map by walking the rows in index order, so every match list is
+// ascending no matter which worker built it.
+func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable {
+	t := &joinTable{spec: spec, rows: rows}
+	n := rows.Len()
+	if n == 0 {
+		return t
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		m := make(map[string][]int, 1024)
+		var key []byte
+		for i := 0; i < n; i++ {
+			key = groupKey(key, rows.Vecs, spec.rightKeys, i)
+			m[string(key)] = append(m[string(key)], i)
+		}
+		t.parts = []map[string][]int{m}
+		return t
+	}
+
+	keys := make([]string, n)
+	nParts := uint64(workers)
+	nChunks := (n + DefaultMorselRows - 1) / DefaultMorselRows
+	// chunkParts[c][p] lists chunk c's row indices owned by partition p
+	// (int32: build sides are bounded far below 2^31 rows by memory), so
+	// phase 2 is O(n) total instead of every partition rescanning all rows.
+	chunkParts := make([][][]int32, nChunks)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var key []byte
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * DefaultMorselRows
+				hi := lo + DefaultMorselRows
+				if hi > n {
+					hi = n
+				}
+				local := make([][]int32, nParts)
+				for i := lo; i < hi; i++ {
+					key = groupKey(key, rows.Vecs, spec.rightKeys, i)
+					keys[i] = string(key)
+					p := fnv1a(key) % nParts
+					local[p] = append(local[p], int32(i))
+				}
+				chunkParts[c] = local
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2: partition p concatenates its index lists in chunk order, so
+	// every match list is ascending regardless of which worker built it.
+	t.parts = make([]map[string][]int, workers)
+	var pnext int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(atomic.AddInt64(&pnext, 1)) - 1
+				if p >= workers {
+					return
+				}
+				m := make(map[string][]int, n/workers+1)
+				for c := 0; c < nChunks; c++ {
+					for _, i := range chunkParts[c][p] {
+						m[keys[i]] = append(m[keys[i]], int(i))
+					}
+				}
+				t.parts[p] = m
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// joinProber streams probe batches against a built joinTable, emitting joined
+// output in chunks of at most joinBatchRows rows. It carries the probe
+// position (current batch, row, and match offset) across calls, so a skewed
+// key with huge fanout never inflates a single output batch.
+type joinProber struct {
+	spec  *joinSpec
+	table *joinTable
+
+	cur      *storage.Batch
+	curRow   int
+	matches  []int
+	matchPos int
+	pending  bool
+	key      []byte
+}
+
+// next pulls probe batches via fetch until it has filled one output chunk (or
+// the probe side is exhausted). It returns nil at end of stream and never
+// returns an empty batch.
+func (p *joinProber) next(fetch func() (*storage.Batch, error)) (*storage.Batch, error) {
+	var out *storage.Batch
+	for {
+		if p.cur == nil {
+			b, err := fetch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if out != nil && out.Len() > 0 {
+					return out, nil
+				}
+				return nil, nil
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			p.cur, p.curRow, p.pending = b, 0, false
+		}
+		for p.curRow < p.cur.Len() {
+			if !p.pending {
+				p.key = groupKey(p.key, p.cur.Vecs, p.spec.leftKeys, p.curRow)
+				p.matches = p.table.lookup(p.key)
+				p.matchPos = 0
+				p.pending = true
+			}
+			if p.matchPos < len(p.matches) && out == nil {
+				out = storage.NewBatch(p.spec.schema, joinBatchRows)
+			}
+			for p.matchPos < len(p.matches) {
+				if out.Len() >= joinBatchRows {
+					return out, nil
+				}
+				p.emit(out, p.curRow, p.matches[p.matchPos])
+				p.matchPos++
+			}
+			p.pending = false
+			p.curRow++
+		}
+		p.cur = nil
+	}
+}
+
+func (p *joinProber) emit(out *storage.Batch, row, m int) {
+	col := 0
+	for _, lc := range p.spec.leftCols {
+		out.Vecs[col].AppendFrom(p.cur.Vecs[lc], row)
+		col++
+	}
+	for _, rc := range p.spec.rightCols {
+		out.Vecs[col].AppendFrom(p.table.rows.Vecs[rc], m)
+		col++
+	}
+	if p.spec.outWeights {
+		w := 1.0
+		if p.spec.leftWeight >= 0 {
+			w *= p.cur.Vecs[p.spec.leftWeight].F64[row]
+		}
+		if p.spec.rightWeight >= 0 {
+			w *= p.table.rows.Vecs[p.spec.rightWeight].F64[m]
+		}
+		out.Vecs[col].F64 = append(out.Vecs[col].F64, w)
+	}
+}
+
+// HashJoinOp is the Volcano inner equi-join: it builds a hash table over the
+// right input, then streams the left input against it in bounded chunks. An
+// empty build side short-circuits: the probe side is never opened, so an
+// empty inner relation costs O(1) instead of a full match-free probe scan
+// (and charges no phantom shuffle bytes for it). The exception is a run that
+// materializes sampler byproducts: the probe side is then still drained —
+// emitting nothing — so a materializing SamplerOp below the join produces
+// the synopsis the tuner asked for.
+type HashJoinOp struct {
+	Left, Right Operator
+
+	spec *joinSpec
+	ctx  *Context
+
+	table     *joinTable
+	prober    joinProber
+	probeOpen bool
+}
+
+// NewHashJoinOp resolves join key columns by name and prepares the operator.
+func NewHashJoinOp(left, right Operator, leftKeys, rightKeys []string, ctx *Context) (*HashJoinOp, error) {
+	spec, err := resolveJoinSpec(left.Schema(), right.Schema(), leftKeys, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	return &HashJoinOp{Left: left, Right: right, spec: spec, ctx: ctx}, nil
+}
+
+// Open implements Operator: it drains and hashes the right (build) input,
+// opening the left (probe) input only when the build side is non-empty or a
+// sampler byproduct may be pending below it.
+func (j *HashJoinOp) Open() error {
+	j.probeOpen = false
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	rs := j.Right.Schema()
-	j.built = storage.NewBatch(rs, 0)
-	j.hash = make(map[string][]int, 1024)
-	var key []byte
-	for {
-		b, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		j.ctx.Stats.ShuffleBytes += batchBytes(b)
-		base := j.built.Len()
-		for i := 0; i < b.Len(); i++ {
-			j.built.AppendRow(b, i)
-			key = groupKey(key, b.Vecs, j.rightKeys, i)
-			j.hash[string(key)] = append(j.hash[string(key)], base+i)
-		}
+	rows, err := drainBuild(j.Right, j.ctx)
+	if err != nil {
+		return err
 	}
+	j.table = buildJoinTable(j.spec, rows, 1)
+	if j.table.empty() && len(j.ctx.MaterializeSamples) == 0 {
+		return nil
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.probeOpen = true
+	j.prober = joinProber{spec: j.spec, table: j.table}
 	return nil
 }
 
 // Next implements Operator.
 func (j *HashJoinOp) Next() (*storage.Batch, error) {
-	for {
-		b, err := j.Left.Next()
-		if err != nil || b == nil {
-			return nil, err
+	if j.table.empty() {
+		if !j.probeOpen {
+			return nil, nil
 		}
-		j.ctx.Stats.ShuffleBytes += batchBytes(b)
-		out := storage.NewBatch(j.schema, b.Len())
-		var key []byte
-		for i := 0; i < b.Len(); i++ {
-			key = groupKey(key, b.Vecs, j.leftKeys, i)
-			matches := j.hash[string(key)]
-			for _, m := range matches {
-				col := 0
-				for _, lc := range j.leftCols {
-					out.Vecs[col].AppendFrom(b.Vecs[lc], i)
-					col++
-				}
-				for _, rc := range j.rightCols {
-					out.Vecs[col].AppendFrom(j.built.Vecs[rc], m)
-					col++
-				}
-				if j.outWeights {
-					w := 1.0
-					if j.leftWeight >= 0 {
-						w *= b.Vecs[j.leftWeight].F64[i]
-					}
-					if j.rightWeight >= 0 {
-						w *= j.built.Vecs[j.rightWeight].F64[m]
-					}
-					out.Vecs[col].F64 = append(out.Vecs[col].F64, w)
-				}
+		// Materializing run over an empty build: drain the probe side so
+		// sampler byproducts below the join are still built, emit nothing.
+		for {
+			b, err := j.Left.Next()
+			if err != nil || b == nil {
+				return nil, err
 			}
+			j.ctx.Stats.ShuffleBytes += batchBytes(b)
 		}
-		if out.Len() == 0 {
-			continue
-		}
-		j.ctx.Stats.CPUTuples += int64(out.Len())
-		return out, nil
 	}
+	out, err := j.prober.next(func() (*storage.Batch, error) {
+		b, err := j.Left.Next()
+		if b != nil {
+			j.ctx.Stats.ShuffleBytes += batchBytes(b)
+		}
+		return b, err
+	})
+	if out != nil {
+		j.ctx.Stats.CPUTuples += int64(out.Len())
+	}
+	return out, err
 }
 
 // Close implements Operator.
@@ -159,7 +400,7 @@ func (j *HashJoinOp) Close() error {
 }
 
 // Schema implements Operator.
-func (j *HashJoinOp) Schema() storage.Schema { return j.schema }
+func (j *HashJoinOp) Schema() storage.Schema { return j.spec.schema }
 
 func batchBytes(b *storage.Batch) int64 {
 	var n int64

@@ -4,12 +4,13 @@
 // operators (pipelined, with materialization as a byproduct — paper §III),
 // the sketch-join operator, and the compiler from logical plans.
 //
-// Single-table scan→sample→filter→aggregate chains — the hot path of every
-// grouped-aggregate scan — compile to the morsel-driven ParallelAggOp
-// instead of the Volcano operators: workers claim fixed-size row-range
-// morsels from a shared dispenser and merge per-worker partial hash tables,
-// with per-morsel RNG streams split deterministically from the query seed so
-// results are byte-identical at any worker count.
+// Scan→sample→filter→join→aggregate chains — the hot path of every grouped
+// aggregation, single-table or join-shaped — compile to the morsel-driven
+// ParallelAggOp instead of the Volcano operators: join build sides are hashed
+// once into partitioned shared tables, workers claim fixed-size row-range
+// morsels of the probe side from a shared dispenser and merge per-worker
+// partial hash tables, with per-morsel RNG streams split deterministically
+// from the query seed so results are byte-identical at any worker count.
 package exec
 
 import (
@@ -148,9 +149,14 @@ func groupKey(dst []byte, vecs []*storage.Vector, cols []int, row int) []byte {
 			dst = append(dst, 2, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
 				byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
 		case storage.String:
-			dst = append(dst, 3)
-			dst = append(dst, v.Str[row]...)
-			dst = append(dst, 0)
+			// Length-prefixed, not NUL-terminated: a terminator byte lets
+			// NUL-embedded strings collide across column boundaries (e.g. the
+			// two-column keys ("a\x00\x03b","c") and ("a","b\x00\x03c") encode
+			// to the same bytes under termination).
+			s := v.Str[row]
+			n := uint32(len(s))
+			dst = append(dst, 3, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+			dst = append(dst, s...)
 		case storage.Bool:
 			if v.B[row] {
 				dst = append(dst, 4, 1)

@@ -17,36 +17,42 @@ import (
 // claim-and-merge overhead stays negligible.
 const DefaultMorselRows = 4096
 
-// parallelPipeline is a leaf-to-aggregate operator chain the morsel executor
-// can run: Scan|SynopsisScan → {SynopsisOp | Filter}* → Aggregate. The
-// planner emits exactly this shape for single-table exact plans, inline
-// sampler builds and sample-reuse plans, which makes it the hot path of every
-// grouped-aggregate scan.
+// parallelPipeline is a leaf-to-aggregate operator spine the morsel executor
+// can run: Scan|SynopsisScan → {SynopsisOp | Filter | Join}* → Aggregate.
+// The spine follows each Join's left (probe) input; build (right) subtrees
+// are arbitrary plans compiled onto the Volcano operators and hashed once
+// into shared partitioned tables. The planner emits exactly this shape for
+// single-table and left-deep join plans — exact, inline sampler builds and
+// sample-reuse alike — which makes it the hot path of every grouped
+// aggregation.
 type parallelPipeline struct {
 	leaf      *storage.Table // base table or the sample's row table
 	leafBase  bool           // true: charge BaseBytes; false: synopsis bytes
 	leafFree  bool           // buffer-resident synopsis: no I/O charge
 	leafBytes int64
 
-	// chain lists the unary nodes between leaf (exclusive) and aggregate
-	// (exclusive), bottom-up. At most one SynopsisOp.
+	// chain lists the spine nodes between leaf (exclusive) and aggregate
+	// (exclusive), bottom-up. At most one SynopsisOp; any number of Joins.
 	chain   []plan.Node
 	sampler *plan.SynopsisOp // the chain's sampler node, if any
 	agg     *plan.Aggregate
 }
 
 // matchParallelAgg recognizes the pipeline shape. It returns ok=false for
-// trees with joins, sketch-joins, projections or nested samplers — those
-// keep the Volcano path.
+// trees with sketch-joins, projections or nested samplers — those keep the
+// Volcano path.
 func matchParallelAgg(a *plan.Aggregate) (*parallelPipeline, bool) {
 	p := &parallelPipeline{agg: a}
 	n := a.Child
-	var down []plan.Node // top-down unary nodes
+	var down []plan.Node // top-down spine nodes
 	for {
 		switch t := n.(type) {
 		case *plan.Filter:
 			down = append(down, t)
 			n = t.Child
+		case *plan.Join:
+			down = append(down, t)
+			n = t.Left
 		case *plan.SynopsisOp:
 			if p.sampler != nil || t.Kind == plan.SketchJoinSynopsis {
 				return nil, false
@@ -76,42 +82,84 @@ func matchParallelAgg(a *plan.Aggregate) (*parallelPipeline, bool) {
 	return p, true
 }
 
+// pipelineJoinState is one join of the spine: its compiled build-side
+// subtree, the resolved column binding, and — once the op runs — the shared
+// hash-partitioned table every probe worker reads.
+type pipelineJoinState struct {
+	node  *plan.Join
+	build Operator
+	spec  *joinSpec
+	table *joinTable
+}
+
 // ParallelAggOp executes a matched pipeline with morsel-driven parallelism:
-// the leaf's rows are split into fixed-size morsels, a pool of workers claims
-// morsels from an atomic dispenser, and each worker runs the full
-// scan→sample→filter→partial-aggregate pipeline on its morsel with
-// worker-local state. Partial hash tables are merged in morsel index order
-// once all morsels are done.
+// each join's build side runs once and is hashed by the worker pool into a
+// shared partitioned joinTable; then the leaf's rows are split into
+// fixed-size morsels, the pool claims morsels from an atomic dispenser, and
+// each worker runs the full scan→sample→filter→probe→partial-aggregate
+// pipeline on its morsel with worker-local state. Partial hash tables are
+// merged in morsel index order once all morsels are done.
 //
 // Determinism contract: every morsel's sampler draws from the RNG stream
 // SplitSeed(seed, morselIdx) and the distinct sampler's per-instance
 // requirement is PartitionDelta(δ, morsels), so the set of sampled rows, the
 // merged aggregates and the materialized sample bytes depend only on
 // (input, seed, morsel size) — never on the worker count or on scheduling.
-// Running with Workers=1 and Workers=N yields byte-identical results.
+// Join probes inherit the contract for free: the build table's match lists
+// are ascending build-row indices regardless of partition count, and each
+// morsel probes them in its own input order. Running with Workers=1 and
+// Workers=N yields byte-identical results; exact (unsampled) pipelines are
+// additionally byte-identical to the Volcano operators, cost counters
+// included.
 type ParallelAggOp struct {
-	pipe *parallelPipeline
-	seed uint64
-	ctx  *Context
-	spec *aggSpec
+	pipe  *parallelPipeline
+	joins []*pipelineJoinState // spine joins, bottom-up
+	seed  uint64
+	ctx   *Context
+	spec  *aggSpec
 
 	emitted   bool
 	intervals [][]stats.Interval
 }
 
-// NewParallelAggOp binds the aggregation columns and validates the sampler
-// configuration up front, mirroring the Volcano constructors' error behaviour.
+// NewParallelAggOp compiles the spine's join build sides, binds the
+// aggregation columns against the spine's physical output schema, and
+// validates the sampler configuration up front, mirroring the Volcano
+// constructors' error behaviour.
 func NewParallelAggOp(pipe *parallelPipeline, seed uint64, ctx *Context) (*ParallelAggOp, error) {
-	spec, err := resolveAggSpec(pipe.agg.Child.Schema(), pipe.agg.GroupBy, pipe.agg.Aggs)
+	// Resolve the physical schema along the spine. Build sides use the same
+	// seed derivation as the Volcano Compile path (left spine keeps the seed,
+	// every right subtree derives seed*31+7), so a sampled build side draws
+	// the same rows under either executor.
+	cur := pipe.leaf.Schema()
+	var joins []*pipelineJoinState
+	for _, n := range pipe.chain {
+		switch t := n.(type) {
+		case *plan.SynopsisOp:
+			cur = synopses.SampleSchema(cur)
+		case *plan.Join:
+			build, err := Compile(t.Right, seed*31+7, ctx)
+			if err != nil {
+				return nil, err
+			}
+			spec, err := resolveJoinSpec(cur, build.Schema(), t.LeftKeys, t.RightKeys)
+			if err != nil {
+				return nil, err
+			}
+			joins = append(joins, &pipelineJoinState{node: t, build: build, spec: spec})
+			cur = spec.schema
+		}
+	}
+	spec, err := resolveAggSpec(cur, pipe.agg.GroupBy, pipe.agg.Aggs)
 	if err != nil {
 		return nil, err
 	}
 	// Validate the chain eagerly (sampler strat columns, filter types) by
 	// building a throwaway morsel pipeline over zero rows.
-	if _, err := buildMorselChain(pipe, 0, 1, seed, NewContext(ctx.Confidence)); err != nil {
+	if _, err := buildMorselChain(pipe, joins, 0, 1, seed, NewContext(ctx.Confidence)); err != nil {
 		return nil, err
 	}
-	return &ParallelAggOp{pipe: pipe, seed: seed, ctx: ctx, spec: spec}, nil
+	return &ParallelAggOp{pipe: pipe, joins: joins, seed: seed, ctx: ctx, spec: spec}, nil
 }
 
 // morselResult is everything one morsel produced: its partial hash table,
@@ -150,6 +198,50 @@ func (p *ParallelAggOp) Next() (*storage.Batch, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+
+	// Run and hash every join's build side once; the resulting partitioned
+	// tables are shared read-only by all probe workers. Builds run top-down
+	// — the order the nested Volcano HashJoinOps open theirs in — so cost
+	// counters stay bit-equal to the serial path. An empty build side proves
+	// the inner join — and hence the whole pipeline input — empty, so the
+	// probe scan is normally skipped entirely (O(1) early-out, no phantom
+	// scan or shuffle charges, deeper builds never drained), matching the
+	// Volcano operator. The exception is a run with a pending sampler
+	// materialization: the sampler may sit on the probe spine or inside a
+	// deeper build subtree (the planner's fact branch is not always the
+	// spine leaf), so — like the Volcano HashJoinOp — any requested
+	// byproduct disables the early-out and every build plus the probe pass
+	// still runs.
+	materializes := len(p.ctx.MaterializeSamples) > 0
+	emptyJoin := false
+	for k := len(p.joins) - 1; k >= 0; k-- {
+		js := p.joins[k]
+		if err := js.build.Open(); err != nil {
+			return nil, err
+		}
+		built, err := drainBuild(js.build, p.ctx)
+		cerr := js.build.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		js.table = buildJoinTable(js.spec, built, workers)
+		if js.table.empty() {
+			emptyJoin = true
+			if !materializes {
+				break
+			}
+		}
+	}
+	if emptyJoin && !materializes {
+		out, intervals := newAggTable(p.spec).emit(p.ctx.Confidence)
+		p.intervals = intervals
+		p.ctx.Stats.OutputRows += int64(out.Len())
+		return out, nil
+	}
+
 	if workers > nMorsels {
 		workers = nMorsels
 	}
@@ -233,7 +325,7 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int) morselResult {
 		Stats:              &RunStats{},
 		MaterializeSamples: p.ctx.MaterializeSamples,
 	}
-	root, err := buildMorselChain(p.pipe, i, nMorsels, p.seed, mctx)
+	root, err := buildMorselChain(p.pipe, p.joins, i, nMorsels, p.seed, mctx)
 	if err != nil {
 		return morselResult{err: err}
 	}
@@ -269,15 +361,20 @@ type morselChain struct {
 }
 
 // buildMorselChain instantiates the pipeline's operator chain for one morsel:
-// a morsel-local scan, then per-node Filter/Sampler operators. Sampler
-// instances get the morsel's split seed and partitioned δ.
-func buildMorselChain(pipe *parallelPipeline, morsel, nMorsels int, seed uint64, mctx *Context) (*morselChain, error) {
+// a morsel-local scan, then per-node Filter/Sampler/probe operators. Sampler
+// instances get the morsel's split seed and partitioned δ; probe operators
+// share the join states' pre-built hash tables.
+func buildMorselChain(pipe *parallelPipeline, joins []*pipelineJoinState, morsel, nMorsels int, seed uint64, mctx *Context) (*morselChain, error) {
 	src := &morselScan{schema: pipe.leaf.Schema(), ctx: mctx}
 	var cur Operator = src
+	ji := 0
 	for _, n := range pipe.chain {
 		switch t := n.(type) {
 		case *plan.Filter:
 			cur = NewFilterOp(cur, t.Pred, mctx)
+		case *plan.Join:
+			cur = &morselProbeOp{child: cur, st: joins[ji], ctx: mctx}
+			ji++
 		case *plan.SynopsisOp:
 			delta := synopses.PartitionDelta(t.Delta, nMorsels)
 			op, err := newSamplerOpDelta(cur, t, delta, synopses.SplitSeed(seed, uint64(morsel)), mctx)
@@ -289,6 +386,56 @@ func buildMorselChain(pipe *parallelPipeline, morsel, nMorsels int, seed uint64,
 	}
 	return &morselChain{op: cur, src: src}, nil
 }
+
+// morselProbeOp probes one morsel's stream against a join's shared hash
+// table with a morsel-local prober, charging probe shuffle and output CPU to
+// the morsel's context exactly as the Volcano HashJoinOp does.
+type morselProbeOp struct {
+	child  Operator
+	st     *pipelineJoinState
+	ctx    *Context
+	prober joinProber
+}
+
+// Open implements Operator.
+func (o *morselProbeOp) Open() error {
+	o.prober = joinProber{spec: o.st.spec, table: o.st.table}
+	return o.child.Open()
+}
+
+// Next implements Operator.
+func (o *morselProbeOp) Next() (*storage.Batch, error) {
+	if o.st.table.empty() {
+		// Only reachable when the pipeline materializes a sampler byproduct
+		// (plain empty joins early-out before the pool starts): drain the
+		// child so samplers below this join still observe their stream, and
+		// emit nothing.
+		for {
+			b, err := o.child.Next()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			o.ctx.Stats.ShuffleBytes += batchBytes(b)
+		}
+	}
+	out, err := o.prober.next(func() (*storage.Batch, error) {
+		b, err := o.child.Next()
+		if b != nil {
+			o.ctx.Stats.ShuffleBytes += batchBytes(b)
+		}
+		return b, err
+	})
+	if out != nil {
+		o.ctx.Stats.CPUTuples += int64(out.Len())
+	}
+	return out, err
+}
+
+// Close implements Operator.
+func (o *morselProbeOp) Close() error { return o.child.Close() }
+
+// Schema implements Operator.
+func (o *morselProbeOp) Schema() storage.Schema { return o.st.spec.schema }
 
 // morselScan feeds one morsel's pre-sliced batches into a per-morsel
 // pipeline. I/O is charged once by ParallelAggOp, not per morsel; CPU tuples

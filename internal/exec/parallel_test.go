@@ -60,7 +60,7 @@ func TestParallelAggCompilesForPipelineShapes(t *testing.T) {
 		t.Fatalf("single-table aggregate compiled to %T, want *ParallelAggOp", op)
 	}
 
-	// Joins keep the Volcano path.
+	// Join pipelines run on the parallel executor too (PR 2).
 	j := &plan.Aggregate{
 		Child: &plan.Join{
 			Left: &plan.Scan{Table: tbl}, Right: &plan.Scan{Table: customersTable()},
@@ -72,8 +72,24 @@ func TestParallelAggCompilesForPipelineShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, ok := op.(*ParallelAggOp); !ok {
+		t.Fatalf("join aggregate compiled to %T, want *ParallelAggOp", op)
+	}
+
+	// Projection spines keep the Volcano path.
+	proj, err := plan.NewProject(&plan.Scan{Table: tbl}, []plan.NamedExpr{
+		{Name: "amount", E: &expr.Col{Name: "orders.amount"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &plan.Aggregate{Child: proj, Aggs: []plan.AggSpec{{Kind: stats.Sum, Col: "amount"}}}
+	op, err = Compile(pr, 1, NewContext(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := op.(*ParallelAggOp); ok {
-		t.Fatal("join aggregate must not use the parallel executor")
+		t.Fatal("projection aggregate must not use the parallel executor")
 	}
 }
 

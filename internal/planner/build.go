@@ -82,7 +82,7 @@ func (p *Planner) exactPlan(q *Query) (Candidate, error) {
 	cost.aggWork(out)
 	return Candidate{
 		Root: full,
-		Cost: cost.seconds(p.Model),
+		Cost: cost.seconds(p.Model, p.Parallelism),
 		Desc: "exact",
 	}, nil
 }
@@ -96,7 +96,13 @@ func (p *Planner) costFilteredJoinTree(q *Query, overrides map[string]scanEst, c
 		if e, ok := overrides[t.Name]; ok {
 			return e
 		}
-		cost.scanTable(t)
+		// The first FROM table is the probe spine of the morsel-parallel
+		// executor; every other branch is a serially drained build side.
+		if t.Name == q.Tables[0].Name {
+			cost.scanTable(t)
+		} else {
+			cost.scanTableSerial(t)
+		}
 		return p.est.tableEst(t, q.filterForTable(t.Name))
 	}
 

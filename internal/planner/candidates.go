@@ -92,12 +92,12 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 
 	var cost planCost
 	joinEstOut := p.costUnfilteredJoinTree(q, &cost)
-	cost.samplerWork(joinEstOut.rows)
+	cost.samplerWork(joinEstOut.rows, true) // sampler above the join root: on the spine
 	// sel computed above for the sampler configuration.
 	cost.aggWork(scanEst{rows: math.Max(outRows*sel, 1), width: joinOut.width + 8})
 	ps.Candidates = append(ps.Candidates, Candidate{
 		Root:    full,
-		Cost:    cost.seconds(p.Model),
+		Cost:    cost.seconds(p.Model, p.Parallelism),
 		Creates: []CreateSpec{{Entry: entry, SampleNode: synNode}},
 		Desc:    fmt.Sprintf("build %s sample on join %v", cfg.kind, sig.Tables),
 	})
@@ -106,7 +106,7 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 	var rc planCost
 	rc.scanSynopsis(desc.EstSizeBytes, outRows)
 	rc.aggWork(scanEst{rows: math.Max(outRows*sel, 1), width: joinOut.width + 8})
-	reuseCost := rc.seconds(p.Model)
+	reuseCost := rc.seconds(p.Model, p.Parallelism)
 	if prev, ok := ps.ReuseCost[entry.Desc.ID]; !ok || reuseCost < prev {
 		ps.ReuseCost[entry.Desc.ID] = reuseCost
 	}
@@ -150,7 +150,7 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		rcost.aggWork(scanEst{rows: math.Max(sampleRows*sel, 1), width: joinOut.width + 8})
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: rfull,
-			Cost: rcost.seconds(p.Model),
+			Cost: rcost.seconds(p.Model, p.Parallelism),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse join sample #%d", m.Entry.Desc.ID),
 		})
@@ -160,7 +160,11 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 // costUnfilteredJoinTree charges the join tree with no filters pushed down.
 func (p *Planner) costUnfilteredJoinTree(q *Query, cost *planCost) scanEst {
 	branchEst := func(t TableRef) scanEst {
-		cost.scanTable(t)
+		if t.Name == q.Tables[0].Name {
+			cost.scanTable(t)
+		} else {
+			cost.scanTableSerial(t)
+		}
 		return scanEst{rows: float64(t.Table.NumRows()), width: t.Table.AvgRowBytes()}
 	}
 	cur := branchEst(q.Tables[0])
@@ -376,7 +380,7 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 
 	// Probe-side cost, shared by both variants.
 	probeEstimate := func(cost *planCost) scanEst {
-		pp := &Planner{Store: p.Store, WH: p.WH, Model: p.Model, est: p.est, mgCache: map[string]int{}}
+		pp := &Planner{Store: p.Store, WH: p.WH, Model: p.Model, Parallelism: p.Parallelism, est: p.est, mgCache: map[string]int{}}
 		return pp.costFilteredJoinTree(probeQ, nil, cost)
 	}
 
@@ -388,9 +392,10 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 	probeOut := probeEstimate(&cost)
 	cost.sketchProbeWork(probeOut.rows)
 	cost.aggWork(scanEst{rows: probeOut.rows, width: probeOut.width})
+	cost.serializeCPU() // the whole sketch-join plan runs on the Volcano path
 	ps.Candidates = append(ps.Candidates, Candidate{
 		Root:    buildPlan,
-		Cost:    cost.seconds(p.Model),
+		Cost:    cost.seconds(p.Model, p.Parallelism),
 		Creates: []CreateSpec{{Entry: entry, SketchNode: buildPlan}},
 		Desc:    fmt.Sprintf("build sketch-join on %s", sh.fact.Name),
 	})
@@ -401,7 +406,8 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 	rOut := probeEstimate(&rc)
 	rc.sketchProbeWork(rOut.rows)
 	rc.aggWork(scanEst{rows: rOut.rows, width: rOut.width})
-	reuseCost := rc.seconds(p.Model)
+	rc.serializeCPU()
+	reuseCost := rc.seconds(p.Model, p.Parallelism)
 	if prev, ok := ps.ReuseCost[entry.Desc.ID]; !ok || reuseCost < prev {
 		ps.ReuseCost[entry.Desc.ID] = reuseCost
 	}
@@ -419,9 +425,10 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 		ro := probeEstimate(&rcost)
 		rcost.sketchProbeWork(ro.rows)
 		rcost.aggWork(scanEst{rows: ro.rows, width: ro.width})
+		rcost.serializeCPU()
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: node,
-			Cost: rcost.seconds(p.Model),
+			Cost: rcost.seconds(p.Model, p.Parallelism),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sketch-join #%d on %s", m.Entry.Desc.ID, sh.fact.Name),
 		})

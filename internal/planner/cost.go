@@ -70,10 +70,17 @@ func contains(xs []string, x string) bool {
 }
 
 // planCost accumulates the simulated-seconds cost of a candidate.
+//
+// CPU work is split into two buckets: cpuTuples is pipeline work the
+// morsel-driven executor spreads across workers (scans, samplers, hash
+// joins, aggregation), serialTuples is Volcano-path work with no parallel
+// runtime (sketch probes). seconds divides only the former by the planner's
+// parallelism factor, so plan choice reflects which runtime a shape lands on.
 type planCost struct {
 	baseBytes      int64
 	warehouseBytes int64
 	cpuTuples      int64
+	serialTuples   int64
 	shuffleBytes   int64
 }
 
@@ -82,15 +89,26 @@ func (c *planCost) scanTable(t TableRef) {
 	c.cpuTuples += int64(t.Table.NumRows())
 }
 
+// scanTableSerial is scanTable for join build branches: their scan is
+// drained serially (drainBuild) before the morsel pool starts, so the CPU
+// never spreads across workers.
+func (c *planCost) scanTableSerial(t TableRef) {
+	c.baseBytes += t.Table.Bytes()
+	c.serialTuples += int64(t.Table.NumRows())
+}
+
 func (c *planCost) scanSynopsis(bytes int64, rows float64) {
 	c.warehouseBytes += bytes
 	c.cpuTuples += int64(rows)
 }
 
-// joinWork charges one hash join: both inputs shuffle, output pays CPU.
+// joinWork charges one hash join: both inputs shuffle, output pays CPU. The
+// build side is materialized serially; probing and emitting run on the
+// morsel pool.
 func (c *planCost) joinWork(build, probe, out scanEst) {
 	c.shuffleBytes += int64(build.rows*build.width) + int64(probe.rows*probe.width)
-	c.cpuTuples += int64(build.rows + probe.rows + out.rows)
+	c.serialTuples += int64(build.rows)
+	c.cpuTuples += int64(probe.rows + out.rows)
 }
 
 // aggWork charges the aggregation exchange plus per-tuple work.
@@ -100,19 +118,43 @@ func (c *planCost) aggWork(in scanEst) {
 }
 
 // samplerWork charges the pipelined sampler (one pass over its input).
-func (c *planCost) samplerWork(inRows float64) {
-	c.cpuTuples += int64(inRows)
+// spine says whether the sampler rides the morsel-parallel probe spine
+// (false: it sits in a serially drained build branch).
+func (c *planCost) samplerWork(inRows float64, spine bool) {
+	if spine {
+		c.cpuTuples += int64(inRows)
+	} else {
+		c.serialTuples += int64(inRows)
+	}
 }
 
-// sketchProbeWork charges probing a CM sketch per probe tuple.
+// sketchProbeWork charges probing a CM sketch per probe tuple. Sketch joins
+// run on the serial Volcano path, so this work does not shrink with the
+// executor's worker count.
 func (c *planCost) sketchProbeWork(probeRows float64) {
-	c.cpuTuples += int64(probeRows * 4) // d hash rows per probe
+	c.serialTuples += int64(probeRows * 4) // d hash rows per probe
+}
+
+// serializeCPU reclassifies all pipeline CPU accumulated so far as serial
+// work. Sketch-join candidates use it: their whole physical plan — build
+// scan, CM updates, probe-side join tree and final aggregation — runs on the
+// Volcano operators (matchParallelAgg rejects SketchJoin shapes), so none of
+// it shrinks with the executor's worker count.
+func (c *planCost) serializeCPU() {
+	c.serialTuples += c.cpuTuples
+	c.cpuTuples = 0
 }
 
 // seconds converts accumulated work into simulated cluster time. The seek
 // charge models per-query job startup and is paid once, not per source.
-func (c *planCost) seconds(m storage.CostModel) float64 {
-	s := m.CPUSeconds(c.cpuTuples) + m.ShuffleSeconds(c.shuffleBytes)
+// parallelism (≥1) is the intra-query worker count of the morsel-driven
+// executor: pipeline CPU work divides by it, serial work and I/O do not.
+func (c *planCost) seconds(m storage.CostModel, parallelism float64) float64 {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	s := m.CPUSeconds(c.cpuTuples)/parallelism + m.CPUSeconds(c.serialTuples) +
+		m.ShuffleSeconds(c.shuffleBytes)
 	if c.baseBytes > 0 || c.warehouseBytes > 0 {
 		s += m.SeekSeconds
 	}

@@ -57,6 +57,14 @@ type Planner struct {
 	BenefitKeep int
 	// Seed drives sampler seeds derived per synopsis.
 	Seed uint64
+	// Parallelism is the intra-query worker count the morsel-driven executor
+	// will run pipeline shapes (scan→sample→filter→join→aggregate) with;
+	// plan costing divides parallelizable CPU work by it while serial
+	// Volcano work (sketch probes) stays undivided. The default 1 reproduces
+	// serial estimates and keeps plan choice machine-independent; engines
+	// configured with an explicit worker count set it so plan choice
+	// reflects the parallel runtime.
+	Parallelism float64
 
 	est     estimator
 	mu      sync.Mutex
@@ -70,6 +78,7 @@ func New(store *meta.Store, wh *warehouse.Manager, model storage.CostModel) *Pla
 		WH:          wh,
 		Model:       model,
 		BenefitKeep: 64,
+		Parallelism: 1,
 		est:         estimator{model: model},
 		mgCache:     make(map[string]int),
 	}
@@ -362,13 +371,21 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 
 	var cost planCost
 	overrides := map[string]scanEst{fact.Name: {rows: outRows * sel, width: fact.Table.AvgRowBytes() + 8}}
-	cost.scanTable(fact)
-	cost.samplerWork(inRows)
+	// The sampler rides the morsel-parallel probe spine only when the fact
+	// table is the join tree's leftmost leaf; otherwise the whole sampled
+	// branch is a serially drained build side.
+	factOnSpine := fact.Name == q.Tables[0].Name
+	if factOnSpine {
+		cost.scanTable(fact)
+	} else {
+		cost.scanTableSerial(fact)
+	}
+	cost.samplerWork(inRows, factOnSpine)
 	out := p.costFilteredJoinTree(q, overrides, &cost)
 	cost.aggWork(out)
 	ps.Candidates = append(ps.Candidates, Candidate{
 		Root:    full,
-		Cost:    cost.seconds(p.Model),
+		Cost:    cost.seconds(p.Model, p.Parallelism),
 		Creates: []CreateSpec{{Entry: entry, SampleNode: synNode}},
 		Desc:    fmt.Sprintf("build %s sample on %s", cfg.kind, fact.Name),
 	})
@@ -424,16 +441,19 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		// sampleRows computed above for the coverage check.
 		var rcost planCost
 		if !inBuffer {
-			rcost.scanSynopsis(item.Size, sampleRows)
-		} else {
+			rcost.warehouseBytes += item.Size
+		}
+		if factOnSpine {
 			rcost.cpuTuples += int64(sampleRows)
+		} else {
+			rcost.serialTuples += int64(sampleRows)
 		}
 		rOverrides := map[string]scanEst{fact.Name: {rows: sampleRows * sel, width: fact.Table.AvgRowBytes() + 8}}
 		rout := p.costFilteredJoinTree(q, rOverrides, &rcost)
 		rcost.aggWork(rout)
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: rfull,
-			Cost: rcost.seconds(p.Model),
+			Cost: rcost.seconds(p.Model, p.Parallelism),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sample #%d on %s", m.Entry.Desc.ID, fact.Name),
 		})
@@ -444,11 +464,16 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 // existed in the warehouse.
 func (p *Planner) costBaseSampleReuse(q *Query, fact TableRef, factFilter expr.Expr, sizeBytes int64, outRows float64) float64 {
 	var cost planCost
-	cost.scanSynopsis(sizeBytes, outRows)
+	cost.warehouseBytes += sizeBytes
+	if fact.Name == q.Tables[0].Name {
+		cost.cpuTuples += int64(outRows)
+	} else {
+		cost.serialTuples += int64(outRows)
+	}
 	overrides := map[string]scanEst{fact.Name: {rows: math.Max(outRows, 1), width: fact.Table.AvgRowBytes() + 8}}
 	out := p.costFilteredJoinTree(q, overrides, &cost)
 	cost.aggWork(out)
-	return cost.seconds(p.Model)
+	return cost.seconds(p.Model, p.Parallelism)
 }
 
 // factNeedCols lists the fact-table columns the query consumes.

@@ -341,3 +341,55 @@ func TestSamplerConfigurationFollowsAccuracy(t *testing.T) {
 		t.Fatalf("δ must shrink with strat/cover ratio, got %d", wide.delta)
 	}
 }
+
+func TestPlanCostParallelismFactor(t *testing.T) {
+	m := storage.DefaultCostModel()
+	c := planCost{cpuTuples: 4_000_000_000, serialTuples: 4_000_000_000, shuffleBytes: 1 << 30}
+	s1 := c.seconds(m, 1)
+	s8 := c.seconds(m, 8)
+	if s8 >= s1 {
+		t.Fatalf("parallelism must shrink pipeline CPU cost: %v vs %v", s8, s1)
+	}
+	// Exactly the pipeline bucket divides; serial (sketch-probe) work and
+	// shuffle stay undivided.
+	wantDrop := m.CPUSeconds(c.cpuTuples) * (1 - 1.0/8)
+	if diff := (s1 - s8) - wantDrop; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost drop %v, want %v (only cpuTuples divides)", s1-s8, wantDrop)
+	}
+	// Sub-1 factors clamp to serial.
+	if c.seconds(m, 0) != s1 {
+		t.Fatal("parallelism < 1 must clamp to 1")
+	}
+
+	// End to end: a higher-parallelism planner estimates every pipeline plan
+	// cheaper, and relative candidate order is produced consistently.
+	p1, _, _ := testPlanner()
+	ps1, err := p1.Plan(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, _, _ := testPlanner()
+	p8.Parallelism = 8
+	ps8, err := p8.Plan(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps8.Exact.Cost >= ps1.Exact.Cost {
+		t.Fatalf("exact plan at P=8 (%v) must be cheaper than at P=1 (%v)",
+			ps8.Exact.Cost, ps1.Exact.Cost)
+	}
+	// Sketch-join candidates run entirely on the serial Volcano path, so
+	// their cost must not shrink with the parallelism factor.
+	sketchCost := func(ps *PlanSet) float64 {
+		for _, c := range ps.Candidates {
+			if strings.HasPrefix(c.Desc, "build sketch-join") {
+				return c.Cost
+			}
+		}
+		t.Fatal("no sketch-join candidate generated")
+		return 0
+	}
+	if c1, c8 := sketchCost(ps1), sketchCost(ps8); c1 != c8 {
+		t.Fatalf("sketch-join cost must be parallelism-invariant: %v vs %v", c1, c8)
+	}
+}
