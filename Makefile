@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-join
+.PHONY: all check fmt vet build test race bench bench-join bench-stream
 
 all: check
 
@@ -32,3 +32,9 @@ bench:
 # parallel hash join end to end (CI runs this as a smoke test).
 bench-join:
 	$(GO) test -run xxx -bench Join -benchtime 1x .
+
+# Streaming-ingestion smoke: runs the error-vs-staleness experiment at a
+# tiny scale and emits BENCH_streaming.json (CI collects it as the perf
+# summary artifact).
+bench-stream:
+	$(GO) run ./cmd/tasterbench -experiment streaming -workload tpch -sf 0.002 -queries 24

@@ -1,38 +1,81 @@
 // Command tasterbench regenerates the paper's evaluation (§VI): every
-// figure and table, printed as ASCII tables of simulated cluster seconds.
+// figure and table, printed as ASCII tables of simulated cluster seconds,
+// plus the streaming-ingestion experiment (error vs. staleness bound).
 //
 // Usage:
 //
-//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei]
+//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming]
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
-//	            [-seed 42]
+//	            [-seed 42] [-benchjson=true]
+//
+// Unless -benchjson=false, every run also writes a BENCH_<experiment>.json
+// perf summary (wall seconds plus the rendered report) to the working
+// directory for trajectory/CI collection.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/tasterdb/taster/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run")
-		wl      = flag.String("workload", "tpch", "workload for fig3 (tpch|tpcds|instacart)")
-		sf      = flag.Float64("sf", 0.004, "workload scale factor")
-		queries = flag.Int("queries", 200, "query sequence length")
-		seed    = flag.Int64("seed", 42, "random seed")
+		exp       = flag.String("experiment", "all", "which experiment to run")
+		wl        = flag.String("workload", "tpch", "workload for fig3/streaming (tpch|tpcds|instacart)")
+		sf        = flag.Float64("sf", 0.004, "workload scale factor")
+		queries   = flag.Int("queries", 200, "query sequence length")
+		seed      = flag.Int64("seed", 42, "random seed")
+		benchjson = flag.Bool("benchjson", true, "write a BENCH_<experiment>.json perf summary")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SF: *sf, Queries: *queries, Seed: *seed}
 
+	start := time.Now()
 	out, err := run(*exp, *wl, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tasterbench:", err)
 		os.Exit(1)
 	}
 	fmt.Print(out)
+	if *benchjson {
+		if err := writeSummary(*exp, *wl, cfg, time.Since(start).Seconds(), out); err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: bench summary:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchSummary is the machine-readable perf record one run emits.
+type benchSummary struct {
+	Experiment  string  `json:"experiment"`
+	Workload    string  `json:"workload"`
+	SF          float64 `json:"sf"`
+	Queries     int     `json:"queries"`
+	Seed        int64   `json:"seed"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Report      string  `json:"report"`
+}
+
+func writeSummary(exp, wl string, cfg experiments.Config, wall float64, report string) error {
+	b, err := json.MarshalIndent(benchSummary{
+		Experiment:  exp,
+		Workload:    wl,
+		SF:          cfg.SF,
+		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
+		WallSeconds: wall,
+		Report:      report,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", exp)
+	return os.WriteFile(name, append(b, '\n'), 0o644)
 }
 
 func run(exp, wl string, cfg experiments.Config) (string, error) {
@@ -83,6 +126,12 @@ func run(exp, wl string, cfg experiments.Config) (string, error) {
 		return f.Table(), nil
 	case "tablei":
 		f, err := experiments.TableI(cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "streaming":
+		f, err := experiments.Streaming(wl, cfg)
 		if err != nil {
 			return "", err
 		}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,6 +83,13 @@ type Config struct {
 	// reflects the parallel runtime. The default 0 leaves plan costing at
 	// serial parallelism so plan choice stays machine-independent.
 	Workers int
+	// MaxStaleness bounds synopsis staleness under online ingestion: a
+	// materialized synopsis that has missed more than this fraction of its
+	// source rows (see meta.Entry.Staleness) is disqualified from answering
+	// queries; within the bound, reuse is discounted proportionally so
+	// refresh builds win as data drifts. 0 (the default) serves only fully
+	// fresh synopses; negative disables the bound.
+	MaxStaleness float64
 }
 
 // Report is the per-query telemetry the experiments aggregate.
@@ -92,15 +100,17 @@ type Report struct {
 	PlanTree        string
 	UsedSynopses    []uint64
 	CreatedSynopses []uint64
-	Evicted         []uint64
-	Promoted        []uint64
-	EstimatedCost   float64 // planner's estimate for the chosen plan
-	EstimatedExact  float64 // planner's estimate for the exact plan
-	SimSeconds      float64 // measured simulated cluster time (incl. overhead)
-	WallSeconds     float64
-	WarehouseBytes  int64 // warehouse usage after the query
-	BufferBytes     int64
-	Window          int // tuner window length after the query
+	// Refreshed lists created synopses that replaced a stale stored copy.
+	Refreshed      []uint64
+	Evicted        []uint64
+	Promoted       []uint64
+	EstimatedCost  float64 // planner's estimate for the chosen plan
+	EstimatedExact float64 // planner's estimate for the exact plan
+	SimSeconds     float64 // measured simulated cluster time (incl. overhead)
+	WallSeconds    float64
+	WarehouseBytes int64 // warehouse usage after the query
+	BufferBytes    int64
+	Window         int // tuner window length after the query
 }
 
 // Result is a completed query: rows plus estimation intervals and telemetry.
@@ -163,6 +173,7 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 	wh := warehouse.NewManager(cfg.BufferSize, cfg.StorageBudget)
 	pl := planner.New(store, wh, cfg.CostModel)
 	pl.Seed = cfg.Seed
+	pl.MaxStaleness = cfg.MaxStaleness
 	if cfg.Workers > 0 {
 		pl.Parallelism = float64(cfg.Workers)
 	}
@@ -306,7 +317,9 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		if !ok {
 			continue
 		}
-		e.admit(warehouse.NewSampleItem(id, bs.Sample), id, rep.QueryID)
+		if e.admit(warehouse.NewSampleItem(id, bs.Sample), id, rep.QueryID, bs.Op) {
+			rep.Refreshed = append(rep.Refreshed, id)
+		}
 		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
 	}
 	for _, bk := range ctx.Stats.BuiltSketches {
@@ -314,7 +327,11 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		if !ok {
 			continue
 		}
-		e.admit(warehouse.NewSketchItem(id, bk.Sketch), id, rep.QueryID)
+		// A sketch's source is its build side only (the probe tables are
+		// not summarized), so freshness derives from that subplan.
+		if e.admit(warehouse.NewSketchItem(id, bk.Sketch), id, rep.QueryID, bk.Op.Build) {
+			rep.Refreshed = append(rep.Refreshed, id)
+		}
 		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
 	}
 
@@ -344,18 +361,122 @@ func (e *Engine) windowLen() int {
 // store-then-set-location pair can never interleave with the tuner's
 // delete-then-set-location pair (which would strand a stale location in
 // the metadata store).
-func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int) {
+//
+// When a stored copy exists but this rebuild scanned strictly more source
+// rows, the rebuild is a *refresh*: the stale copy is atomically replaced
+// (pins carry over; plans already executing against the old item keep
+// their immutable snapshot). Returns whether a refresh replacement
+// happened.
+//
+// src is the executed subplan the synopsis summarizes; freshness is read
+// from the table versions *bound into that plan*, not the current catalog,
+// so an append racing between execution and admission registers as
+// staleness instead of being silently absorbed (for sketches and
+// multi-table samples alike).
+func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node) (refreshed bool) {
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
+	srcEpoch, srcByTable := boundVersion(src)
+	if ent, ok := e.store.Get(id); ok && e.wh.Has(id) {
+		// Compare builds per table where possible: summed epochs can alias
+		// across distinct version vectors (plan binding is not an atomic
+		// cut across tables), but per-table row counts are monotone under
+		// append and recorded on both sides.
+		newer := ent.Desc.BuildEpoch < srcEpoch
+		if bt := ent.BuiltByTable(); len(bt) > 0 {
+			newer = false
+			for t, r := range srcByTable {
+				if r > bt[t] { // absent table reads 0: any rows count as newer
+					newer = true
+				}
+			}
+		}
+		if !newer {
+			// The stored copy is at least as fresh as this rebuild (a
+			// concurrent build from a newer snapshot won the race, or an
+			// equally-stale rebuild): keep its copy AND its metadata —
+			// stamping this build's version could mislabel fresh data as
+			// stale, and churning an equal copy would report a refresh
+			// that recovered nothing.
+			return false
+		}
+		// Genuine refresh: this rebuild scanned strictly more source rows.
+		// Replace in place — pins carry over (a refresh is not an
+		// eviction), and on failure (rebuild fits nowhere) the stale copy
+		// and its metadata stay, so the staleness policy keeps seeing it
+		// for what it is.
+		res, err := e.wh.Refresh(it)
+		if err != nil {
+			return false
+		}
+		loc := meta.LocWarehouse
+		if res == warehouse.AdmitBuffer {
+			loc = meta.LocBuffer
+		}
+		e.store.SetLocation(id, loc)
+		e.store.SetActualSize(id, it.Size)
+		e.store.SetFreshness(id, srcEpoch, srcByTable)
+		return true
+	}
 	switch e.wh.Admit(it) {
 	case warehouse.AdmitBuffer:
 		e.store.SetLocation(id, meta.LocBuffer)
 	case warehouse.AdmitWarehouse:
 		e.store.SetLocation(id, meta.LocWarehouse)
+	default:
+		// Both tiers full: the synopsis was dropped, but metadata remembers
+		// the measured size for better future decisions.
+		e.store.SetActualSize(id, it.Size)
+		return false
 	}
-	// Even for dropped synopses, metadata remembers the measured size for
-	// better future decisions.
 	e.store.SetActualSize(id, it.Size)
+	e.store.SetFreshness(id, srcEpoch, srcByTable)
+	return false
+}
+
+// boundVersion reports the base-table versions bound into the subplan —
+// the exact data the build actually scanned: the summed epoch over the
+// distinct tables plus each table's row count (a self-joined table counts
+// once; both scans bind the same version).
+func boundVersion(src plan.Node) (epoch uint64, byTable map[string]int64) {
+	byTable = make(map[string]int64)
+	if src == nil {
+		return 0, byTable
+	}
+	plan.Walk(src, func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			if _, seen := byTable[s.Table.Name]; !seen {
+				epoch += s.Table.Epoch()
+				byTable[s.Table.Name] = int64(s.Table.NumRows())
+			}
+		}
+	})
+	return epoch, byTable
+}
+
+// Ingest appends a batch of rows to a base table (schema must match) and
+// marks every synopsis summarizing that relation as having unseen rows —
+// the engine's online data-evolution entry point. It is safe under
+// concurrent Execute: the catalog swaps in a new immutable table version
+// under its own lock (running queries keep the snapshot they resolved), and
+// the metadata store updates epochs under the store lock. Returns the
+// table's new epoch.
+func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
+	// Mark affected synopses BEFORE the new version is published: a query
+	// planning in between sees old data with stale-marked synopses (which
+	// merely forgoes reuse) rather than new data with synopses still
+	// reported fresh (which would violate the staleness bound).
+	added := int64(delta.NumRows())
+	e.store.MarkUnseen(table, added)
+	nt, err := e.cat.Append(table, delta)
+	if err != nil {
+		e.store.MarkUnseen(table, -added) // roll the pre-mark back
+		return 0, fmt.Errorf("core: ingest into %s: %w", table, err)
+	}
+	// Publish the version and release the pre-mark in one atomic store
+	// operation, so no reader ever counts the appended rows twice.
+	e.store.PublishAppend(table, nt.Epoch(), int64(nt.NumRows()), added)
+	return nt.Epoch(), nil
 }
 
 // assemble converts operator output into a Result.
@@ -388,27 +509,36 @@ func (e *Engine) SetStorageBudget(bytes int64) {
 			e.store.SetLocation(id, meta.LocNone)
 		}
 	}
-	// A shrink can leave overflow even after gain-based eviction (e.g. all
-	// remaining synopses beneficial); drop smallest-gain leftovers until
-	// the quota holds.
-	for e.wh.Overflow() > 0 {
+	// A shrink can leave overflow even after set-based eviction (e.g. all
+	// remaining synopses beneficial); drop the lowest-marginal-gain
+	// leftovers — larger size breaking ties, so each eviction frees the
+	// most bytes per unit of forfeited gain — until the quota holds.
+	// Failed deletes are skipped, not fatal: one undeletable item must not
+	// leave the warehouse permanently over quota.
+	if e.wh.Overflow() > 0 {
 		items := e.wh.WarehouseItems()
-		if len(items) == 0 {
-			break
-		}
-		victim := items[0]
-		for _, it := range items {
-			if !it.Pinned && (victim.Pinned || it.Size > victim.Size) {
-				victim = it
+		sort.Slice(items, func(i, j int) bool {
+			gi, gj := dec.Gains[items[i].ID], dec.Gains[items[j].ID]
+			if gi != gj {
+				return gi < gj
 			}
+			if items[i].Size != items[j].Size {
+				return items[i].Size > items[j].Size
+			}
+			return items[i].ID < items[j].ID
+		})
+		for _, it := range items {
+			if e.wh.Overflow() <= 0 {
+				break
+			}
+			if it.Pinned {
+				continue
+			}
+			if err := e.wh.Delete(it.ID); err != nil {
+				continue
+			}
+			e.store.SetLocation(it.ID, meta.LocNone)
 		}
-		if victim.Pinned {
-			break
-		}
-		if err := e.wh.Delete(victim.ID); err != nil {
-			break
-		}
-		e.store.SetLocation(victim.ID, meta.LocNone)
 	}
 }
 
@@ -440,10 +570,31 @@ func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols 
 	e.store.SetPinned(id, true)
 	it := warehouse.NewSampleItem(id, s)
 	it.Pinned = true
-	if err := e.wh.PutWarehouse(it); err != nil {
+	loc := meta.LocWarehouse
+	if e.wh.Has(id) {
+		// Re-pinning an already-stored sample (e.g. a rebuilt hint after
+		// ingestion) refreshes the stored copy in place.
+		res, err := e.wh.Refresh(it)
+		if err != nil {
+			return 0, fmt.Errorf("core: pinning sample: %w", err)
+		}
+		if res == warehouse.AdmitBuffer {
+			loc = meta.LocBuffer
+		}
+	} else if err := e.wh.PutWarehouse(it); err != nil {
 		return 0, fmt.Errorf("core: pinning sample: %w", err)
 	}
 	e.store.SetActualSize(id, it.Size)
-	e.store.SetLocation(id, meta.LocWarehouse)
+	e.store.SetLocation(id, loc)
+	// Freshness is anchored to the rows the sample actually scanned (its
+	// validated SourceRows), matching admit's plan-bound convention: an
+	// ingest racing the offline build — or a hint built from partial data —
+	// registers as staleness instead of being silently absorbed by the
+	// catalog's current row count.
+	rows := int64(s.SourceRows)
+	if rows <= 0 {
+		rows = int64(tbl.NumRows())
+	}
+	e.store.SetFreshness(id, tbl.Epoch(), map[string]int64{table: rows})
 	return id, nil
 }

@@ -260,3 +260,26 @@ func TestCDFHelpers(t *testing.T) {
 		t.Fatal("empty CDF")
 	}
 }
+
+func TestStreamingExperiment(t *testing.T) {
+	s, err := Streaming("tpch", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 || s.Appends == 0 {
+		t.Fatalf("rows=%d appends=%d", len(s.Rows), s.Appends)
+	}
+	fresh, unbounded := s.Rows[0], s.Rows[2]
+	if fresh.MaxStaleness != 0 || unbounded.MaxStaleness >= 0 {
+		t.Fatalf("policy order: %+v", s.Rows)
+	}
+	// The fresh-only policy may never answer from a synopsis that missed
+	// appended rows, so it can only reuse less (and build at least as much)
+	// than the unbounded baseline over the identical stream.
+	if fresh.ReuseQueries > unbounded.ReuseQueries {
+		t.Fatalf("fresh-only reused %d > unbounded %d", fresh.ReuseQueries, unbounded.ReuseQueries)
+	}
+	if !strings.Contains(s.Table(), "staleness bound") {
+		t.Fatal("table rendering")
+	}
+}

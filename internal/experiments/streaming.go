@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+// StreamingRow summarizes one bounded-staleness policy over the same
+// append/query stream.
+type StreamingRow struct {
+	Policy       string  // rendered MaxStaleness setting
+	MaxStaleness float64 // the configured bound (<0 = unbounded)
+	SimSeconds   float64 // total simulated cluster seconds (Taster engine)
+	MeanRelErr   float64 // mean relative error vs. exact on the same data
+	ReuseQueries int     // queries answered from a materialized synopsis
+	Builds       int     // synopses materialized
+	Refreshes    int     // materializations that replaced a stale copy
+}
+
+// StreamingResult is the online-ingestion experiment: error and refresh
+// behavior as a function of the staleness bound.
+type StreamingResult struct {
+	Workload string
+	Ops      int
+	Appends  int
+	Rows     []StreamingRow
+}
+
+// Table renders the streaming experiment.
+func (s *StreamingResult) Table() string {
+	rows := make([][]string, len(s.Rows))
+	for i, r := range s.Rows {
+		rows[i] = []string{
+			r.Policy,
+			fmt.Sprintf("%.2f", r.SimSeconds),
+			fmt.Sprintf("%.2f%%", r.MeanRelErr*100),
+			fmt.Sprintf("%d", r.ReuseQueries),
+			fmt.Sprintf("%d", r.Builds),
+			fmt.Sprintf("%d", r.Refreshes),
+		}
+	}
+	return fmt.Sprintf("Streaming ingestion (%s, %d ops incl. %d appends): error vs. staleness bound\n",
+		s.Workload, s.Ops, s.Appends) +
+		table([]string{"staleness bound", "sim s", "mean rel err", "reuse queries", "builds", "refreshes"}, rows)
+}
+
+// streamPolicies are the bounded-staleness settings the experiment sweeps:
+// fresh-only, a moderate bound, and no bound (the pre-ingestion behavior of
+// serving whatever is materialized, kept as the baseline that shows why the
+// bound exists).
+var streamPolicies = []struct {
+	name string
+	max  float64
+}{
+	{"0 (fresh only)", 0},
+	{"0.15", 0.15},
+	{"unbounded", -1},
+}
+
+// Streaming runs the same deterministic append/query stream under each
+// staleness policy, measuring answer error against an exact engine over the
+// identical evolving data. cfg.Queries is the stream's query count.
+func Streaming(wl string, cfg Config) (*StreamingResult, error) {
+	cfg = cfg.withDefaults()
+	nq := cfg.Queries // the stream replays once per policy; RunAll clamps
+	out := &StreamingResult{Workload: wl}
+	// Exact ground truth per query-op index, computed on the first policy
+	// pass and reused: the stream (and the data it evolves) is identical
+	// for every policy, so re-running the exact engine would triple the
+	// most expensive part of the experiment for byte-identical answers.
+	var truths []*core.Result
+
+	for _, pol := range streamPolicies {
+		// Fresh workload per policy: appends mutate the catalog, so every
+		// policy must start from the identical dataset; generators are
+		// deterministic for (sf, seed).
+		w, err := loadWorkload(wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Aggressive drift: 10% of the fact table every 4 queries, so the
+		// staleness policies visibly separate within a short stream.
+		ops, err := w.Stream(workload.StreamConfig{Queries: nq, AppendEvery: 4, BatchFrac: 0.1, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		bytes, rows := w.CostScale()
+		eng := core.New(w.Catalog, core.Config{
+			Mode:          core.ModeTaster,
+			StorageBudget: bytes / 2,
+			BufferSize:    bytes / 8,
+			CostModel:     storage.ScaledCostModel(bytes, rows),
+			Seed:          uint64(cfg.Seed),
+			MaxStaleness:  pol.max,
+		})
+		// Ground truth is valid across policies ONLY because every policy
+		// replays the identical stream over identical data; the exact
+		// engine exists solely to fill cache misses (the first pass).
+		var exact *core.Engine
+
+		row := StreamingRow{Policy: pol.name, MaxStaleness: pol.max}
+		errSum, errN := 0.0, 0
+		appends, qi := 0, 0
+		for _, op := range ops {
+			if op.Append != nil {
+				if _, err := eng.Ingest(op.Append.Table, op.Append.Rows); err != nil {
+					return nil, fmt.Errorf("streaming ingest: %w", err)
+				}
+				appends++
+				continue
+			}
+			q, err := sqlparser.Parse(op.SQL, w.Catalog)
+			if err != nil {
+				return nil, fmt.Errorf("streaming: %w\nSQL: %s", err, op.SQL)
+			}
+			ngroup := len(q.GroupBy)
+			res, err := eng.Execute(q)
+			if err != nil {
+				return nil, fmt.Errorf("streaming: %w\nSQL: %s", err, op.SQL)
+			}
+			var truth *core.Result
+			if qi < len(truths) {
+				truth = truths[qi]
+			} else {
+				if exact == nil {
+					exact = core.New(w.Catalog, core.Config{
+						Mode:      core.ModeExact,
+						CostModel: storage.ScaledCostModel(bytes, rows),
+					})
+				}
+				qe, err := sqlparser.Parse(op.SQL, w.Catalog)
+				if err != nil {
+					return nil, err
+				}
+				if truth, err = exact.Execute(qe); err != nil {
+					return nil, fmt.Errorf("streaming exact: %w\nSQL: %s", err, op.SQL)
+				}
+				truths = append(truths, truth)
+			}
+			qi++
+			if e, n := relErrors(res, truth, ngroup); n > 0 {
+				errSum += e
+				errN += n
+			}
+			row.SimSeconds += res.Report.SimSeconds
+			if len(res.Report.UsedSynopses) > 0 {
+				row.ReuseQueries++
+			}
+			row.Builds += len(res.Report.CreatedSynopses)
+			row.Refreshes += len(res.Report.Refreshed)
+		}
+		if errN > 0 {
+			row.MeanRelErr = errSum / float64(errN)
+		}
+		out.Ops = len(ops)
+		out.Appends = appends
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// relErrors sums the per-group relative error of the first aggregate column
+// against the exact result, keyed by the grouping prefix. Every exact group
+// contributes: one the approximate result omits entirely (a stale sample
+// can miss a rare group) counts as 100% error — exactly the staleness
+// damage this experiment exists to measure.
+func relErrors(approx, truth *core.Result, ngroup int) (sum float64, n int) {
+	if ngroup >= len(truth.Columns) {
+		return 0, 0
+	}
+	approxByKey := make(map[string]float64, len(approx.Rows))
+	for _, r := range approx.Rows {
+		approxByKey[groupKeyOf(r, ngroup)] = r[ngroup].AsFloat()
+	}
+	for _, r := range truth.Rows {
+		want := r[ngroup].AsFloat()
+		denom := math.Abs(want)
+		if denom < 1e-9 {
+			continue
+		}
+		got, ok := approxByKey[groupKeyOf(r, ngroup)]
+		if !ok {
+			sum++ // missing group: 100% relative error
+			n++
+			continue
+		}
+		sum += math.Abs(got-want) / denom
+		n++
+	}
+	return sum, n
+}
+
+// groupKeyOf encodes the grouping prefix of a result row as a map key,
+// length-prefixing each value so embedded delimiters cannot collide (the
+// same encoding discipline as the executor's group keys).
+func groupKeyOf(row []storage.Value, ngroup int) string {
+	var sb strings.Builder
+	for i := 0; i < ngroup; i++ {
+		v := row[i].String()
+		fmt.Fprintf(&sb, "%d:%s", len(v), v)
+	}
+	return sb.String()
+}

@@ -124,5 +124,17 @@ func RunAll(cfg Config) (string, error) {
 		return "", fmt.Errorf("tableI: %w", err)
 	}
 	sb.WriteString(ti.Table() + "\n")
+	// The stream replays once per policy, so RunAll caps its length to keep
+	// the full-suite runtime bounded (direct -experiment streaming runs are
+	// uncapped and report exactly what was requested).
+	scfg := cfg
+	if scfg.Queries > 60 {
+		scfg.Queries = 60
+	}
+	st, err := Streaming("tpch", scfg)
+	if err != nil {
+		return "", fmt.Errorf("streaming: %w", err)
+	}
+	sb.WriteString(st.Table() + "\n")
 	return sb.String(), nil
 }

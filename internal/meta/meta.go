@@ -69,6 +69,16 @@ type Descriptor struct {
 	Location Location
 	// Pinned synopses come from user hints and are never evicted (§V).
 	Pinned bool
+
+	// BuildEpoch is the summed epoch counter of the source tables at the
+	// moment the synopsis was materialized; a later admit with a higher
+	// source epoch is a refresh and replaces the stored copy.
+	BuildEpoch uint64
+	// BuildRows is the number of source rows the synopsis summarized at
+	// build time — the staleness denominator, summed over the source
+	// tables' row counts as bound into the build plan (recorded at admit
+	// time, so staleness math never divides by zero).
+	BuildRows int64
 }
 
 // SizeBytes returns the best known size (actual if materialized).
@@ -108,11 +118,48 @@ func (b QueryBenefit) Gain() float64 {
 	return 0
 }
 
-// Entry couples a descriptor with its recent-query benefit list.
+// Entry couples a descriptor with its recent-query benefit list and
+// freshness bookkeeping.
 type Entry struct {
 	Desc     Descriptor
 	Benefits []QueryBenefit
+	// UnseenRows counts source rows appended after the synopsis was built.
+	// It is *derived* — per source table, the excess of the observed (or
+	// in-flight) row count over what the build scanned — and computed into
+	// snapshots at read time: no mutation ordering between ingests and
+	// admits can erase it.
+	UnseenRows int64
+	// builtBy records the per-table row counts the synopsis summarized
+	// (set by SetFreshness; nil until first materialization). The map is
+	// replaced wholesale, never mutated, so snapshots may share it.
+	builtBy map[string]int64
 }
+
+// Staleness returns the fraction of current source rows the synopsis has
+// never seen: unseen / (built + unseen), in [0, 1]. A synopsis over an
+// empty-at-build relation that has since received rows is fully stale (1).
+// Valid on snapshots (where UnseenRows was derived at read time); for live
+// entries use Store.Staleness.
+func (e *Entry) Staleness() float64 {
+	return stalenessFrom(e.Desc.BuildRows, e.UnseenRows)
+}
+
+func stalenessFrom(buildRows, unseen int64) float64 {
+	if unseen <= 0 {
+		return 0
+	}
+	denom := buildRows + unseen
+	if denom <= 0 {
+		return 0
+	}
+	return float64(unseen) / float64(denom)
+}
+
+// BuiltByTable returns the per-table source row counts the synopsis was
+// built from (nil before first materialization). The map is replaced
+// wholesale on refresh and never mutated, so callers must treat it as
+// read-only.
+func (e *Entry) BuiltByTable() map[string]int64 { return e.builtBy }
 
 // BenefitFor returns the benefit recorded for a specific query (ok=false if
 // the query cannot use this synopsis).
@@ -125,14 +172,45 @@ func (e *Entry) BenefitFor(queryID int) (QueryBenefit, bool) {
 	return QueryBenefit{}, false
 }
 
-// snapshot returns a copy of the entry that is safe to read after the store
-// lock is released: descriptor scalars are copied and the benefit list is
-// cloned. Descriptor slices (StratCols, AggCols, ...) are never mutated
-// after Intern, so sharing them is safe. Read accessors return snapshots so
-// concurrent planners (which append benefits and flip locations) never race
-// with the tuner walking the universe.
-func (e *Entry) snapshot() *Entry {
-	return &Entry{Desc: e.Desc, Benefits: append([]QueryBenefit(nil), e.Benefits...)}
+// snap returns a copy of the entry that is safe to read after the store
+// lock is released: descriptor scalars are copied, the benefit list is
+// cloned, and the derived unseen-row count is computed in. Descriptor
+// slices (StratCols, AggCols, ...) are never mutated after Intern, so
+// sharing them is safe. Read accessors return snapshots so concurrent
+// planners (which append benefits and flip locations) never race with the
+// tuner walking the universe. Caller holds at least the read lock.
+func (s *Store) snap(e *Entry) *Entry {
+	return &Entry{
+		Desc:       e.Desc,
+		Benefits:   append([]QueryBenefit(nil), e.Benefits...),
+		UnseenRows: s.unseenLocked(e),
+		builtBy:    e.builtBy,
+	}
+}
+
+// unseenLocked derives the source rows the synopsis has never seen: per
+// source table, the excess of the observed row count (plus rows of any
+// append currently in flight, see MarkUnseen) over what the build scanned.
+// Caller holds at least the read lock.
+func (s *Store) unseenLocked(e *Entry) int64 {
+	var unseen int64
+	for t, built := range e.builtBy {
+		cur := built
+		if v, ok := s.tables[t]; ok && v.rows > cur {
+			cur = v.rows
+		}
+		cur += s.pending[t]
+		if cur > built {
+			unseen += cur - built
+		}
+	}
+	return unseen
+}
+
+// tableVersion is the last observed state of a base relation.
+type tableVersion struct {
+	epoch uint64
+	rows  int64
 }
 
 // Store is the concurrency-safe metadata repository.
@@ -142,6 +220,13 @@ type Store struct {
 	byID       map[uint64]*Entry
 	byIdentity map[string]uint64
 	byIndexKey map[string][]uint64
+	// tables tracks the last published epoch and row count of every
+	// ingested base relation (updated by ObserveVersion); pending counts
+	// rows of appends that are marked but not yet published (MarkUnseen).
+	// Staleness derives from both, so a query racing the publish window
+	// sees affected synopses as stale, never as fresh.
+	tables  map[string]tableVersion
+	pending map[string]int64
 }
 
 // NewStore returns an empty metadata store.
@@ -150,6 +235,8 @@ func NewStore() *Store {
 		byID:       make(map[uint64]*Entry),
 		byIdentity: make(map[string]uint64),
 		byIndexKey: make(map[string][]uint64),
+		tables:     make(map[string]tableVersion),
+		pending:    make(map[string]int64),
 	}
 }
 
@@ -162,7 +249,7 @@ func (s *Store) Intern(d Descriptor) *Entry {
 	defer s.mu.Unlock()
 	key := d.IdentityKey()
 	if id, ok := s.byIdentity[key]; ok {
-		return s.byID[id].snapshot()
+		return s.snap(s.byID[id])
 	}
 	s.nextID++
 	d.ID = s.nextID
@@ -171,7 +258,7 @@ func (s *Store) Intern(d Descriptor) *Entry {
 	s.byIdentity[key] = d.ID
 	ik := d.Sig.IndexKey()
 	s.byIndexKey[ik] = append(s.byIndexKey[ik], d.ID)
-	return e.snapshot()
+	return s.snap(e)
 }
 
 // Get returns a snapshot of the entry for id.
@@ -182,7 +269,7 @@ func (s *Store) Get(id uint64) (*Entry, bool) {
 	if !ok {
 		return nil, false
 	}
-	return e.snapshot(), true
+	return s.snap(e), true
 }
 
 // RecordBenefit appends a query-benefit observation for the synopsis,
@@ -218,6 +305,95 @@ func (s *Store) SetActualSize(id uint64, size int64) {
 	}
 }
 
+// SetFreshness records the source state a synopsis was (re)built from: the
+// summed epoch of its source tables and the per-table row counts it
+// summarized. Staleness is derived, not stored: for every source table
+// whose observed (or in-flight) row count exceeds what this build scanned
+// — an append that raced the admit, join samples and sketches included —
+// the gap surfaces automatically, regardless of the order this call
+// interleaves with MarkUnseen/ObserveVersion.
+func (s *Store) SetFreshness(id uint64, epoch uint64, builtByTable map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	e.Desc.BuildEpoch = epoch
+	e.Desc.BuildRows = 0
+	built := make(map[string]int64, len(builtByTable))
+	for t, rows := range builtByTable {
+		e.Desc.BuildRows += rows
+		built[t] = rows
+	}
+	e.builtBy = built
+}
+
+// MarkUnseen registers addedRows of in-flight appended data on a table.
+// The engine calls it BEFORE publishing the appended table version: a
+// concurrent query then sees either old data with stale-marked synopses
+// (harmlessly conservative) or new data with stale-marked synopses —
+// never new data with synopses still reported fresh. Negative addedRows
+// releases the mark (publish completed or append failed; clamped at zero).
+func (s *Store) MarkUnseen(table string, addedRows int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[table] += addedRows; s.pending[table] <= 0 {
+		delete(s.pending, table)
+	}
+}
+
+// ObserveVersion records a published table version; synopsis staleness
+// derives from the gap between it and each synopsis' recorded build rows.
+func (s *Store) ObserveVersion(table string, epoch uint64, totalRows int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeVersionLocked(table, epoch, totalRows)
+}
+
+func (s *Store) observeVersionLocked(table string, epoch uint64, totalRows int64) {
+	// Concurrent ingests can report here out of order; never let an older
+	// observation regress the tracked version.
+	if prev, ok := s.tables[table]; !ok || epoch > prev.epoch ||
+		(epoch == prev.epoch && totalRows > prev.rows) {
+		s.tables[table] = tableVersion{epoch: epoch, rows: totalRows}
+	}
+}
+
+// PublishAppend atomically records a published table version AND releases
+// the in-flight mark of the append that produced it. Doing both under one
+// lock ensures no reader ever sees the appended rows counted twice (once
+// in the observed gap, once in pending).
+func (s *Store) PublishAppend(table string, epoch uint64, totalRows, addedRows int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeVersionLocked(table, epoch, totalRows)
+	if s.pending[table] -= addedRows; s.pending[table] <= 0 {
+		delete(s.pending, table)
+	}
+}
+
+// Staleness returns the fraction of source rows the synopsis has not seen
+// (0 = fully fresh, 1 = built before any of the current rows existed).
+func (s *Store) Staleness(id uint64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return 0
+	}
+	return stalenessFrom(e.Desc.BuildRows, s.unseenLocked(e))
+}
+
+// TableVersion returns the last observed (epoch, rows) of a base relation;
+// ok is false when the relation was never ingested into.
+func (s *Store) TableVersion(table string) (epoch uint64, rows int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, found := s.tables[table]
+	return v.epoch, v.rows, found
+}
+
 // SetPinned marks a synopsis as pinned (user hints) or not.
 func (s *Store) SetPinned(id uint64, pinned bool) {
 	s.mu.Lock()
@@ -234,7 +410,7 @@ func (s *Store) Entries() []*Entry {
 	defer s.mu.RUnlock()
 	out := make([]*Entry, 0, len(s.byID))
 	for _, e := range s.byID {
-		out = append(out, e.snapshot())
+		out = append(out, s.snap(e))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Desc.ID < out[j].Desc.ID })
 	return out
@@ -260,7 +436,7 @@ func (s *Store) lookupIndex(indexKey string) []*Entry {
 	ids := s.byIndexKey[indexKey]
 	out := make([]*Entry, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, s.byID[id].snapshot())
+		out = append(out, s.snap(s.byID[id]))
 	}
 	return out
 }

@@ -129,6 +129,10 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		if !ok || item.Sample == nil {
 			continue
 		}
+		stale := m.Entry.Staleness()
+		if !p.stalenessAllowed(stale) {
+			continue
+		}
 		sampleRows := float64(item.Sample.Rows.NumRows())
 		// Coverage feasibility under this query's filters.
 		if sampleRows*sel/float64(coverGroups) < float64(p.feasibilityRows(p.requiredK(q))) {
@@ -150,7 +154,7 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		rcost.aggWork(scanEst{rows: math.Max(sampleRows*sel, 1), width: joinOut.width + 8})
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: rfull,
-			Cost: rcost.seconds(p.Model, p.Parallelism),
+			Cost: rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse join sample #%d", m.Entry.Desc.ID),
 		})
@@ -380,7 +384,7 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 
 	// Probe-side cost, shared by both variants.
 	probeEstimate := func(cost *planCost) scanEst {
-		pp := &Planner{Store: p.Store, WH: p.WH, Model: p.Model, Parallelism: p.Parallelism, est: p.est, mgCache: map[string]int{}}
+		pp := &Planner{Store: p.Store, WH: p.WH, Model: p.Model, Parallelism: p.Parallelism, est: p.est, mgCache: map[string]int{}, mgEpochs: map[string]uint64{}}
 		return pp.costFilteredJoinTree(probeQ, nil, cost)
 	}
 
@@ -419,6 +423,12 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 		if !ok || item.Sketch == nil {
 			continue
 		}
+		// Sketches cannot be compensated, so the staleness bound applies to
+		// them just like to samples (a stale sketch undercounts new rows).
+		stale := m.Entry.Staleness()
+		if !p.stalenessAllowed(stale) {
+			continue
+		}
 		node := mkNode(&synopsesSketch{id: m.Entry.Desc.ID, sk: item.Sketch})
 		var rcost planCost
 		rcost.warehouseBytes += item.Size
@@ -428,7 +438,7 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 		rcost.serializeCPU()
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: node,
-			Cost: rcost.seconds(p.Model, p.Parallelism),
+			Cost: rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sketch-join #%d on %s", m.Entry.Desc.ID, sh.fact.Name),
 		})

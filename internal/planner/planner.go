@@ -65,10 +65,22 @@ type Planner struct {
 	// configured with an explicit worker count set it so plan choice
 	// reflects the parallel runtime.
 	Parallelism float64
+	// MaxStaleness is the bounded-staleness policy for synopsis reuse: a
+	// materialized synopsis whose staleness (fraction of source rows it has
+	// never seen) exceeds the bound is disqualified from reuse; within the
+	// bound its reuse cost is inflated proportionally to its staleness so
+	// fresher alternatives and refresh builds win as data evolves. 0 (the
+	// default) admits only fully fresh synopses; negative disables the
+	// bound entirely (reuse regardless of staleness).
+	MaxStaleness float64
 
 	est     estimator
 	mu      sync.Mutex
 	mgCache map[string]int
+	// mgEpochs tracks the last table epoch seen per table so mgCache keys
+	// of superseded versions are pruned (keys embed the epoch for
+	// correctness; pruning bounds memory under continuous ingestion).
+	mgEpochs map[string]uint64
 }
 
 // New returns a planner over the given metadata store and warehouse.
@@ -81,7 +93,28 @@ func New(store *meta.Store, wh *warehouse.Manager, model storage.CostModel) *Pla
 		Parallelism: 1,
 		est:         estimator{model: model},
 		mgCache:     make(map[string]int),
+		mgEpochs:    make(map[string]uint64),
 	}
+}
+
+// pruneStatsLocked drops cached statistics of superseded versions of t.
+// It acts only when the table's epoch *advances* past the highest one seen:
+// queries still planning against an older snapshot neither wipe the fresh
+// entries nor regress the high-water mark (their few old-epoch keys are
+// swept on the next advance), so interleaved snapshots cannot thrash the
+// cache. Called with p.mu held before any mgCache lookup.
+func (p *Planner) pruneStatsLocked(t *storage.Table) {
+	if ep, ok := p.mgEpochs[t.Name]; ok && ep >= t.Epoch() {
+		return
+	}
+	keep := fmt.Sprintf("%s@%d|", t.Name, t.Epoch())
+	for k := range p.mgCache {
+		body := strings.TrimPrefix(k, "g|")
+		if strings.HasPrefix(body, t.Name+"@") && !strings.HasPrefix(body, keep) {
+			delete(p.mgCache, k)
+		}
+	}
+	p.mgEpochs[t.Name] = t.Epoch()
 }
 
 // Plan generates the candidate set for a query (paper §IV-A).
@@ -208,6 +241,31 @@ func (p *Planner) configureSampler(q *Query, strat []string, inRows float64, sel
 	return samplerConfig{kind: plan.DistinctSample, p: pr, delta: delta, ok: true}
 }
 
+// stalenessAllowed applies the bounded-staleness policy: may a synopsis
+// with the given staleness fraction still serve queries?
+func (p *Planner) stalenessAllowed(s float64) bool {
+	if p.MaxStaleness < 0 {
+		return true
+	}
+	return s <= p.MaxStaleness+1e-12
+}
+
+// stalenessPenalty inflates a reuse plan's effective cost for a stale (but
+// still admissible) synopsis: linear in staleness, doubling the cost as the
+// synopsis reaches the configured bound. The inflation is what lets the
+// tuner weigh a refresh build (full cost now, fresh afterwards) against
+// continued use of a drifting synopsis.
+func (p *Planner) stalenessPenalty(s float64) float64 {
+	if s <= 0 || p.MaxStaleness < 0 {
+		return 1 // fresh, or the bound is disabled (pre-ingestion behavior)
+	}
+	bound := p.MaxStaleness
+	if bound <= 0 {
+		bound = 1
+	}
+	return 1 + s/bound
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -256,10 +314,13 @@ func (p *Planner) totalFilterSelectivity(q *Query) float64 {
 }
 
 // minGroupOf returns (cached) the smallest group size of the column set on
-// a base table.
+// a base table. Cache keys carry the table's epoch so ingestion invalidates
+// them: post-append queries must size samplers and feasibility checks from
+// the evolved statistics, not a frozen snapshot.
 func (p *Planner) minGroupOf(t *storage.Table, cols []string) int {
-	key := t.Name + "|" + strings.Join(cols, ",")
+	key := fmt.Sprintf("%s@%d|%s", t.Name, t.Epoch(), strings.Join(cols, ","))
 	p.mu.Lock()
+	p.pruneStatsLocked(t)
 	if v, ok := p.mgCache[key]; ok {
 		p.mu.Unlock()
 		return v
@@ -274,8 +335,9 @@ func (p *Planner) minGroupOf(t *storage.Table, cols []string) int {
 
 // groupCountOf is minGroupOf's sibling for the number of groups.
 func (p *Planner) groupCountOf(t *storage.Table, cols []string) int {
-	key := "g|" + t.Name + "|" + strings.Join(cols, ",")
+	key := fmt.Sprintf("g|%s@%d|%s", t.Name, t.Epoch(), strings.Join(cols, ","))
 	p.mu.Lock()
+	p.pruneStatsLocked(t)
 	if v, ok := p.mgCache[key]; ok {
 		p.mu.Unlock()
 		return v
@@ -417,6 +479,12 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		if !ok || item.Sample == nil {
 			continue
 		}
+		// Bounded staleness: a sample missing too large a fraction of the
+		// (evolved) base relation cannot serve within the freshness bound.
+		stale := m.Entry.Staleness()
+		if !p.stalenessAllowed(stale) {
+			continue
+		}
 		// Coverage feasibility for THIS query's filters: the stored sample
 		// must leave enough expected rows in the thinnest result group.
 		sampleRows := float64(item.Sample.Rows.NumRows())
@@ -453,7 +521,7 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		rcost.aggWork(rout)
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: rfull,
-			Cost: rcost.seconds(p.Model, p.Parallelism),
+			Cost: rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale),
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sample #%d on %s", m.Entry.Desc.ID, fact.Name),
 		})

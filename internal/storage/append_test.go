@@ -1,0 +1,83 @@
+package storage
+
+import "testing"
+
+func twoColBuilder(name string) *Builder {
+	return NewBuilder(name, Schema{
+		{Name: name + ".id", Typ: Int64},
+		{Name: name + ".v", Typ: Float64},
+	})
+}
+
+func TestTableAppendVersions(t *testing.T) {
+	b := twoColBuilder("t")
+	for i := 0; i < 10; i++ {
+		b.Int(0, int64(i))
+		b.Float(1, float64(i))
+	}
+	t0 := b.Build(2)
+	if t0.Epoch() != 0 {
+		t.Fatalf("fresh table epoch = %d", t0.Epoch())
+	}
+
+	d := twoColBuilder("t")
+	d.Int(0, 100)
+	d.Float(1, 100)
+	t1, err := t0.Append(d.Build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Epoch() != 1 || t1.NumRows() != 11 {
+		t.Fatalf("t1 epoch=%d rows=%d", t1.Epoch(), t1.NumRows())
+	}
+	// Snapshot isolation: the old version is untouched.
+	if t0.NumRows() != 10 || t0.Column(0).Len() != 10 {
+		t.Fatalf("append mutated the old version: rows=%d", t0.NumRows())
+	}
+	if got := t1.Column(0).I64[10]; got != 100 {
+		t.Fatalf("appended row = %d", got)
+	}
+	// Versions must not share a mutable backing array: writing through one
+	// must not be observable through the other.
+	t2, err := t1.Append(d.Build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.NumRows() != 12 || t1.NumRows() != 11 {
+		t.Fatal("second append broke version isolation")
+	}
+}
+
+func TestTableAppendSchemaMismatch(t *testing.T) {
+	a := twoColBuilder("t").Build(1)
+	bad := NewBuilder("t", Schema{{Name: "t.id", Typ: Int64}}).Build(1)
+	if _, err := a.Append(bad); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestCatalogAppend(t *testing.T) {
+	cat := NewCatalog()
+	b := twoColBuilder("t")
+	b.Int(0, 1)
+	b.Float(1, 1)
+	cat.Register(b.Build(1))
+
+	d := twoColBuilder("t")
+	d.Int(0, 2)
+	d.Float(1, 2)
+	nt, err := cat.Append("t", d.Build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Epoch() != 1 || nt.NumRows() != 2 {
+		t.Fatalf("epoch=%d rows=%d", nt.Epoch(), nt.NumRows())
+	}
+	cur, err := cat.Table("t")
+	if err != nil || cur != nt {
+		t.Fatal("catalog did not swap in the new version")
+	}
+	if _, err := cat.Append("missing", d.Build(1)); err == nil {
+		t.Fatal("append to unknown table accepted")
+	}
+}

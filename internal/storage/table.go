@@ -5,16 +5,23 @@ import (
 	"sync"
 )
 
-// Table is an immutable-after-build columnar table, horizontally divided into
+// Table is an immutable columnar table *version*, horizontally divided into
 // partitions (the analogue of the paper's Spark/HDFS partitions). Statistics
 // are computed lazily on first access, exactly as the paper's engine computes
 // dataset statistics "on-the-fly during the first access to any table".
+//
+// Data evolution never mutates a Table in place: Append produces a new
+// version carrying a bumped epoch counter, and the Catalog swaps versions
+// atomically. Readers that resolved an older version keep scanning a frozen
+// snapshot — the executor's morsel dispenser, zero-copy scans and statistics
+// all stay race-free under concurrent ingestion.
 type Table struct {
 	Name   string
 	schema Schema
 	cols   []*Vector
 	rows   int
 	parts  int
+	epoch  uint64 // monotonically increasing version counter, bumped by Append
 
 	statsOnce sync.Once
 	stats     *TableStats
@@ -55,6 +62,42 @@ func (t *Table) NumRows() int { return t.rows }
 
 // Partitions returns the partition count.
 func (t *Table) Partitions() int { return t.parts }
+
+// Epoch returns the table's version counter: 0 for a freshly built table,
+// incremented by every Append. Synopsis freshness tracking records the epoch
+// a synopsis was built at and compares it against the current one.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// Append returns a new table version containing this table's rows followed
+// by delta's rows, with the epoch incremented. The receiver is left fully
+// intact (readers holding it keep a consistent snapshot); column payloads
+// are copied so the two versions never share a mutable backing array.
+// delta must have an identical schema.
+//
+// The copy makes each append O(current table size) — a deliberate
+// simplicity/safety tradeoff: batched appends amortize it, and the zero-
+// copy contract of Scan/Slice stays trivially sound. If continuous
+// fine-grained ingestion ever dominates, the upgrade path is chunked
+// columns that share the old version's immutable segments and append only
+// the delta.
+func (t *Table) Append(delta *Table) (*Table, error) {
+	if !t.schema.Equal(delta.schema) {
+		return nil, fmt.Errorf("storage: append to %s: schema mismatch", t.Name)
+	}
+	cols := make([]*Vector, len(t.cols))
+	for i, c := range t.cols {
+		nv := NewVector(c.Typ, c.Len()+delta.cols[i].Len())
+		nv.Extend(c)
+		nv.Extend(delta.cols[i])
+		cols[i] = nv
+	}
+	nt, err := NewTable(t.Name, t.schema, cols, t.parts)
+	if err != nil {
+		return nil, err
+	}
+	nt.epoch = t.epoch + 1
+	return nt, nil
+}
 
 // Column returns the full column vector at position i.
 func (t *Table) Column(i int) *Vector { return t.cols[i] }
@@ -190,24 +233,51 @@ func (b *Builder) Str(i int, v string) { b.cols[i].Str = append(b.cols[i].Str, v
 // CopyFrom appends the value at src[row] onto column i (same type).
 func (b *Builder) CopyFrom(i int, src *Vector, row int) { b.cols[i].AppendFrom(src, row) }
 
-// Build finalizes the table with the given partition count.
+// Build finalizes the table with the given partition count. It panics on a
+// malformed builder (ragged columns); entry points fed by user code should
+// use TryBuild instead.
 func (b *Builder) Build(partitions int) *Table {
-	t, err := NewTable(b.name, b.schema, b.cols, partitions)
+	t, err := b.TryBuild(partitions)
 	if err != nil {
-		panic(err) // builder guarantees shape; an error here is a bug
+		panic(err)
 	}
 	return t
+}
+
+// TryBuild finalizes the table, returning an error for ragged columns —
+// an easy mistake with the per-column Int/Float/Str fast paths.
+func (b *Builder) TryBuild(partitions int) (*Table, error) {
+	return NewTable(b.name, b.schema, b.cols, partitions)
 }
 
 // Catalog is a concurrency-safe registry of base tables.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// appendLocks holds one mutex per table name, serializing appenders of
+	// the same table so the read-copy-swap in Append composes, while (a)
+	// the O(table) column copy runs outside mu — readers resolving tables
+	// never block on an in-flight append — and (b) unrelated tables ingest
+	// in parallel.
+	appendMu    sync.Mutex
+	appendLocks map[string]*sync.Mutex
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), appendLocks: make(map[string]*sync.Mutex)}
+}
+
+// appendLock returns the per-table append mutex, creating it on first use.
+func (c *Catalog) appendLock(name string) *sync.Mutex {
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	l, ok := c.appendLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		c.appendLocks[name] = l
+	}
+	return l
 }
 
 // Register adds or replaces a table.
@@ -215,6 +285,29 @@ func (c *Catalog) Register(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[t.Name] = t
+}
+
+// Append atomically replaces the named table with a new version extended by
+// delta's rows (same schema), returning the new version. Appenders are
+// serialized (concurrent appends compose), but the column copy happens
+// outside the registry lock: concurrent readers resolve tables without
+// blocking and keep whichever version they already resolved.
+func (c *Catalog) Append(name string, delta *Table) (*Table, error) {
+	l := c.appendLock(name)
+	l.Lock()
+	defer l.Unlock()
+	old, err := c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := old.Append(delta)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.tables[name] = nt
+	c.mu.Unlock()
+	return nt, nil
 }
 
 // Table returns the named table.

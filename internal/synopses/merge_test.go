@@ -1,0 +1,51 @@
+package synopses
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+func partSample(t *testing.T, rows, sourceRows int) *Sample {
+	t.Helper()
+	src := storage.Schema{{Name: "t.v", Typ: storage.Float64}}
+	sb := NewSampleBuilder("part", src)
+	vec := storage.NewVector(storage.Float64, rows)
+	for i := 0; i < rows; i++ {
+		vec.F64 = append(vec.F64, float64(i))
+	}
+	for i := 0; i < rows; i++ {
+		sb.Append([]*storage.Vector{vec}, i, 1)
+	}
+	s := sb.Build(NewUniformSampler(0.5, 1), 1)
+	s.SourceRows = sourceRows
+	return s
+}
+
+func TestMergeSamplesValidatesSourceRows(t *testing.T) {
+	good := partSample(t, 2, 10)
+
+	if _, err := MergeSamples("m", []*Sample{good, partSample(t, 2, -1)}); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative SourceRows accepted: %v", err)
+	}
+	if _, err := MergeSamples("m", []*Sample{good, partSample(t, 2, 0)}); err == nil ||
+		!strings.Contains(err.Error(), "zero input") {
+		t.Fatalf("rows-from-zero-input accepted: %v", err)
+	}
+	if _, err := MergeSamples("m", []*Sample{partSample(t, 2, math.MaxInt), good}); err == nil ||
+		!strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("SourceRows overflow accepted: %v", err)
+	}
+
+	// Empty parts (zero rows from zero input) are legitimate morsel output.
+	m, err := MergeSamples("m", []*Sample{good, partSample(t, 0, 0), partSample(t, 3, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceRows != 15 || m.Rows.NumRows() != 5 {
+		t.Fatalf("merged SourceRows=%d rows=%d", m.SourceRows, m.Rows.NumRows())
+	}
+}

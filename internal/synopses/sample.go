@@ -222,6 +222,11 @@ func (sb *SampleBuilder) Build(smp Sampler, partitions int) *Sample {
 // given in a deterministic order (the morsel executor passes them in morsel
 // index order); configuration metadata is taken from the first part and
 // SourceRows are summed.
+//
+// SourceRows underpins the sample's estimation semantics (how much input
+// the weights extrapolate over), so parts are validated here: a negative
+// count, a part that emitted rows from zero input, or a sum overflowing
+// int are all rejected as corruption rather than propagated.
 func MergeSamples(name string, parts []*Sample) (*Sample, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("synopses: MergeSamples %s: no parts", name)
@@ -229,6 +234,14 @@ func MergeSamples(name string, parts []*Sample) (*Sample, error) {
 	tables := make([]*storage.Table, len(parts))
 	sourceRows := 0
 	for i, p := range parts {
+		switch {
+		case p.SourceRows < 0:
+			return nil, fmt.Errorf("synopses: MergeSamples %s: part %d has negative SourceRows %d", name, i, p.SourceRows)
+		case p.SourceRows == 0 && p.Rows.NumRows() > 0:
+			return nil, fmt.Errorf("synopses: MergeSamples %s: part %d emitted %d rows from zero input", name, i, p.Rows.NumRows())
+		case p.SourceRows > math.MaxInt-sourceRows:
+			return nil, fmt.Errorf("synopses: MergeSamples %s: SourceRows sum overflows at part %d", name, i)
+		}
 		tables[i] = p.Rows
 		sourceRows += p.SourceRows
 	}

@@ -81,6 +81,10 @@ type Decision struct {
 	Promote []uint64
 	// Keep is S* itself.
 	Keep map[uint64]bool
+	// Gains maps each member of S* to the marginal window gain the greedy
+	// attributed to it — the engine's elastic fallback eviction uses it to
+	// pick lowest-gain victims when a shrink leaves overflow.
+	Gains map[uint64]float64
 }
 
 // Tune runs one tuning round (paper §V): adapt w, select S*, choose the
@@ -102,7 +106,7 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
 
 	chosen := t.choosePlan(ps, keep, marginal)
-	dec := Decision{Chosen: chosen, Keep: keep}
+	dec := Decision{Chosen: chosen, Keep: keep, Gains: marginal}
 	for _, cs := range chosen.Creates {
 		if keep[cs.Entry.Desc.ID] {
 			dec.Materialize = append(dec.Materialize, cs)
@@ -110,14 +114,24 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 	}
 
 	// Evict every materialized synopsis outside S*; promote buffer
-	// residents inside S*.
+	// residents inside S*. Synopses the just-chosen plan reads are exempt
+	// for this round even when outside S*: the candidate was costed on
+	// reuse, and deleting its input before the engine executes it would
+	// leave the plan reading a dangling synopsis (next round re-evaluates
+	// them without the exemption).
+	inUse := make(map[uint64]bool, len(chosen.Uses))
+	for _, id := range chosen.Uses {
+		inUse[id] = true
+	}
 	for _, e := range entries {
 		id := e.Desc.ID
 		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
 			continue
 		}
 		if !keep[id] {
-			dec.Evict = append(dec.Evict, id)
+			if !inUse[id] { // never delete the chosen plan's inputs
+				dec.Evict = append(dec.Evict, id)
+			}
 		} else if e.Desc.Location == meta.LocBuffer {
 			dec.Promote = append(dec.Promote, id)
 		}
@@ -131,8 +145,8 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 func (t *Tuner) Retune() Decision {
 	entries := t.store.Entries()
 	_, quota := t.wh.Quotas()
-	keep, _ := t.selectSet(entries, t.windowRecords(t.w), quota)
-	dec := Decision{Keep: keep}
+	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
+	dec := Decision{Keep: keep, Gains: marginal}
 	for _, e := range entries {
 		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
 			continue
@@ -168,9 +182,18 @@ func (t *Tuner) choosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal m
 		score := c.Cost
 		for _, cs := range c.Creates {
 			id := cs.Entry.Desc.ID
-			if keep[id] && !t.wh.Has(id) {
-				score -= marginal[id] / float64(t.w) * 2 // build now vs. ~2 queries' delay
+			if !keep[id] {
+				continue
 			}
+			credit := 0.0
+			if !t.wh.Has(id) {
+				credit = 1
+			} else if s := t.store.Staleness(id); s > 0 {
+				// Refresh candidate: the synopsis exists but has drifted;
+				// rebuilding recovers the stale fraction of its future gain.
+				credit = s
+			}
+			score -= credit * marginal[id] / float64(t.w) * 2 // build now vs. ~2 queries' delay
 		}
 		if score < bestScore {
 			bestScore = score
@@ -231,11 +254,17 @@ func (t *Tuner) greedy(universe, pinned []*meta.Entry, window []queryRecord, bud
 	// A synopsis that is not yet materialized only delivers its gain after
 	// some future query pays to build it; discounting its benefits keeps
 	// speculative giants from evicting working, materialized synopses.
+	// Materialized-but-stale synopses decay toward the same discount: the
+	// unseen fraction of their source no longer contributes to answers.
 	factor := func(e *meta.Entry) float64 {
 		if e.Desc.Location == meta.LocNone {
 			return 0.5
 		}
-		return 1
+		f := 1 - e.Staleness()
+		if f < 0.5 {
+			f = 0.5
+		}
+		return f
 	}
 	used := int64(0)
 	addEntry := func(e *meta.Entry) float64 {

@@ -236,6 +236,69 @@ func TestChoosePlanIgnoresAlreadyMaterialized(t *testing.T) {
 	}
 }
 
+func TestTuneNeverEvictsChosenPlanInputs(t *testing.T) {
+	// Regression: a synopsis can fall out of S* (here: it no longer fits the
+	// quota) in the same round its reuse plan is chosen. Evicting it would
+	// delete the chosen plan's input before execution.
+	h := newHarness(100, DefaultConfig())
+	e := h.synopsis("s", 100, map[int][2]float64{7: {1, 10}})
+	h.store.SetLocation(e.Desc.ID, meta.LocWarehouse)
+	if err := h.wh.PutWarehouse(&warehouse.Item{ID: e.Desc.ID, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	h.wh.SetWarehouseQuota(50) // elastic shrink: the synopsis no longer fits S*
+	reuse := planner.Candidate{Cost: 1, Uses: []uint64{e.Desc.ID}, Desc: "reuse"}
+	dec := h.t.Tune(planSet(7, 10, reuse))
+	if dec.Chosen.Desc != "reuse" {
+		t.Fatalf("chose %q, want reuse", dec.Chosen.Desc)
+	}
+	if dec.Keep[e.Desc.ID] {
+		t.Fatal("test setup: synopsis must not fit S*")
+	}
+	for _, id := range dec.Evict {
+		if id == e.Desc.ID {
+			t.Fatal("tuner evicted a synopsis the chosen plan uses")
+		}
+	}
+	// The exemption is one round only: a later round without the reuse plan
+	// evicts it normally.
+	dec = h.t.Tune(planSet(8, 10))
+	found := false
+	for _, id := range dec.Evict {
+		found = found || id == e.Desc.ID
+	}
+	if !found {
+		t.Fatal("synopsis must be evictable once no chosen plan uses it")
+	}
+}
+
+func TestChoosePlanCreditsRefreshOfStaleSynopsis(t *testing.T) {
+	h := newHarness(1<<20, DefaultConfig())
+	e := h.synopsis("s", 100, map[int][2]float64{
+		0: {1, 10}, 1: {1, 10}, 2: {1, 10},
+	})
+	h.store.SetLocation(e.Desc.ID, meta.LocWarehouse)
+	if err := h.wh.PutWarehouse(&warehouse.Item{ID: e.Desc.ID, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 2; q++ {
+		h.t.Tune(planSet(q, 10))
+	}
+	build := planner.Candidate{Cost: 10.4, Creates: []planner.CreateSpec{{Entry: e}}, Desc: "build"}
+	// Fully fresh: the already-materialized synopsis earns no build credit,
+	// so the slightly-above-exact build loses.
+	if dec := h.t.Tune(planSet(2, 10, build)); dec.Chosen.Desc != "exact" {
+		t.Fatalf("fresh: chose %q, want exact", dec.Chosen.Desc)
+	}
+	// Mostly stale: the refresh recovers the stale fraction of the future
+	// gain, which outweighs the small extra build cost.
+	h.store.SetFreshness(e.Desc.ID, 0, map[string]int64{"s": 100})
+	h.store.ObserveVersion("s", 1, 400) // staleness 0.75
+	if dec := h.t.Tune(planSet(3, 10, build)); dec.Chosen.Desc != "build" {
+		t.Fatalf("stale: chose %q, want refresh build", dec.Chosen.Desc)
+	}
+}
+
 func TestGainNonNegative(t *testing.T) {
 	h := newHarness(1000, DefaultConfig())
 	// Benefit worse than exact: gain must clamp to 0, synopsis not selected.

@@ -136,6 +136,54 @@ func (m *Manager) Admit(it *Item) AdmitResult {
 	return AdmitDropped
 }
 
+// Refresh atomically replaces a stored synopsis with a rebuilt copy of the
+// same ID, preferring the tier the old copy occupied (pinned hints stay in
+// the warehouse, byproducts in the buffer) and overflowing to the other.
+// Unlike Delete it applies to pinned items — a refresh is not an eviction:
+// the synopsis stays stored, only its payload is brought up to date, and
+// the pin carries over to the fresh copy. If the rebuilt copy fits in
+// neither tier, the old copy is reinstated and an error returned.
+func (m *Manager) Refresh(it *Item) (AdmitResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldTier, otherTier *tier
+	var old *Item
+	for i, t := range []*tier{&m.buffer, &m.warehouse} {
+		if o, ok := t.items[it.ID]; ok {
+			oldTier, old = t, o
+			otherTier = [...]*tier{&m.warehouse, &m.buffer}[i]
+			break
+		}
+	}
+	if old == nil {
+		return AdmitDropped, fmt.Errorf("warehouse: refresh: synopsis #%d not materialized", it.ID)
+	}
+	// Pins carry forward, never demote: a refresh of a pinned copy stays
+	// pinned, and re-pinning a descriptor first materialized as an
+	// unpinned byproduct must not silently lose the user's pin.
+	it.Pinned = it.Pinned || old.Pinned
+	oldTier.delete(it.ID)
+	result := func(t *tier) AdmitResult {
+		if t == &m.buffer {
+			return AdmitBuffer
+		}
+		return AdmitWarehouse
+	}
+	if oldTier.put(it) == nil {
+		return result(oldTier), nil
+	}
+	// Unpinned items may overflow to the other tier; pinned hints must not
+	// strand in the buffer (the tuner never promotes pinned entries), so
+	// they refresh same-tier or not at all.
+	if !it.Pinned && otherTier.put(it) == nil {
+		return result(otherTier), nil
+	}
+	// No room for the (larger) rebuild: keep the old copy (its bytes were
+	// just freed, so reinstating cannot fail).
+	_ = oldTier.put(old)
+	return AdmitDropped, fmt.Errorf("warehouse: refresh: no room for rebuilt synopsis #%d", it.ID)
+}
+
 // PutWarehouse stores a synopsis directly in the warehouse (offline builds,
 // promotions).
 func (m *Manager) PutWarehouse(it *Item) error {

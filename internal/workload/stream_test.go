@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamDeterministicInterleaving(t *testing.T) {
+	gen := func() []StreamOp {
+		w := TPCH(0.002, 1)
+		ops, err := w.Stream(StreamConfig{Queries: 20, AppendEvery: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	a, b := gen(), gen()
+	// 20 queries + 4 appends: no trailing append after the final query.
+	if len(a) != len(b) || len(a) != 24 {
+		t.Fatalf("ops = %d / %d, want 24", len(a), len(b))
+	}
+	appends := 0
+	for i := range a {
+		if (a[i].Append == nil) != (b[i].Append == nil) || a[i].SQL != b[i].SQL {
+			t.Fatalf("op %d differs between generations", i)
+		}
+		if a[i].Append == nil {
+			continue
+		}
+		appends++
+		ra, rb := a[i].Append.Rows, b[i].Append.Rows
+		if a[i].Append.Table != b[i].Append.Table || ra.NumRows() != rb.NumRows() {
+			t.Fatalf("append op %d differs", i)
+		}
+		for c := 0; c < len(ra.Schema()); c++ {
+			for r := 0; r < ra.NumRows(); r++ {
+				if !ra.Column(c).Get(r).Equal(rb.Column(c).Get(r)) {
+					t.Fatalf("append op %d cell (%d,%d) differs", i, c, r)
+				}
+			}
+		}
+	}
+	if appends != 4 {
+		t.Fatalf("appends = %d, want 4", appends)
+	}
+	// Appends target the largest table (lineitem for TPC-H) and match its
+	// schema, so the engine can ingest them directly.
+	w := TPCH(0.002, 1)
+	li, _ := w.Catalog.Table("lineitem")
+	for _, op := range a {
+		if op.Append == nil {
+			continue
+		}
+		if op.Append.Table != "lineitem" {
+			t.Fatalf("append targets %q, want lineitem", op.Append.Table)
+		}
+		if !op.Append.Rows.Schema().Equal(li.Schema()) {
+			t.Fatal("append batch schema mismatch")
+		}
+	}
+}
+
+func TestResampleBatchDrawsFromSource(t *testing.T) {
+	w := TPCH(0.002, 1)
+	li, _ := w.Catalog.Table("lineitem")
+	b := ResampleBatch(li, 50, rand.New(rand.NewSource(3)))
+	if b.NumRows() != 50 {
+		t.Fatalf("rows = %d", b.NumRows())
+	}
+	if _, err := li.Append(b); err != nil {
+		t.Fatalf("resampled batch must be appendable: %v", err)
+	}
+}

@@ -102,6 +102,13 @@ type Options struct {
 	// Workers caps the morsel-driven executor's intra-query parallelism;
 	// 0 means all CPUs. Results are byte-identical for any worker count.
 	Workers int
+	// MaxStaleness is the bounded-staleness policy for reuse under online
+	// ingestion: the largest fraction of source rows a materialized synopsis
+	// may have missed (via Ingest) while still answering queries. 0 (the
+	// default) serves only fully fresh synopses — any append disqualifies
+	// affected synopses until they are refreshed; a negative value disables
+	// the bound (reuse regardless of staleness).
+	MaxStaleness float64
 }
 
 // Engine is a Taster instance. It is safe for concurrent use: queries
@@ -149,6 +156,7 @@ func Open(cat *Catalog, opts Options) *Engine {
 			DefaultAccuracy: opts.DefaultAccuracy,
 			Seed:            opts.Seed,
 			Workers:         opts.Workers,
+			MaxStaleness:    opts.MaxStaleness,
 		}),
 		cat: cat,
 	}
@@ -214,6 +222,20 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // SetStorageBudget changes the warehouse quota at runtime; the tuner
 // immediately re-evaluates the stored synopses (storage elasticity, §V).
 func (e *Engine) SetStorageBudget(bytes int64) { e.inner.SetStorageBudget(bytes) }
+
+// Ingest appends the builder's rows to a registered table (the builder must
+// have been created with the table's schema). Running queries keep the
+// snapshot they started on; subsequent queries see the new rows. Synopses
+// built before the append become stale and are refreshed or disqualified
+// according to Options.MaxStaleness. Returns the table's new epoch
+// (version counter).
+func (e *Engine) Ingest(table string, rows *TableBuilder) (uint64, error) {
+	delta, err := rows.TryBuild(1)
+	if err != nil {
+		return 0, err
+	}
+	return e.inner.Ingest(table, delta)
+}
 
 // Hint pre-builds a pinned sample for a table offline (VerdictDB-style
 // scramble + variational subsampling), so that the very first queries over

@@ -70,6 +70,49 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPublicAPIIngest(t *testing.T) {
+	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	const sql = `SELECT region, SUM(amount) FROM sales
+		JOIN customers ON sales.cust = customers.id
+		GROUP BY region ERROR WITHIN 10% AT CONFIDENCE 95%`
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Append 20000 rows of amount 1000 (outside the seed's 0..499 range):
+	// each region gains 10000·1000.
+	delta := taster.NewTableBuilder("sales", taster.Schema{
+		{Name: "sales.cust", Typ: taster.Int64},
+		{Name: "sales.amount", Typ: taster.Float64},
+	})
+	for i := 0; i < 20000; i++ {
+		delta.Int(0, int64(i%8))
+		delta.Float(1, 1000)
+	}
+	epoch, err := eng.Ingest("sales", delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+	res, err := eng.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10000*249.75 + 10000*1000 // per region: old mass + appended mass
+	for _, row := range res.Rows {
+		if rel := math.Abs(row[1].F-want) / want; rel > 0.12 {
+			t.Fatalf("region %s after ingest: got %.0f want ≈%.0f (rel %.3f) — stale synopsis served?",
+				row[0].S, row[1].F, want, rel)
+		}
+	}
+	if _, err := eng.Ingest("nosuch", delta); err == nil {
+		t.Fatal("ingest into unknown table accepted")
+	}
+}
+
 func TestPublicAPIErrors(t *testing.T) {
 	eng := taster.Open(demoCatalog(), taster.Options{})
 	if _, err := eng.Query("SELECT nope FROM nowhere"); err == nil {
