@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-join bench-stream
+.PHONY: all check fmt vet build test race bench bench-join bench-stream bench-serve
 
 all: check
 
@@ -38,3 +38,9 @@ bench-join:
 # summary artifact).
 bench-stream:
 	$(GO) run ./cmd/tasterbench -experiment streaming -workload tpch -sf 0.002 -queries 24
+
+# Concurrent-serving throughput: closed-loop multi-client sweep comparing
+# the inline tuning round (the old per-query tuning mutex) against the
+# asynchronous snapshot-published pipeline; emits BENCH_serving.json.
+bench-serve:
+	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 -queries 96

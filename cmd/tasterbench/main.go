@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming]
+//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving]
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
 //	            [-seed 42] [-benchjson=true]
+//
+// The serving experiment is the concurrent-throughput sweep (inline vs.
+// asynchronous tuning across client counts); it measures wall time, so it
+// is excluded from -experiment all and its numbers are machine-relative.
 //
 // Unless -benchjson=false, every run also writes a BENCH_<experiment>.json
 // perf summary (wall seconds plus the rendered report) to the working
@@ -132,6 +136,12 @@ func run(exp, wl string, cfg experiments.Config) (string, error) {
 		return f.Table(), nil
 	case "streaming":
 		f, err := experiments.Streaming(wl, cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "serving":
+		f, err := experiments.Serving(wl, cfg)
 		if err != nil {
 			return "", err
 		}

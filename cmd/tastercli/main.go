@@ -52,6 +52,7 @@ func main() {
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          uint64(*seed),
+		Synchronous:   true, // deterministic REPL: tuning applies before the prompt returns
 	})
 
 	fmt.Printf("taster> loaded %s (%d rows, %.1f MB); tables: %v\n",

@@ -27,6 +27,7 @@ func ExampleOpen() {
 	cat.Register(sales.Build(2))
 
 	eng := taster.Open(cat, taster.Options{Seed: 42})
+	defer eng.Close() // stops the background tuning service
 	res, err := eng.Query(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
 	if err != nil {
 		panic(err)
@@ -60,6 +61,7 @@ func ExampleEngine_Query() {
 	cat.Register(sales.Build(4))
 
 	eng := taster.Open(cat, taster.Options{Seed: 1})
+	defer eng.Close() // stops the background tuning service
 	res, err := eng.Query(`SELECT grp, SUM(amount) FROM sales GROUP BY grp
 		ERROR WITHIN 10% AT CONFIDENCE 95%`)
 	if err != nil {

@@ -22,6 +22,7 @@ func main() {
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          21,
+		Synchronous:   true, // deterministic demo narrative
 	})
 
 	phases := []struct {

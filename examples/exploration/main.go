@@ -21,6 +21,7 @@ func main() {
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          11,
+		Synchronous:   true, // deterministic demo narrative
 	})
 
 	for epoch := 1; epoch <= 4; epoch++ {

@@ -21,6 +21,7 @@ func main() {
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          3,
+		Synchronous:   true, // deterministic demo narrative
 	})
 
 	for _, tmpl := range w.Templates {

@@ -48,6 +48,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		// Tuning runs in the background by default; the barrier lets each
+		// run see the previous run's materialization, so the sampling→reuse
+		// switch lands on the same run every time.
+		eng.Drain()
 		fmt.Printf("run %d — plan: %s (simulated %.1fs)\n",
 			run, res.Stats.Plan, res.Stats.SimulatedSeconds)
 		for i, row := range res.Rows {

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// asyncTestEngine builds an engine on the default asynchronous tuning
+// pipeline (background service + snapshot publishes).
+func asyncTestEngine() *Engine {
+	cat := testCatalog()
+	return New(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    cat.TotalBytes(),
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+	})
+}
+
+// reportFingerprint canonicalizes the deterministic part of a report.
+// Warehouse/buffer occupancy is excluded: Execute samples it right after
+// enqueueing its observation, so under asynchronous tuning it legitimately
+// depends on whether the background admission already landed.
+func reportFingerprint(r Report) string {
+	return fmt.Sprintf("%d|%s|%v|%v|%v|%.9f|%.9f|%d",
+		r.QueryID, r.PlanDesc, r.UsedSynopses, r.CreatedSynopses, r.Evicted,
+		r.EstimatedCost, r.SimSeconds, r.Window)
+}
+
+// TestAsyncConvergesToReuse: the asynchronous pipeline must reach the same
+// steady state as the inline round — materialize a synopsis as a byproduct,
+// then serve subsequent queries from it — with at most one extra round of
+// warmup (the first query plans against a snapshot that predates its own
+// observation). Execute→Drain makes the loop deterministic.
+func TestAsyncConvergesToReuse(t *testing.T) {
+	e := asyncTestEngine()
+	defer e.Close()
+	truth := exactAnswer(t)
+
+	var first, last *Result
+	for i := 0; i < 8; i++ {
+		res, err := e.Execute(catQuery(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Drain()
+		if i == 0 {
+			first = res
+		}
+		last = res
+		if len(res.Rows) != 4 {
+			t.Fatalf("run %d: %d groups (missing groups!)", i, len(res.Rows))
+		}
+		for _, r := range res.Rows {
+			want := truth[r[0].I]
+			if rel := math.Abs(r[1].F-want) / want; rel > 0.15 {
+				t.Fatalf("run %d cat %d: rel error %.3f > 15%%", i, r[0].I, rel)
+			}
+		}
+	}
+	if len(last.Report.UsedSynopses) == 0 {
+		t.Fatalf("no synopsis reuse by run 8: %+v", last.Report)
+	}
+	if last.Report.SimSeconds >= first.Report.SimSeconds {
+		t.Fatalf("reuse did not speed up: cold %.3f warm %.3f",
+			first.Report.SimSeconds, last.Report.SimSeconds)
+	}
+	st := e.TuningStats()
+	if st.Rounds == 0 || st.Observations != 8 || st.Admitted == 0 {
+		t.Fatalf("tuning stats: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("unexpected shed observations: %+v", st)
+	}
+}
+
+// TestAsyncExecuteDrainDeterministic: with the Drain barrier between
+// queries, two identical asynchronous runs must be byte-identical — same
+// plans, same synopsis activity, same rows. This is the async pipeline's
+// determinism contract (the synchronous flag gives the same guarantee
+// without barriers; see TestSyncModeDeterministic).
+func TestAsyncExecuteDrainDeterministic(t *testing.T) {
+	run := func() (reps []string, rows []string) {
+		e := asyncTestEngine()
+		defer e.Close()
+		mix := mixedQueries(e)
+		for round := 0; round < 3; round++ {
+			for _, mk := range mix {
+				res, err := e.Execute(mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Drain()
+				rows = append(rows, resultFingerprint(res))
+			}
+		}
+		for _, r := range e.Reports() {
+			reps = append(reps, reportFingerprint(r))
+		}
+		return reps, rows
+	}
+	repsA, rowsA := run()
+	repsB, rowsB := run()
+	for i := range repsA {
+		if repsA[i] != repsB[i] {
+			t.Fatalf("report %d diverges across async runs:\nA %s\nB %s", i, repsA[i], repsB[i])
+		}
+	}
+	for i := range rowsA {
+		if rowsA[i] != rowsB[i] {
+			t.Fatalf("result %d diverges across async runs:\nA %.160s\nB %.160s", i, rowsA[i], rowsB[i])
+		}
+	}
+}
+
+// TestSyncModeDeterministic: Config.Synchronous preserves the pre-refactor
+// engine byte for byte — the inline tune→evict/promote→execute→admit round
+// on the calling goroutine. Two sequential runs must produce identical
+// report streams including tuning activity (evictions, windows), which is
+// what the figure experiments rely on.
+func TestSyncModeDeterministic(t *testing.T) {
+	run := func() []string {
+		e := testEngine(ModeTaster) // Synchronous: true
+		mix := mixedQueries(e)
+		var out []string
+		for round := 0; round < 3; round++ {
+			for _, mk := range mix {
+				res, err := e.Execute(mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, reportFingerprint(res.Report), resultFingerprint(res))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sync run diverges at %d:\nA %.200s\nB %.200s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAsyncConcurrentStorm hammers the asynchronous engine from many
+// goroutines — queries, online ingests and elastic budget changes all in
+// flight while the background service tunes. Run under -race this is the
+// tentpole's interleaving proof; the asserts check the system lands in a
+// coherent state: accurate answers over the evolved data, accounting that
+// adds up, and a warehouse within quota.
+func TestAsyncConcurrentStorm(t *testing.T) {
+	e := asyncTestEngine()
+	defer e.Close()
+	mix := mixedQueries(e)
+
+	const goroutines = 8
+	const perG = 6
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*perG+16)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				mk := mix[(g*perG+i)%len(mix)]
+				res, err := e.Execute(mk())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				executed.Add(1)
+				if len(res.Rows) == 0 {
+					errCh <- fmt.Errorf("goroutine %d query %d: empty result", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	// One ingester appending rows that mirror the seed distribution, and
+	// one budget shaker, interleaved with the serving goroutines.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := e.Ingest("sales", salesDelta(1000, 40)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total := e.Catalog().TotalBytes()
+		for _, div := range []int64{2, 8, 1, 4, 1} {
+			e.SetStorageBudget(total / div)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	e.Quiesce()
+
+	// Accounting: every served query either reached the tuner or was
+	// counted as shed — none may vanish.
+	st := e.TuningStats()
+	if st.Observations+st.Dropped != executed.Load() {
+		t.Fatalf("observations %d + dropped %d != executed %d", st.Observations, st.Dropped, executed.Load())
+	}
+	if st.SnapshotVersion == 0 || st.Rounds == 0 {
+		t.Fatalf("tuning service never ran: %+v", st)
+	}
+
+	// The engine must still answer accurately over the evolved data.
+	truth := exactOn(t, e)
+	res, err := e.Execute(catQuery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		want := truth[r[0].I]
+		if rel := math.Abs(r[1].F-want) / want; rel > 0.15 {
+			t.Fatalf("category %d: rel error %.3f after concurrent storm", r[0].I, rel)
+		}
+	}
+	// Telemetry: unique IDs, one report per query.
+	reps := e.Reports()
+	seen := make(map[int]bool, len(reps))
+	for _, r := range reps {
+		if seen[r.QueryID] {
+			t.Fatalf("duplicate query ID %d in reports", r.QueryID)
+		}
+		seen[r.QueryID] = true
+	}
+	if int64(len(reps)) != executed.Load()+1 {
+		t.Fatalf("reports = %d, want %d", len(reps), executed.Load()+1)
+	}
+}
+
+// TestObservationQueueShedsNotBlocks: when the observation queue is full
+// and the service cannot drain it (stopped here, which is the worst case),
+// Execute must keep serving at full speed and account the shed
+// observations — backpressure degrades tuning fidelity, never latency.
+func TestObservationQueueShedsNotBlocks(t *testing.T) {
+	cat := testCatalog()
+	e := New(cat, Config{
+		Mode:             ModeTaster,
+		StorageBudget:    cat.TotalBytes(),
+		BufferSize:       cat.TotalBytes(),
+		CostModel:        storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:             7,
+		ObservationQueue: 1,
+	})
+	e.Close() // service stopped: the queue can only fill
+	for i := 0; i < 4; i++ {
+		if _, err := e.Execute(catQuery(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := e.TuningStats().Dropped; d != 3 { // 1 queued + 3 shed
+		t.Fatalf("dropped = %d, want 3", d)
+	}
+	e.Drain() // must not hang against a stopped service
+}
+
+// TestTuneOverheadChargedOnlyInTaster: the simulated tuning overhead is
+// the cost of running Taster's centralized tuner; charging it to the
+// baselines would inflate Exact/Quickr/Offline and misstate every speedup
+// (regression for the unconditional SimSeconds += overhead bug).
+func TestTuneOverheadChargedOnlyInTaster(t *testing.T) {
+	simWith := func(mode Mode, overhead float64) float64 {
+		cat := testCatalog()
+		e := New(cat, Config{
+			Mode:                mode,
+			StorageBudget:       cat.TotalBytes(),
+			BufferSize:          cat.TotalBytes(),
+			CostModel:           storage.ScaledCostModel(cat.TotalBytes(), 30040),
+			Seed:                7,
+			Synchronous:         true,
+			TuneOverheadSeconds: overhead,
+		})
+		defer e.Close()
+		res, err := e.Execute(catQuery(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.SimSeconds
+	}
+	for _, mode := range []Mode{ModeTaster, ModeQuickr, ModeExact, ModeOffline} {
+		delta := simWith(mode, 2.0) - simWith(mode, 0)
+		want := 0.0
+		if mode == ModeTaster {
+			want = 2.0
+		}
+		if math.Abs(delta-want) > 1e-9 {
+			t.Fatalf("mode %s: overhead charged %.3f, want %.1f", mode, delta, want)
+		}
+	}
+}
+
+// TestReportsRingBounded: sustained traffic must not grow telemetry without
+// bound — the ring keeps the newest ReportCap reports, oldest first.
+func TestReportsRingBounded(t *testing.T) {
+	cat := testCatalog()
+	e := New(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    cat.TotalBytes(),
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		Synchronous:   true,
+		ReportCap:     8,
+	})
+	for i := 0; i < 12; i++ {
+		if _, err := e.Execute(catQuery(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := e.Reports()
+	if len(reps) != 8 {
+		t.Fatalf("reports = %d, want cap 8", len(reps))
+	}
+	for i, r := range reps {
+		if r.QueryID != 4+i { // 12 queries, newest 8 are IDs 4..11
+			t.Fatalf("report %d has query ID %d, want %d (newest-last order)", i, r.QueryID, 4+i)
+		}
+	}
+}
+
+// TestIngestRepublishesStaleness: an ingest must refresh the published
+// snapshot's staleness immediately — before any new observation batch — so
+// the serving path's refresh credits see the drift as soon as the append
+// is visible.
+func TestIngestRepublishesStaleness(t *testing.T) {
+	e := asyncTestEngine()
+	defer e.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := e.Execute(catQuery(e)); err != nil {
+			t.Fatal(err)
+		}
+		e.Drain()
+	}
+	v0 := e.TuningStats().SnapshotVersion
+	if _, err := e.Ingest("sales", salesDelta(30000, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.TuningStats().SnapshotVersion; v <= v0 {
+		t.Fatalf("ingest did not republish the tuning snapshot: %d <= %d", v, v0)
+	}
+	snap := e.snap.Load()
+	stale := false
+	for id, s := range snap.staleness {
+		if s > 0.4 {
+			stale = true
+		}
+		_ = id
+	}
+	if len(snap.staleness) > 0 && !stale {
+		t.Fatalf("published staleness missed the append: %v", snap.staleness)
+	}
+}
+
+// TestDrainClearsDeepBacklog: Drain's contract is "every observation
+// enqueued before the call is tuned", even when the backlog is deeper than
+// one tuning round's maxBatch. The tuning mutex is held to stall the
+// service while the backlog builds (Execute never needs it, so serving
+// proceeds), then released for the Drain (regression: the flush path used
+// to ack after a single capped batch).
+func TestDrainClearsDeepBacklog(t *testing.T) {
+	e := asyncTestEngine()
+	defer e.Close()
+
+	e.tuneMu.Lock()
+	const n = maxBatch + 44
+	for i := 0; i < n; i++ {
+		if _, err := e.Execute(catQuery(e)); err != nil {
+			e.tuneMu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	e.tuneMu.Unlock()
+
+	e.Drain()
+	st := e.TuningStats()
+	if st.Observations+st.Dropped != n {
+		t.Fatalf("after Drain: observations %d + dropped %d != executed %d",
+			st.Observations, st.Dropped, n)
+	}
+	if st.Dropped != 0 { // queue default 1024 ≫ n: nothing may shed
+		t.Fatalf("unexpected shedding: %+v", st)
+	}
+}

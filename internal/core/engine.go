@@ -1,24 +1,29 @@
 // Package core wires Taster together: for every query it runs the
-// cost-based planner, hands the candidates to the tuner, applies the
-// tuner's eviction/promotion decisions to the synopsis warehouse, executes
-// the chosen physical plan (materializing synopses as byproducts into the
-// in-memory buffer), and updates the metadata store — the full §III
-// execution workflow.
+// cost-based planner, chooses the physical plan, executes it (materializing
+// synopses as byproducts into the in-memory buffer), and updates the
+// metadata store — the full §III execution workflow — while a tuner decides
+// which synopses the quota-bounded warehouse keeps.
 //
-// Concurrency model: Engine is safe for concurrent use. Planning and
-// execution run concurrently across goroutines — the metadata store, the
-// warehouse manager and the catalog are internally locked, and the
-// morsel-driven executor parallelizes within each query too. Only the
-// tuner's window state and the eviction/promotion step it mandates
-// serialize (on tuneMu); per-engine counters and telemetry serialize on mu.
-// Each *planner.Query value must be used by one Execute call at a time (the
-// engine assigns its ID and defaults its accuracy in place).
+// Concurrency model: Engine is safe for concurrent use, and in the default
+// asynchronous ModeTaster configuration the serving path is lock-free with
+// respect to tuning. Queries plan, choose and execute against an immutable
+// tuning snapshot (warehouse view + the tuner's published keep/gain state)
+// loaded with one atomic pointer read; each served query enqueues a plan
+// observation on a bounded channel, and a background tuning service drains
+// those observations in batches, runs the §V tuning round, applies
+// evictions/promotions/byproduct admissions, and publishes a new snapshot
+// RCU-style. Execute never takes the tuning mutex. Config.Synchronous
+// restores the inline round (tune-before-execute under tuneMu) for
+// byte-deterministic experiments; see docs/ARCHITECTURE.md for the full
+// design. Each *planner.Query value must be used by one Execute call at a
+// time (the engine assigns its ID and defaults its accuracy in place).
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tasterdb/taster/internal/exec"
@@ -74,7 +79,10 @@ type Config struct {
 	Seed uint64
 	// TuneOverheadSeconds is the per-query simulated planning+tuning
 	// overhead (the paper measures ~2 s for Taster's centralized tuner).
-	// Negative means "use the mode default" (2.0 taster / 0.2 quickr / 0).
+	// It is charged to SimSeconds in ModeTaster only — the baselines run no
+	// tuner, and inflating them would misstate every speedup the
+	// experiments report. Negative means "use the mode default" (2.0 in
+	// ModeTaster, 0 elsewhere).
 	TuneOverheadSeconds float64
 	// Workers caps the morsel-driven executor's intra-query parallelism;
 	// 0 means runtime.NumCPU(). Results are byte-identical for any value.
@@ -90,6 +98,25 @@ type Config struct {
 	// refresh builds win as data drifts. 0 (the default) serves only fully
 	// fresh synopses; negative disables the bound.
 	MaxStaleness float64
+	// Synchronous disables the asynchronous tuning service in ModeTaster:
+	// every Execute runs the full tuning round inline under the tuning
+	// mutex, exactly as before the snapshot-publish refactor. Plan choice,
+	// materialization, eviction and promotion then see the current query's
+	// own observation, which makes sequential runs byte-deterministic — the
+	// experiments and the paper-figure reproductions rely on it. The
+	// default (false) serves queries lock-free against the published
+	// snapshot and applies tuning in the background.
+	Synchronous bool
+	// ObservationQueue bounds the asynchronous tuning service's observation
+	// channel (default 1024). When the queue is full — the tuner is behind
+	// sustained traffic — new observations are dropped rather than blocking
+	// the serving path: tuning fidelity degrades gracefully while query
+	// latency stays flat. Dropped counts surface in TuningStats.
+	ObservationQueue int
+	// ReportCap bounds the in-memory per-query telemetry ring (default
+	// 4096). Sustained traffic overwrites the oldest reports; Reports()
+	// always returns the newest ReportCap entries, oldest first.
+	ReportCap int
 }
 
 // Report is the per-query telemetry the experiments aggregate.
@@ -101,7 +128,13 @@ type Report struct {
 	UsedSynopses    []uint64
 	CreatedSynopses []uint64
 	// Refreshed lists created synopses that replaced a stale stored copy.
-	Refreshed      []uint64
+	// Under asynchronous tuning admissions happen in the background, so
+	// refreshes are not attributable to the creating query; they surface in
+	// TuningStats instead and this field stays empty.
+	Refreshed []uint64
+	// Evicted/Promoted list the warehouse rearrangements of this query's
+	// inline tuning round (synchronous mode only; the asynchronous service
+	// accounts them in TuningStats).
 	Evicted        []uint64
 	Promoted       []uint64
 	EstimatedCost  float64 // planner's estimate for the chosen plan
@@ -110,7 +143,7 @@ type Report struct {
 	WallSeconds    float64
 	WarehouseBytes int64 // warehouse usage after the query
 	BufferBytes    int64
-	Window         int // tuner window length after the query
+	Window         int // tuner window length (as published) after the query
 }
 
 // Result is a completed query: rows plus estimation intervals and telemetry.
@@ -130,15 +163,28 @@ type Engine struct {
 	pl    *planner.Planner
 	tn    *tuner.Tuner
 
-	// mu guards the per-engine counters and telemetry only.
-	mu         sync.Mutex
-	queryCount int
-	reports    []Report
+	// queryCount assigns query IDs without any lock.
+	queryCount atomic.Int64
+	// reports is the capped telemetry ring; it has its own short lock and
+	// is never held across planning, tuning or execution.
+	reports *reportRing
 
-	// tuneMu serializes the tuner's window state and the warehouse
-	// eviction/promotion step it mandates — the only part of the query path
-	// that cannot run concurrently. Planning and execution never hold it.
+	// tuneMu serializes the tuner's window state and every warehouse/
+	// metadata rearrangement (the background service's batches, elastic
+	// budget changes, pinned-hint installs, and synchronous-mode inline
+	// rounds). In the default asynchronous ModeTaster configuration the
+	// Execute path never acquires it — queries read the published snapshot
+	// instead.
 	tuneMu sync.Mutex
+
+	// snap is the RCU-published tuning snapshot the lock-free serving path
+	// reads; snapVersion (under tuneMu) numbers publishes.
+	snap        atomic.Pointer[tuningSnapshot]
+	snapVersion uint64
+
+	// svc is the background tuning service (nil in synchronous mode and in
+	// the baseline modes, which run no tuner).
+	svc *tuningService
 }
 
 // New creates an engine. A zero CostModel or Tuner config is replaced by
@@ -160,14 +206,17 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 		cfg.StorageBudget = 256 << 20
 	}
 	if cfg.TuneOverheadSeconds < 0 {
-		switch cfg.Mode {
-		case ModeTaster:
+		if cfg.Mode == ModeTaster {
 			cfg.TuneOverheadSeconds = 2.0
-		case ModeQuickr:
-			cfg.TuneOverheadSeconds = 0.2
-		default:
+		} else {
 			cfg.TuneOverheadSeconds = 0
 		}
+	}
+	if cfg.ObservationQueue <= 0 {
+		cfg.ObservationQueue = 1024
+	}
+	if cfg.ReportCap <= 0 {
+		cfg.ReportCap = 4096
 	}
 	store := meta.NewStore()
 	wh := warehouse.NewManager(cfg.BufferSize, cfg.StorageBudget)
@@ -177,14 +226,22 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 	if cfg.Workers > 0 {
 		pl.Parallelism = float64(cfg.Workers)
 	}
-	return &Engine{
-		cfg:   cfg,
-		cat:   cat,
-		store: store,
-		wh:    wh,
-		pl:    pl,
-		tn:    tuner.New(cfg.Tuner, store, wh),
+	e := &Engine{
+		cfg:     cfg,
+		cat:     cat,
+		store:   store,
+		wh:      wh,
+		pl:      pl,
+		tn:      tuner.New(cfg.Tuner, store, wh),
+		reports: newReportRing(cfg.ReportCap),
 	}
+	// Publish the empty initial snapshot so the serving path always finds
+	// one, then start the background service for asynchronous Taster mode.
+	e.publishLocked(map[uint64]bool{}, map[uint64]float64{})
+	if cfg.Mode == ModeTaster && !cfg.Synchronous {
+		e.svc = newTuningService(e, cfg.ObservationQueue)
+	}
+	return e
 }
 
 // Catalog returns the engine's table catalog.
@@ -196,23 +253,18 @@ func (e *Engine) Store() *meta.Store { return e.store }
 // Warehouse exposes the warehouse manager (used by experiments and hints).
 func (e *Engine) Warehouse() *warehouse.Manager { return e.wh }
 
-// Reports returns the per-query telemetry collected so far.
-func (e *Engine) Reports() []Report {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Report(nil), e.reports...)
-}
+// Reports returns the per-query telemetry collected so far: the newest
+// Config.ReportCap reports, oldest first.
+func (e *Engine) Reports() []Report { return e.reports.list() }
 
-// Execute plans, tunes and runs one query. It is safe to call from many
-// goroutines: planning and execution proceed concurrently, and only the
-// tuning step serializes.
+// Execute plans, chooses and runs one query. It is safe to call from many
+// goroutines; in the default asynchronous ModeTaster configuration it
+// acquires no engine-wide mutex — tuning state arrives via the published
+// snapshot and leaves as a queued observation.
 func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	start := time.Now()
 
-	e.mu.Lock()
-	q.ID = e.queryCount
-	e.queryCount++
-	e.mu.Unlock()
+	q.ID = int(e.queryCount.Add(1)) - 1
 
 	if !q.Accuracy.Valid() {
 		q.Accuracy = e.cfg.DefaultAccuracy
@@ -221,7 +273,17 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		q.Exact = true
 	}
 
-	ps, err := e.pl.Plan(q)
+	// Asynchronous Taster: one snapshot load covers planning AND plan
+	// choice, so both see the same instant of tuning state.
+	var snap *tuningSnapshot
+	var ps *planner.PlanSet
+	var err error
+	if e.svc != nil {
+		snap = e.snap.Load()
+		ps, err = e.pl.PlanWith(q, snap.wh)
+	} else {
+		ps, err = e.pl.Plan(q)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -229,12 +291,20 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	rep := Report{QueryID: q.ID, Mode: e.cfg.Mode, EstimatedExact: ps.Exact.Cost}
 
 	var dec tuner.Decision
-	switch e.cfg.Mode {
-	case ModeTaster:
-		// Tuning mutates the sliding window and rearranges the warehouse;
-		// it is the serialization point of the engine. Evictions and
-		// promotions apply under the same critical section so concurrent
-		// queries never see a half-applied synopsis set.
+	switch {
+	case e.cfg.Mode == ModeTaster && e.svc != nil:
+		// Lock-free serving: score candidates against the published keep
+		// set and gains; materialize exactly the creates the last published
+		// S* wants. The observation (and with it this query's influence on
+		// the window) is enqueued after execution.
+		dec = chooseFromSnapshot(ps, snap)
+		rep.Window = snap.window
+	case e.cfg.Mode == ModeTaster:
+		// Synchronous mode: tuning mutates the sliding window and
+		// rearranges the warehouse inline; it is the serialization point of
+		// the engine. Evictions and promotions apply under the same
+		// critical section so concurrent queries never see a half-applied
+		// synopsis set.
 		e.tuneMu.Lock()
 		dec = e.tn.Tune(ps)
 		for _, id := range dec.Evict {
@@ -251,7 +321,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		}
 		rep.Window = e.tn.Window()
 		e.tuneMu.Unlock()
-	case ModeQuickr:
+	case e.cfg.Mode == ModeQuickr:
 		// Quickr: best per-query plan with no reuse and no materialization.
 		// The paper's Quickr implements only the sampler operators — no
 		// sketch-joins — so sketch plans are out of scope for this mode.
@@ -265,7 +335,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			}
 		}
 		rep.Window = e.windowLen()
-	case ModeOffline:
+	case e.cfg.Mode == ModeOffline:
 		// BlinkDB-style: reuse a pre-built sample when one matches, else
 		// run exact; never sample at query time.
 		dec.Chosen = ps.Exact
@@ -311,15 +381,23 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		return nil, err
 	}
 
-	// Store byproducts in the buffer (decoupled from the warehouse write).
+	// Byproducts: freshness is read from the table versions *bound into
+	// the executed plan*, not the current catalog, so an append racing
+	// between execution and admission registers as staleness instead of
+	// being silently absorbed (for sketches and multi-table samples alike;
+	// a sketch's source is its build side only — the probe tables are not
+	// summarized).
+	var built []builtSynopsis
 	for _, bs := range ctx.Stats.BuiltSamples {
 		id, ok := matNames[bs.Op]
 		if !ok {
 			continue
 		}
-		if e.admit(warehouse.NewSampleItem(id, bs.Sample), id, rep.QueryID, bs.Op) {
-			rep.Refreshed = append(rep.Refreshed, id)
-		}
+		ep, byTable := boundVersion(bs.Op)
+		built = append(built, builtSynopsis{
+			item: warehouse.NewSampleItem(id, bs.Sample), id: id,
+			srcEpoch: ep, srcByTable: byTable,
+		})
 		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
 	}
 	for _, bk := range ctx.Stats.BuiltSketches {
@@ -327,23 +405,46 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		if !ok {
 			continue
 		}
-		// A sketch's source is its build side only (the probe tables are
-		// not summarized), so freshness derives from that subplan.
-		if e.admit(warehouse.NewSketchItem(id, bk.Sketch), id, rep.QueryID, bk.Op.Build) {
-			rep.Refreshed = append(rep.Refreshed, id)
-		}
+		ep, byTable := boundVersion(bk.Op.Build)
+		built = append(built, builtSynopsis{
+			item: warehouse.NewSketchItem(id, bk.Sketch), id: id,
+			srcEpoch: ep, srcByTable: byTable,
+		})
 		rep.CreatedSynopses = append(rep.CreatedSynopses, id)
+	}
+	if e.svc != nil {
+		// Asynchronous: hand the byproducts and the plan observation to the
+		// tuning service; admission, window accounting, set selection and
+		// the snapshot publish all happen off this query's critical path.
+		// Only values are enqueued — q may be reused by a later Execute.
+		e.svc.enqueue(&observation{
+			obs:   tuner.Observation{QueryID: q.ID, ExactCost: ps.Exact.Cost},
+			uses:  dec.Chosen.Uses,
+			built: built,
+		})
+	} else {
+		for _, b := range built {
+			e.tuneMu.Lock()
+			_, refreshed := e.admitLocked(b.item, b.id, b.srcEpoch, b.srcByTable)
+			e.tuneMu.Unlock()
+			if refreshed {
+				rep.Refreshed = append(rep.Refreshed, b.id)
+			}
+		}
 	}
 
 	res := assemble(op, batches)
 	res.Report = rep
-	res.Report.SimSeconds = ctx.Stats.SimulatedSeconds(e.cfg.CostModel) + e.cfg.TuneOverheadSeconds
+	res.Report.SimSeconds = ctx.Stats.SimulatedSeconds(e.cfg.CostModel)
+	if e.cfg.Mode == ModeTaster {
+		// Only the full system runs the centralized tuner; charging the
+		// overhead to the baselines would inflate them (§VI fairness).
+		res.Report.SimSeconds += e.cfg.TuneOverheadSeconds
+	}
 	res.Report.WallSeconds = time.Since(start).Seconds()
 	res.Report.BufferBytes, res.Report.WarehouseBytes = e.wh.Usage()
 	res.Report.PlanTree = planTree
-	e.mu.Lock()
-	e.reports = append(e.reports, res.Report)
-	e.mu.Unlock()
+	e.reports.push(res.Report)
 	return res, nil
 }
 
@@ -354,29 +455,22 @@ func (e *Engine) windowLen() int {
 	return e.tn.Window()
 }
 
-// admit places a freshly built synopsis in the buffer, overflowing to the
-// warehouse, dropping it if neither tier has room. Admission is atomic in
-// the warehouse manager, so two queries concurrently building the same
-// synopsis converge on one stored copy; it also takes tuneMu so the
-// store-then-set-location pair can never interleave with the tuner's
-// delete-then-set-location pair (which would strand a stale location in
-// the metadata store).
+// admitLocked places a freshly built synopsis in the buffer, overflowing to
+// the warehouse, dropping it if neither tier has room. The caller holds
+// tuneMu, so the store-then-set-location pair can never interleave with the
+// tuner's delete-then-set-location pair (which would strand a stale
+// location in the metadata store); admission itself is atomic in the
+// warehouse manager, so two queries concurrently building the same synopsis
+// converge on one stored copy.
 //
 // When a stored copy exists but this rebuild scanned strictly more source
 // rows, the rebuild is a *refresh*: the stale copy is atomically replaced
 // (pins carry over; plans already executing against the old item keep
-// their immutable snapshot). Returns whether a refresh replacement
-// happened.
-//
-// src is the executed subplan the synopsis summarizes; freshness is read
-// from the table versions *bound into that plan*, not the current catalog,
-// so an append racing between execution and admission registers as
-// staleness instead of being silently absorbed (for sketches and
-// multi-table samples alike).
-func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node) (refreshed bool) {
-	e.tuneMu.Lock()
-	defer e.tuneMu.Unlock()
-	srcEpoch, srcByTable := boundVersion(src)
+// their immutable snapshot). Returns whether this build landed in a tier
+// (false when dropped for space or superseded by an at-least-as-fresh
+// stored copy) and whether it was a refresh replacement. srcEpoch/
+// srcByTable are the build plan's bound source versions (see boundVersion).
+func (e *Engine) admitLocked(it *warehouse.Item, id uint64, srcEpoch uint64, srcByTable map[string]int64) (stored, refreshed bool) {
 	if ent, ok := e.store.Get(id); ok && e.wh.Has(id) {
 		// Compare builds per table where possible: summed epochs can alias
 		// across distinct version vectors (plan binding is not an atomic
@@ -398,7 +492,7 @@ func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node
 			// stamping this build's version could mislabel fresh data as
 			// stale, and churning an equal copy would report a refresh
 			// that recovered nothing.
-			return false
+			return false, false
 		}
 		// Genuine refresh: this rebuild scanned strictly more source rows.
 		// Replace in place — pins carry over (a refresh is not an
@@ -407,7 +501,7 @@ func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node
 		// for what it is.
 		res, err := e.wh.Refresh(it)
 		if err != nil {
-			return false
+			return false, false
 		}
 		loc := meta.LocWarehouse
 		if res == warehouse.AdmitBuffer {
@@ -416,7 +510,7 @@ func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node
 		e.store.SetLocation(id, loc)
 		e.store.SetActualSize(id, it.Size)
 		e.store.SetFreshness(id, srcEpoch, srcByTable)
-		return true
+		return true, true
 	}
 	switch e.wh.Admit(it) {
 	case warehouse.AdmitBuffer:
@@ -427,11 +521,11 @@ func (e *Engine) admit(it *warehouse.Item, id uint64, queryID int, src plan.Node
 		// Both tiers full: the synopsis was dropped, but metadata remembers
 		// the measured size for better future decisions.
 		e.store.SetActualSize(id, it.Size)
-		return false
+		return false, false
 	}
 	e.store.SetActualSize(id, it.Size)
 	e.store.SetFreshness(id, srcEpoch, srcByTable)
-	return false
+	return true, false
 }
 
 // boundVersion reports the base-table versions bound into the subplan —
@@ -459,8 +553,10 @@ func boundVersion(src plan.Node) (epoch uint64, byTable map[string]int64) {
 // the engine's online data-evolution entry point. It is safe under
 // concurrent Execute: the catalog swaps in a new immutable table version
 // under its own lock (running queries keep the snapshot they resolved), and
-// the metadata store updates epochs under the store lock. Returns the
-// table's new epoch.
+// the metadata store updates epochs under the store lock. Under
+// asynchronous tuning it also republishes the tuning snapshot, so the
+// serving path's refresh credits see the new staleness immediately rather
+// than at the next observation batch. Returns the table's new epoch.
 func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
 	// Mark affected synopses BEFORE the new version is published: a query
 	// planning in between sees old data with stale-marked synopses (which
@@ -476,6 +572,11 @@ func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
 	// Publish the version and release the pre-mark in one atomic store
 	// operation, so no reader ever counts the appended rows twice.
 	e.store.PublishAppend(table, nt.Epoch(), int64(nt.NumRows()), added)
+	if e.svc != nil {
+		e.tuneMu.Lock()
+		e.republishLocked()
+		e.tuneMu.Unlock()
+	}
 	return nt.Epoch(), nil
 }
 
@@ -495,7 +596,9 @@ func assemble(op exec.Operator, batches []*storage.Batch) *Result {
 
 // SetStorageBudget changes the warehouse quota at runtime and immediately
 // retunes, evicting the lowest-gain synopses until the warehouse fits —
-// the paper's storage elasticity (§V, §VI-D).
+// the paper's storage elasticity (§V, §VI-D). Under asynchronous tuning the
+// re-evaluated keep set is published as a fresh snapshot before returning,
+// so queries planned after the call serve against the new budget.
 func (e *Engine) SetStorageBudget(bytes int64) {
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
@@ -504,10 +607,9 @@ func (e *Engine) SetStorageBudget(bytes int64) {
 		return
 	}
 	dec := e.tn.Retune()
-	for _, id := range dec.Evict {
-		if err := e.wh.Delete(id); err == nil {
-			e.store.SetLocation(id, meta.LocNone)
-		}
+	evicted, _ := e.wh.ApplyMoves(dec.Evict, nil)
+	for _, id := range evicted {
+		e.store.SetLocation(id, meta.LocNone)
 	}
 	// A shrink can leave overflow even after set-based eviction (e.g. all
 	// remaining synopses beneficial); drop the lowest-marginal-gain
@@ -540,11 +642,17 @@ func (e *Engine) SetStorageBudget(bytes int64) {
 			e.store.SetLocation(it.ID, meta.LocNone)
 		}
 	}
+	if e.svc != nil {
+		e.publishLocked(dec.Keep, dec.Gains)
+	}
 }
 
 // PinSample registers an offline-built sample (user hints, §V): it is
 // placed directly in the warehouse, marked pinned, and the tuner will never
 // evict it. stratCols/aggCols/accuracy describe what queries it can serve.
+// Pinning is synchronous in every mode — the hint is servable the moment
+// the call returns (under asynchronous tuning via an immediate snapshot
+// republish).
 func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols []string, acc stats.AccuracySpec) (uint64, error) {
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
@@ -587,14 +695,17 @@ func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols 
 	e.store.SetActualSize(id, it.Size)
 	e.store.SetLocation(id, loc)
 	// Freshness is anchored to the rows the sample actually scanned (its
-	// validated SourceRows), matching admit's plan-bound convention: an
-	// ingest racing the offline build — or a hint built from partial data —
-	// registers as staleness instead of being silently absorbed by the
-	// catalog's current row count.
+	// validated SourceRows), matching the admit path's plan-bound
+	// convention: an ingest racing the offline build — or a hint built from
+	// partial data — registers as staleness instead of being silently
+	// absorbed by the catalog's current row count.
 	rows := int64(s.SourceRows)
 	if rows <= 0 {
 		rows = int64(tbl.NumRows())
 	}
 	e.store.SetFreshness(id, tbl.Epoch(), map[string]int64{table: rows})
+	if e.svc != nil {
+		e.republishLocked()
+	}
 	return id, nil
 }

@@ -38,6 +38,9 @@ func testCatalog() *storage.Catalog {
 	return cat
 }
 
+// testEngine builds a synchronous-mode engine: the inline tuning round
+// keeps these behavioural tests deterministic. The asynchronous pipeline
+// has its own suite in async_test.go.
 func testEngine(mode Mode) *Engine {
 	cat := testCatalog()
 	return New(cat, Config{
@@ -46,6 +49,7 @@ func testEngine(mode Mode) *Engine {
 		BufferSize:    cat.TotalBytes(),
 		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
 		Seed:          7,
+		Synchronous:   true,
 	})
 }
 

@@ -199,6 +199,7 @@ func TestIngestDeterministicAcrossWorkers(t *testing.T) {
 			CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
 			Seed:          7,
 			Workers:       workers,
+			Synchronous:   true, // worker-count identity is a sequential-pipeline property
 		})
 		var rows [][]storage.Value
 		for i := 0; i < 3; i++ {

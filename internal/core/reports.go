@@ -1,0 +1,54 @@
+package core
+
+import "sync"
+
+// reportRing is the capped per-query telemetry buffer: it grows one report
+// at a time until the cap, then becomes a fixed ring overwriting the
+// oldest entry, so short-lived engines pay only for the reports they hold
+// while sustained traffic keeps memory constant. Its lock is engine-wide
+// but held only for one struct copy per push — it never covers planning,
+// tuning or execution, so it is not a serving-path serialization point
+// (unlike the tuning mutex the snapshot refactor removed from Execute).
+type reportRing struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []Report // grows to capacity, then ring-overwrites
+	next     int      // ring phase: index the next push writes
+	full     bool     // true once buf reached capacity
+}
+
+func newReportRing(capacity int) *reportRing {
+	return &reportRing{capacity: capacity}
+}
+
+func (r *reportRing) push(rep Report) {
+	r.mu.Lock()
+	if !r.full {
+		r.buf = append(r.buf, rep)
+		if len(r.buf) == r.capacity {
+			r.full = true // next push overwrites index 0, the oldest
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.buf[r.next] = rep
+	r.next++
+	if r.next == r.capacity {
+		r.next = 0
+	}
+	r.mu.Unlock()
+}
+
+// list returns the retained reports oldest-first (newest last), at most
+// the ring's capacity.
+func (r *reportRing) list() []Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Report(nil), r.buf...)
+	}
+	out := make([]Report, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/tuner"
+	"github.com/tasterdb/taster/internal/warehouse"
+)
+
+// tuningSnapshot is the immutable tuning state the lock-free serving path
+// reads: the warehouse view the last tuning round left behind, the selected
+// synopsis set S* with its marginal gains, per-member staleness as of the
+// publish, and the sliding-window length. A new snapshot is swapped in
+// atomically (RCU-style) after every background batch, elastic budget
+// change, pinned-hint install or ingest; readers holding an older snapshot
+// keep a coherent — merely slightly stale — view of the world, which is
+// exactly the staleness budget asynchronous tuning trades for a lock-free
+// hot path. All fields are read-only after publish.
+type tuningSnapshot struct {
+	wh        *warehouse.View
+	keep      map[uint64]bool
+	gains     map[uint64]float64
+	staleness map[uint64]float64
+	window    int
+	version   uint64
+}
+
+// chooseFromSnapshot runs the §V plan-choice rule against published state:
+// the same scoring as the synchronous round, with synopsis presence and
+// staleness read from the snapshot instead of live stores. Materialization
+// is gated on the published S* — a synopsis first seen by this query
+// becomes materializable only after a background round has selected it,
+// which delays warmup by one batch and is the price of never tuning on the
+// critical path.
+func chooseFromSnapshot(ps *planner.PlanSet, snap *tuningSnapshot) tuner.Decision {
+	chosen := tuner.ChoosePlan(ps, snap.keep, snap.gains, snap.window, snap.wh.Has,
+		func(id uint64) float64 { return snap.staleness[id] })
+	dec := tuner.Decision{Chosen: chosen, Keep: snap.keep, Gains: snap.gains}
+	for _, cs := range chosen.Creates {
+		if snap.keep[cs.Entry.Desc.ID] {
+			dec.Materialize = append(dec.Materialize, cs)
+		}
+	}
+	return dec
+}
+
+// republishLocked re-publishes the snapshot from current warehouse/store
+// state, carrying forward the last published keep/gain sets — the idiom
+// every non-round publisher (Ingest, PinSample, Quiesce) uses. Caller
+// holds tuneMu.
+func (e *Engine) republishLocked() {
+	prev := e.snap.Load()
+	e.publishLocked(prev.keep, prev.gains)
+}
+
+// publishLocked swaps in a fresh tuning snapshot built from the current
+// warehouse view, tuner window and the given keep/gain state. Caller holds
+// tuneMu (or is the constructor, before the engine escapes), which is what
+// orders publishes.
+func (e *Engine) publishLocked(keep map[uint64]bool, gains map[uint64]float64) {
+	ids := make([]uint64, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	e.snapVersion++
+	e.snap.Store(&tuningSnapshot{
+		wh:        e.wh.View(),
+		keep:      keep,
+		gains:     gains,
+		staleness: e.store.StalenessOf(ids),
+		window:    e.tn.Window(),
+		version:   e.snapVersion,
+	})
+}
+
+// builtSynopsis is a byproduct built during execution, awaiting admission:
+// the item plus the source versions its build plan actually scanned.
+type builtSynopsis struct {
+	item       *warehouse.Item
+	id         uint64
+	srcEpoch   uint64
+	srcByTable map[string]int64
+}
+
+// observation is one served query's contribution to tuning: the window
+// record (plain values — the caller's Query may be legally reused by a
+// later Execute, so nothing of the plan set is retained past the query's
+// own Execute call), the synopses its chosen plan read (exempt from
+// eviction for one round), and any byproducts awaiting admission.
+type observation struct {
+	obs   tuner.Observation
+	uses  []uint64
+	built []builtSynopsis
+}
+
+// TuningStats is the background tuning service's cumulative accounting.
+type TuningStats struct {
+	// Rounds is the number of batches tuned (== snapshot publishes from the
+	// service; elastic/pin/ingest publishes are not rounds).
+	Rounds int64
+	// Observations is the number of served queries folded into the window.
+	Observations int64
+	// Dropped counts observations shed because the queue was full; their
+	// byproducts were discarded and their window contribution lost.
+	Dropped int64
+	// Admitted/Refreshed/Evicted/Promoted count warehouse rearrangements
+	// applied by the service.
+	Admitted  int64
+	Refreshed int64
+	Evicted   int64
+	Promoted  int64
+	// SnapshotVersion is the version of the currently published snapshot.
+	SnapshotVersion uint64
+}
+
+// tuningService is the engine's background tuner: a single goroutine
+// draining the bounded observation queue into batched tuning rounds. One
+// round = admissions, window observations, one set selection, the derived
+// evictions/promotions, and exactly one snapshot publish.
+type tuningService struct {
+	eng     *Engine
+	obsCh   chan *observation
+	flushCh chan chan struct{}
+	done    chan struct{}
+	exited  chan struct{}
+	closed  sync.Once
+	dropped atomic.Int64
+
+	// stats fields below are written under eng.tuneMu.
+	stats TuningStats
+}
+
+func newTuningService(e *Engine, queue int) *tuningService {
+	s := &tuningService{
+		eng:     e,
+		obsCh:   make(chan *observation, queue),
+		flushCh: make(chan chan struct{}),
+		done:    make(chan struct{}),
+		exited:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// enqueue hands an observation to the service without ever blocking the
+// serving path: when the queue is full the observation is shed (counted in
+// TuningStats.Dropped) — under overload the engine keeps answering queries
+// at full speed and tuning fidelity degrades instead of latency.
+func (s *tuningService) enqueue(o *observation) bool {
+	select {
+	case s.obsCh <- o:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// loop is the service goroutine: batch up whatever has queued, tune, and
+// publish. A flush request (Drain) processes the entire backlog before
+// acking, which is the determinism barrier tests and experiments use.
+func (s *tuningService) loop() {
+	defer close(s.exited)
+	for {
+		// Shutdown takes priority: a Go select picks randomly among ready
+		// cases, so without this check a closed done channel could lose to
+		// a busy observation queue indefinitely and the service would keep
+		// tuning after Close.
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		select {
+		case <-s.done:
+			return
+		case o := <-s.obsCh:
+			s.runBatch(s.gather(o))
+		case ack := <-s.flushCh:
+			// A flush must clear the whole backlog, not just one batch:
+			// gather caps at maxBatch so a deep queue still publishes at a
+			// steady cadence, but Drain's contract is "everything enqueued
+			// before the call is tuned" — keep rounding until dry.
+			for {
+				batch := s.gather(nil)
+				if len(batch) == 0 {
+					break
+				}
+				s.runBatch(batch)
+			}
+			close(ack)
+		}
+	}
+}
+
+// maxBatch bounds one round's observation count so a deep backlog still
+// publishes fresh snapshots at a steady cadence instead of one giant round.
+const maxBatch = 256
+
+// gather drains the queue non-blockingly into a batch seeded with head.
+func (s *tuningService) gather(head *observation) []*observation {
+	var batch []*observation
+	if head != nil {
+		batch = append(batch, head)
+	}
+	for len(batch) < maxBatch {
+		select {
+		case o := <-s.obsCh:
+			batch = append(batch, o)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch applies one asynchronous tuning round under the tuning mutex:
+// byproduct admissions first (so set selection sees them materialized),
+// then the batched §V round, then the warehouse rearrangement, and finally
+// one snapshot publish that makes the whole rearrangement visible to the
+// serving path at once — queries never observe a half-applied synopsis set.
+func (s *tuningService) runBatch(batch []*observation) {
+	e := s.eng
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+
+	protect := make(map[uint64]bool)
+	obs := make([]tuner.Observation, 0, len(batch))
+	for _, o := range batch {
+		for _, b := range o.built {
+			stored, refreshed := e.admitLocked(b.item, b.id, b.srcEpoch, b.srcByTable)
+			if stored {
+				s.stats.Admitted++
+			}
+			if refreshed {
+				s.stats.Refreshed++
+			}
+		}
+		for _, id := range o.uses {
+			protect[id] = true
+		}
+		obs = append(obs, o.obs)
+	}
+
+	dec := e.tn.TuneBatch(obs, protect)
+	// One warehouse call applies the whole rearrangement (single lock hold,
+	// single view publish) instead of re-copying the tiers per synopsis.
+	evicted, promoted := e.wh.ApplyMoves(dec.Evict, dec.Promote)
+	for _, id := range evicted {
+		e.store.SetLocation(id, meta.LocNone)
+	}
+	for _, id := range promoted {
+		e.store.SetLocation(id, meta.LocWarehouse)
+	}
+	s.stats.Evicted += int64(len(evicted))
+	s.stats.Promoted += int64(len(promoted))
+	s.stats.Rounds++
+	s.stats.Observations += int64(len(batch))
+	e.publishLocked(dec.Keep, dec.Gains)
+}
+
+// Drain blocks until every observation enqueued before the call has been
+// tuned and the resulting snapshot published — the barrier that makes
+// sequential Execute→Drain loops deterministic. No-op for synchronous and
+// baseline engines.
+func (e *Engine) Drain() {
+	if e.svc == nil {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case e.svc.flushCh <- ack:
+		<-ack
+	case <-e.svc.done:
+	}
+}
+
+// Quiesce drains the tuning pipeline and then republishes the snapshot
+// from current store/warehouse state. After it returns, the published
+// tuning state reflects every completed query and ingest — experiments use
+// it as the settle point before reading results. No-op for synchronous and
+// baseline engines.
+func (e *Engine) Quiesce() {
+	if e.svc == nil {
+		return
+	}
+	e.Drain()
+	e.tuneMu.Lock()
+	e.republishLocked()
+	e.tuneMu.Unlock()
+}
+
+// Close stops the background tuning service and waits for its goroutine to
+// exit: after Close returns, no batch runs and no snapshot publish happens
+// unless triggered by another engine entry point. Observations still queued
+// are discarded — call Drain first if they matter. Safe to call multiple
+// times; no-op for synchronous and baseline engines, so callers may always
+// defer it.
+func (e *Engine) Close() {
+	if e.svc == nil {
+		return
+	}
+	e.svc.closed.Do(func() { close(e.svc.done) })
+	<-e.svc.exited
+}
+
+// TuningStats returns the background service's cumulative accounting (zero
+// value for synchronous and baseline engines).
+func (e *Engine) TuningStats() TuningStats {
+	if e.svc == nil {
+		return TuningStats{}
+	}
+	e.tuneMu.Lock()
+	st := e.svc.stats
+	e.tuneMu.Unlock()
+	st.Dropped = e.svc.dropped.Load()
+	st.SnapshotVersion = e.snap.Load().version
+	return st
+}

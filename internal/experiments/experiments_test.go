@@ -283,3 +283,24 @@ func TestStreamingExperiment(t *testing.T) {
 		t.Fatal("table rendering")
 	}
 }
+
+func TestServingExperimentSmoke(t *testing.T) {
+	// Throughput numbers are machine-relative wall time; the smoke test
+	// asserts the sweep's structure — both engine variants complete the
+	// closed loop at every client count — not its magnitudes.
+	s, err := Serving("tpch", Config{SF: 0.002, Queries: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("client sweep rows = %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if r.InlineQPS <= 0 || r.AsyncQPS <= 0 {
+			t.Fatalf("clients=%d: qps inline=%v async=%v", r.Clients, r.InlineQPS, r.AsyncQPS)
+		}
+	}
+	if !strings.Contains(s.Table(), "closed-loop throughput") {
+		t.Fatal("table rendering")
+	}
+}

@@ -220,6 +220,7 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 			CostModel:     storage.ScaledCostModel(bytes, rows),
 			Seed:          uint64(cfg.Seed),
 			Tuner:         tuner.Config{Window: window, Adaptive: adaptive, Alpha: 0.25, MaxWindow: 64},
+			Synchronous:   true,
 		})
 	}
 	out := &Figure8Result{Totals: map[string]float64{}}

@@ -53,7 +53,10 @@ func loadWorkload(name string, cfg Config) (*workload.Workload, error) {
 }
 
 // newEngine builds an engine over the workload with a budget expressed as a
-// fraction of the dataset size.
+// fraction of the dataset size. Experiments run the tuner synchronously:
+// every figure replays a fixed query sequence and must be byte-identical
+// across runs, which the inline tuning round guarantees (the asynchronous
+// pipeline's throughput is measured separately by the Serving experiment).
 func newEngine(w *workload.Workload, mode core.Mode, budgetFrac float64, seed uint64) *core.Engine {
 	bytes, rows := w.CostScale()
 	return core.New(w.Catalog, core.Config{
@@ -62,6 +65,7 @@ func newEngine(w *workload.Workload, mode core.Mode, budgetFrac float64, seed ui
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          seed,
+		Synchronous:   true,
 	})
 }
 

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+// ServingRow is one client count's closed-loop throughput measurement,
+// inline (synchronous tuning round on the query path — the pre-refactor
+// engine) versus asynchronous (lock-free serving against the published
+// tuning snapshot).
+type ServingRow struct {
+	Clients   int
+	InlineQPS float64
+	AsyncQPS  float64
+	Speedup   float64 // async / inline
+	Dropped   int64   // observations the async tuner shed under this load
+}
+
+// ServingResult is the concurrent-serving throughput experiment: a
+// closed-loop multi-client sweep showing how query throughput scales with
+// client count once tuning is off the per-query critical path. Unlike the
+// figure experiments it measures wall time, so absolute numbers are
+// machine-dependent; the inline column is the single-tuning-mutex ceiling
+// the async column is compared against on the same machine.
+type ServingResult struct {
+	Workload string
+	Queries  int // closed-loop queries per engine run
+	MaxProcs int
+	Rows     []ServingRow
+}
+
+// Table renders the sweep.
+func (s *ServingResult) Table() string {
+	rows := make([][]string, len(s.Rows))
+	for i, r := range s.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%.0f", r.InlineQPS),
+			fmt.Sprintf("%.0f", r.AsyncQPS),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.Dropped),
+		}
+	}
+	return fmt.Sprintf("Concurrent serving (%s, %d queries/run, GOMAXPROCS=%d): closed-loop throughput\n",
+		s.Workload, s.Queries, s.MaxProcs) +
+		table([]string{"clients", "inline q/s", "async q/s", "speedup", "shed obs"}, rows)
+}
+
+// servingClients is the closed-loop client sweep.
+var servingClients = []int{1, 2, 4, 8}
+
+// Serving measures concurrent-query throughput for each client count under
+// both tuning disciplines. Each run is closed-loop: the clients jointly
+// drain the same query sequence (parse + plan + execute per query, exactly
+// the serving path) as fast as the engine lets them. Engines run with
+// Workers=1 so intra-query morsel parallelism does not mask inter-query
+// scaling — the quantity under test is how many queries the engine serves
+// at once, not how fast one query runs.
+func Serving(wl string, cfg Config) (*ServingResult, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload(wl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Queries(cfg.Queries, cfg.Seed)
+	out := &ServingResult{Workload: wl, Queries: cfg.Queries, MaxProcs: runtime.GOMAXPROCS(0)}
+
+	for _, clients := range servingClients {
+		inline, _, err := servingRun(w, queries, clients, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		async, dropped, err := servingRun(w, queries, clients, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		row := ServingRow{Clients: clients, InlineQPS: inline, AsyncQPS: async, Dropped: dropped}
+		if inline > 0 {
+			row.Speedup = async / inline
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// servingRun drives one engine with the given client count and returns its
+// closed-loop throughput (plus shed-observation count for async engines).
+func servingRun(w *workload.Workload, queries []string, clients int, cfg Config, synchronous bool) (qps float64, dropped int64, err error) {
+	bytes, rows := w.CostScale()
+	eng := core.New(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: bytes / 2,
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          uint64(cfg.Seed),
+		Workers:       1,
+		Synchronous:   synchronous,
+	})
+	defer eng.Close()
+
+	var next int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q, perr := sqlparser.Parse(queries[i], w.Catalog)
+				if perr != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("serving: %w\nSQL: %s", perr, queries[i]))
+					return
+				}
+				if _, xerr := eng.Execute(q); xerr != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("serving: %w\nSQL: %s", xerr, queries[i]))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if e, ok := firstErr.Load().(error); ok && e != nil {
+		return 0, 0, e
+	}
+	eng.Quiesce() // settle the tuner before reading its accounting
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(len(queries)) / wall, eng.TuningStats().Dropped, nil
+}

@@ -98,6 +98,7 @@ func Streaming(wl string, cfg Config) (*StreamingResult, error) {
 			CostModel:     storage.ScaledCostModel(bytes, rows),
 			Seed:          uint64(cfg.Seed),
 			MaxStaleness:  pol.max,
+			Synchronous:   true, // byte-identical replay across policies
 		})
 		// Ground truth is valid across policies ONLY because every policy
 		// replays the identical stream over identical data; the exact

@@ -385,6 +385,25 @@ func (s *Store) Staleness(id uint64) float64 {
 	return stalenessFrom(e.Desc.BuildRows, s.unseenLocked(e))
 }
 
+// StalenessOf returns the staleness fraction of every given synopsis in a
+// single consistent read: one lock hold covers all ids, so the returned
+// values reflect the same instant of the table-version/pending state. The
+// engine's tuning-snapshot publish uses it so the lock-free serving path
+// reads freshness that is mutually consistent with the published synopsis
+// locations, instead of racing per-id lookups against concurrent ingests.
+// Unknown ids are omitted.
+func (s *Store) StalenessOf(ids []uint64) map[uint64]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[uint64]float64, len(ids))
+	for _, id := range ids {
+		if e, ok := s.byID[id]; ok {
+			out[id] = stalenessFrom(e.Desc.BuildRows, s.unseenLocked(e))
+		}
+	}
+	return out
+}
+
 // TableVersion returns the last observed (epoch, rows) of a base relation;
 // ok is false when the relation was never ingested into.
 func (s *Store) TableVersion(table string) (epoch uint64, rows int64, ok bool) {

@@ -125,9 +125,12 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		Accuracy:  q.Accuracy,
 	}
 	for _, m := range p.Store.MatchSamples(req) {
-		item, inBuffer, ok := p.WH.Get(m.Entry.Desc.ID)
+		item, inBuffer, ok := ps.wh.Get(m.Entry.Desc.ID)
 		if !ok || item.Sample == nil {
 			continue
+		}
+		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
+			continue // live staleness metadata describes a newer build
 		}
 		stale := m.Entry.Staleness()
 		if !p.stalenessAllowed(stale) {
@@ -419,9 +422,12 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 	// Reuse candidate when a matching sketch is materialized.
 	req := meta.Requirements{Sig: buildSig, Filter: sh.factFilter, Accuracy: q.Accuracy}
 	for _, m := range p.Store.MatchSketchJoins(req, sh.buildKeys, sh.aggCol) {
-		item, _, ok := p.WH.Get(m.Entry.Desc.ID)
+		item, _, ok := ps.wh.Get(m.Entry.Desc.ID)
 		if !ok || item.Sketch == nil {
 			continue
+		}
+		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
+			continue // live staleness metadata describes a newer build
 		}
 		// Sketches cannot be compensated, so the staleness bound applies to
 		// them just like to samples (a stale sketch undercounts new rows).

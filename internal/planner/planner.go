@@ -45,6 +45,12 @@ type PlanSet struct {
 	Exact      Candidate
 	Candidates []Candidate
 	ReuseCost  map[uint64]float64
+
+	// wh is the immutable warehouse view this plan set was generated
+	// against: every reuse candidate binds items from it, so the set is
+	// internally consistent even while a background tuning round rearranges
+	// the live warehouse.
+	wh *warehouse.View
 }
 
 // Planner generates and costs candidate plans.
@@ -117,8 +123,18 @@ func (p *Planner) pruneStatsLocked(t *storage.Table) {
 	p.mgEpochs[t.Name] = t.Epoch()
 }
 
-// Plan generates the candidate set for a query (paper §IV-A).
+// Plan generates the candidate set for a query (paper §IV-A) against the
+// warehouse's current published view.
 func (p *Planner) Plan(q *Query) (*PlanSet, error) {
+	return p.PlanWith(q, p.WH.View())
+}
+
+// PlanWith plans against a caller-supplied immutable warehouse view. The
+// engine's lock-free serving path passes the view its published tuning
+// snapshot was built from, so reuse candidates, synopsis presence and the
+// tuner's keep/gain state all describe the same instant — planning never
+// blocks on (or races with) a background tuning round.
+func (p *Planner) PlanWith(q *Query, view *warehouse.View) (*PlanSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +142,7 @@ func (p *Planner) Plan(q *Query) (*PlanSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := &PlanSet{Query: q, Exact: exact, ReuseCost: make(map[uint64]float64)}
+	ps := &PlanSet{Query: q, Exact: exact, ReuseCost: make(map[uint64]float64), wh: view}
 	ps.Candidates = append(ps.Candidates, exact)
 
 	if q.Exact || !q.approximableAggs() || !q.Accuracy.Valid() {
@@ -239,6 +255,20 @@ func (p *Planner) configureSampler(q *Query, strat []string, inRows float64, sel
 		return samplerConfig{}
 	}
 	return samplerConfig{kind: plan.DistinctSample, p: pr, delta: delta, ok: true}
+}
+
+// payloadCurrent reports whether the item a reuse candidate would bind from
+// the plan-set's snapshot view is still the live stored copy. The staleness
+// gate reads *live* metadata, which describes the latest build; if a
+// background refresh swapped in a newer payload after our snapshot was
+// published (or the copy was evicted), live metadata and the bound payload
+// describe different builds and the gate would be meaningless — a stale
+// pre-refresh sample could slip past Config.MaxStaleness on fresh
+// metadata. Skipping restores the pre-snapshot gating exactly; the next
+// query, planning against the republished view, reuses the fresh copy.
+func (p *Planner) payloadCurrent(id uint64, bound *warehouse.Item) bool {
+	cur, _, ok := p.WH.Get(id)
+	return ok && cur == bound
 }
 
 // stalenessAllowed applies the bounded-staleness policy: may a synopsis
@@ -475,8 +505,11 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		Accuracy:  q.Accuracy,
 	}
 	for _, m := range p.Store.MatchSamples(req) {
-		item, inBuffer, ok := p.WH.Get(m.Entry.Desc.ID)
+		item, inBuffer, ok := ps.wh.Get(m.Entry.Desc.ID)
 		if !ok || item.Sample == nil {
+			continue
+		}
+		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
 			continue
 		}
 		// Bounded staleness: a sample missing too large a fraction of the

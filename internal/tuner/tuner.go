@@ -87,20 +87,63 @@ type Decision struct {
 	Gains map[uint64]float64
 }
 
-// Tune runs one tuning round (paper §V): adapt w, select S*, choose the
-// plan, and derive eviction/promotion actions. The metadata store is read
-// once per round — a single consistent snapshot shared by window adaptation
-// and set selection — rather than re-cloned per lookup, keeping the
-// serialized tuning path cheap under concurrent serving.
-func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
-	entries := t.store.Entries()
+// Observation is one served query's contribution to the sliding window:
+// plain values, deliberately not a *planner.PlanSet — the asynchronous
+// engine queues observations past the end of Execute, and retaining the
+// caller's Query (which a later Execute may legally mutate in place) would
+// turn the documented one-Execute-at-a-time contract into a data race.
+type Observation struct {
+	QueryID   int
+	ExactCost float64
+}
+
+// observe folds one completed planning round into the sliding window:
+// window-length adaptation (if enabled) followed by the history append.
+// entries is the round's metadata snapshot — a batch shares one snapshot
+// across its observations, a synchronous round reads its own.
+func (t *Tuner) observe(o Observation, entries []*meta.Entry) {
 	if t.cfg.Adaptive {
-		t.adaptWindow(ps, entries)
+		t.adaptWindow(entries)
 	}
-	t.history = append(t.history, queryRecord{ID: ps.Query.ID, ExactCost: ps.Exact.Cost})
+	t.history = append(t.history, queryRecord{ID: o.QueryID, ExactCost: o.ExactCost})
 	if len(t.history) > t.cfg.MaxWindow {
 		t.history = t.history[len(t.history)-t.cfg.MaxWindow:]
 	}
+}
+
+// deriveActions fills dec.Evict/dec.Promote from the selected set: evict
+// every materialized synopsis outside S* (unless exempted), promote buffer
+// residents inside S*. exempt lists synopses that must survive this round
+// even when outside S* — plans costed on reusing them may not have executed
+// yet, and deleting their input mid-flight would forfeit the reuse the
+// candidate was priced on (the next round re-evaluates them unexempted).
+func deriveActions(entries []*meta.Entry, keep map[uint64]bool, exempt map[uint64]bool, dec *Decision) {
+	for _, e := range entries {
+		id := e.Desc.ID
+		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
+			continue
+		}
+		if !keep[id] {
+			if !exempt[id] {
+				dec.Evict = append(dec.Evict, id)
+			}
+		} else if e.Desc.Location == meta.LocBuffer {
+			dec.Promote = append(dec.Promote, id)
+		}
+	}
+}
+
+// Tune runs one synchronous tuning round (paper §V): adapt w, select S*,
+// choose the plan, and derive eviction/promotion actions. The metadata
+// store is read once per round — a single consistent snapshot shared by
+// window adaptation and set selection — rather than re-cloned per lookup,
+// keeping the serialized tuning path cheap. This is the engine's
+// synchronous-mode round; the asynchronous pipeline uses TuneBatch and
+// leaves plan choice to the serving path (ChoosePlan against the published
+// snapshot).
+func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
+	entries := t.store.Entries()
+	t.observe(Observation{QueryID: ps.Query.ID, ExactCost: ps.Exact.Cost}, entries)
 
 	_, quota := t.wh.Quotas()
 	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
@@ -113,29 +156,34 @@ func (t *Tuner) Tune(ps *planner.PlanSet) Decision {
 		}
 	}
 
-	// Evict every materialized synopsis outside S*; promote buffer
-	// residents inside S*. Synopses the just-chosen plan reads are exempt
-	// for this round even when outside S*: the candidate was costed on
-	// reuse, and deleting its input before the engine executes it would
-	// leave the plan reading a dangling synopsis (next round re-evaluates
-	// them without the exemption).
 	inUse := make(map[uint64]bool, len(chosen.Uses))
 	for _, id := range chosen.Uses {
 		inUse[id] = true
 	}
-	for _, e := range entries {
-		id := e.Desc.ID
-		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
-			continue
-		}
-		if !keep[id] {
-			if !inUse[id] { // never delete the chosen plan's inputs
-				dec.Evict = append(dec.Evict, id)
-			}
-		} else if e.Desc.Location == meta.LocBuffer {
-			dec.Promote = append(dec.Promote, id)
-		}
+	deriveActions(entries, keep, inUse, &dec)
+	return dec
+}
+
+// TuneBatch runs one asynchronous tuning round over a batch of served
+// queries (the engine's background service drains its observation queue
+// into these). Every observation is folded into the sliding window in
+// arrival order, then a single set selection covers the batch — the
+// batching is what keeps tuning off the per-query critical path without
+// starving the window of observations. protect lists synopsis IDs that
+// recently-chosen plans read; they are exempt from eviction this round
+// exactly like the synchronous round exempts the chosen plan's inputs.
+// The decision carries no Chosen/Materialize: under the asynchronous
+// pipeline the serving path makes those calls against the published
+// snapshot (ChoosePlan).
+func (t *Tuner) TuneBatch(batch []Observation, protect map[uint64]bool) Decision {
+	entries := t.store.Entries()
+	for _, o := range batch {
+		t.observe(o, entries)
 	}
+	_, quota := t.wh.Quotas()
+	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
+	dec := Decision{Keep: keep, Gains: marginal}
+	deriveActions(entries, keep, protect, &dec)
 	return dec
 }
 
@@ -147,16 +195,7 @@ func (t *Tuner) Retune() Decision {
 	_, quota := t.wh.Quotas()
 	keep, marginal := t.selectSet(entries, t.windowRecords(t.w), quota)
 	dec := Decision{Keep: keep, Gains: marginal}
-	for _, e := range entries {
-		if e.Desc.Location == meta.LocNone || e.Desc.Pinned {
-			continue
-		}
-		if !keep[e.Desc.ID] {
-			dec.Evict = append(dec.Evict, e.Desc.ID)
-		} else if e.Desc.Location == meta.LocBuffer {
-			dec.Promote = append(dec.Promote, e.Desc.ID)
-		}
-	}
+	deriveActions(entries, keep, nil, &dec)
 	return dec
 }
 
@@ -176,6 +215,20 @@ func (t *Tuner) windowRecords(n int) []queryRecord {
 // the full gain would let speculative builds starve already-materialized
 // synopses.
 func (t *Tuner) choosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal map[uint64]float64) planner.Candidate {
+	return ChoosePlan(ps, keep, marginal, t.w, t.wh.Has, t.store.Staleness)
+}
+
+// ChoosePlan is the §V plan-selection rule as a pure function of published
+// tuning state, so the engine's lock-free serving path can run it against
+// an immutable snapshot (keep set, marginal gains, window length, synopsis
+// presence and staleness as of the last publish) without touching the
+// tuner. The synchronous round funnels through it too, reading live state,
+// so both paths score candidates identically.
+func ChoosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal map[uint64]float64,
+	w int, has func(uint64) bool, staleness func(uint64) float64) planner.Candidate {
+	if w < 1 {
+		w = 1
+	}
 	best := ps.Candidates[0]
 	bestScore := math.Inf(1)
 	for _, c := range ps.Candidates {
@@ -186,14 +239,14 @@ func (t *Tuner) choosePlan(ps *planner.PlanSet, keep map[uint64]bool, marginal m
 				continue
 			}
 			credit := 0.0
-			if !t.wh.Has(id) {
+			if !has(id) {
 				credit = 1
-			} else if s := t.store.Staleness(id); s > 0 {
+			} else if s := staleness(id); s > 0 {
 				// Refresh candidate: the synopsis exists but has drifted;
 				// rebuilding recovers the stale fraction of its future gain.
 				credit = s
 			}
-			score -= credit * marginal[id] / float64(t.w) * 2 // build now vs. ~2 queries' delay
+			score -= credit * marginal[id] / float64(w) * 2 // build now vs. ~2 queries' delay
 		}
 		if score < bestScore {
 			bestScore = score
@@ -342,7 +395,7 @@ func (t *Tuner) greedy(universe, pinned []*meta.Entry, window []queryRecord, bud
 // minimizes the estimated execution time of the queries that arrived since
 // the previous invocation, and adopts it. entries is the tuning round's
 // store snapshot.
-func (t *Tuner) adaptWindow(ps *planner.PlanSet, entries []*meta.Entry) {
+func (t *Tuner) adaptWindow(entries []*meta.Entry) {
 	t.sinceAdapt++
 	if t.sinceAdapt < 1 || len(t.history) < 2 {
 		return

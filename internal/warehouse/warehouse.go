@@ -5,16 +5,21 @@
 // holding the synopses the tuner decided to keep. All sizes are
 // byte-accurate; the tuner drives every promotion and eviction.
 //
-// Manager is safe for concurrent use: the read path (Get/Has/Usage, taken
-// by concurrent planners and executors) holds the read lock only, while
-// mutations (puts, promotions, deletions, quota changes) are serialized by
-// the engine's tuning step. Items are immutable once stored, so a plan may
-// keep executing against a sample that was concurrently evicted.
+// Concurrency model: reads are lock-free. Every mutation (serialized on an
+// internal mutex and, above that, by the engine's tuning service) rebuilds
+// an immutable View of both tiers and publishes it through an
+// atomic.Pointer — RCU-style copy-on-write. The read path (Get/Has/Usage,
+// taken by concurrent planners and executors) loads the current View with a
+// single atomic load and never blocks behind a tuning round. Items are
+// immutable once stored, so a plan may keep executing against a sample that
+// was concurrently evicted; View() hands out a whole coherent two-tier
+// snapshot for callers that need several reads to be mutually consistent.
 package warehouse
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tasterdb/taster/internal/synopses"
 )
@@ -68,35 +73,129 @@ func (t *tier) delete(id uint64) bool {
 	return true
 }
 
-func (t *tier) list() []*Item {
-	out := make([]*Item, 0, len(t.items))
-	for _, it := range t.items {
+// View is an immutable snapshot of both tiers, published atomically after
+// every mutation. All its reads are coherent with each other: a planner
+// holding one View sees the exact synopsis set some tuning round left
+// behind, never a half-applied rearrangement. Views must not be mutated.
+type View struct {
+	buffer    map[uint64]*Item
+	warehouse map[uint64]*Item
+	bufUsed   int64
+	whUsed    int64
+	bufQuota  int64
+	whQuota   int64
+}
+
+// Get returns the item and whether it was found in the buffer tier.
+func (v *View) Get(id uint64) (it *Item, inBuffer bool, ok bool) {
+	if it, ok := v.buffer[id]; ok {
+		return it, true, true
+	}
+	if it, ok := v.warehouse[id]; ok {
+		return it, false, true
+	}
+	return nil, false, false
+}
+
+// Has reports whether the synopsis is materialized in either tier.
+func (v *View) Has(id uint64) bool {
+	_, _, ok := v.Get(id)
+	return ok
+}
+
+// Usage returns (bufferUsed, warehouseUsed) bytes.
+func (v *View) Usage() (buffer, warehouse int64) { return v.bufUsed, v.whUsed }
+
+// Quotas returns (bufferQuota, warehouseQuota) bytes.
+func (v *View) Quotas() (buffer, warehouse int64) { return v.bufQuota, v.whQuota }
+
+// BufferItems lists the buffer tier (fresh slice; items are shared and
+// immutable).
+func (v *View) BufferItems() []*Item { return listOf(v.buffer) }
+
+// WarehouseItems lists the warehouse tier.
+func (v *View) WarehouseItems() []*Item { return listOf(v.warehouse) }
+
+// Overflow returns how many bytes the warehouse exceeds its quota by
+// (after an elastic shrink), zero when within quota.
+func (v *View) Overflow() int64 {
+	if over := v.whUsed - v.whQuota; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// FreeWarehouse returns the remaining warehouse capacity in bytes.
+func (v *View) FreeWarehouse() int64 {
+	free := v.whQuota - v.whUsed
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func listOf(m map[uint64]*Item) []*Item {
+	out := make([]*Item, 0, len(m))
+	for _, it := range m {
 		out = append(out, it)
 	}
 	return out
 }
 
-// Manager owns both tiers.
+// Manager owns both tiers. Mutations serialize on mu and publish a fresh
+// View; reads never take mu.
 type Manager struct {
-	mu        sync.RWMutex
+	mu        sync.Mutex
 	buffer    tier
 	warehouse tier
+	view      atomic.Pointer[View]
 }
 
 // NewManager returns a manager with the given byte quotas. The paper sets
 // the warehouse quota as a fraction of the dataset size and the buffer to a
 // small fixed size.
 func NewManager(bufferQuota, warehouseQuota int64) *Manager {
-	return &Manager{
+	m := &Manager{
 		buffer:    tier{name: "buffer", quota: bufferQuota, items: make(map[uint64]*Item)},
 		warehouse: tier{name: "warehouse", quota: warehouseQuota, items: make(map[uint64]*Item)},
 	}
+	m.publishLocked()
+	return m
+}
+
+// View returns the current immutable two-tier snapshot (one atomic load).
+func (m *Manager) View() *View { return m.view.Load() }
+
+// publishLocked rebuilds the read view from the mutable tiers. Caller
+// holds mu. The maps are copied — O(items), and the tuner keeps the item
+// count small — so readers holding an older View are never invalidated.
+// Admissions deliberately publish per item rather than batching like
+// ApplyMoves: a refresh must reach the live view BEFORE the metadata
+// store's freshness update lands, or the planner's payload-identity gate
+// (payloadCurrent) could see new metadata vouching for an old payload.
+func (m *Manager) publishLocked() {
+	v := &View{
+		buffer:    make(map[uint64]*Item, len(m.buffer.items)),
+		warehouse: make(map[uint64]*Item, len(m.warehouse.items)),
+		bufUsed:   m.buffer.used,
+		whUsed:    m.warehouse.used,
+		bufQuota:  m.buffer.quota,
+		whQuota:   m.warehouse.quota,
+	}
+	for id, it := range m.buffer.items {
+		v.buffer[id] = it
+	}
+	for id, it := range m.warehouse.items {
+		v.warehouse[id] = it
+	}
+	m.view.Store(v)
 }
 
 // PutBuffer stores a freshly built synopsis in the in-memory buffer.
 func (m *Manager) PutBuffer(it *Item) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	return m.buffer.put(it)
 }
 
@@ -121,6 +220,7 @@ const (
 func (m *Manager) Admit(it *Item) AdmitResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	if _, ok := m.buffer.items[it.ID]; ok {
 		return AdmitBuffer
 	}
@@ -142,10 +242,12 @@ func (m *Manager) Admit(it *Item) AdmitResult {
 // Unlike Delete it applies to pinned items — a refresh is not an eviction:
 // the synopsis stays stored, only its payload is brought up to date, and
 // the pin carries over to the fresh copy. If the rebuilt copy fits in
-// neither tier, the old copy is reinstated and an error returned.
+// neither tier, the old copy is reinstated and an error returned. Readers
+// holding a pre-refresh View keep the old immutable item.
 func (m *Manager) Refresh(it *Item) (AdmitResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	var oldTier, otherTier *tier
 	var old *Item
 	for i, t := range []*tier{&m.buffer, &m.warehouse} {
@@ -189,6 +291,7 @@ func (m *Manager) Refresh(it *Item) (AdmitResult, error) {
 func (m *Manager) PutWarehouse(it *Item) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	return m.warehouse.put(it)
 }
 
@@ -197,6 +300,7 @@ func (m *Manager) PutWarehouse(it *Item) error {
 func (m *Manager) Promote(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	it, ok := m.buffer.items[id]
 	if !ok {
 		return fmt.Errorf("warehouse: promote: synopsis #%d not in buffer", id)
@@ -213,6 +317,7 @@ func (m *Manager) Promote(id uint64) error {
 func (m *Manager) Delete(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.publishLocked()
 	for _, t := range []*tier{&m.buffer, &m.warehouse} {
 		if it, ok := t.items[id]; ok {
 			if it.Pinned {
@@ -225,52 +330,61 @@ func (m *Manager) Delete(id uint64) error {
 	return fmt.Errorf("warehouse: synopsis #%d not materialized", id)
 }
 
+// ApplyMoves performs a tuning round's whole warehouse rearrangement —
+// evictions then promotions — under one lock hold with one view publish,
+// instead of re-copying the tiers once per synopsis. Semantics per ID
+// match Delete/Promote exactly: pinned or unmaterialized evictees and
+// unpromotable entries (not in the buffer, or no warehouse room) are
+// skipped. Returns the IDs each action actually applied to, so the caller
+// can update locations for exactly those.
+func (m *Manager) ApplyMoves(evict, promote []uint64) (evicted, promoted []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.publishLocked()
+	for _, id := range evict {
+		for _, t := range []*tier{&m.buffer, &m.warehouse} {
+			if it, ok := t.items[id]; ok {
+				if !it.Pinned {
+					t.delete(id)
+					evicted = append(evicted, id)
+				}
+				break
+			}
+		}
+	}
+	for _, id := range promote {
+		it, ok := m.buffer.items[id]
+		if !ok {
+			continue
+		}
+		if m.warehouse.put(it) != nil {
+			continue
+		}
+		m.buffer.delete(id)
+		promoted = append(promoted, id)
+	}
+	return evicted, promoted
+}
+
 // Get returns the item and whether it was found in the buffer tier.
 func (m *Manager) Get(id uint64) (it *Item, inBuffer bool, ok bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if it, ok := m.buffer.items[id]; ok {
-		return it, true, true
-	}
-	if it, ok := m.warehouse.items[id]; ok {
-		return it, false, true
-	}
-	return nil, false, false
+	return m.View().Get(id)
 }
 
 // Has reports whether the synopsis is materialized in either tier.
-func (m *Manager) Has(id uint64) bool {
-	_, _, ok := m.Get(id)
-	return ok
-}
+func (m *Manager) Has(id uint64) bool { return m.View().Has(id) }
 
 // BufferItems returns a snapshot of the buffer tier.
-func (m *Manager) BufferItems() []*Item {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.buffer.list()
-}
+func (m *Manager) BufferItems() []*Item { return m.View().BufferItems() }
 
 // WarehouseItems returns a snapshot of the warehouse tier.
-func (m *Manager) WarehouseItems() []*Item {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.warehouse.list()
-}
+func (m *Manager) WarehouseItems() []*Item { return m.View().WarehouseItems() }
 
 // Usage returns (bufferUsed, warehouseUsed) bytes.
-func (m *Manager) Usage() (buffer, warehouse int64) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.buffer.used, m.warehouse.used
-}
+func (m *Manager) Usage() (buffer, warehouse int64) { return m.View().Usage() }
 
 // Quotas returns (bufferQuota, warehouseQuota) bytes.
-func (m *Manager) Quotas() (buffer, warehouse int64) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.buffer.quota, m.warehouse.quota
-}
+func (m *Manager) Quotas() (buffer, warehouse int64) { return m.View().Quotas() }
 
 // SetWarehouseQuota changes the warehouse quota at runtime — the storage
 // elasticity hook (paper §V). It does not evict; the tuner re-evaluates and
@@ -279,26 +393,12 @@ func (m *Manager) SetWarehouseQuota(quota int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.warehouse.quota = quota
+	m.publishLocked()
 }
 
 // Overflow returns how many bytes the warehouse exceeds its quota by
 // (after an elastic shrink), zero when within quota.
-func (m *Manager) Overflow() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if over := m.warehouse.used - m.warehouse.quota; over > 0 {
-		return over
-	}
-	return 0
-}
+func (m *Manager) Overflow() int64 { return m.View().Overflow() }
 
 // FreeWarehouse returns the remaining warehouse capacity in bytes.
-func (m *Manager) FreeWarehouse() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	free := m.warehouse.quota - m.warehouse.used
-	if free < 0 {
-		return 0
-	}
-	return free
-}
+func (m *Manager) FreeWarehouse() int64 { return m.View().FreeWarehouse() }

@@ -109,12 +109,24 @@ type Options struct {
 	// affected synopses until they are refreshed; a negative value disables
 	// the bound (reuse regardless of staleness).
 	MaxStaleness float64
+	// SynchronousTuning runs the self-tuning round inline on every query
+	// (tune → evict/promote → execute → admit, all on the calling
+	// goroutine) instead of the default asynchronous pipeline. Sequential
+	// runs then become byte-deterministic — the right setting for
+	// reproducible experiments and demos. The default (false) keeps tuning
+	// off the query critical path entirely: queries serve lock-free against
+	// an atomically published tuning snapshot and a background service
+	// applies retention decisions between queries; use Drain/Quiesce when a
+	// test or benchmark needs the tuner caught up.
+	SynchronousTuning bool
 }
 
 // Engine is a Taster instance. It is safe for concurrent use: queries
 // issued from many goroutines plan and execute in parallel (each one also
-// parallelized internally by the morsel-driven executor), and only the
-// tuner's synopsis-retention step serializes.
+// parallelized internally by the morsel-driven executor). With the default
+// asynchronous tuning, the query path acquires no engine-wide mutex — the
+// tuner runs in the background and publishes its decisions as immutable
+// snapshots the serving path reads atomically.
 type Engine struct {
 	inner *core.Engine
 	cat   *Catalog
@@ -157,6 +169,7 @@ func Open(cat *Catalog, opts Options) *Engine {
 			Seed:            opts.Seed,
 			Workers:         opts.Workers,
 			MaxStaleness:    opts.MaxStaleness,
+			Synchronous:     opts.SynchronousTuning,
 		}),
 		cat: cat,
 	}
@@ -222,6 +235,21 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // SetStorageBudget changes the warehouse quota at runtime; the tuner
 // immediately re-evaluates the stored synopses (storage elasticity, §V).
 func (e *Engine) SetStorageBudget(bytes int64) { e.inner.SetStorageBudget(bytes) }
+
+// Drain blocks until the background tuner has processed every query served
+// before the call — the barrier that makes an Execute→Drain loop
+// deterministic. No-op with SynchronousTuning.
+func (e *Engine) Drain() { e.inner.Drain() }
+
+// Quiesce drains the background tuner and republishes its state from the
+// current warehouse and metadata, so subsequent queries serve fully
+// caught-up tuning decisions. No-op with SynchronousTuning.
+func (e *Engine) Quiesce() { e.inner.Quiesce() }
+
+// Close stops the background tuning service. Pending observations are
+// discarded — Drain first if they matter. Safe to call multiple times and
+// on synchronous engines (no-op there), so callers may always defer it.
+func (e *Engine) Close() { e.inner.Close() }
 
 // Ingest appends the builder's rows to a registered table (the builder must
 // have been created with the table's schema). Running queries keep the

@@ -33,6 +33,7 @@ func demoCatalog() *taster.Catalog {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	defer eng.Close()
 	const sql = `SELECT region, SUM(amount), COUNT(*) FROM sales
 		JOIN customers ON sales.cust = customers.id
 		GROUP BY region ERROR WITHIN 10% AT CONFIDENCE 95%`
@@ -43,6 +44,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The tuner runs in the background by default; the barrier makes
+		// the warmup (materialize → reuse) deterministic for the asserts.
+		eng.Drain()
 		if len(res.Rows) != 2 {
 			t.Fatalf("run %d: groups = %d", i, len(res.Rows))
 		}
@@ -72,6 +76,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicAPIIngest(t *testing.T) {
 	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	defer eng.Close()
 	const sql = `SELECT region, SUM(amount) FROM sales
 		JOIN customers ON sales.cust = customers.id
 		GROUP BY region ERROR WITHIN 10% AT CONFIDENCE 95%`
@@ -79,6 +84,7 @@ func TestPublicAPIIngest(t *testing.T) {
 		if _, err := eng.Query(sql); err != nil {
 			t.Fatal(err)
 		}
+		eng.Drain()
 	}
 	// Append 20000 rows of amount 1000 (outside the seed's 0..499 range):
 	// each region gains 10000·1000.
@@ -115,6 +121,7 @@ func TestPublicAPIIngest(t *testing.T) {
 
 func TestPublicAPIErrors(t *testing.T) {
 	eng := taster.Open(demoCatalog(), taster.Options{})
+	defer eng.Close()
 	if _, err := eng.Query("SELECT nope FROM nowhere"); err == nil {
 		t.Fatal("want error")
 	}
@@ -125,6 +132,7 @@ func TestPublicAPIErrors(t *testing.T) {
 
 func TestPublicAPIHintAndElasticity(t *testing.T) {
 	eng := taster.Open(demoCatalog(), taster.Options{Seed: 5, SimulatedScale: true})
+	defer eng.Close()
 	if err := eng.Hint("sales", []string{"sales.cust"}, []string{"sales.amount"}); err != nil {
 		t.Fatal(err)
 	}
