@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-join bench-stream bench-serve
+.PHONY: all check fmt vet build test race bench bench-join bench-stream bench-serve bench-warmstart
 
 all: check
 
@@ -44,3 +44,11 @@ bench-stream:
 # asynchronous snapshot-published pipeline; emits BENCH_serving.json.
 bench-serve:
 	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 -queries 96
+
+# Restart-recovery smoke: persists half the fig3 workload's warehouse to a
+# temp directory, restarts from it, and reports cold vs warm first-query
+# latency plus the byte-fidelity verdict; emits BENCH_warmstart.json.
+# Instacart is the recurring-template workload, so recovered synopses are
+# reusable from the first post-restart queries on.
+bench-warmstart:
+	$(GO) run ./cmd/tasterbench -experiment warmstart -workload instacart -sf 0.002 -queries 24

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving]
+//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving|warmstart]
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
 //	            [-seed 42] [-benchjson=true]
 //
 // The serving experiment is the concurrent-throughput sweep (inline vs.
 // asynchronous tuning across client counts); it measures wall time, so it
 // is excluded from -experiment all and its numbers are machine-relative.
+// The warmstart experiment measures restart recovery from a persistent
+// warehouse directory: cold-start vs warm-start latency over the fig3
+// workload, plus a byte-fidelity check against an uninterrupted engine.
 //
 // Unless -benchjson=false, every run also writes a BENCH_<experiment>.json
 // perf summary (wall seconds plus the rendered report) to the working
@@ -142,6 +145,12 @@ func run(exp, wl string, cfg experiments.Config) (string, error) {
 		return f.Table(), nil
 	case "serving":
 		f, err := experiments.Serving(wl, cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "warmstart":
+		f, err := experiments.WarmStart(wl, cfg)
 		if err != nil {
 			return "", err
 		}

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	tastercli [-workload tpch|tpcds|instacart] [-sf 0.01] [-budget 0.5]
+//	          [-warehouse-dir DIR]
+//
+// With -warehouse-dir the synopsis warehouse is disk-backed: quitting the
+// shell checkpoints it, and the next start with the same directory warm-
+// restarts — the synopses tasted in earlier sessions answer immediately.
 //
 // Commands: plain SQL (terminated by newline), ".synopses", ".budget N",
 // ".help", ".quit".
@@ -30,6 +35,7 @@ func main() {
 		sf     = flag.Float64("sf", 0.01, "scale factor")
 		budget = flag.Float64("budget", 0.5, "storage budget as a fraction of the dataset")
 		seed   = flag.Int64("seed", 42, "random seed")
+		whDir  = flag.String("warehouse-dir", "", "persistent warehouse directory (empty: in-memory, cold starts)")
 	)
 	flag.Parse()
 
@@ -46,17 +52,31 @@ func main() {
 		os.Exit(1)
 	}
 	bytes, rows := w.CostScale()
-	eng := core.New(w.Catalog, core.Config{
+	eng, err := core.Open(w.Catalog, core.Config{
 		Mode:          core.ModeTaster,
 		StorageBudget: int64(float64(bytes) * *budget),
 		BufferSize:    bytes / 8,
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          uint64(*seed),
 		Synchronous:   true, // deterministic REPL: tuning applies before the prompt returns
+		WarehouseDir:  *whDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tastercli:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		// Checkpoint the warehouse so the next session warm-restarts.
+		if err := eng.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tastercli: checkpoint:", err)
+		}
+	}()
 
 	fmt.Printf("taster> loaded %s (%d rows, %.1f MB); tables: %v\n",
 		w.Name, rows, float64(bytes)/1e6, w.Catalog.Names())
+	if *whDir != "" {
+		fmt.Printf("taster> warehouse dir %s: recovered %d synopses\n", *whDir, eng.Recovered())
+	}
 	fmt.Println(`taster> approximate queries end with "ERROR WITHIN 10% AT CONFIDENCE 95%"; .help for commands`)
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -3,6 +3,7 @@ package taster_test
 import (
 	"fmt"
 	"math"
+	"os"
 
 	taster "github.com/tasterdb/taster"
 )
@@ -26,7 +27,7 @@ func ExampleOpen() {
 	}
 	cat.Register(sales.Build(2))
 
-	eng := taster.Open(cat, taster.Options{Seed: 42})
+	eng := taster.MustOpen(cat, taster.Options{Seed: 42})
 	defer eng.Close() // stops the background tuning service
 	res, err := eng.Query(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
 	if err != nil {
@@ -60,7 +61,7 @@ func ExampleEngine_Query() {
 	}
 	cat.Register(sales.Build(4))
 
-	eng := taster.Open(cat, taster.Options{Seed: 1})
+	eng := taster.MustOpen(cat, taster.Options{Seed: 1})
 	defer eng.Close() // stops the background tuning service
 	res, err := eng.Query(`SELECT grp, SUM(amount) FROM sales GROUP BY grp
 		ERROR WITHIN 10% AT CONFIDENCE 95%`)
@@ -81,4 +82,67 @@ func ExampleEngine_Query() {
 	// Output:
 	// groups: 4
 	// estimates within their intervals: true
+}
+
+// ExampleOptions_warehouseDir makes the engine restartable: the first
+// engine tastes the workload into a persistent warehouse directory, and a
+// second engine opened over the same directory recovers the synopses and
+// serves its very first query from them — a warm restart instead of a
+// cold one.
+func ExampleOptions_warehouseDir() {
+	dir, err := os.MkdirTemp("", "taster-warehouse-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	mkCatalog := func() *taster.Catalog {
+		cat := taster.NewCatalog()
+		sales := taster.NewTableBuilder("sales", taster.Schema{
+			{Name: "sales.grp", Typ: taster.Int64},
+			{Name: "sales.amount", Typ: taster.Float64},
+		})
+		for i := 0; i < 50000; i++ {
+			sales.Int(0, int64(i%4))
+			sales.Float(1, float64(i%100))
+		}
+		cat.Register(sales.Build(4))
+		return cat
+	}
+	const q = `SELECT grp, SUM(amount) FROM sales GROUP BY grp
+		ERROR WITHIN 10% AT CONFIDENCE 95%`
+
+	// First incarnation: tastes the workload, then shuts down cleanly.
+	e1, err := taster.Open(mkCatalog(), taster.Options{
+		Seed: 1, SynchronousTuning: true, WarehouseDir: dir,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e1.Query(q); err != nil {
+			panic(err)
+		}
+	}
+	if err := e1.Close(); err != nil { // final checkpoint
+		panic(err)
+	}
+
+	// Second incarnation: recovers the warehouse and reuses immediately.
+	e2, err := taster.Open(mkCatalog(), taster.Options{
+		Seed: 1, SynchronousTuning: true, WarehouseDir: dir,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer e2.Close()
+	fmt.Println("recovered:", e2.RecoveredSynopses() > 0)
+	res, err := e2.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("first query reused a recovered synopsis:", len(res.Stats.ReusedSynopses) > 0)
+	// Output:
+	// recovered: true
+	// first query reused a recovered synopsis: true
 }

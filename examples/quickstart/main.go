@@ -36,7 +36,7 @@ func main() {
 	}
 	cat.Register(customers.Build(1))
 
-	eng := taster.Open(cat, taster.Options{Seed: 7, SimulatedScale: true})
+	eng := taster.MustOpen(cat, taster.Options{Seed: 7, SimulatedScale: true})
 
 	const sql = `SELECT region, SUM(amount), COUNT(*) FROM sales
 		JOIN customers ON sales.cust = customers.id

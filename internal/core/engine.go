@@ -28,6 +28,7 @@ import (
 
 	"github.com/tasterdb/taster/internal/exec"
 	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/persist"
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/planner"
 	"github.com/tasterdb/taster/internal/stats"
@@ -117,6 +118,14 @@ type Config struct {
 	// 4096). Sustained traffic overwrites the oldest reports; Reports()
 	// always returns the newest ReportCap entries, oldest first.
 	ReportCap int
+	// WarehouseDir makes the warehouse tier disk-backed and the engine
+	// restartable: synopses promoted to the warehouse are durably written
+	// there (payloads dropped from RAM, faulted back lazily on reuse), a
+	// crash-safe manifest checkpoints the tuning state after every round,
+	// and Open replays it on start — a warm restart serves the workload
+	// with the same answers and plan choices as an uninterrupted engine.
+	// Empty (the default) keeps both tiers memory-resident.
+	WarehouseDir string
 }
 
 // Report is the per-query telemetry the experiments aggregate.
@@ -185,11 +194,36 @@ type Engine struct {
 	// svc is the background tuning service (nil in synchronous mode and in
 	// the baseline modes, which run no tuner).
 	svc *tuningService
+
+	// db is the warehouse directory's disk store (nil without
+	// Config.WarehouseDir); persistErr remembers the first failed
+	// background checkpoint (written under tuneMu, surfaced by Close);
+	// recovered counts the items the manifest replay reinstated.
+	db         *persist.Store
+	persistErr error
+	recovered  int
 }
 
 // New creates an engine. A zero CostModel or Tuner config is replaced by
-// defaults; the default accuracy defaults to the paper's 10%@95%.
+// defaults; the default accuracy defaults to the paper's 10%@95%. New
+// panics when Config.WarehouseDir is set and the directory cannot be
+// opened or its manifest is unrecoverable — restartable engines should use
+// Open, which returns the error instead.
 func New(cat *storage.Catalog, cfg Config) *Engine {
+	e, err := Open(cat, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open creates an engine, recovering persisted warehouse state when
+// Config.WarehouseDir names a directory with a previous incarnation's
+// manifest (warm restart). Individually corrupt or truncated item files —
+// a crash mid-spill — are dropped to a consistent never-materialized
+// state, not errors; only an unopenable directory or an unreadable
+// manifest fails Open.
+func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 	if cfg.CostModel == (storage.CostModel{}) {
 		cfg.CostModel = storage.DefaultCostModel()
 	}
@@ -218,8 +252,17 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 	if cfg.ReportCap <= 0 {
 		cfg.ReportCap = 4096
 	}
+	var db *persist.Store
+	var sp warehouse.Spiller
+	if cfg.WarehouseDir != "" {
+		var err error
+		if db, err = persist.OpenStore(cfg.WarehouseDir); err != nil {
+			return nil, err
+		}
+		sp = diskSpiller{db}
+	}
 	store := meta.NewStore()
-	wh := warehouse.NewManager(cfg.BufferSize, cfg.StorageBudget)
+	wh := warehouse.NewManagerWithSpiller(cfg.BufferSize, cfg.StorageBudget, sp)
 	pl := planner.New(store, wh, cfg.CostModel)
 	pl.Seed = cfg.Seed
 	pl.MaxStaleness = cfg.MaxStaleness
@@ -234,15 +277,38 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 		pl:      pl,
 		tn:      tuner.New(cfg.Tuner, store, wh),
 		reports: newReportRing(cfg.ReportCap),
+		db:      db,
 	}
-	// Publish the empty initial snapshot so the serving path always finds
-	// one, then start the background service for asynchronous Taster mode.
-	e.publishLocked(map[uint64]bool{}, map[uint64]float64{})
+	// Replay the manifest before the engine escapes: recovery runs
+	// single-threaded, so no lock ordering applies yet.
+	keep, gains := map[uint64]bool{}, map[uint64]float64{}
+	if db != nil {
+		n, err := e.recoverLocked()
+		if err != nil {
+			return nil, err
+		}
+		e.recovered = n
+		if n > 0 && cfg.Mode == ModeTaster {
+			// Seed the published keep/gain state from the restored window so
+			// the lock-free serving path can materialize and protect the
+			// recovered set from the first query on (synchronous rounds
+			// recompute it per query anyway). Retune mutates nothing.
+			dec := e.tn.Retune()
+			keep, gains = dec.Keep, dec.Gains
+		}
+	}
+	// Publish the initial snapshot so the serving path always finds one,
+	// then start the background service for asynchronous Taster mode.
+	e.publishLocked(keep, gains)
 	if cfg.Mode == ModeTaster && !cfg.Synchronous {
 		e.svc = newTuningService(e, cfg.ObservationQueue)
 	}
-	return e
+	return e, nil
 }
+
+// Recovered reports how many materialized synopses the manifest replay
+// reinstated at Open (0 for cold starts and memory-resident engines).
+func (e *Engine) Recovered() int { return e.recovered }
 
 // Catalog returns the engine's table catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
@@ -320,6 +386,12 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			}
 		}
 		rep.Window = e.tn.Window()
+		if e.db != nil && len(rep.Evicted)+len(rep.Promoted) > 0 {
+			// The round rearranged the warehouse (promotions spilled
+			// payload files, evictions removed them): index the new layout
+			// in the manifest before serving continues.
+			e.noteCheckpointLocked()
+		}
 		e.tuneMu.Unlock()
 	case e.cfg.Mode == ModeQuickr:
 		// Quickr: best per-query plan with no reuse and no materialization.
@@ -422,15 +494,20 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			uses:  dec.Chosen.Uses,
 			built: built,
 		})
-	} else {
+	} else if len(built) > 0 {
+		e.tuneMu.Lock()
+		changed := false
 		for _, b := range built {
-			e.tuneMu.Lock()
-			_, refreshed := e.admitLocked(b.item, b.id, b.srcEpoch, b.srcByTable)
-			e.tuneMu.Unlock()
+			stored, refreshed := e.admitLocked(b.item, b.id, b.srcEpoch, b.srcByTable)
+			changed = changed || stored
 			if refreshed {
 				rep.Refreshed = append(rep.Refreshed, b.id)
 			}
 		}
+		if e.db != nil && changed {
+			e.noteCheckpointLocked()
+		}
+		e.tuneMu.Unlock()
 	}
 
 	res := assemble(op, batches)
@@ -572,9 +649,19 @@ func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
 	// Publish the version and release the pre-mark in one atomic store
 	// operation, so no reader ever counts the appended rows twice.
 	e.store.PublishAppend(table, nt.Epoch(), int64(nt.NumRows()), added)
-	if e.svc != nil {
+	if e.svc != nil || e.db != nil {
 		e.tuneMu.Lock()
-		e.republishLocked()
+		if e.svc != nil {
+			e.republishLocked()
+		}
+		if e.db != nil {
+			// The observed table version is durable state: a crash that
+			// recovered a pre-ingest manifest would report the affected
+			// synopses fresh against the old row counts — the stale-serving
+			// bug the freshness epochs exist to prevent, reintroduced
+			// across restarts.
+			e.noteCheckpointLocked()
+		}
 		e.tuneMu.Unlock()
 	}
 	return nt.Epoch(), nil
@@ -645,6 +732,9 @@ func (e *Engine) SetStorageBudget(bytes int64) {
 	if e.svc != nil {
 		e.publishLocked(dec.Keep, dec.Gains)
 	}
+	if e.db != nil {
+		e.noteCheckpointLocked()
+	}
 }
 
 // PinSample registers an offline-built sample (user hints, §V): it is
@@ -706,6 +796,17 @@ func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols 
 	e.store.SetFreshness(id, tbl.Epoch(), map[string]int64{table: rows})
 	if e.svc != nil {
 		e.republishLocked()
+	}
+	if e.db != nil {
+		// A pinned hint should be durable the moment the call returns: its
+		// payload was spilled by PutWarehouse/Refresh above, so only the
+		// manifest write remains. If that write fails the hint IS installed
+		// and serving (this engine run answers from it) but would not
+		// survive a restart — surface the failure alongside the id so the
+		// caller can retry a checkpoint or treat the hint as volatile.
+		if err := e.checkpointLocked(false); err != nil {
+			return id, fmt.Errorf("core: pinned sample #%d installed but not yet durable: %w", id, err)
+		}
 	}
 	return id, nil
 }

@@ -177,8 +177,11 @@ func TestIngestRefreshesPinnedSample(t *testing.T) {
 		t.Fatalf("refreshed pinned sample still stale: %v", s)
 	}
 	it, _, ok := e.Warehouse().Get(id)
-	if !ok || !it.Pinned || it.Sample != smp2 {
-		t.Fatal("refresh did not replace the pinned copy in place")
+	if !ok || !it.Pinned {
+		t.Fatal("refresh did not keep the pinned copy")
+	}
+	if got, err := it.Sample(); err != nil || got != smp2 {
+		t.Fatalf("refresh did not replace the pinned copy in place: %v %v", got, err)
 	}
 	e.SetStorageBudget(1)
 	if !e.Warehouse().Has(id) {

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// persistEngine builds a synchronous engine over its own catalog with a
+// disk-backed warehouse. The tiny buffer forces admissions to overflow to
+// the warehouse tier, so spill/reload paths are exercised from the first
+// materialization on.
+func persistEngine(cat *storage.Catalog, dir string, tinyBuffer bool) (*Engine, error) {
+	buf := cat.TotalBytes()
+	if tinyBuffer {
+		buf = 1 << 10
+	}
+	return Open(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    buf,
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		Synchronous:   true,
+		WarehouseDir:  dir,
+	})
+}
+
+// persistQuery returns the i-th query of a small recurring workload: the
+// grouped join plus single-table variants, cycling so reuse kicks in.
+func persistQuery(e *Engine, i int) *planner.Query {
+	sales, _ := e.Catalog().Table("sales")
+	products, _ := e.Catalog().Table("products")
+	switch i % 3 {
+	case 0, 1:
+		return &planner.Query{
+			Tables: []planner.TableRef{{Name: "sales", Table: sales}, {Name: "products", Table: products}},
+			Joins: []planner.JoinPred{{
+				LeftTable: "sales", LeftCol: "sales.product",
+				RightTable: "products", RightCol: "products.id",
+			}},
+			GroupBy:  []string{"products.category"},
+			Aggs:     []plan.AggSpec{{Kind: stats.Sum, Col: "sales.qty"}},
+			Accuracy: stats.DefaultAccuracy,
+		}
+	default:
+		return &planner.Query{
+			Tables:   []planner.TableRef{{Name: "sales", Table: sales}},
+			GroupBy:  []string{"sales.product"},
+			Aggs:     []plan.AggSpec{{Kind: stats.Sum, Col: "sales.price"}},
+			Accuracy: stats.DefaultAccuracy,
+		}
+	}
+}
+
+// renderResult flattens everything fidelity cares about: the chosen plan,
+// the full plan tree, and every result cell with its interval.
+func renderResult(res *Result) string {
+	out := res.Report.PlanDesc + "\n" + res.Report.PlanTree + "\n"
+	for i, row := range res.Rows {
+		for _, v := range row {
+			out += v.String() + "|"
+		}
+		if i < len(res.Intervals) {
+			for _, iv := range res.Intervals[i] {
+				out += fmt.Sprintf("%v±%v", iv.Estimate, iv.HalfWidth)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestWarmRestartFidelity is the acceptance criterion: an engine closed
+// and reopened from its warehouse directory serves the remaining workload
+// with byte-identical answers and plan choices to an engine that never
+// stopped.
+func TestWarmRestartFidelity(t *testing.T) {
+	const total, split = 12, 6
+
+	// Uninterrupted reference (its own directory: persistence enabled, so
+	// spill/fault cost dynamics match the restarted engine's).
+	refCat := testCatalog()
+	ref, err := persistEngine(refCat, t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < total; i++ {
+		res, err := ref.Execute(persistQuery(ref, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= split {
+			want = append(want, renderResult(res))
+		}
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: first half, clean close, warm reopen, second half.
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < split; i++ {
+		if _, err := e1.Execute(persistQuery(e1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bufBytes, whBytes := e1.wh.Usage()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Recovered() == 0 {
+		t.Fatal("warm restart recovered no synopses")
+	}
+	if b2, w2 := e2.wh.Usage(); b2 != bufBytes || w2 != whBytes {
+		t.Fatalf("recovered usage %d/%d, want %d/%d", b2, w2, bufBytes, whBytes)
+	}
+	for i := split; i < total; i++ {
+		res, err := e2.Execute(persistQuery(e2, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderResult(res); got != want[i-split] {
+			t.Fatalf("query %d diverged after warm restart:\ngot:\n%s\nwant:\n%s", i, got, want[i-split])
+		}
+	}
+}
+
+// TestWarmRestartBeatsColdStart: the recovered warehouse serves the first
+// post-restart query from a synopsis, while a cold-started engine must run
+// the expensive exact/build plan — the latency gap the warmstart
+// experiment measures.
+func TestWarmRestartBeatsColdStart(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := e1.Execute(persistQuery(e1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	wres, err := warm.Execute(persistQuery(warm, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := persistEngine(testCatalog(), t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	cres, err := cold.Execute(persistQuery(cold, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(wres.Report.UsedSynopses) == 0 {
+		t.Fatalf("warm first query did not reuse a recovered synopsis (plan %q)", wres.Report.PlanDesc)
+	}
+	if wres.Report.SimSeconds >= cres.Report.SimSeconds {
+		t.Fatalf("warm first query (%.3fs) not faster than cold start (%.3fs)",
+			wres.Report.SimSeconds, cres.Report.SimSeconds)
+	}
+}
+
+// TestCrashRecoveryTruncatedSpill simulates the crash windows: the engine
+// dies without Close (stale manifest), one spilled payload file is
+// truncated mid-write, and an orphan payload file has no manifest entry.
+// Recovery must converge to a consistent view — the torn item reverts to
+// never-materialized, the orphan is garbage-collected, and the engine
+// keeps answering correctly.
+func TestCrashRecoveryTruncatedSpill(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := e1.Execute(persistQuery(e1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the last durable manifest is whatever the tuning rounds
+	// checkpointed. There must be spilled payloads to corrupt.
+	files, err := filepath.Glob(filepath.Join(dir, "item_*.syn"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spilled payload files (%v)", err)
+	}
+	// Truncate one payload mid-file (torn write).
+	st, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[0], st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// Drop an orphan alongside (spill that outran the manifest).
+	orphan := filepath.Join(dir, "item_999999.syn")
+	if err := os.WriteFile(orphan, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if _, statErr := os.Stat(orphan); !os.IsNotExist(statErr) {
+		t.Fatal("orphan payload file survived recovery")
+	}
+	if _, statErr := os.Stat(files[0]); !os.IsNotExist(statErr) {
+		t.Fatal("truncated payload file survived recovery")
+	}
+	// Consistency: every materialized entry is present in the warehouse,
+	// and everything the warehouse holds is loadable.
+	for _, ent := range e2.Store().Materialized() {
+		it, _, ok := e2.Warehouse().Get(ent.Desc.ID)
+		if !ok {
+			t.Fatalf("entry #%d claims %v but is not stored", ent.Desc.ID, ent.Desc.Location)
+		}
+		if err := it.EagerLoad(); err != nil {
+			t.Fatalf("recovered item #%d unloadable: %v", ent.Desc.ID, err)
+		}
+	}
+	// And the engine still serves every workload query.
+	truth := exactAnswer(t)
+	res, err := e2.Execute(persistQuery(e2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(truth) {
+		t.Fatalf("post-recovery query lost groups: %d != %d", len(res.Rows), len(truth))
+	}
+}
+
+// TestColdStartWipedManifest: payload files without a manifest carry no
+// recoverable identity; Open must treat the directory as cold, clear it,
+// and serve normally.
+func TestColdStartWipedManifest(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e1.Execute(persistQuery(e1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "MANIFEST.json")); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Recovered() != 0 {
+		t.Fatalf("recovered %d items without a manifest", e2.Recovered())
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "item_*.syn")); len(files) != 0 {
+		t.Fatalf("unreferenced payload files not cleared: %v", files)
+	}
+	if _, err := e2.Execute(persistQuery(e2, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartUnderSmallerBudget: reopening with a shrunken warehouse quota
+// must drop overflow items (files included) instead of restoring over
+// quota.
+func TestRestartUnderSmallerBudget(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := e1.Execute(persistQuery(e1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: 1 << 10, // far below the checkpointed usage
+		BufferSize:    1 << 10,
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		Synchronous:   true,
+		WarehouseDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if _, wu := e2.wh.Usage(); wu > 1<<10 {
+		t.Fatalf("restored over quota: %d", wu)
+	}
+	for _, ent := range e2.Store().Materialized() {
+		if !e2.Warehouse().Has(ent.Desc.ID) {
+			t.Fatalf("entry #%d location %v inconsistent with dropped item", ent.Desc.ID, ent.Desc.Location)
+		}
+	}
+	if _, err := e2.Execute(persistQuery(e2, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillLoadExecuteStorm races the disk-backed warehouse end to end:
+// concurrent Executes (faulting spilled payloads in on the serving path)
+// against the background tuner (spilling promotions, removing evictions)
+// and elastic budget churn. Run under -race by the concurrency suite.
+func TestSpillLoadExecuteStorm(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e, err := Open(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    1 << 10, // overflow admissions straight to disk
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		WarehouseDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 4, 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients+1)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := e.Execute(persistQuery(e, i+c)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			e.SetStorageBudget(cat.TotalBytes() / int64(1+i%3))
+			e.Drain()
+		}
+		e.SetStorageBudget(cat.TotalBytes())
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	e.Quiesce()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The directory must reopen cleanly after the storm.
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for _, ent := range e2.Store().Materialized() {
+		if !e2.Warehouse().Has(ent.Desc.ID) {
+			t.Fatalf("entry #%d inconsistent after storm restart", ent.Desc.ID)
+		}
+	}
+}
+
+// TestIngestFreshnessSurvivesCrash: Ingest must checkpoint the observed
+// table version — a crash right after an append must not recover synopses
+// as fresh against pre-ingest row counts (stale serving across restart).
+func TestIngestFreshnessSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e1, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize something over sales, then append without Close (crash).
+	var builtID uint64
+	for i := 0; i < 6 && builtID == 0; i++ {
+		res, err := e1.Execute(persistQuery(e1, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range res.Report.CreatedSynopses {
+			builtID = id
+		}
+	}
+	if builtID == 0 {
+		t.Fatal("workload built no synopsis")
+	}
+	delta := storage.NewBuilder("sales", storage.Schema{
+		{Name: "sales.product", Typ: storage.Int64},
+		{Name: "sales.qty", Typ: storage.Float64},
+		{Name: "sales.price", Typ: storage.Float64},
+	})
+	for i := 0; i < 15000; i++ {
+		delta.Int(0, int64(i%40))
+		delta.Float(1, 3)
+		delta.Float(2, 9.5)
+	}
+	if _, err := e1.Ingest("sales", delta.Build(1)); err != nil {
+		t.Fatal(err)
+	}
+	wantStale := e1.Store().Staleness(builtID)
+	if wantStale <= 0 {
+		t.Fatalf("synopsis #%d not stale after ingest", builtID)
+	}
+	// Crash (no Close). The recovered engine must still see the synopsis
+	// as stale against the appended table version.
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.Store().Staleness(builtID); got < wantStale-1e-9 {
+		t.Fatalf("staleness after crash-recovery = %v, want >= %v (stale-serving regression)", got, wantStale)
+	}
+}

@@ -260,6 +260,11 @@ func (s *tuningService) runBatch(batch []*observation) {
 	s.stats.Rounds++
 	s.stats.Observations += int64(len(batch))
 	e.publishLocked(dec.Keep, dec.Gains)
+	if e.db != nil {
+		// Durable index of this round's layout; payload files were written
+		// at spill time, so one manifest write checkpoints the whole round.
+		e.noteCheckpointLocked()
+	}
 }
 
 // Drain blocks until every observation enqueued before the call has been
@@ -296,15 +301,30 @@ func (e *Engine) Quiesce() {
 // Close stops the background tuning service and waits for its goroutine to
 // exit: after Close returns, no batch runs and no snapshot publish happens
 // unless triggered by another engine entry point. Observations still queued
-// are discarded — call Drain first if they matter. Safe to call multiple
-// times; no-op for synchronous and baseline engines, so callers may always
-// defer it.
-func (e *Engine) Close() {
-	if e.svc == nil {
-		return
+// are discarded — call Drain first if they matter.
+//
+// With a persistent warehouse (Config.WarehouseDir), Close then writes the
+// final checkpoint: the buffer tier's payloads (volatile byproducts during
+// normal operation) are spilled alongside the already-durable warehouse
+// tier, and the manifest indexes the complete state — the clean-shutdown
+// half of the warm-restart contract. The returned error reports a failed
+// final checkpoint or the first failed background one; memory-resident
+// engines always return nil. Safe to call multiple times, so callers may
+// always defer it.
+func (e *Engine) Close() error {
+	if e.svc != nil {
+		e.svc.closed.Do(func() { close(e.svc.done) })
+		<-e.svc.exited
 	}
-	e.svc.closed.Do(func() { close(e.svc.done) })
-	<-e.svc.exited
+	if e.db == nil {
+		return nil
+	}
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	if err := e.checkpointLocked(true); err != nil {
+		return err
+	}
+	return e.persistErr
 }
 
 // TuningStats returns the background service's cumulative accounting (zero

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+// WarmStartResult is the restart-recovery experiment: the engine serves the
+// first half of the fig3 workload into a persistent warehouse directory,
+// shuts down cleanly, and the second half is then served three ways — by an
+// engine that never stopped (the fidelity reference), by a warm restart
+// recovering the directory, and by a cold restart that lost all state and
+// must re-taste the workload.
+type WarmStartResult struct {
+	Workload string
+	Queries  int
+	SplitAt  int
+	// Recovered is the number of synopses the warm restart reinstated.
+	Recovered int
+	// FirstReuseIdx is the second-half index of the first query the warm
+	// engine answers from a RECOVERED synopsis (-1 if none): the random
+	// fig3 sequence mixes templates, so the first few post-restart queries
+	// may not match any recovered synopsis — the restart's value shows at
+	// the first query servable from the recovered warehouse. Recurring-
+	// template workloads (instacart) hit one almost immediately; highly
+	// varied ones (random tpch at tiny scale) may never.
+	FirstReuseIdx int
+	// First-query probe: the first warehouse-servable template of the
+	// second half is issued as the VERY FIRST query to two fresh restarts
+	// of the same engine — one recovering the warehouse directory (warm),
+	// one that lost it (cold). The warm replica answers from the recovered
+	// synopsis; the cold replica must pay the exact/build plan. This is
+	// the latency a client sees from a restarted serving replica.
+	ColdFirstSim float64
+	WarmFirstSim float64
+	// Total simulated seconds over the second half.
+	ColdTotalSim float64
+	WarmTotalSim float64
+	RefTotalSim  float64 // uninterrupted engine, same queries
+	// FidelityOK reports whether the warm restart's second-half answers and
+	// plan choices were byte-identical to the uninterrupted engine's.
+	FidelityOK bool
+}
+
+// Table renders the experiment.
+func (r *WarmStartResult) Table() string {
+	rows := [][]string{
+		{"uninterrupted", "—", fmt.Sprintf("%.1f", r.RefTotalSim), "—", "reference"},
+		{"warm restart", fmt.Sprintf("%.2f", r.WarmFirstSim), fmt.Sprintf("%.1f", r.WarmTotalSim),
+			fmt.Sprintf("%d", r.Recovered), fmt.Sprintf("fidelity=%v", r.FidelityOK)},
+		{"cold restart", fmt.Sprintf("%.2f", r.ColdFirstSim), fmt.Sprintf("%.1f", r.ColdTotalSim), "0",
+			fmt.Sprintf("%.1fx first-reuse penalty", safeRatio(r.ColdFirstSim, r.WarmFirstSim))},
+	}
+	return fmt.Sprintf("Warm restart (%s, %d queries, restart after %d; first warehouse-served query at +%d) — simulated cluster seconds\n",
+		r.Workload, r.Queries, r.SplitAt, r.FirstReuseIdx) +
+		table([]string{"restart", "first-reuse query", "2nd-half total", "recovered", "notes"}, rows)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WarmStart runs the restart-recovery experiment over the fig3 workload.
+func WarmStart(workloadName string, cfg Config) (*WarmStartResult, error) {
+	cfg = cfg.withDefaults()
+	w, err := loadWorkload(workloadName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Queries(cfg.Queries, cfg.Seed)
+	split := len(queries) / 2
+	out := &WarmStartResult{Workload: workloadName, Queries: len(queries), SplitAt: split}
+
+	refDir, err := os.MkdirTemp("", "taster-warmstart-ref-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(refDir)
+	warmDir, err := os.MkdirTemp("", "taster-warmstart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(warmDir)
+
+	// Uninterrupted reference: runs the whole sequence against its own
+	// warehouse directory, so its spill/fault cost dynamics are the same
+	// the restarted engine experiences.
+	ref, err := newPersistentEngine(w, refDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	refSims, refResults, err := runSeq(ref, w.Catalog, queries)
+	if err != nil {
+		return nil, err
+	}
+	if err := ref.Close(); err != nil {
+		return nil, err
+	}
+	out.RefTotalSim = sum(refSims[split:])
+	wantRenders := renderRuns(refResults[split:])
+
+	// Interrupted engine: first half, clean shutdown, warm reopen.
+	e1, err := newPersistentEngine(w, warmDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := runSeq(e1, w.Catalog, queries[:split]); err != nil {
+		return nil, err
+	}
+	if err := e1.Close(); err != nil {
+		return nil, err
+	}
+	// Snapshot the restart point: the probe replica below must restart
+	// from the shutdown state, not from wherever the fidelity run leaves
+	// the directory.
+	probeDir, err := os.MkdirTemp("", "taster-warmstart-probe-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(probeDir)
+	if err := os.CopyFS(probeDir, os.DirFS(warmDir)); err != nil {
+		return nil, err
+	}
+	warm, err := newPersistentEngine(w, warmDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Recovered = warm.Recovered()
+	recoveredIDs := make(map[uint64]bool)
+	for _, it := range warm.Warehouse().WarehouseItems() {
+		recoveredIDs[it.ID] = true
+	}
+	for _, it := range warm.Warehouse().BufferItems() {
+		recoveredIDs[it.ID] = true
+	}
+	warmSims, warmResults, err := runSeq(warm, w.Catalog, queries[split:])
+	if err != nil {
+		return nil, err
+	}
+	if err := warm.Close(); err != nil {
+		return nil, err
+	}
+	out.WarmTotalSim = sum(warmSims)
+	out.FidelityOK = renderEqual(wantRenders, renderRuns(warmResults))
+	out.FirstReuseIdx = -1
+	for i, res := range warmResults {
+		for _, id := range res.Report.UsedSynopses {
+			if recoveredIDs[id] {
+				out.FirstReuseIdx = i
+				break
+			}
+		}
+		if out.FirstReuseIdx >= 0 {
+			break
+		}
+	}
+
+	// Cold restart: all tuned state lost; the second half re-tastes.
+	cold := newEngine(w, core.ModeTaster, 0.5, uint64(cfg.Seed))
+	coldSims, _, err := runSeq(cold, w.Catalog, queries[split:])
+	if err != nil {
+		return nil, err
+	}
+	out.ColdTotalSim = sum(coldSims)
+
+	// First-query probe: the first warehouse-servable template, issued as
+	// the very first query to a warm replica (fresh restart from the
+	// snapshot) and to a cold replica.
+	probeIdx := out.FirstReuseIdx
+	if probeIdx < 0 {
+		probeIdx = 0
+	}
+	probeSQL := []string{queries[split+probeIdx]}
+	warmProbe, err := newPersistentEngine(w, probeDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wp, _, err := runSeq(warmProbe, w.Catalog, probeSQL)
+	if err != nil {
+		return nil, err
+	}
+	if err := warmProbe.Close(); err != nil {
+		return nil, err
+	}
+	coldProbe := newEngine(w, core.ModeTaster, 0.5, uint64(cfg.Seed))
+	cp, _, err := runSeq(coldProbe, w.Catalog, probeSQL)
+	if err != nil {
+		return nil, err
+	}
+	out.WarmFirstSim = wp[0]
+	out.ColdFirstSim = cp[0]
+	return out, nil
+}
+
+// newPersistentEngine mirrors newEngine (synchronous, 50% budget, scaled
+// cost model) with a disk-backed warehouse.
+func newPersistentEngine(w *workload.Workload, dir string, cfg Config) (*core.Engine, error) {
+	bytes, rows := w.CostScale()
+	return core.Open(w.Catalog, core.Config{
+		Mode:          core.ModeTaster,
+		StorageBudget: bytes / 2,
+		BufferSize:    bytes / 8,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          uint64(cfg.Seed),
+		Synchronous:   true,
+		WarehouseDir:  dir,
+	})
+}
+
+// renderRuns flattens results into comparable strings (plan choice, plan
+// tree, every cell, every interval).
+func renderRuns(results []*core.Result) []string {
+	out := make([]string, len(results))
+	for i, res := range results {
+		s := res.Report.PlanDesc + "\n" + res.Report.PlanTree + "\n"
+		for r, row := range res.Rows {
+			for _, v := range row {
+				s += v.String() + "|"
+			}
+			if r < len(res.Intervals) {
+				for _, iv := range res.Intervals[r] {
+					s += fmt.Sprintf("%v±%v", iv.Estimate, iv.HalfWidth)
+				}
+			}
+			s += "\n"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func renderEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -261,6 +261,80 @@ func (s *Store) Intern(d Descriptor) *Entry {
 	return s.snap(e)
 }
 
+// Restore reinstates a recovered entry under its original ID — the warm-
+// restart path replaying a persisted manifest. Unlike Intern it preserves
+// the descriptor verbatim (location, sizes, freshness, pin) and installs
+// the benefit history and per-table build rows; the ID allocator advances
+// past the restored ID so later interns never collide. Restoring an ID or
+// identity that already exists is an error: recovery runs against an empty
+// store.
+func (s *Store) Restore(d Descriptor, benefits []QueryBenefit, builtByTable map[string]int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.ID == 0 {
+		return fmt.Errorf("meta: restore: entry without an ID")
+	}
+	if _, dup := s.byID[d.ID]; dup {
+		return fmt.Errorf("meta: restore: synopsis #%d already present", d.ID)
+	}
+	key := d.IdentityKey()
+	if prev, dup := s.byIdentity[key]; dup {
+		return fmt.Errorf("meta: restore: identity of #%d already held by #%d", d.ID, prev)
+	}
+	e := &Entry{Desc: d, Benefits: append([]QueryBenefit(nil), benefits...)}
+	if len(builtByTable) > 0 {
+		built := make(map[string]int64, len(builtByTable))
+		for t, rows := range builtByTable {
+			built[t] = rows
+		}
+		e.builtBy = built
+	}
+	s.byID[d.ID] = e
+	s.byIdentity[key] = d.ID
+	ik := d.Sig.IndexKey()
+	s.byIndexKey[ik] = append(s.byIndexKey[ik], d.ID)
+	if d.ID > s.nextID {
+		s.nextID = d.ID
+	}
+	return nil
+}
+
+// NextID returns the ID allocator's high-water mark (the last assigned ID);
+// checkpoints persist it so a restarted store never reuses an ID.
+func (s *Store) NextID() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
+// SeedNextID raises the ID allocator floor (no-op if the store has already
+// advanced past it).
+func (s *Store) SeedNextID(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// TableState is an observed base-relation version, exported for
+// checkpointing.
+type TableState struct {
+	Epoch uint64
+	Rows  int64
+}
+
+// TableVersions returns a copy of every observed base-relation version.
+func (s *Store) TableVersions() map[string]TableState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]TableState, len(s.tables))
+	for t, v := range s.tables {
+		out[t] = TableState{Epoch: v.epoch, Rows: v.rows}
+	}
+	return out
+}
+
 // Get returns a snapshot of the entry for id.
 func (s *Store) Get(id uint64) (*Entry, bool) {
 	s.mu.RLock()

@@ -1,0 +1,249 @@
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// fixtureExprs covers every expression node kind the codec handles.
+func fixtureExprs() []expr.Expr {
+	return []expr.Expr{
+		nil,
+		&expr.Col{Name: "sales.region"},
+		expr.Int(42),
+		expr.Float(3.25),
+		expr.Str("west"),
+		&expr.Const{Val: storage.BoolValue(true)},
+		&expr.Cmp{Op: expr.LE, L: &expr.Col{Name: "sales.qty"}, R: expr.Float(10)},
+		&expr.Bin{Op: expr.Mul, L: &expr.Col{Name: "sales.qty"}, R: expr.Float(1.1)},
+		&expr.Not{E: &expr.Cmp{Op: expr.EQ, L: &expr.Col{Name: "a.b"}, R: expr.Int(1)}},
+		&expr.In{E: &expr.Col{Name: "sales.region"}, Vals: []storage.Value{
+			storage.StringValue("east"), storage.StringValue("west"),
+		}},
+		&expr.Logic{
+			Op: expr.And,
+			L:  &expr.Cmp{Op: expr.GT, L: &expr.Col{Name: "sales.price"}, R: expr.Float(5)},
+			R: &expr.Logic{
+				Op: expr.Or,
+				L:  &expr.Cmp{Op: expr.NE, L: &expr.Col{Name: "sales.store"}, R: expr.Int(3)},
+				R:  &expr.In{E: &expr.Col{Name: "sales.cat"}, Vals: []storage.Value{storage.IntValue(1)}},
+			},
+		},
+	}
+}
+
+// fixtureSample builds a deterministic sample with every column type.
+func fixtureSample() *synopses.Sample {
+	b := storage.NewBuilder("synopsis_7", storage.Schema{
+		{Name: "s.id", Typ: storage.Int64},
+		{Name: "s.amount", Typ: storage.Float64},
+		{Name: "s.region", Typ: storage.String},
+		{Name: "s.flag", Typ: storage.Bool},
+		{Name: synopses.WeightCol, Typ: storage.Float64},
+	})
+	for i := 0; i < 57; i++ {
+		b.Int(0, int64(i*3))
+		b.Float(1, float64(i)*1.25+0.125)
+		b.Str(2, fmt.Sprintf("region-%d", i%5))
+		b.Bool(3, i%2 == 0)
+		b.Float(4, 1/(0.01+float64(i%7)))
+	}
+	return &synopses.Sample{
+		Rows:       b.Build(3),
+		Strategy:   "distinct",
+		P:          0.0125,
+		Delta:      11,
+		StratCols:  []string{"s.region", "s.flag"},
+		SourceRows: 4096,
+		Seed:       0xfeedface,
+	}
+}
+
+func fixtureCM() *synopses.CMSketch {
+	s := synopses.NewCMSketchWD(64, 4, 99)
+	for i := uint64(0); i < 500; i++ {
+		s.Add(i%37, float64(i%5)+0.5)
+	}
+	return s
+}
+
+func fixtureAMS() *synopses.AMS {
+	a := synopses.NewAMS(16, 5, 7)
+	for i := uint64(0); i < 300; i++ {
+		a.Add(i%23, 1)
+	}
+	return a
+}
+
+func fixtureFM() *synopses.FM {
+	f := synopses.NewFM(64, 3)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i)
+	}
+	return f
+}
+
+func fixtureBloom() *synopses.Bloom {
+	b := synopses.NewBloom(200, 0.01, 5)
+	for i := uint64(0); i < 150; i++ {
+		b.Add(i * 7)
+	}
+	return b
+}
+
+func fixtureSS() *synopses.SpaceSaving {
+	// Capacity above the distinct-key count: SpaceSaving's eviction picks
+	// min-count victims in map order, so an evicting fixture would not be
+	// deterministic enough for a golden byte test.
+	s := synopses.NewSpaceSaving(16)
+	for i := uint64(0); i < 100; i++ {
+		s.Inc(i % 13)
+	}
+	return s
+}
+
+func fixtureSketchJoin() *synopses.SketchJoin {
+	sj := synopses.NewSketchJoinWD(128, 4, []string{"sales.product", "sales.store"}, "sales.qty", 42)
+	b := storage.NewBuilder("t", storage.Schema{
+		{Name: "sales.product", Typ: storage.Int64},
+		{Name: "sales.store", Typ: storage.Int64},
+		{Name: "sales.qty", Typ: storage.Float64},
+	})
+	for i := 0; i < 200; i++ {
+		b.Int(0, int64(i%17))
+		b.Int(1, int64(i%3))
+		b.Float(2, float64(i%9)+0.5)
+	}
+	tbl := b.Build(1)
+	for _, batch := range tbl.Scan(0, storage.BatchSize) {
+		for i := 0; i < batch.Len(); i++ {
+			sj.AddRow(batch.Vecs, []int{0, 1}, 2, i, 1)
+		}
+	}
+	return sj
+}
+
+// fixtures returns one instance of every synopsis type.
+func fixtures() map[string]Synopsis {
+	return map[string]Synopsis{
+		"sample":       fixtureSample(),
+		"cmsketch":     fixtureCM(),
+		"ams":          fixtureAMS(),
+		"fm":           fixtureFM(),
+		"bloom":        fixtureBloom(),
+		"heavyhitters": fixtureSS(),
+		"sketchjoin":   fixtureSketchJoin(),
+	}
+}
+
+// TestSizeBytesEqualsEncodedLength is the SizeBytes unification contract:
+// storage quotas charge exactly what disk stores, for every synopsis type.
+func TestSizeBytesEqualsEncodedLength(t *testing.T) {
+	for name, s := range fixtures() {
+		enc := Encode(s)
+		if int64(len(enc)) != s.SizeBytes() {
+			t.Errorf("%s: len(Encode) = %d, SizeBytes = %d", name, len(enc), s.SizeBytes())
+		}
+	}
+}
+
+// TestCodecRoundTrip: Decode(Encode(x)) reproduces x exactly, and
+// re-encoding the decoded value is byte-identical (the codec is a
+// bijection on its image — what warm-restart fidelity rests on).
+func TestCodecRoundTrip(t *testing.T) {
+	for name, s := range fixtures() {
+		enc := Encode(s)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, dec) {
+			t.Errorf("%s: round trip mismatch:\n got %#v\nwant %#v", name, dec, s)
+		}
+		re := Encode(dec)
+		if string(re) != string(enc) {
+			t.Errorf("%s: re-encode differs (%d vs %d bytes)", name, len(re), len(enc))
+		}
+	}
+}
+
+// Golden CRCs pin the byte-level format: a codec change that silently
+// alters the on-disk layout (breaking old warehouses) must fail here and
+// force a deliberate version bump.
+var goldenCRC = map[string]uint32{
+	"sample":       0xf50d2b0b,
+	"cmsketch":     0xaa13696b,
+	"ams":          0xacdb6dde,
+	"fm":           0x633ec981,
+	"bloom":        0x5d1c4e89,
+	"heavyhitters": 0x8e797a2a,
+	"sketchjoin":   0x04ac2590,
+}
+
+func TestCodecGolden(t *testing.T) {
+	for name, s := range fixtures() {
+		got := crc32.ChecksumIEEE(Encode(s))
+		if want, ok := goldenCRC[name]; !ok || got != want {
+			t.Errorf("%s: encoding CRC = %#08x, golden %#08x — format changed? bump CodecVersion and regenerate", name, got, goldenCRC[name])
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption: flipping the kind byte, truncating, and
+// garbage all fail cleanly (no panics, no misreads).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	for name, s := range fixtures() {
+		enc := Encode(s)
+		if _, err := Decode(enc[:len(enc)/2]); err == nil {
+			t.Errorf("%s: truncated payload decoded", name)
+		}
+		bad := append([]byte(nil), enc...)
+		bad[5] ^= 0x55 // kind byte
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("%s: wrong-kind payload decoded", name)
+		}
+		ver := append([]byte(nil), enc...)
+		ver[4] = 99
+		if _, err := Decode(ver); err == nil {
+			t.Errorf("%s: future-version payload decoded", name)
+		}
+	}
+	if _, err := Decode([]byte("not a synopsis")); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil decoded")
+	}
+}
+
+// TestExprCodecRoundTrip round-trips predicate trees through the binary
+// expression codec (descriptors persist their filter predicates with it).
+func TestExprCodecRoundTrip(t *testing.T) {
+	exprs := fixtureExprs()
+	for i, e := range exprs {
+		b, err := EncodeExpr(nil, e)
+		if err != nil {
+			t.Fatalf("expr %d: encode: %v", i, err)
+		}
+		dec, err := DecodeExpr(b)
+		if err != nil {
+			t.Fatalf("expr %d: decode: %v", i, err)
+		}
+		switch {
+		case e == nil && dec == nil:
+		case e == nil || dec == nil:
+			t.Fatalf("expr %d: nil mismatch", i)
+		case e.String() != dec.String():
+			t.Errorf("expr %d: %q != %q", i, dec.String(), e.String())
+		}
+		if e != nil && !reflect.DeepEqual(e, dec) {
+			t.Errorf("expr %d: structural mismatch", i)
+		}
+	}
+}

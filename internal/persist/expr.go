@@ -1,0 +1,227 @@
+package persist
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Binary codec for filter predicates. Synopsis descriptors carry their
+// subplan's filter conjunction as an expression tree (the subsumption
+// matcher runs implication checks on it), so recovering a warehouse from
+// disk must recover the trees too — the canonical string form is
+// display-oriented and has no parser. Node tags, one byte each:
+//
+//	0 nil, 1 Col, 2 Const, 3 Bin, 4 Cmp, 5 Logic, 6 Not, 7 In
+
+const (
+	exprNil   byte = 0
+	exprCol   byte = 1
+	exprConst byte = 2
+	exprBin   byte = 3
+	exprCmp   byte = 4
+	exprLogic byte = 5
+	exprNot   byte = 6
+	exprIn    byte = 7
+)
+
+// maxExprDepth bounds decoder recursion so corrupt input cannot overflow
+// the stack; real predicates are a handful of levels deep.
+const maxExprDepth = 256
+
+// EncodeExpr appends e's binary encoding to dst (nil encodes as one tag
+// byte, so "no filter" round-trips).
+func EncodeExpr(dst []byte, e expr.Expr) ([]byte, error) {
+	switch x := e.(type) {
+	case nil:
+		return append(dst, exprNil), nil
+	case *expr.Col:
+		dst = append(dst, exprCol)
+		return storage.AppendStr(dst, x.Name), nil
+	case *expr.Const:
+		dst = append(dst, exprConst)
+		return appendValue(dst, x.Val), nil
+	case *expr.Bin:
+		dst = append(dst, exprBin, byte(x.Op))
+		dst, err := EncodeExpr(dst, x.L)
+		if err != nil {
+			return dst, err
+		}
+		return EncodeExpr(dst, x.R)
+	case *expr.Cmp:
+		dst = append(dst, exprCmp, byte(x.Op))
+		dst, err := EncodeExpr(dst, x.L)
+		if err != nil {
+			return dst, err
+		}
+		return EncodeExpr(dst, x.R)
+	case *expr.Logic:
+		dst = append(dst, exprLogic, byte(x.Op))
+		dst, err := EncodeExpr(dst, x.L)
+		if err != nil {
+			return dst, err
+		}
+		return EncodeExpr(dst, x.R)
+	case *expr.Not:
+		dst = append(dst, exprNot)
+		return EncodeExpr(dst, x.E)
+	case *expr.In:
+		dst = append(dst, exprIn)
+		dst, err := EncodeExpr(dst, x.E)
+		if err != nil {
+			return dst, err
+		}
+		dst = storage.AppendU32(dst, uint32(len(x.Vals)))
+		for _, v := range x.Vals {
+			dst = appendValue(dst, v)
+		}
+		return dst, nil
+	}
+	return dst, fmt.Errorf("persist: cannot encode expression type %T", e)
+}
+
+// DecodeExpr reverses EncodeExpr over a whole payload.
+func DecodeExpr(b []byte) (expr.Expr, error) {
+	r := storage.NewReader(b)
+	e, err := decodeExpr(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after expression", r.Remaining())
+	}
+	return e, nil
+}
+
+func decodeExpr(r *storage.Reader, depth int) (expr.Expr, error) {
+	if depth > maxExprDepth {
+		return nil, fmt.Errorf("persist: expression nesting exceeds %d", maxExprDepth)
+	}
+	tag, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case exprNil:
+		return nil, nil
+	case exprCol:
+		name, err := r.Str()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Col{Name: name}, nil
+	case exprConst:
+		v, err := readValue(r)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Const{Val: v}, nil
+	case exprBin, exprCmp, exprLogic:
+		op, err := r.U8()
+		if err != nil {
+			return nil, err
+		}
+		l, err := decodeExpr(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := decodeExpr(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || rhs == nil {
+			return nil, fmt.Errorf("persist: nil operand in binary expression")
+		}
+		switch tag {
+		case exprBin:
+			if expr.BinOp(op) > expr.Div {
+				return nil, fmt.Errorf("persist: unknown arithmetic op %d", op)
+			}
+			return &expr.Bin{Op: expr.BinOp(op), L: l, R: rhs}, nil
+		case exprCmp:
+			if expr.CmpOp(op) > expr.GE {
+				return nil, fmt.Errorf("persist: unknown comparison op %d", op)
+			}
+			return &expr.Cmp{Op: expr.CmpOp(op), L: l, R: rhs}, nil
+		default:
+			if expr.LogicOp(op) > expr.Or {
+				return nil, fmt.Errorf("persist: unknown logic op %d", op)
+			}
+			return &expr.Logic{Op: expr.LogicOp(op), L: l, R: rhs}, nil
+		}
+	case exprNot:
+		e, err := decodeExpr(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			return nil, fmt.Errorf("persist: NOT of nil expression")
+		}
+		return &expr.Not{E: e}, nil
+	case exprIn:
+		e, err := decodeExpr(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			return nil, fmt.Errorf("persist: IN over nil expression")
+		}
+		n, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > r.Remaining() {
+			return nil, fmt.Errorf("persist: IN list length %d exceeds payload", n)
+		}
+		vals := make([]storage.Value, n)
+		for i := range vals {
+			if vals[i], err = readValue(r); err != nil {
+				return nil, err
+			}
+		}
+		return &expr.In{E: e, Vals: vals}, nil
+	}
+	return nil, fmt.Errorf("persist: unknown expression tag %d", tag)
+}
+
+// appendValue writes a typed scalar: u8 type + payload.
+func appendValue(dst []byte, v storage.Value) []byte {
+	dst = append(dst, byte(v.Typ))
+	switch v.Typ {
+	case storage.Int64:
+		return storage.AppendU64(dst, uint64(v.I))
+	case storage.Float64:
+		return storage.AppendF64(dst, v.F)
+	case storage.String:
+		return storage.AppendStr(dst, v.S)
+	case storage.Bool:
+		if v.B {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	return dst
+}
+
+func readValue(r *storage.Reader) (storage.Value, error) {
+	tb, err := r.U8()
+	if err != nil {
+		return storage.Value{}, err
+	}
+	switch storage.Type(tb) {
+	case storage.Int64:
+		x, err := r.U64()
+		return storage.IntValue(int64(x)), err
+	case storage.Float64:
+		x, err := r.F64()
+		return storage.FloatValue(x), err
+	case storage.String:
+		s, err := r.Str()
+		return storage.StringValue(s), err
+	case storage.Bool:
+		b, err := r.U8()
+		return storage.BoolValue(b != 0), err
+	}
+	return storage.Value{}, fmt.Errorf("persist: unknown value type %d", tb)
+}

@@ -1,0 +1,200 @@
+package persist
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+)
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// Manifest is the engine checkpoint the warehouse directory carries: the
+// warehouse item index plus everything a restarted engine needs to keep
+// serving the workload as if it had never stopped — synopsis descriptors
+// with their benefit histories (the tuner's gain inputs), observed table
+// versions (so bounded staleness still holds), the sliding-window state,
+// and the query-id high-water mark. Payload bytes live in the per-item
+// files; the manifest only indexes them.
+type Manifest struct {
+	Version int `json:"version"`
+	// NextSynopsisID seeds the metadata store's id allocator so descriptors
+	// interned after restart never collide with recovered ones.
+	NextSynopsisID uint64 `json:"next_synopsis_id"`
+	// QueryCount is the engine's query-id high-water mark; window records
+	// and benefit lists reference query ids, so restarted queries must not
+	// reuse them.
+	QueryCount int64 `json:"query_count"`
+	// Window/SinceAdapt/History checkpoint the tuner's sliding window.
+	Window     int            `json:"window"`
+	SinceAdapt int            `json:"since_adapt"`
+	History    []WindowRecord `json:"history,omitempty"`
+	// Tables records the last observed version of every ingested relation.
+	Tables map[string]TableVersion `json:"tables,omitempty"`
+	// Items indexes the materialized synopses (payloads in item files).
+	Items []ItemRecord `json:"items,omitempty"`
+	// Entries carries every synopsis descriptor the metadata store knew,
+	// materialized or not — candidate benefit histories drive the tuner's
+	// gains, so dropping them would make the first post-restart round evict
+	// the entire recovered warehouse.
+	Entries []EntryRecord `json:"entries,omitempty"`
+}
+
+// WindowRecord is one sliding-window observation.
+type WindowRecord struct {
+	QueryID   int     `json:"query_id"`
+	ExactCost float64 `json:"exact_cost"`
+}
+
+// TableVersion is a base relation's observed (epoch, rows).
+type TableVersion struct {
+	Epoch uint64 `json:"epoch"`
+	Rows  int64  `json:"rows"`
+}
+
+// Item tier and kind labels used in ItemRecord.
+const (
+	TierBuffer    = "buffer"
+	TierWarehouse = "warehouse"
+	KindSample    = "sample"
+	KindSketch    = "sketch"
+)
+
+// ItemRecord is one materialized synopsis's warehouse metadata.
+type ItemRecord struct {
+	ID     uint64 `json:"id"`
+	Tier   string `json:"tier"`
+	Kind   string `json:"kind"`
+	Size   int64  `json:"size"`
+	Rows   int64  `json:"rows,omitempty"`
+	Pinned bool   `json:"pinned,omitempty"`
+	// Loaded records whether the payload was cached in RAM at checkpoint
+	// time; recovery eagerly reloads those so post-restart plan costs match
+	// the uninterrupted engine's.
+	Loaded bool `json:"loaded,omitempty"`
+}
+
+// EntryRecord is the wire form of one metadata-store entry.
+type EntryRecord struct {
+	ID         uint64   `json:"id"`
+	Kind       uint8    `json:"kind"`
+	SigTables  []string `json:"sig_tables,omitempty"`
+	SigJoins   []string `json:"sig_joins,omitempty"`
+	SigFilters []string `json:"sig_filters,omitempty"`
+	SigOutput  []string `json:"sig_output,omitempty"`
+	// Filter is the binary expression encoding of the descriptor's filter
+	// predicate (EncodeExpr); empty means no filter.
+	Filter     []byte           `json:"filter,omitempty"`
+	StratCols  []string         `json:"strat_cols,omitempty"`
+	P          float64          `json:"p,omitempty"`
+	Delta      int              `json:"delta,omitempty"`
+	BuildKeys  []string         `json:"build_keys,omitempty"`
+	AggCol     string           `json:"agg_col,omitempty"`
+	AggCols    []string         `json:"agg_cols,omitempty"`
+	RelError   float64          `json:"rel_error,omitempty"`
+	Confidence float64          `json:"confidence,omitempty"`
+	EstSize    int64            `json:"est_size,omitempty"`
+	ActualSize int64            `json:"actual_size,omitempty"`
+	Location   uint8            `json:"location,omitempty"`
+	Pinned     bool             `json:"pinned,omitempty"`
+	BuildEpoch uint64           `json:"build_epoch,omitempty"`
+	BuildRows  int64            `json:"build_rows,omitempty"`
+	BuiltBy    map[string]int64 `json:"built_by,omitempty"`
+	Benefits   []BenefitRecord  `json:"benefits,omitempty"`
+}
+
+// BenefitRecord is one recorded query benefit.
+type BenefitRecord struct {
+	QueryID   int     `json:"query_id"`
+	CostWith  float64 `json:"cost_with"`
+	CostExact float64 `json:"cost_exact"`
+}
+
+// EntryRecordOf converts a metadata-store entry snapshot to its wire form.
+func EntryRecordOf(e *meta.Entry) (EntryRecord, error) {
+	d := e.Desc
+	rec := EntryRecord{
+		ID:         d.ID,
+		Kind:       uint8(d.Kind),
+		SigTables:  d.Sig.Tables,
+		SigJoins:   d.Sig.JoinPreds,
+		SigFilters: d.Sig.Filters,
+		SigOutput:  d.Sig.Output,
+		StratCols:  d.StratCols,
+		P:          d.P,
+		Delta:      d.Delta,
+		BuildKeys:  d.BuildKeys,
+		AggCol:     d.AggCol,
+		AggCols:    d.AggCols,
+		RelError:   d.Accuracy.RelError,
+		Confidence: d.Accuracy.Confidence,
+		EstSize:    d.EstSizeBytes,
+		ActualSize: d.ActualSize,
+		Location:   uint8(d.Location),
+		Pinned:     d.Pinned,
+		BuildEpoch: d.BuildEpoch,
+		BuildRows:  d.BuildRows,
+		BuiltBy:    e.BuiltByTable(),
+	}
+	if d.FilterPred != nil {
+		b, err := EncodeExpr(nil, d.FilterPred)
+		if err != nil {
+			return EntryRecord{}, fmt.Errorf("persist: entry #%d: %w", d.ID, err)
+		}
+		rec.Filter = b
+	}
+	for _, b := range e.Benefits {
+		rec.Benefits = append(rec.Benefits, BenefitRecord{
+			QueryID: b.QueryID, CostWith: b.CostWith, CostExact: b.CostExact,
+		})
+	}
+	return rec, nil
+}
+
+// Entry converts the wire form back to descriptor, benefits and per-table
+// build rows, ready for meta.Store.Restore.
+func (r EntryRecord) Entry() (meta.Descriptor, []meta.QueryBenefit, map[string]int64, error) {
+	if r.Kind > uint8(plan.SketchJoinSynopsis) {
+		return meta.Descriptor{}, nil, nil, fmt.Errorf("persist: entry #%d: unknown synopsis kind %d", r.ID, r.Kind)
+	}
+	if r.Location > uint8(meta.LocWarehouse) {
+		return meta.Descriptor{}, nil, nil, fmt.Errorf("persist: entry #%d: unknown location %d", r.ID, r.Location)
+	}
+	d := meta.Descriptor{
+		ID:   r.ID,
+		Kind: plan.SynopsisKind(r.Kind),
+		Sig: plan.Signature{
+			Tables: r.SigTables, JoinPreds: r.SigJoins,
+			Filters: r.SigFilters, Output: r.SigOutput,
+		},
+		StratCols:    r.StratCols,
+		P:            r.P,
+		Delta:        r.Delta,
+		BuildKeys:    r.BuildKeys,
+		AggCol:       r.AggCol,
+		AggCols:      r.AggCols,
+		Accuracy:     stats.AccuracySpec{RelError: r.RelError, Confidence: r.Confidence},
+		EstSizeBytes: r.EstSize,
+		ActualSize:   r.ActualSize,
+		Location:     meta.Location(r.Location),
+		Pinned:       r.Pinned,
+		BuildEpoch:   r.BuildEpoch,
+		BuildRows:    r.BuildRows,
+	}
+	if len(r.Filter) > 0 {
+		e, err := DecodeExpr(r.Filter)
+		if err != nil {
+			return meta.Descriptor{}, nil, nil, fmt.Errorf("persist: entry #%d filter: %w", r.ID, err)
+		}
+		d.FilterPred = e
+	}
+	var benefits []meta.QueryBenefit
+	for _, b := range r.Benefits {
+		benefits = append(benefits, meta.QueryBenefit{
+			QueryID: b.QueryID, CostWith: b.CostWith, CostExact: b.CostExact,
+		})
+	}
+	return d, benefits, r.BuiltBy, nil
+}

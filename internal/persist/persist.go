@@ -1,0 +1,76 @@
+// Package persist implements the synopsis warehouse's persistent tier: a
+// versioned binary codec for every synopsis type plus warehouse item
+// metadata, and a crash-safe disk store (one payload file per item plus a
+// manifest written via write-temp-fsync-rename) that warehouse.Manager and
+// core.Engine use to spill, reload and recover materialized synopses.
+//
+// The codec is the contract behind SizeBytes(): every synopsis's quota
+// charge equals the byte length persist.Encode produces for it, so the
+// tuner's storage accounting is exactly what disk stores. Encoded records
+// are self-describing (magic, version, kind — see internal/synopses
+// codec.go), which lets Decode dispatch without out-of-band typing and lets
+// recovery reject foreign or corrupt files cleanly.
+package persist
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// Synopsis is any serializable synopsis value.
+type Synopsis interface {
+	// SizeBytes reports the serialized size; for every type in this
+	// repository it equals len(Encode(x)).
+	SizeBytes() int64
+}
+
+// Encode serializes any synopsis type into its versioned binary record.
+// It panics on an unknown type — callers pass values produced by this
+// repository's planner/executor, so an unknown type is a programming error,
+// not input corruption.
+func Encode(s Synopsis) []byte {
+	switch x := s.(type) {
+	case *synopses.Sample:
+		return x.Encode()
+	case *synopses.CMSketch:
+		return x.Encode()
+	case *synopses.AMS:
+		return x.Encode()
+	case *synopses.FM:
+		return x.Encode()
+	case *synopses.Bloom:
+		return x.Encode()
+	case *synopses.SpaceSaving:
+		return x.Encode()
+	case *synopses.SketchJoin:
+		return x.Encode()
+	}
+	panic(fmt.Sprintf("persist: Encode: unknown synopsis type %T", s))
+}
+
+// Decode reverses Encode, dispatching on the record's kind byte. The
+// concrete type of the result matches the encoded kind.
+func Decode(b []byte) (Synopsis, error) {
+	kind, err := synopses.EnvelopeKind(b)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case synopses.KindSample:
+		return synopses.DecodeSample(b)
+	case synopses.KindCMSketch:
+		return synopses.DecodeCMSketch(b)
+	case synopses.KindAMS:
+		return synopses.DecodeAMS(b)
+	case synopses.KindFM:
+		return synopses.DecodeFM(b)
+	case synopses.KindBloom:
+		return synopses.DecodeBloom(b)
+	case synopses.KindHeavyHitters:
+		return synopses.DecodeSpaceSaving(b)
+	case synopses.KindSketchJoin:
+		return synopses.DecodeSketchJoin(b)
+	}
+	return nil, fmt.Errorf("persist: unknown synopsis kind %d", kind)
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/stats"
 	"github.com/tasterdb/taster/internal/synopses"
+	"github.com/tasterdb/taster/internal/warehouse"
 )
 
 // addJoinSampleCandidates generates position-B plans: a sampler over the
@@ -126,7 +127,7 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 	}
 	for _, m := range p.Store.MatchSamples(req) {
 		item, inBuffer, ok := ps.wh.Get(m.Entry.Desc.ID)
-		if !ok || item.Sample == nil {
+		if !ok || item.Kind() != warehouse.SampleItem {
 			continue
 		}
 		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
@@ -136,14 +137,20 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		if !p.stalenessAllowed(stale) {
 			continue
 		}
-		sampleRows := float64(item.Sample.Rows.NumRows())
-		// Coverage feasibility under this query's filters.
+		sampleRows := float64(item.Rows)
+		// Coverage feasibility under this query's filters (from item
+		// metadata — no payload fault for infeasible candidates).
 		if sampleRows*sel/float64(coverGroups) < float64(p.feasibilityRows(p.requiredK(q))) {
 			continue
 		}
+		wasLoaded := item.Loaded()
+		smp, err := item.Sample()
+		if err != nil {
+			continue // backing file lost or corrupt; next round re-tastes
+		}
 		ss := &plan.SynopsisScan{
 			SynopsisID: m.Entry.Desc.ID,
-			Sample:     item.Sample,
+			Sample:     smp,
 			Label:      fmt.Sprintf("join %v", sig.Tables),
 			InBuffer:   inBuffer,
 		}
@@ -151,6 +158,9 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 		var rcost planCost
 		if !inBuffer {
 			rcost.scanSynopsis(item.Size, sampleRows)
+			if !wasLoaded {
+				rcost.loadSynopsis(item.Size)
+			}
 		} else {
 			rcost.cpuTuples += int64(sampleRows)
 		}
@@ -423,7 +433,7 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 	req := meta.Requirements{Sig: buildSig, Filter: sh.factFilter, Accuracy: q.Accuracy}
 	for _, m := range p.Store.MatchSketchJoins(req, sh.buildKeys, sh.aggCol) {
 		item, _, ok := ps.wh.Get(m.Entry.Desc.ID)
-		if !ok || item.Sketch == nil {
+		if !ok || item.Kind() != warehouse.SketchItem {
 			continue
 		}
 		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
@@ -435,9 +445,17 @@ func (p *Planner) addSketchJoinCandidates(q *Query, ps *PlanSet) {
 		if !p.stalenessAllowed(stale) {
 			continue
 		}
-		node := mkNode(&synopsesSketch{id: m.Entry.Desc.ID, sk: item.Sketch})
+		wasLoaded := item.Loaded()
+		sk, err := item.Sketch()
+		if err != nil {
+			continue // backing file lost or corrupt; next round re-tastes
+		}
+		node := mkNode(&synopsesSketch{id: m.Entry.Desc.ID, sk: sk})
 		var rcost planCost
 		rcost.warehouseBytes += item.Size
+		if !wasLoaded {
+			rcost.loadSynopsis(item.Size)
+		}
 		ro := probeEstimate(&rcost)
 		rcost.sketchProbeWork(ro.rows)
 		rcost.aggWork(scanEst{rows: ro.rows, width: ro.width})

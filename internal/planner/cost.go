@@ -79,9 +79,15 @@ func contains(xs []string, x string) bool {
 type planCost struct {
 	baseBytes      int64
 	warehouseBytes int64
-	cpuTuples      int64
-	serialTuples   int64
-	shuffleBytes   int64
+	// diskLoadBytes is the I/O-load term for disk-resident synopses: a
+	// reuse candidate whose payload was spilled to the persistent warehouse
+	// tier pays a fault-in (seek + bytes at cold-read bandwidth) on top of
+	// the warehouse scan. Already-cached payloads and buffer residents skip
+	// it, so ChoosePlan discounts cold warehouse hits against warm ones.
+	diskLoadBytes int64
+	cpuTuples     int64
+	serialTuples  int64
+	shuffleBytes  int64
 }
 
 func (c *planCost) scanTable(t TableRef) {
@@ -100,6 +106,12 @@ func (c *planCost) scanTableSerial(t TableRef) {
 func (c *planCost) scanSynopsis(bytes int64, rows float64) {
 	c.warehouseBytes += bytes
 	c.cpuTuples += int64(rows)
+}
+
+// loadSynopsis charges faulting a spilled synopsis payload back into
+// memory (disk-resident warehouse items only).
+func (c *planCost) loadSynopsis(bytes int64) {
+	c.diskLoadBytes += bytes
 }
 
 // joinWork charges one hash join: both inputs shuffle, output pays CPU. The
@@ -160,6 +172,7 @@ func (c *planCost) seconds(m storage.CostModel, parallelism float64) float64 {
 	}
 	s += float64(c.baseBytes) / m.ScanBytesPerSec
 	s += float64(c.warehouseBytes) / (m.ScanBytesPerSec * m.WarehouseReadFrac)
+	s += m.DiskLoadSeconds(c.diskLoadBytes)
 	if s <= 0 {
 		s = 1e-6
 	}

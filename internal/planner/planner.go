@@ -506,7 +506,7 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 	}
 	for _, m := range p.Store.MatchSamples(req) {
 		item, inBuffer, ok := ps.wh.Get(m.Entry.Desc.ID)
-		if !ok || item.Sample == nil {
+		if !ok || item.Kind() != warehouse.SampleItem {
 			continue
 		}
 		if !p.payloadCurrent(m.Entry.Desc.ID, item) {
@@ -520,13 +520,23 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		}
 		// Coverage feasibility for THIS query's filters: the stored sample
 		// must leave enough expected rows in the thinnest result group.
-		sampleRows := float64(item.Sample.Rows.NumRows())
+		// Item metadata carries the row count, so infeasible candidates are
+		// rejected without faulting a spilled payload off disk.
+		sampleRows := float64(item.Rows)
 		if sampleRows*selAll/float64(coverGroups) < float64(p.feasibilityRows(p.requiredK(q))) {
 			continue
 		}
+		// Resolve the payload last: a disk-resident sample faults in here —
+		// outside every engine lock — and the fault is charged below based
+		// on whether the payload was cached when this plan set bound it.
+		wasLoaded := item.Loaded()
+		smp, err := item.Sample()
+		if err != nil {
+			continue // backing file lost or corrupt; next round re-tastes
+		}
 		ss := &plan.SynopsisScan{
 			SynopsisID: m.Entry.Desc.ID,
-			Sample:     item.Sample,
+			Sample:     smp,
 			Label:      fact.Name,
 			InBuffer:   inBuffer,
 		}
@@ -543,6 +553,9 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		var rcost planCost
 		if !inBuffer {
 			rcost.warehouseBytes += item.Size
+			if !wasLoaded {
+				rcost.loadSynopsis(item.Size)
+			}
 		}
 		if factOnSpine {
 			rcost.cpuTuples += int64(sampleRows)

@@ -16,16 +16,24 @@ type CostModel struct {
 	TuplesPerSec       float64 // per-core tuple processing rate × cores
 	SeekSeconds        float64 // fixed per-scan startup (job launch, seeks)
 	WarehouseReadFrac  float64 // synopsis-warehouse reads vs. base-table reads
+	// DiskLoadBytesPerSec is the bandwidth for faulting a spilled synopsis
+	// back from the persistent warehouse tier into memory. It is charged
+	// only for disk-resident (payload-dropped) synopses, on top of the
+	// regular warehouse read: a synopsis already cached in RAM skips it
+	// entirely, which is exactly the discount ChoosePlan needs to prefer
+	// warm copies over cold disk hits. Zero falls back to ScanBytesPerSec.
+	DiskLoadBytesPerSec float64
 }
 
 // DefaultCostModel returns the simulated cluster described above.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		ScanBytesPerSec:    6e9,
-		ShuffleBytesPerSec: 1.25e9,
-		TuplesPerSec:       2e9,
-		SeekSeconds:        0.5,
-		WarehouseReadFrac:  1.0, // warehouse lives in the same HDFS in the paper
+		ScanBytesPerSec:     6e9,
+		ShuffleBytesPerSec:  1.25e9,
+		TuplesPerSec:        2e9,
+		SeekSeconds:         0.5,
+		WarehouseReadFrac:   1.0,   // warehouse lives in the same HDFS in the paper
+		DiskLoadBytesPerSec: 1.5e9, // cold synopsis fault-in: a quarter of hot-path bandwidth
 	}
 }
 
@@ -45,12 +53,27 @@ func ScaledCostModel(totalBytes, totalRows int64) CostModel {
 	const fullScanSec = 50.0
 	scanBw := float64(totalBytes) / fullScanSec
 	return CostModel{
-		ScanBytesPerSec:    scanBw,
-		ShuffleBytesPerSec: scanBw / 4.8, // 6 GB/s : 1.25 GB/s in the default model
-		TuplesPerSec:       float64(totalRows) / 10.0,
-		SeekSeconds:        0.5,
-		WarehouseReadFrac:  1.0,
+		ScanBytesPerSec:     scanBw,
+		ShuffleBytesPerSec:  scanBw / 4.8, // 6 GB/s : 1.25 GB/s in the default model
+		TuplesPerSec:        float64(totalRows) / 10.0,
+		SeekSeconds:         0.5,
+		WarehouseReadFrac:   1.0,
+		DiskLoadBytesPerSec: scanBw / 4, // same 4:1 hot:cold ratio as the default model
 	}
+}
+
+// DiskLoadSeconds returns the cost of faulting a spilled synopsis payload
+// back from the persistent warehouse tier (zero-bandwidth models fall back
+// to the scan bandwidth so legacy custom models keep working).
+func (m CostModel) DiskLoadSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := m.DiskLoadBytesPerSec
+	if bw <= 0 {
+		bw = m.ScanBytesPerSec
+	}
+	return m.SeekSeconds + float64(bytes)/bw
 }
 
 // ScanSeconds returns the cost of a cold sequential scan of n bytes.

@@ -230,6 +230,9 @@ func (b *Builder) Float(i int, v float64) { b.cols[i].F64 = append(b.cols[i].F64
 // Str appends a string to column i.
 func (b *Builder) Str(i int, v string) { b.cols[i].Str = append(b.cols[i].Str, v) }
 
+// Bool appends a bool to column i.
+func (b *Builder) Bool(i int, v bool) { b.cols[i].B = append(b.cols[i].B, v) }
+
 // CopyFrom appends the value at src[row] onto column i (same type).
 func (b *Builder) CopyFrom(i int, src *Vector, row int) { b.cols[i].AppendFrom(src, row) }
 

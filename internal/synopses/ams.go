@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/tasterdb/taster/internal/storage"
 )
 
 // AMS is an Alon-Matias-Szegedy sketch (tug-of-war variant): s2 independent
@@ -86,5 +88,52 @@ func (a *AMS) Merge(b *AMS) error {
 // estimate, O(1/√s1).
 func (a *AMS) RelativeStdError() float64 { return math.Sqrt(2 / float64(a.s1)) }
 
-// SizeBytes returns the sketch's serialized size.
-func (a *AMS) SizeBytes() int64 { return int64(8*len(a.cells)) + 24 }
+// SizeBytes returns the sketch's serialized size (== len(Encode())).
+func (a *AMS) SizeBytes() int64 { return EnvelopeBytes + 24 + int64(8*len(a.cells)) }
+
+// Encode serializes the sketch: s1, s2, seed, cells. The hash functions are
+// reconstructed from the geometry and seed on decode.
+func (a *AMS) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, a.SizeBytes()), KindAMS)
+	buf = storage.AppendU64(buf, uint64(a.s1))
+	buf = storage.AppendU64(buf, uint64(a.s2))
+	buf = storage.AppendU64(buf, a.seed)
+	for _, c := range a.cells {
+		buf = storage.AppendF64(buf, c)
+	}
+	return buf
+}
+
+// DecodeAMS reverses Encode.
+func DecodeAMS(b []byte) (*AMS, error) {
+	r, err := envelopePayload(b, KindAMS)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	s2, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	// Per-dimension caps BEFORE the product: a crafted header with huge
+	// s1·s2 must not wrap the uint64 multiplication past the bound.
+	if s1 < 1 || s2 < 1 || s1 > 1<<14 || s2 > 1<<14 || r.Remaining() < int(8*s1*s2) {
+		return nil, fmt.Errorf("synopses: corrupt AMS header (s1=%d s2=%d, %d payload bytes)", s1, s2, r.Remaining())
+	}
+	a := NewAMS(int(s1), int(s2), seed)
+	for i := range a.cells {
+		v, err := r.F64()
+		if err != nil {
+			return nil, err
+		}
+		a.cells[i] = v
+	}
+	return a, nil
+}

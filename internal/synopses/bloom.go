@@ -3,6 +3,8 @@ package synopses
 import (
 	"fmt"
 	"math"
+
+	"github.com/tasterdb/taster/internal/storage"
 )
 
 // Bloom is a classic Bloom filter (Bloom 1970), the synopsis the paper cites
@@ -79,5 +81,55 @@ func (b *Bloom) Merge(o *Bloom) error {
 	return nil
 }
 
-// SizeBytes returns the filter's serialized size.
-func (b *Bloom) SizeBytes() int64 { return int64(8*len(b.bits)) + 24 }
+// SizeBytes returns the filter's serialized size (== len(Encode())).
+func (b *Bloom) SizeBytes() int64 { return EnvelopeBytes + 32 + int64(8*len(b.bits)) }
+
+// Encode serializes the filter: m, k, seed, n, bit words.
+func (b *Bloom) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, b.SizeBytes()), KindBloom)
+	buf = storage.AppendU64(buf, b.m)
+	buf = storage.AppendU64(buf, uint64(b.k))
+	buf = storage.AppendU64(buf, b.seed)
+	buf = storage.AppendU64(buf, uint64(b.n))
+	for _, w := range b.bits {
+		buf = storage.AppendU64(buf, w)
+	}
+	return buf
+}
+
+// DecodeBloom reverses Encode.
+func DecodeBloom(buf []byte) (*Bloom, error) {
+	r, err := envelopePayload(buf, KindBloom)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	k, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	words := int((m + 63) / 64)
+	if m < 1 || k < 1 || m > 1<<34 || r.Remaining() < 8*words {
+		return nil, fmt.Errorf("synopses: corrupt Bloom header (m=%d k=%d, %d payload bytes)", m, k, r.Remaining())
+	}
+	b := &Bloom{bits: make([]uint64, words), m: m, k: int(k), seed: seed, n: int(n)}
+	for i := range b.bits {
+		v, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		b.bits[i] = v
+	}
+	return b, nil
+}

@@ -1,9 +1,10 @@
 package synopses
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
+
+	"github.com/tasterdb/taster/internal/storage"
 )
 
 // CMSketch is a count-min sketch (Cormode & Muthukrishnan): a w×d array of
@@ -131,44 +132,73 @@ func (s *CMSketch) Merge(o *CMSketch) error {
 	return nil
 }
 
-// SizeBytes returns the serialized size, charged against storage quotas.
+// SizeBytes returns the serialized size — exactly len(Encode()) — charged
+// against storage quotas.
 func (s *CMSketch) SizeBytes() int64 {
-	return int64(8*len(s.cells)) + 32 // header: w, d, seed, n
+	return EnvelopeBytes + s.payloadBytes()
 }
 
-// Encode serializes the sketch.
+// payloadBytes is the envelope-free payload size: w, d, seed, n + cells.
+func (s *CMSketch) payloadBytes() int64 { return 32 + int64(8*len(s.cells)) }
+
+// Encode serializes the sketch (versioned envelope + payload).
 func (s *CMSketch) Encode() []byte {
-	buf := make([]byte, 0, s.SizeBytes())
-	var tmp [8]byte
-	put := func(x uint64) {
-		binary.LittleEndian.PutUint64(tmp[:], x)
-		buf = append(buf, tmp[:]...)
-	}
-	put(uint64(s.w))
-	put(uint64(s.d))
-	put(s.seed)
-	put(math.Float64bits(s.n))
+	buf := appendEnvelope(make([]byte, 0, s.SizeBytes()), KindCMSketch)
+	return s.appendPayload(buf)
+}
+
+// appendPayload writes the envelope-free sketch body; the sketch-join codec
+// nests it inside its own record.
+func (s *CMSketch) appendPayload(buf []byte) []byte {
+	buf = storage.AppendU64(buf, uint64(s.w))
+	buf = storage.AppendU64(buf, uint64(s.d))
+	buf = storage.AppendU64(buf, s.seed)
+	buf = storage.AppendF64(buf, s.n)
 	for _, c := range s.cells {
-		put(math.Float64bits(c))
+		buf = storage.AppendF64(buf, c)
 	}
 	return buf
 }
 
 // DecodeCMSketch reverses Encode.
 func DecodeCMSketch(b []byte) (*CMSketch, error) {
-	if len(b) < 32 {
-		return nil, fmt.Errorf("synopses: CM sketch payload too short (%d bytes)", len(b))
+	r, err := envelopePayload(b, KindCMSketch)
+	if err != nil {
+		return nil, err
 	}
-	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off : off+8]) }
-	w := int(get(0))
-	d := int(get(8))
-	if w < 1 || d < 1 || len(b) != 32+8*w*d {
-		return nil, fmt.Errorf("synopses: corrupt CM sketch header (w=%d d=%d len=%d)", w, d, len(b))
+	return decodeCMPayload(r)
+}
+
+// decodeCMPayload reads one envelope-free sketch body from r.
+func decodeCMPayload(r *storage.Reader) (*CMSketch, error) {
+	w64, err := r.U64()
+	if err != nil {
+		return nil, err
 	}
-	s := NewCMSketchWD(w, d, get(16))
-	s.n = math.Float64frombits(get(24))
+	d64, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.F64()
+	if err != nil {
+		return nil, err
+	}
+	w, d := int(w64), int(d64)
+	if w < 1 || d < 1 || w > 1<<28 || d > 1<<10 || r.Remaining() < 8*w*d {
+		return nil, fmt.Errorf("synopses: corrupt CM sketch header (w=%d d=%d, %d payload bytes)", w, d, r.Remaining())
+	}
+	s := NewCMSketchWD(w, d, seed)
+	s.n = n
 	for i := range s.cells {
-		s.cells[i] = math.Float64frombits(get(32 + 8*i))
+		v, err := r.F64()
+		if err != nil {
+			return nil, err
+		}
+		s.cells[i] = v
 	}
 	return s, nil
 }

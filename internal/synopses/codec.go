@@ -1,0 +1,72 @@
+package synopses
+
+import (
+	"fmt"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Versioned binary codec envelope shared by every synopsis type. Each
+// synopsis's Encode produces a fully self-describing record:
+//
+//	[4]byte magic "TSYN" | u8 version | u8 kind | u16 reserved | payload
+//
+// The kind byte lets internal/persist sniff a stored payload and dispatch
+// to the right decoder; the version byte gates format evolution (decoders
+// reject versions they do not understand instead of misreading them).
+// SizeBytes() of every synopsis equals len(Encode()) exactly — storage
+// quotas charge what disk actually stores (asserted in internal/persist's
+// codec tests).
+
+// EnvelopeBytes is the fixed size of the codec envelope.
+const EnvelopeBytes = 8
+
+// CodecVersion is the current serialization format version.
+const CodecVersion = 1
+
+// Codec kind bytes identifying each synopsis type inside the envelope.
+const (
+	KindSample       byte = 1
+	KindCMSketch     byte = 2
+	KindAMS          byte = 3
+	KindFM           byte = 4
+	KindBloom        byte = 5
+	KindHeavyHitters byte = 6
+	KindSketchJoin   byte = 7
+)
+
+var codecMagic = [4]byte{'T', 'S', 'Y', 'N'}
+
+// appendEnvelope writes the codec header for the given kind.
+func appendEnvelope(dst []byte, kind byte) []byte {
+	dst = append(dst, codecMagic[:]...)
+	return append(dst, CodecVersion, kind, 0, 0)
+}
+
+// EnvelopeKind returns the kind byte of an encoded synopsis after
+// validating magic and version.
+func EnvelopeKind(b []byte) (byte, error) {
+	if len(b) < EnvelopeBytes {
+		return 0, fmt.Errorf("synopses: payload too short for codec envelope (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != codecMagic {
+		return 0, fmt.Errorf("synopses: bad codec magic %q", b[:4])
+	}
+	if b[4] != CodecVersion {
+		return 0, fmt.Errorf("synopses: unsupported codec version %d (want %d)", b[4], CodecVersion)
+	}
+	return b[5], nil
+}
+
+// envelopePayload validates the envelope against the expected kind and
+// returns a bounds-checked reader over the payload.
+func envelopePayload(b []byte, kind byte) (*storage.Reader, error) {
+	got, err := EnvelopeKind(b)
+	if err != nil {
+		return nil, err
+	}
+	if got != kind {
+		return nil, fmt.Errorf("synopses: codec kind %d, want %d", got, kind)
+	}
+	return storage.NewReader(b[EnvelopeBytes:]), nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"github.com/tasterdb/taster/internal/storage"
 )
 
 // FM is a Flajolet-Martin probabilistic counting sketch (PCSA variant) for
@@ -59,5 +61,44 @@ func (f *FM) Merge(o *FM) error {
 	return nil
 }
 
-// SizeBytes returns the sketch's serialized size.
-func (f *FM) SizeBytes() int64 { return int64(8*f.m) + 16 }
+// SizeBytes returns the sketch's serialized size (== len(Encode())).
+func (f *FM) SizeBytes() int64 { return EnvelopeBytes + 16 + int64(8*f.m) }
+
+// Encode serializes the sketch: m, seed, bitmaps.
+func (f *FM) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, f.SizeBytes()), KindFM)
+	buf = storage.AppendU64(buf, uint64(f.m))
+	buf = storage.AppendU64(buf, f.seed)
+	for _, bm := range f.maps {
+		buf = storage.AppendU64(buf, bm)
+	}
+	return buf
+}
+
+// DecodeFM reverses Encode.
+func DecodeFM(b []byte) (*FM, error) {
+	r, err := envelopePayload(b, KindFM)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if m < 1 || m > 1<<28 || r.Remaining() < int(8*m) {
+		return nil, fmt.Errorf("synopses: corrupt FM header (m=%d, %d payload bytes)", m, r.Remaining())
+	}
+	f := NewFM(int(m), seed)
+	for i := range f.maps {
+		v, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		f.maps[i] = v
+	}
+	return f, nil
+}

@@ -1,5 +1,12 @@
 package synopses
 
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
 // SpaceSaving is the Metwally et al. heavy-hitters summary. The distinct
 // sampler uses it (or a CM sketch) as its per-key counter so that "at least
 // δ rows per distinct value" can be tracked in space logarithmic in the
@@ -97,8 +104,72 @@ type KeyCount struct {
 	Count uint64
 }
 
-// SizeBytes returns the summary's approximate in-memory size.
-func (s *SpaceSaving) SizeBytes() int64 { return int64(len(s.counts))*24 + 16 }
+// SizeBytes returns the summary's serialized size (== len(Encode())), the
+// quantity storage quotas charge — identical semantics to every other
+// synopsis type.
+func (s *SpaceSaving) SizeBytes() int64 { return EnvelopeBytes + 16 + int64(len(s.counts))*24 }
+
+// Encode serializes the summary: capacity, entry count, then (key, count,
+// err) triples sorted by key so the encoding is deterministic despite map
+// iteration order.
+func (s *SpaceSaving) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, s.SizeBytes()), KindHeavyHitters)
+	buf = storage.AppendU64(buf, uint64(s.capacity))
+	buf = storage.AppendU64(buf, uint64(len(s.counts)))
+	keys := make([]uint64, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e := s.counts[k]
+		buf = storage.AppendU64(buf, k)
+		buf = storage.AppendU64(buf, e.count)
+		buf = storage.AppendU64(buf, e.err)
+	}
+	return buf
+}
+
+// DecodeSpaceSaving reverses Encode.
+func DecodeSpaceSaving(b []byte) (*SpaceSaving, error) {
+	r, err := envelopePayload(b, KindHeavyHitters)
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if capacity < 1 || capacity > 1<<26 || n > capacity || r.Remaining() < int(24*n) {
+		return nil, fmt.Errorf("synopses: corrupt SpaceSaving header (cap=%d n=%d, %d payload bytes)", capacity, n, r.Remaining())
+	}
+	// Size the map from the actual entry count, not the configured
+	// capacity: a crafted header must not drive a huge preallocation.
+	s := &SpaceSaving{capacity: int(capacity), counts: make(map[uint64]ssEntry, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.counts[k]; dup {
+			return nil, fmt.Errorf("synopses: corrupt SpaceSaving payload: duplicate key %d", k)
+		}
+		s.counts[k] = ssEntry{count: cnt, err: e}
+	}
+	return s, nil
+}
 
 // KeyCounter is the per-key counting interface the distinct sampler draws
 // on. Exact (map-based) counting is used in tests and small builds; the

@@ -158,8 +158,81 @@ type Sample struct {
 	Seed       uint64
 }
 
-// SizeBytes returns the payload size charged against storage quotas.
-func (s *Sample) SizeBytes() int64 { return s.Rows.Bytes() }
+// SizeBytes returns the serialized size (== len(Encode())) charged against
+// storage quotas: the sample's configuration metadata plus its row payload
+// in the binary table encoding — exactly what the persistent warehouse tier
+// stores on disk.
+func (s *Sample) SizeBytes() int64 {
+	n := int64(EnvelopeBytes) + 4 + int64(len(s.Strategy)) + 8 + 8 + 8 + 8 + 4
+	for _, c := range s.StratCols {
+		n += 4 + int64(len(c))
+	}
+	return n + s.Rows.EncodedBytes()
+}
+
+// Encode serializes the sample: configuration metadata followed by the row
+// table. The whole record round-trips bit-exactly (float weights included),
+// which is what makes warm restarts answer-identical to uninterrupted runs.
+func (s *Sample) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, s.SizeBytes()), KindSample)
+	buf = storage.AppendStr(buf, s.Strategy)
+	buf = storage.AppendF64(buf, s.P)
+	buf = storage.AppendU64(buf, uint64(int64(s.Delta)))
+	buf = storage.AppendU64(buf, s.Seed)
+	buf = storage.AppendU64(buf, uint64(int64(s.SourceRows)))
+	buf = storage.AppendU32(buf, uint32(len(s.StratCols)))
+	for _, c := range s.StratCols {
+		buf = storage.AppendStr(buf, c)
+	}
+	return storage.EncodeTable(buf, s.Rows)
+}
+
+// DecodeSample reverses Encode.
+func DecodeSample(b []byte) (*Sample, error) {
+	r, err := envelopePayload(b, KindSample)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sample{}
+	if s.Strategy, err = r.Str(); err != nil {
+		return nil, err
+	}
+	if s.P, err = r.F64(); err != nil {
+		return nil, err
+	}
+	delta, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	s.Delta = int(int64(delta))
+	if s.Seed, err = r.U64(); err != nil {
+		return nil, err
+	}
+	src, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	s.SourceRows = int(int64(src))
+	nStrat, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nStrat) > r.Remaining() {
+		return nil, fmt.Errorf("synopses: corrupt sample stratification count %d", nStrat)
+	}
+	if nStrat > 0 {
+		s.StratCols = make([]string, nStrat)
+		for i := range s.StratCols {
+			if s.StratCols[i], err = r.Str(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Rows, err = storage.DecodeTable(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // SampleSchema returns the source schema extended with the weight column.
 func SampleSchema(src storage.Schema) storage.Schema {

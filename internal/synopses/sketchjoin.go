@@ -86,13 +86,68 @@ func (sj *SketchJoin) Merge(o *SketchJoin) error {
 	return sj.Sum.Merge(o.Sum)
 }
 
-// SizeBytes returns the serialized footprint charged to storage quotas.
+// SizeBytes returns the serialized footprint (== len(Encode())) charged to
+// storage quotas: envelope + seed + agg column + key columns + the two
+// nested envelope-free CM planes.
 func (sj *SketchJoin) SizeBytes() int64 {
-	n := sj.Count.SizeBytes() + sj.Sum.SizeBytes() + int64(len(sj.AggCol)) + 16
+	n := int64(EnvelopeBytes) + 8 + 4 + int64(len(sj.AggCol)) + 4
 	for _, c := range sj.KeyCols {
-		n += int64(len(c))
+		n += 4 + int64(len(c))
 	}
+	n += sj.Count.payloadBytes() + sj.Sum.payloadBytes()
 	return n
+}
+
+// Encode serializes the sketch-join: seed, aggregate column, key columns,
+// then the count and sum CM planes (envelope-free payloads, back to back).
+func (sj *SketchJoin) Encode() []byte {
+	buf := appendEnvelope(make([]byte, 0, sj.SizeBytes()), KindSketchJoin)
+	buf = storage.AppendU64(buf, sj.seed)
+	buf = storage.AppendStr(buf, sj.AggCol)
+	buf = storage.AppendU32(buf, uint32(len(sj.KeyCols)))
+	for _, c := range sj.KeyCols {
+		buf = storage.AppendStr(buf, c)
+	}
+	buf = sj.Count.appendPayload(buf)
+	return sj.Sum.appendPayload(buf)
+}
+
+// DecodeSketchJoin reverses Encode.
+func DecodeSketchJoin(b []byte) (*SketchJoin, error) {
+	r, err := envelopePayload(b, KindSketchJoin)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	aggCol, err := r.Str()
+	if err != nil {
+		return nil, err
+	}
+	nKeys, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nKeys) > r.Remaining() {
+		return nil, fmt.Errorf("synopses: corrupt sketch-join key count %d", nKeys)
+	}
+	keys := make([]string, nKeys)
+	for i := range keys {
+		if keys[i], err = r.Str(); err != nil {
+			return nil, err
+		}
+	}
+	count, err := decodeCMPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := decodeCMPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchJoin{Count: count, Sum: sum, KeyCols: keys, AggCol: aggCol, seed: seed}, nil
 }
 
 // BuildSketchJoin streams an entire table into a new sketch-join synopsis —

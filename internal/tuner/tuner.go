@@ -67,6 +67,41 @@ func New(cfg Config, store *meta.Store, wh *warehouse.Manager) *Tuner {
 // Window returns the current window length (observable for experiments).
 func (t *Tuner) Window() int { return t.w }
 
+// Checkpoint snapshots the sliding-window state for persistence: the
+// adapted window length, the adaptation counter, and the history records
+// (oldest first) as plain observations.
+func (t *Tuner) Checkpoint() (window, sinceAdapt int, history []Observation) {
+	history = make([]Observation, len(t.history))
+	for i, r := range t.history {
+		history[i] = Observation{QueryID: r.ID, ExactCost: r.ExactCost}
+	}
+	return t.w, t.sinceAdapt, history
+}
+
+// Restore reinstates a checkpointed sliding window (warm restart): without
+// it, the first post-restart tuning round would see an empty window, find
+// no benefiting queries, and evict the entire recovered warehouse. The
+// window length is clamped to [1, MaxWindow] and the history to its newest
+// MaxWindow records, so a checkpoint taken under a different configuration
+// degrades gracefully instead of corrupting the tuner.
+func (t *Tuner) Restore(window, sinceAdapt int, history []Observation) {
+	if window < 1 {
+		window = 1
+	}
+	if window > t.cfg.MaxWindow {
+		window = t.cfg.MaxWindow
+	}
+	t.w = window
+	t.sinceAdapt = sinceAdapt
+	t.history = t.history[:0]
+	if len(history) > t.cfg.MaxWindow {
+		history = history[len(history)-t.cfg.MaxWindow:]
+	}
+	for _, o := range history {
+		t.history = append(t.history, queryRecord{ID: o.QueryID, ExactCost: o.ExactCost})
+	}
+}
+
 // Decision is the tuner's verdict for one query.
 type Decision struct {
 	// Chosen is the plan to execute.

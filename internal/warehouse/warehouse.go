@@ -5,42 +5,181 @@
 // holding the synopses the tuner decided to keep. All sizes are
 // byte-accurate; the tuner drives every promotion and eviction.
 //
+// With a Spiller attached the warehouse tier is disk-backed: payloads of
+// synopses placed there are written durably and their in-memory pointer is
+// dropped (the tier stops costing RAM — the elasticity the paper gets from
+// HDFS), then faulted back lazily on first reuse and cached. Without a
+// Spiller both tiers are memory-resident, exactly the pre-persistence
+// behaviour.
+//
 // Concurrency model: reads are lock-free. Every mutation (serialized on an
 // internal mutex and, above that, by the engine's tuning service) rebuilds
 // an immutable View of both tiers and publishes it through an
 // atomic.Pointer — RCU-style copy-on-write. The read path (Get/Has/Usage,
 // taken by concurrent planners and executors) loads the current View with a
 // single atomic load and never blocks behind a tuning round. Items are
-// immutable once stored, so a plan may keep executing against a sample that
-// was concurrently evicted; View() hands out a whole coherent two-tier
-// snapshot for callers that need several reads to be mutually consistent.
+// immutable once stored — a payload fault-in only fills the cache pointer,
+// it never changes the bytes a plan observes — so a plan may keep executing
+// against a sample that was concurrently evicted; View() hands out a whole
+// coherent two-tier snapshot for callers that need several reads to be
+// mutually consistent.
 package warehouse
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/tasterdb/taster/internal/synopses"
 )
 
-// Item is one materialized synopsis.
+// ItemKind says which synopsis flavour an item wraps.
+type ItemKind uint8
+
+// Item kinds.
+const (
+	SampleItem ItemKind = iota + 1
+	SketchItem
+)
+
+// String returns the kind name.
+func (k ItemKind) String() string {
+	switch k {
+	case SampleItem:
+		return "sample"
+	case SketchItem:
+		return "sketch"
+	}
+	return fmt.Sprintf("ItemKind(%d)", uint8(k))
+}
+
+// Payload is an item's in-memory synopsis value; exactly one field is set,
+// matching the item's kind.
+type Payload struct {
+	Sample *synopses.Sample
+	Sketch *synopses.SketchJoin
+}
+
+// Spiller persists warehouse-tier payloads. The engine wires the disk store
+// (internal/persist) in through this interface; a nil Spiller keeps the
+// warehouse tier memory-resident.
+type Spiller interface {
+	// Spill durably writes the payload for id (write-temp-fsync-rename).
+	Spill(id uint64, p *Payload) error
+	// Load reads the payload for id back.
+	Load(id uint64) (*Payload, error)
+	// Remove deletes id's payload file; a missing file is not an error.
+	Remove(id uint64) error
+}
+
+// Item is one materialized synopsis. The payload sits behind an atomic
+// pointer: memory-resident items carry it from construction; disk-resident
+// items (warehouse tier with a Spiller) drop it after the durable write and
+// fault it back lazily on first reuse — outside every engine lock, with the
+// cached pointer published atomically so concurrent readers either load the
+// same immutable payload or fault it in themselves.
 type Item struct {
 	ID     uint64
-	Sample *synopses.Sample // exactly one of Sample/Sketch is set
-	Sketch *synopses.SketchJoin
 	Size   int64
+	Rows   int64 // sample row count (0 for sketches); plan costing reads it without faulting
 	Pinned bool
+
+	kind    ItemKind
+	payload atomic.Pointer[Payload]
+	loadMu  sync.Mutex
+	spiller Spiller // set once the payload has a durable copy
 }
 
 // NewSampleItem wraps a sample.
 func NewSampleItem(id uint64, s *synopses.Sample) *Item {
-	return &Item{ID: id, Sample: s, Size: s.SizeBytes()}
+	it := &Item{ID: id, Size: s.SizeBytes(), Rows: int64(s.Rows.NumRows()), kind: SampleItem}
+	it.payload.Store(&Payload{Sample: s})
+	return it
 }
 
 // NewSketchItem wraps a sketch-join synopsis.
 func NewSketchItem(id uint64, sk *synopses.SketchJoin) *Item {
-	return &Item{ID: id, Sketch: sk, Size: sk.SizeBytes()}
+	it := &Item{ID: id, Size: sk.SizeBytes(), kind: SketchItem}
+	it.payload.Store(&Payload{Sketch: sk})
+	return it
+}
+
+// RestoredItem rebuilds an item from persisted metadata: the payload stays
+// on disk (faulted in lazily via the spiller) unless the caller loads it
+// eagerly afterwards.
+func RestoredItem(id uint64, kind ItemKind, size, rows int64, pinned bool, sp Spiller) *Item {
+	return &Item{ID: id, Size: size, Rows: rows, Pinned: pinned, kind: kind, spiller: sp}
+}
+
+// Kind returns the item's synopsis flavour.
+func (it *Item) Kind() ItemKind { return it.kind }
+
+// Loaded reports whether the payload is currently cached in memory. The
+// planner charges the disk fault-in for unloaded items, which is what makes
+// ChoosePlan discount cold warehouse hits against buffer hits.
+func (it *Item) Loaded() bool { return it.payload.Load() != nil }
+
+// Sample returns the item's sample payload, faulting it in from disk if
+// spilled. Calling Sample on a sketch item is a programming error (checked).
+func (it *Item) Sample() (*synopses.Sample, error) {
+	if it.kind != SampleItem {
+		return nil, fmt.Errorf("warehouse: synopsis #%d is a %s, not a sample", it.ID, it.kind)
+	}
+	p, err := it.load()
+	if err != nil {
+		return nil, err
+	}
+	return p.Sample, nil
+}
+
+// Sketch returns the item's sketch-join payload, faulting it in if spilled.
+func (it *Item) Sketch() (*synopses.SketchJoin, error) {
+	if it.kind != SketchItem {
+		return nil, fmt.Errorf("warehouse: synopsis #%d is a %s, not a sketch", it.ID, it.kind)
+	}
+	p, err := it.load()
+	if err != nil {
+		return nil, err
+	}
+	return p.Sketch, nil
+}
+
+// load returns the cached payload or faults it in from the spiller. The
+// mutex only serializes concurrent faults of the SAME item; the fast path
+// is one atomic load, and faults never run under the manager's or the
+// engine's locks.
+func (it *Item) load() (*Payload, error) {
+	if p := it.payload.Load(); p != nil {
+		return p, nil
+	}
+	it.loadMu.Lock()
+	defer it.loadMu.Unlock()
+	if p := it.payload.Load(); p != nil {
+		return p, nil
+	}
+	if it.spiller == nil {
+		return nil, fmt.Errorf("warehouse: synopsis #%d has no payload and no backing store", it.ID)
+	}
+	p, err := it.spiller.Load(it.ID)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: loading synopsis #%d: %w", it.ID, err)
+	}
+	if p == nil ||
+		(it.kind == SampleItem && p.Sample == nil) ||
+		(it.kind == SketchItem && p.Sketch == nil) {
+		return nil, fmt.Errorf("warehouse: synopsis #%d: backing store returned wrong payload kind", it.ID)
+	}
+	it.payload.Store(p)
+	return p, nil
+}
+
+// EagerLoad faults the payload in immediately (recovery pre-warms items
+// that were cached at checkpoint time, so post-restart plan costs match the
+// uninterrupted engine's).
+func (it *Item) EagerLoad() error {
+	_, err := it.load()
+	return err
 }
 
 // tier is shared bookkeeping for buffer and warehouse.
@@ -109,11 +248,11 @@ func (v *View) Usage() (buffer, warehouse int64) { return v.bufUsed, v.whUsed }
 // Quotas returns (bufferQuota, warehouseQuota) bytes.
 func (v *View) Quotas() (buffer, warehouse int64) { return v.bufQuota, v.whQuota }
 
-// BufferItems lists the buffer tier (fresh slice; items are shared and
-// immutable).
+// BufferItems lists the buffer tier sorted by synopsis id (fresh slice;
+// items are shared and immutable).
 func (v *View) BufferItems() []*Item { return listOf(v.buffer) }
 
-// WarehouseItems lists the warehouse tier.
+// WarehouseItems lists the warehouse tier sorted by synopsis id.
 func (v *View) WarehouseItems() []*Item { return listOf(v.warehouse) }
 
 // Overflow returns how many bytes the warehouse exceeds its quota by
@@ -134,11 +273,16 @@ func (v *View) FreeWarehouse() int64 {
 	return free
 }
 
+// listOf snapshots a tier map sorted by synopsis id. Deterministic
+// enumeration matters beyond cosmetics: recovery replays the manifest and
+// fallback evictions walk these lists, and both must behave identically
+// across runs and restarts regardless of Go map iteration order.
 func listOf(m map[uint64]*Item) []*Item {
 	out := make([]*Item, 0, len(m))
 	for _, it := range m {
 		out = append(out, it)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -149,15 +293,24 @@ type Manager struct {
 	buffer    tier
 	warehouse tier
 	view      atomic.Pointer[View]
+	spiller   Spiller
 }
 
-// NewManager returns a manager with the given byte quotas. The paper sets
-// the warehouse quota as a fraction of the dataset size and the buffer to a
-// small fixed size.
+// NewManager returns a memory-resident manager with the given byte quotas.
+// The paper sets the warehouse quota as a fraction of the dataset size and
+// the buffer to a small fixed size.
 func NewManager(bufferQuota, warehouseQuota int64) *Manager {
+	return NewManagerWithSpiller(bufferQuota, warehouseQuota, nil)
+}
+
+// NewManagerWithSpiller returns a manager whose warehouse tier is backed by
+// sp: payloads placed there are durably written and dropped from memory,
+// then faulted back lazily on reuse.
+func NewManagerWithSpiller(bufferQuota, warehouseQuota int64, sp Spiller) *Manager {
 	m := &Manager{
 		buffer:    tier{name: "buffer", quota: bufferQuota, items: make(map[uint64]*Item)},
 		warehouse: tier{name: "warehouse", quota: warehouseQuota, items: make(map[uint64]*Item)},
+		spiller:   sp,
 	}
 	m.publishLocked()
 	return m
@@ -191,6 +344,37 @@ func (m *Manager) publishLocked() {
 	m.view.Store(v)
 }
 
+// spillLocked durably writes it's payload and drops the in-memory copy —
+// the step that makes a warehouse-tier placement disk-resident. No-op
+// without a spiller (memory-resident mode) or when the item is already
+// spilled (restored items). Caller holds mu; the write happens before the
+// payload pointer drops, so a concurrent reader either sees the old cached
+// payload or faults in the complete durable copy — never a torn file.
+func (m *Manager) spillLocked(it *Item) error {
+	if m.spiller == nil {
+		return nil
+	}
+	p := it.payload.Load()
+	if p == nil {
+		return nil // already disk-resident
+	}
+	if err := m.spiller.Spill(it.ID, p); err != nil {
+		return err
+	}
+	it.loadMu.Lock()
+	it.spiller = m.spiller
+	it.payload.Store(nil)
+	it.loadMu.Unlock()
+	return nil
+}
+
+// removeBacking deletes it's durable copy, if any.
+func (m *Manager) removeBacking(id uint64) {
+	if m.spiller != nil {
+		_ = m.spiller.Remove(id)
+	}
+}
+
 // PutBuffer stores a freshly built synopsis in the in-memory buffer.
 func (m *Manager) PutBuffer(it *Item) error {
 	m.mu.Lock()
@@ -216,7 +400,10 @@ const (
 // warehouse, as a single atomic operation. When the synopsis is already
 // materialized in either tier — two concurrent queries can build the same
 // descriptor — Admit is a no-op that reports where the existing copy lives,
-// guaranteeing an ID never occupies both tiers.
+// guaranteeing an ID never occupies both tiers. A warehouse placement that
+// cannot be durably written (disk-backed tier) is dropped, not stored
+// volatile: the warehouse tier's contract is that its contents survive a
+// restart.
 func (m *Manager) Admit(it *Item) AdmitResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -231,6 +418,11 @@ func (m *Manager) Admit(it *Item) AdmitResult {
 		return AdmitBuffer
 	}
 	if m.warehouse.put(it) == nil {
+		if err := m.spillLocked(it); err != nil {
+			m.warehouse.delete(it.ID)
+			m.removeBacking(it.ID)
+			return AdmitDropped
+		}
 		return AdmitWarehouse
 	}
 	return AdmitDropped
@@ -271,32 +463,61 @@ func (m *Manager) Refresh(it *Item) (AdmitResult, error) {
 		}
 		return AdmitWarehouse
 	}
+	// placed finalizes a successful put: warehouse placements must become
+	// durable (failure rolls the put back), and a buffer placement leaves
+	// no stale durable bytes behind — neither from a warehouse-resident old
+	// copy nor from a buffer payload file a clean shutdown wrote earlier.
+	placed := func(t *tier) (AdmitResult, bool) {
+		if t == &m.warehouse {
+			if err := m.spillLocked(it); err != nil {
+				t.delete(it.ID)
+				return AdmitDropped, false
+			}
+		} else {
+			m.removeBacking(it.ID)
+		}
+		return result(t), true
+	}
 	if oldTier.put(it) == nil {
-		return result(oldTier), nil
+		if res, ok := placed(oldTier); ok {
+			return res, nil
+		}
+	} else if !it.Pinned && otherTier.put(it) == nil {
+		// Unpinned items may overflow to the other tier; pinned hints must
+		// not strand in the buffer (the tuner never promotes pinned
+		// entries), so they refresh same-tier or not at all.
+		if res, ok := placed(otherTier); ok {
+			return res, nil
+		}
 	}
-	// Unpinned items may overflow to the other tier; pinned hints must not
-	// strand in the buffer (the tuner never promotes pinned entries), so
-	// they refresh same-tier or not at all.
-	if !it.Pinned && otherTier.put(it) == nil {
-		return result(otherTier), nil
-	}
-	// No room for the (larger) rebuild: keep the old copy (its bytes were
-	// just freed, so reinstating cannot fail).
+	// No room for the (larger) rebuild, or its durable write failed: keep
+	// the old copy (its bytes were just freed, so reinstating cannot fail).
 	_ = oldTier.put(old)
 	return AdmitDropped, fmt.Errorf("warehouse: refresh: no room for rebuilt synopsis #%d", it.ID)
 }
 
 // PutWarehouse stores a synopsis directly in the warehouse (offline builds,
-// promotions).
+// promotions). With a disk-backed tier the payload is durably written and
+// dropped from memory before the call returns.
 func (m *Manager) PutWarehouse(it *Item) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer m.publishLocked()
-	return m.warehouse.put(it)
+	if err := m.warehouse.put(it); err != nil {
+		return err
+	}
+	if err := m.spillLocked(it); err != nil {
+		m.warehouse.delete(it.ID)
+		m.removeBacking(it.ID)
+		return fmt.Errorf("warehouse: persisting synopsis #%d: %w", it.ID, err)
+	}
+	return nil
 }
 
 // Promote moves a synopsis from the buffer to the warehouse. The caller
-// charges the simulated write cost.
+// charges the simulated write cost. With a disk-backed warehouse the
+// payload is spilled; a failed durable write aborts the promotion (the
+// synopsis stays in the buffer, memory-resident).
 func (m *Manager) Promote(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -308,12 +529,33 @@ func (m *Manager) Promote(id uint64) error {
 	if err := m.warehouse.put(it); err != nil {
 		return err
 	}
+	if err := m.spillLocked(it); err != nil {
+		m.warehouse.delete(id)
+		m.removeBacking(id)
+		return fmt.Errorf("warehouse: persisting synopsis #%d: %w", id, err)
+	}
 	m.buffer.delete(id)
 	return nil
 }
 
-// Delete removes the synopsis from whichever tier holds it. Pinned synopses
-// refuse deletion (user hints are never evicted, paper §V).
+// RestoreItem reinstates a recovered item into the named tier (recovery
+// replaying the manifest). Quota limits apply — a restart may come with a
+// smaller budget than the checkpoint was taken under, in which case the
+// overflow items simply fail to restore and the caller drops them.
+func (m *Manager) RestoreItem(it *Item, intoBuffer bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.publishLocked()
+	t := &m.warehouse
+	if intoBuffer {
+		t = &m.buffer
+	}
+	return t.put(it)
+}
+
+// Delete removes the synopsis from whichever tier holds it, along with any
+// durable copy. Pinned synopses refuse deletion (user hints are never
+// evicted, paper §V).
 func (m *Manager) Delete(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -324,6 +566,7 @@ func (m *Manager) Delete(id uint64) error {
 				return fmt.Errorf("warehouse: synopsis #%d is pinned", id)
 			}
 			t.delete(id)
+			m.removeBacking(id)
 			return nil
 		}
 	}
@@ -334,9 +577,9 @@ func (m *Manager) Delete(id uint64) error {
 // evictions then promotions — under one lock hold with one view publish,
 // instead of re-copying the tiers once per synopsis. Semantics per ID
 // match Delete/Promote exactly: pinned or unmaterialized evictees and
-// unpromotable entries (not in the buffer, or no warehouse room) are
-// skipped. Returns the IDs each action actually applied to, so the caller
-// can update locations for exactly those.
+// unpromotable entries (not in the buffer, no warehouse room, or a failed
+// durable write) are skipped. Returns the IDs each action actually applied
+// to, so the caller can update locations for exactly those.
 func (m *Manager) ApplyMoves(evict, promote []uint64) (evicted, promoted []uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -346,6 +589,7 @@ func (m *Manager) ApplyMoves(evict, promote []uint64) (evicted, promoted []uint6
 			if it, ok := t.items[id]; ok {
 				if !it.Pinned {
 					t.delete(id)
+					m.removeBacking(id)
 					evicted = append(evicted, id)
 				}
 				break
@@ -358,6 +602,11 @@ func (m *Manager) ApplyMoves(evict, promote []uint64) (evicted, promoted []uint6
 			continue
 		}
 		if m.warehouse.put(it) != nil {
+			continue
+		}
+		if err := m.spillLocked(it); err != nil {
+			m.warehouse.delete(id)
+			m.removeBacking(id)
 			continue
 		}
 		m.buffer.delete(id)
@@ -374,10 +623,10 @@ func (m *Manager) Get(id uint64) (it *Item, inBuffer bool, ok bool) {
 // Has reports whether the synopsis is materialized in either tier.
 func (m *Manager) Has(id uint64) bool { return m.View().Has(id) }
 
-// BufferItems returns a snapshot of the buffer tier.
+// BufferItems returns a snapshot of the buffer tier sorted by id.
 func (m *Manager) BufferItems() []*Item { return m.View().BufferItems() }
 
-// WarehouseItems returns a snapshot of the warehouse tier.
+// WarehouseItems returns a snapshot of the warehouse tier sorted by id.
 func (m *Manager) WarehouseItems() []*Item { return m.View().WarehouseItems() }
 
 // Usage returns (bufferUsed, warehouseUsed) bytes.

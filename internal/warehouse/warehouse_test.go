@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/tasterdb/taster/internal/storage"
@@ -152,7 +153,7 @@ func TestElasticQuota(t *testing.T) {
 func TestSketchItem(t *testing.T) {
 	sk := synopses.NewSketchJoin(0.01, 0.01, []string{"k"}, "v", 1)
 	it := NewSketchItem(9, sk)
-	if it.Size != sk.SizeBytes() || it.Sketch == nil {
+	if it.Size != sk.SizeBytes() || it.Kind() != SketchItem || !it.Loaded() {
 		t.Fatalf("item = %+v", it)
 	}
 	m := NewManager(1<<10, 1<<30)
@@ -160,8 +161,15 @@ func TestSketchItem(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, _, ok := m.Get(9)
-	if !ok || got.Sketch != sk {
-		t.Fatal("sketch round trip")
+	if !ok {
+		t.Fatal("sketch item missing")
+	}
+	gotSk, err := got.Sketch()
+	if err != nil || gotSk != sk {
+		t.Fatalf("sketch round trip: %v %v", gotSk, err)
+	}
+	if _, err := got.Sample(); err == nil {
+		t.Fatal("Sample() on a sketch item must error")
 	}
 	if len(m.BufferItems()) != 0 || len(m.WarehouseItems()) != 1 {
 		t.Fatal("tier listings")
@@ -204,5 +212,165 @@ func TestAdmitIsIdempotentAcrossTiers(t *testing.T) {
 	}
 	if m.Has(1) {
 		t.Fatal("ID 1 still materialized after delete")
+	}
+}
+
+// TestDeterministicEnumeration: BufferItems/WarehouseItems must come back
+// sorted by synopsis id, not in Go map order — recovery replays and
+// fallback evictions depend on deterministic listings.
+func TestDeterministicEnumeration(t *testing.T) {
+	s := mkSample(10)
+	m := NewManager(1<<30, 1<<30)
+	ids := []uint64{42, 7, 19, 3, 88, 55, 21, 64, 1, 30}
+	for _, id := range ids {
+		if err := m.PutWarehouse(NewSampleItem(id, s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PutBuffer(NewSampleItem(id+1000, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 5; pass++ {
+		for i, it := range m.WarehouseItems() {
+			if i > 0 && m.WarehouseItems()[i-1].ID >= it.ID {
+				t.Fatalf("warehouse listing unsorted at %d", i)
+			}
+		}
+		buf := m.BufferItems()
+		if len(buf) != len(ids) {
+			t.Fatalf("buffer listing = %d items", len(buf))
+		}
+		for i := 1; i < len(buf); i++ {
+			if buf[i-1].ID >= buf[i].ID {
+				t.Fatalf("buffer listing unsorted at %d: %d >= %d", i, buf[i-1].ID, buf[i].ID)
+			}
+		}
+	}
+}
+
+// memSpiller is an in-memory Spiller for tier-behaviour tests.
+type memSpiller struct {
+	files   map[uint64]*Payload
+	failPut bool
+	loads   int
+}
+
+func newMemSpiller() *memSpiller { return &memSpiller{files: map[uint64]*Payload{}} }
+
+func (m *memSpiller) Spill(id uint64, p *Payload) error {
+	if m.failPut {
+		return fmt.Errorf("disk full")
+	}
+	m.files[id] = p
+	return nil
+}
+
+func (m *memSpiller) Load(id uint64) (*Payload, error) {
+	p, ok := m.files[id]
+	if !ok {
+		return nil, fmt.Errorf("no file for %d", id)
+	}
+	m.loads++
+	return p, nil
+}
+
+func (m *memSpiller) Remove(id uint64) error { delete(m.files, id); return nil }
+
+// TestSpillOnPromoteAndLazyLoad: promotion to a disk-backed warehouse
+// drops the payload pointer; the first payload access faults it back and
+// caches it.
+func TestSpillOnPromoteAndLazyLoad(t *testing.T) {
+	sp := newMemSpiller()
+	m := NewManagerWithSpiller(1<<20, 1<<20, sp)
+	s := mkSample(50)
+	if err := m.PutBuffer(NewSampleItem(5, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Promote(5); err != nil {
+		t.Fatal(err)
+	}
+	it, inBuf, ok := m.Get(5)
+	if !ok || inBuf {
+		t.Fatal("item not in warehouse")
+	}
+	if it.Loaded() {
+		t.Fatal("promotion must drop the payload pointer")
+	}
+	if _, ok := sp.files[5]; !ok {
+		t.Fatal("promotion must write the durable copy")
+	}
+	got, err := it.Sample()
+	if err != nil || got == nil {
+		t.Fatalf("lazy load: %v %v", got, err)
+	}
+	if !it.Loaded() || sp.loads != 1 {
+		t.Fatalf("payload not cached after load (loads=%d)", sp.loads)
+	}
+	if _, err := it.Sample(); err != nil || sp.loads != 1 {
+		t.Fatalf("second access must hit the cache (loads=%d)", sp.loads)
+	}
+	// Eviction removes the durable copy.
+	if err := m.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.files[5]; ok {
+		t.Fatal("delete must remove the durable copy")
+	}
+}
+
+// TestFailedSpillAbortsPlacement: a synopsis whose durable write fails
+// must not occupy the (contractually durable) warehouse tier.
+func TestFailedSpillAbortsPlacement(t *testing.T) {
+	sp := newMemSpiller()
+	sp.failPut = true
+	m := NewManagerWithSpiller(1, 1<<20, sp)
+	s := mkSample(50)
+
+	if err := m.PutWarehouse(NewSampleItem(1, s)); err == nil {
+		t.Fatal("PutWarehouse must surface a failed durable write")
+	}
+	if m.Has(1) {
+		t.Fatal("failed placement left the item stored")
+	}
+	// Admit overflows to the warehouse (tiny buffer) and must drop.
+	if r := m.Admit(NewSampleItem(2, s)); r != AdmitDropped {
+		t.Fatalf("admit with failing disk = %v, want dropped", r)
+	}
+	// Promotion failure keeps the item in the buffer, payload intact.
+	sp.failPut = false
+	big := NewManagerWithSpiller(1<<20, 1<<20, sp)
+	if err := big.PutBuffer(NewSampleItem(3, s)); err != nil {
+		t.Fatal(err)
+	}
+	sp.failPut = true
+	if err := big.Promote(3); err == nil {
+		t.Fatal("promote must surface a failed durable write")
+	}
+	it, inBuf, ok := big.Get(3)
+	if !ok || !inBuf || !it.Loaded() {
+		t.Fatal("failed promotion must leave the buffer copy untouched")
+	}
+}
+
+// TestRestoredItemQuota: restore honors tier quotas (restart under a
+// smaller budget drops overflow).
+func TestRestoredItemQuota(t *testing.T) {
+	sp := newMemSpiller()
+	s := mkSample(50)
+	sp.files[9] = &Payload{Sample: s}
+	m := NewManagerWithSpiller(1<<20, s.SizeBytes(), sp)
+	it := RestoredItem(9, SampleItem, s.SizeBytes(), int64(s.Rows.NumRows()), false, sp)
+	if err := m.RestoreItem(it, false); err != nil {
+		t.Fatal(err)
+	}
+	if it.Loaded() {
+		t.Fatal("restored item must start unloaded")
+	}
+	if err := it.EagerLoad(); err != nil {
+		t.Fatal(err)
+	}
+	over := RestoredItem(10, SampleItem, s.SizeBytes(), 50, false, sp)
+	if err := m.RestoreItem(over, false); err == nil {
+		t.Fatal("restore past quota must fail")
 	}
 }

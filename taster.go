@@ -15,7 +15,7 @@
 //
 //	cat := taster.NewCatalog()
 //	// ... register tables via taster.TableBuilder ...
-//	eng := taster.Open(cat, taster.Options{StorageBudget: 1 << 28})
+//	eng, err := taster.Open(cat, taster.Options{StorageBudget: 1 << 28})
 //	res, err := eng.Query(`SELECT region, SUM(amount) FROM sales
 //	    JOIN customers ON sales.cust = customers.id
 //	    GROUP BY region
@@ -109,6 +109,14 @@ type Options struct {
 	// affected synopses until they are refreshed; a negative value disables
 	// the bound (reuse regardless of staleness).
 	MaxStaleness float64
+	// WarehouseDir makes the synopsis warehouse disk-backed and the engine
+	// restartable: synopses the tuner keeps are durably written there (and
+	// dropped from RAM until reused), and Open recovers the previous
+	// incarnation's warehouse, metadata and tuning window from the
+	// directory's manifest — a warm restart answers its first queries from
+	// recovered synopses instead of re-tasting the workload. Empty (the
+	// default) keeps everything in memory and restarts cold.
+	WarehouseDir string
 	// SynchronousTuning runs the self-tuning round inline on every query
 	// (tune → evict/promote → execute → admit, all on the calling
 	// goroutine) instead of the default asynchronous pipeline. Sequential
@@ -132,8 +140,12 @@ type Engine struct {
 	cat   *Catalog
 }
 
-// Open creates an engine over the catalog.
-func Open(cat *Catalog, opts Options) *Engine {
+// Open creates an engine over the catalog. With Options.WarehouseDir it
+// opens the persistent warehouse and replays any previous incarnation's
+// manifest (warm restart); the error is non-nil only when that directory
+// cannot be opened or its manifest is unreadable — individually corrupt
+// synopsis files recover to a consistent cold state instead of failing.
+func Open(cat *Catalog, opts Options) (*Engine, error) {
 	if opts.StorageBudget <= 0 {
 		opts.StorageBudget = cat.TotalBytes() / 4
 		if opts.StorageBudget <= 0 {
@@ -158,22 +170,38 @@ func Open(cat *Catalog, opts Options) *Engine {
 		tcfg.Window = opts.Window
 	}
 	tcfg.Adaptive = !opts.FixedWindow
-	return &Engine{
-		inner: core.New(cat, core.Config{
-			Mode:            core.ModeTaster,
-			StorageBudget:   opts.StorageBudget,
-			BufferSize:      opts.BufferSize,
-			CostModel:       model,
-			Tuner:           tcfg,
-			DefaultAccuracy: opts.DefaultAccuracy,
-			Seed:            opts.Seed,
-			Workers:         opts.Workers,
-			MaxStaleness:    opts.MaxStaleness,
-			Synchronous:     opts.SynchronousTuning,
-		}),
-		cat: cat,
+	inner, err := core.Open(cat, core.Config{
+		Mode:            core.ModeTaster,
+		StorageBudget:   opts.StorageBudget,
+		BufferSize:      opts.BufferSize,
+		CostModel:       model,
+		Tuner:           tcfg,
+		DefaultAccuracy: opts.DefaultAccuracy,
+		Seed:            opts.Seed,
+		Workers:         opts.Workers,
+		MaxStaleness:    opts.MaxStaleness,
+		Synchronous:     opts.SynchronousTuning,
+		WarehouseDir:    opts.WarehouseDir,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return &Engine{inner: inner, cat: cat}, nil
 }
+
+// MustOpen is Open for programs that treat a failed engine start as fatal
+// (examples, demos); it panics on error.
+func MustOpen(cat *Catalog, opts Options) *Engine {
+	e, err := Open(cat, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// RecoveredSynopses reports how many materialized synopses the engine
+// restored from Options.WarehouseDir at Open (0 for cold starts).
+func (e *Engine) RecoveredSynopses() int { return e.inner.Recovered() }
 
 // Result is a completed query.
 type Result struct {
@@ -246,10 +274,12 @@ func (e *Engine) Drain() { e.inner.Drain() }
 // caught-up tuning decisions. No-op with SynchronousTuning.
 func (e *Engine) Quiesce() { e.inner.Quiesce() }
 
-// Close stops the background tuning service. Pending observations are
-// discarded — Drain first if they matter. Safe to call multiple times and
-// on synchronous engines (no-op there), so callers may always defer it.
-func (e *Engine) Close() { e.inner.Close() }
+// Close stops the background tuning service and, with WarehouseDir set,
+// writes the final checkpoint (buffer payloads included) so the next Open
+// warm-restarts from it. Pending observations are discarded — Drain first
+// if they matter. Safe to call multiple times and on synchronous engines,
+// so callers may always defer it.
+func (e *Engine) Close() error { return e.inner.Close() }
 
 // Ingest appends the builder's rows to a registered table (the builder must
 // have been created with the table's schema). Running queries keep the

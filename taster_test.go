@@ -32,7 +32,7 @@ func demoCatalog() *taster.Catalog {
 }
 
 func TestPublicAPIEndToEnd(t *testing.T) {
-	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	eng := taster.MustOpen(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
 	defer eng.Close()
 	const sql = `SELECT region, SUM(amount), COUNT(*) FROM sales
 		JOIN customers ON sales.cust = customers.id
@@ -75,7 +75,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestPublicAPIIngest(t *testing.T) {
-	eng := taster.Open(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
+	eng := taster.MustOpen(demoCatalog(), taster.Options{Seed: 3, SimulatedScale: true})
 	defer eng.Close()
 	const sql = `SELECT region, SUM(amount) FROM sales
 		JOIN customers ON sales.cust = customers.id
@@ -120,7 +120,7 @@ func TestPublicAPIIngest(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	eng := taster.Open(demoCatalog(), taster.Options{})
+	eng := taster.MustOpen(demoCatalog(), taster.Options{})
 	defer eng.Close()
 	if _, err := eng.Query("SELECT nope FROM nowhere"); err == nil {
 		t.Fatal("want error")
@@ -131,7 +131,7 @@ func TestPublicAPIErrors(t *testing.T) {
 }
 
 func TestPublicAPIHintAndElasticity(t *testing.T) {
-	eng := taster.Open(demoCatalog(), taster.Options{Seed: 5, SimulatedScale: true})
+	eng := taster.MustOpen(demoCatalog(), taster.Options{Seed: 5, SimulatedScale: true})
 	defer eng.Close()
 	if err := eng.Hint("sales", []string{"sales.cust"}, []string{"sales.amount"}); err != nil {
 		t.Fatal(err)
