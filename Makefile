@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-join bench-stream bench-serve bench-warmstart
+.PHONY: all check fmt vet build test race test-race bench bench-join bench-stream bench-serve bench-warmstart bench-partition
 
 all: check
 
@@ -20,10 +20,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency suite under the race detector: morsel-executor determinism
-# and the concurrent serving path.
+# The concurrency suite under the race detector: morsel-executor determinism,
+# the concurrent serving path, and the partitioned ingest/query/spill storm.
 race:
 	$(GO) test -race ./internal/core/ ./internal/exec/ .
+
+test-race: race
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -52,3 +54,9 @@ bench-serve:
 # reusable from the first post-restart queries on.
 bench-warmstart:
 	$(GO) run ./cmd/tasterbench -experiment warmstart -workload instacart -sf 0.002 -queries 24
+
+# Zone-map pruning A/B on the time-clustered event table: selective range
+# predicates with pruning on vs off; emits BENCH_partition.json with the
+# scan-byte and simulated-seconds ratios (CI asserts the ≥2x speedup).
+bench-partition:
+	$(GO) run ./cmd/tasterbench -experiment partition -queries 48

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving|warmstart]
+//	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving|warmstart|partition]
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
 //	            [-seed 42] [-benchjson=true]
 //
@@ -14,6 +14,9 @@
 // The warmstart experiment measures restart recovery from a persistent
 // warehouse directory: cold-start vs warm-start latency over the fig3
 // workload, plus a byte-fidelity check against an uninterrupted engine.
+// The partition experiment A/Bs zone-map partition pruning on a
+// time-clustered event table under selective range predicates, reporting
+// the scan-byte and simulated-seconds ratios (answers are bit-equal).
 //
 // Unless -benchjson=false, every run also writes a BENCH_<experiment>.json
 // perf summary (wall seconds plus the rendered report) to the working
@@ -151,6 +154,12 @@ func run(exp, wl string, cfg experiments.Config) (string, error) {
 		return f.Table(), nil
 	case "warmstart":
 		f, err := experiments.WarmStart(wl, cfg)
+		if err != nil {
+			return "", err
+		}
+		return f.Table(), nil
+	case "partition":
+		f, err := experiments.Partition(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -92,6 +92,20 @@ type Config struct {
 	// reflects the parallel runtime. The default 0 leaves plan costing at
 	// serial parallelism so plan choice stays machine-independent.
 	Workers int
+	// PartitionRows splits every catalog table into fixed-size partitions of
+	// this many rows (the last partition may be shorter; appends extend it
+	// and open new partitions past it). Each partition carries a zone map
+	// that drives partition pruning and scopes synopsis freshness, so an
+	// append touching one partition never stales synopses of its siblings.
+	// 0 (the default) leaves tables as registered — effectively monolithic.
+	// Query results are byte-identical for any value; only costs change.
+	PartitionRows int
+	// DisablePruning turns zone-map partition pruning off in both the
+	// executor and the planner's cost model. Pruning is sound (results are
+	// identical either way); the switch exists for A/B cost measurement —
+	// the partition experiment runs the same workload with pruning on and
+	// off and reports the scan-byte and simulated-time ratio.
+	DisablePruning bool
 	// MaxStaleness bounds synopsis staleness under online ingestion: a
 	// materialized synopsis that has missed more than this fraction of its
 	// source rows (see meta.Entry.Staleness) is disqualified from answering
@@ -149,6 +163,7 @@ type Report struct {
 	EstimatedCost  float64 // planner's estimate for the chosen plan
 	EstimatedExact float64 // planner's estimate for the exact plan
 	SimSeconds     float64 // measured simulated cluster time (incl. overhead)
+	ScanBytes      int64   // base-table bytes actually scanned (post zone-map pruning)
 	WallSeconds    float64
 	WarehouseBytes int64 // warehouse usage after the query
 	BufferBytes    int64
@@ -252,6 +267,9 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 	if cfg.ReportCap <= 0 {
 		cfg.ReportCap = 4096
 	}
+	if cfg.PartitionRows > 0 {
+		cat.Repartition(cfg.PartitionRows)
+	}
 	var db *persist.Store
 	var sp warehouse.Spiller
 	if cfg.WarehouseDir != "" {
@@ -262,10 +280,19 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 		sp = diskSpiller{db}
 	}
 	store := meta.NewStore()
+	// Register every table's partition layout up front, so partition-scoped
+	// staleness never has to fall back to its conservative layout-unknown
+	// path before the first ingest.
+	for _, name := range cat.Names() {
+		if t, err := cat.Table(name); err == nil {
+			store.ObservePartitions(name, t.PartitionRowCounts())
+		}
+	}
 	wh := warehouse.NewManagerWithSpiller(cfg.BufferSize, cfg.StorageBudget, sp)
 	pl := planner.New(store, wh, cfg.CostModel)
 	pl.Seed = cfg.Seed
 	pl.MaxStaleness = cfg.MaxStaleness
+	pl.DisablePruning = cfg.DisablePruning
 	if cfg.Workers > 0 {
 		pl.Parallelism = float64(cfg.Workers)
 	}
@@ -432,6 +459,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	// regardless of interleaving.
 	ctx := exec.NewContext(q.Accuracy.Confidence)
 	ctx.Workers = e.cfg.Workers
+	ctx.DisablePrune = e.cfg.DisablePruning
 	matNames := make(map[*plan.SynopsisOp]uint64)
 	keepSketch := make(map[*plan.SketchJoin]uint64)
 	for _, cs := range dec.Materialize {
@@ -518,6 +546,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		// overhead to the baselines would inflate them (§VI fairness).
 		res.Report.SimSeconds += e.cfg.TuneOverheadSeconds
 	}
+	res.Report.ScanBytes = ctx.Stats.BaseBytes
 	res.Report.WallSeconds = time.Since(start).Seconds()
 	res.Report.BufferBytes, res.Report.WarehouseBytes = e.wh.Usage()
 	res.Report.PlanTree = planTree
@@ -646,9 +675,11 @@ func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
 		e.store.MarkUnseen(table, -added) // roll the pre-mark back
 		return 0, fmt.Errorf("core: ingest into %s: %w", table, err)
 	}
-	// Publish the version and release the pre-mark in one atomic store
-	// operation, so no reader ever counts the appended rows twice.
-	e.store.PublishAppend(table, nt.Epoch(), int64(nt.NumRows()), added)
+	// Publish the version, the new partition layout and the pre-mark release
+	// in one atomic store operation, so no reader ever counts the appended
+	// rows twice and partition-scoped staleness can attribute the append to
+	// exactly the partitions it landed in.
+	e.store.PublishAppendParts(table, nt.Epoch(), int64(nt.NumRows()), added, nt.PartitionRowCounts())
 	if e.svc != nil || e.db != nil {
 		e.tuneMu.Lock()
 		if e.svc != nil {
@@ -809,4 +840,87 @@ func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols 
 		}
 	}
 	return id, nil
+}
+
+// PinPartitionedSample builds and pins one uniform mini-sample per partition
+// of a base table: each partition's sample is its own warehouse item with a
+// partition-scoped descriptor, so the disk tier spills and faults partitions
+// individually, an append landing in one partition leaves its siblings fully
+// fresh (partition-scoped staleness), and refreshing after ingestion
+// rebuilds only the partitions that changed. The planner serves whole-table
+// queries from the complete set merged in partition order; the chunk-aligned
+// build discipline (see synopses.BuildUniformRangeSample) makes that merge
+// bit-identical to a monolithic sample at the same seed. Returns the
+// per-partition synopsis IDs in partition order.
+func (e *Engine) PinPartitionedSample(table string, prob float64, stratCols, aggCols []string, acc stats.AccuracySpec) ([]uint64, error) {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	tbl, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if prob <= 0 {
+		prob = 0.01
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	sig := plan.SignatureOf(&plan.Scan{Table: tbl})
+	// One shared base seed per table: the chunk-aligned discipline keys every
+	// draw to the row's global position under this seed, which is what makes
+	// the per-partition builds merge into exactly the whole-table sample.
+	seed := synopses.SeedFromString("pin-partitioned:"+table, e.cfg.Seed)
+	counts := tbl.PartitionRowCounts()
+	ids := make([]uint64, 0, tbl.Partitions())
+	for pi := 0; pi < tbl.Partitions(); pi++ {
+		desc := meta.Descriptor{
+			Kind:      plan.UniformSample,
+			Sig:       sig,
+			StratCols: stratCols,
+			P:         prob,
+			AggCols:   aggCols,
+			Accuracy:  acc,
+			Pinned:    true,
+			Partition: pi + 1,
+		}
+		entry := e.store.Intern(desc)
+		id := entry.Desc.ID
+		s := synopses.BuildPartitionSample(fmt.Sprintf("synopsis_%d", id), tbl, pi, prob, seed, stratCols)
+		it := warehouse.NewSampleItem(id, s)
+		it.Pinned = true
+		e.store.SetPinned(id, true)
+		loc := meta.LocWarehouse
+		if e.wh.Has(id) {
+			// Re-pinning after ingestion refreshes the stored copy in place —
+			// typically only the tail partition's descriptor resolves to a
+			// stored item with different contents; untouched partitions
+			// rebuild byte-identically and the refresh is a no-op overwrite.
+			res, err := e.wh.Refresh(it)
+			if err != nil {
+				return ids, fmt.Errorf("core: pinning partition %d sample on %s: %w", pi+1, table, err)
+			}
+			if res == warehouse.AdmitBuffer {
+				loc = meta.LocBuffer
+			}
+		} else if err := e.wh.PutWarehouse(it); err != nil {
+			return ids, fmt.Errorf("core: pinning partition %d sample on %s: %w", pi+1, table, err)
+		}
+		e.store.SetActualSize(id, it.Size)
+		e.store.SetLocation(id, loc)
+		// Freshness is the partition's own row count: partition-scoped
+		// staleness compares it against the observed layout, so an append
+		// landing elsewhere contributes nothing.
+		e.store.SetFreshness(id, tbl.Epoch(), map[string]int64{table: counts[pi]})
+		ids = append(ids, id)
+	}
+	e.store.ObservePartitions(table, counts)
+	if e.svc != nil {
+		e.republishLocked()
+	}
+	if e.db != nil {
+		if err := e.checkpointLocked(false); err != nil {
+			return ids, fmt.Errorf("core: pinned partitioned sample on %s installed but not yet durable: %w", table, err)
+		}
+	}
+	return ids, nil
 }

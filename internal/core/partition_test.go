@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/planner"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
+)
+
+// partitionedEngine is testEngine over the shared catalog, tiled into
+// PartitionRows-sized partitions. 9000 tiles the 30000-row sales table as
+// [9000, 9000, 9000, 3000] — a short tail, so appends land inside an
+// existing partition rather than always opening a new one.
+func partitionedEngine(partRows int, maxStaleness float64) *Engine {
+	cat := testCatalog()
+	return New(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    cat.TotalBytes(),
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		PartitionRows: partRows,
+		MaxStaleness:  maxStaleness,
+		Synchronous:   true,
+	})
+}
+
+var partPinAcc = stats.AccuracySpec{RelError: 0.05, Confidence: 0.99}
+
+func pinPartitioned(t *testing.T, e *Engine) []uint64 {
+	t.Helper()
+	ids, err := e.PinPartitionedSample("sales", 0.05,
+		[]string{"sales.product"}, []string{"sales.qty", "sales.price"}, partPinAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestPartitionedPinStalenessScoping is the PR's staleness regression: an
+// append that lands in the tail partition must leave the sibling
+// partitions' synopses fully fresh, while a whole-table synopsis of the same
+// relation (the pre-partitioning granularity) goes stale. Before
+// partition-scoped freshness epochs, ONE appended row staleness-marked every
+// synopsis of the relation.
+func TestPartitionedPinStalenessScoping(t *testing.T) {
+	e := partitionedEngine(9000, 0)
+	ids := pinPartitioned(t, e)
+	if len(ids) != 4 {
+		t.Fatalf("pinned %d per-partition samples, want 4", len(ids))
+	}
+	// A whole-table pinned sample for contrast.
+	sales, _ := e.Catalog().Table("sales")
+	whole, err := e.PinSample("sales",
+		synopses.BuildSampleFromTable("whole", sales,
+			synopses.NewDistinctSampler(0.01, 10, []int{0}, 3),
+			[]string{"sales.product"}),
+		[]string{"sales.product"}, []string{"sales.qty", "sales.price"}, partPinAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range append(ids, whole) {
+		if s := e.Store().Staleness(id); s != 0 {
+			t.Fatalf("synopsis #%d stale before any append: %v", id, s)
+		}
+	}
+
+	// 2000 rows land in the 3000-row tail partition: [9000, 9000, 9000, 5000].
+	if _, err := e.Ingest("sales", salesDelta(2000, 40)); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if s := e.Store().Staleness(ids[p]); s != 0 {
+			t.Fatalf("partition %d synopsis stale after tail append: %v", p+1, s)
+		}
+	}
+	if got, want := e.Store().Staleness(ids[3]), 2000.0/5000.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tail synopsis staleness = %v, want %v", got, want)
+	}
+	if got, want := e.Store().Staleness(whole), 2000.0/32000.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("whole-table synopsis staleness = %v, want %v", got, want)
+	}
+}
+
+// partQuery is catQuery with two fact-side aggregates: sketch-ineligible, so
+// sample reuse is the only sub-exact plan shape (the PinSample test's trick).
+func partQuery(e *Engine) *planner.Query {
+	q := catQuery(e)
+	q.Aggs = []plan.AggSpec{
+		{Kind: stats.Sum, Col: "sales.qty"},
+		{Kind: stats.Sum, Col: "sales.price"},
+	}
+	return q
+}
+
+func usedAllPartitions(res *Result, ids []uint64) bool {
+	used := make(map[uint64]bool, len(res.Report.UsedSynopses))
+	for _, u := range res.Report.UsedSynopses {
+		used[u] = true
+	}
+	for _, id := range ids {
+		if !used[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPartitionedPinServesMergedReuse: the complete per-partition sample set
+// answers a whole-table aggregate — merged in partition order — and the
+// per-partition staleness bound governs the SET: one over-bound partition
+// disqualifies it, and within the bound it keeps serving.
+func TestPartitionedPinServesMergedReuse(t *testing.T) {
+	e := partitionedEngine(9000, 0) // fresh-only
+	ids := pinPartitioned(t, e)
+	res, err := e.Execute(partQuery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedAllPartitions(res, ids) {
+		t.Fatalf("merged reuse must use all %d partition samples; used=%v plan=%q",
+			len(ids), res.Report.UsedSynopses, res.Report.PlanDesc)
+	}
+	// Sanity: the merged estimate tracks the exact answer.
+	truth := exactOn(t, e)
+	for _, r := range res.Rows {
+		want := truth[r[0].I]
+		if math.Abs(r[1].F-want) > 0.2*math.Abs(want) {
+			t.Fatalf("merged-sample estimate for group %d = %v, exact %v", r[0].I, r[1].F, want)
+		}
+	}
+
+	// Under fresh-only, a tail append disqualifies the whole set. The delta
+	// keeps qty inside the base distribution (1..7) so the disqualification
+	// is attributable to the staleness policy alone — a qty far outside the
+	// base range would inflate the column's CV and raise the per-group
+	// sample-size bar, disqualifying the set for accuracy instead.
+	if _, err := e.Ingest("sales", salesDelta(2000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Execute(partQuery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedAllPartitions(res, ids) {
+		t.Fatalf("stale tail partition served under fresh-only policy; plan=%q", res.Report.PlanDesc)
+	}
+
+	// With a staleness allowance covering 2000/5000 drift, the set serves on.
+	e2 := partitionedEngine(9000, 0.5)
+	ids2 := pinPartitioned(t, e2)
+	if _, err := e2.Ingest("sales", salesDelta(2000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Execute(partQuery(e2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedAllPartitions(res2, ids2) {
+		t.Fatalf("within-bound partition set not reused; used=%v plan=%q",
+			res2.Report.UsedSynopses, res2.Report.PlanDesc)
+	}
+}
+
+// TestPartitionedIngestQuerySpillStorm races the partitioned engine end to
+// end: concurrent queries (zone-pruned scans, merged partition-sample
+// reuse, spill fault-ins off the tiny buffer) against appends that grow the
+// tail partition and open new ones, plus elastic budget churn. Run under
+// -race by the concurrency suite (`make test-race`); the asserts check the
+// engine lands coherent — answers over evolved data, a warehouse that
+// reopens cleanly.
+func TestPartitionedIngestQuerySpillStorm(t *testing.T) {
+	dir := t.TempDir()
+	cat := testCatalog()
+	e, err := Open(cat, Config{
+		Mode:          ModeTaster,
+		StorageBudget: cat.TotalBytes(),
+		BufferSize:    1 << 10, // admissions overflow straight to disk
+		CostModel:     storage.ScaledCostModel(cat.TotalBytes(), 30040),
+		Seed:          7,
+		PartitionRows: 9000,
+		MaxStaleness:  -1, // serve through the append churn
+		WarehouseDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PinPartitionedSample("sales", 0.05,
+		[]string{"sales.product"}, []string{"sales.qty", "sales.price"}, partPinAcc); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 4, 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients+2)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := persistQuery(e, i+c)
+				if i%3 == 0 {
+					q = partQuery(e)
+				}
+				res, err := e.Execute(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(res.Rows) == 0 {
+					errCh <- fmt.Errorf("client %d query %d: empty result", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() { // appends grow the tail partition and open new ones
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := e.Ingest("sales", salesDelta(1500, 4)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // elastic budget churn forces spills and evictions
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			e.SetStorageBudget(cat.TotalBytes() / int64(1+i%3))
+			e.Drain()
+		}
+		e.SetStorageBudget(cat.TotalBytes())
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	e.Quiesce()
+
+	// The evolved table must have absorbed every append into the layout.
+	sales, _ := e.Catalog().Table("sales")
+	if got, want := sales.NumRows(), 30000+8*1500; got != want {
+		t.Fatalf("sales rows after storm = %d, want %d", got, want)
+	}
+	if sales.Partitions() < 5 {
+		t.Fatalf("appends opened no new partition: %d partitions", sales.Partitions())
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := persistEngine(cat, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for _, ent := range e2.Store().Materialized() {
+		if !e2.Warehouse().Has(ent.Desc.ID) {
+			t.Fatalf("entry #%d inconsistent after storm restart", ent.Desc.ID)
+		}
+	}
+}

@@ -19,6 +19,16 @@ func Compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
 		return NewSynopsisScan(t.Sample, t.InBuffer, ctx), nil
 
 	case *plan.Filter:
+		// A filter directly above a base-table scan drives zone-map pruning:
+		// the scan skips partitions whose zones prove the predicate
+		// unsatisfiable. The FilterOp stays on top, so the output stream is
+		// identical with pruning on or off — pruning only reduces the scanned
+		// bytes and tuples.
+		if sc, ok := t.Child.(*plan.Scan); ok && !ctx.DisablePrune {
+			ts := NewTableScan(sc.Table, ctx)
+			ts.Prune = t.Pred
+			return NewFilterOp(ts, t.Pred, ctx), nil
+		}
 		child, err := Compile(t.Child, seed, ctx)
 		if err != nil {
 			return nil, err

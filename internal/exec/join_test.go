@@ -473,8 +473,12 @@ func TestParallelMultiJoinEmptyInnerMatchesVolcano(t *testing.T) {
 	}
 
 	vctx := NewContext(0.95)
+	// Mirror the compiled form of Filter-over-Scan: the scan carries the
+	// filter predicate as its zone-prune expression.
+	vcust := NewTableScan(customersTable(), vctx)
+	vcust.Prune = emptyCust.Pred
 	vj1, err := NewHashJoinOp(NewTableScan(fact, vctx),
-		NewFilterOp(NewTableScan(customersTable(), vctx), emptyCust.Pred, vctx), // empty build
+		NewFilterOp(vcust, emptyCust.Pred, vctx), // empty build
 		[]string{"orders.cust"}, []string{"cust.id"}, vctx)
 	if err != nil {
 		t.Fatal(err)

@@ -92,6 +92,10 @@ type Context struct {
 	// DefaultMorselRows. Changing it changes the per-morsel sampler streams,
 	// so it is part of a query's reproducibility key.
 	MorselRows int
+	// DisablePrune turns zone-map partition pruning off. Pruning is sound —
+	// it never changes results, only the scan-byte and tuple charges — so the
+	// flag exists for A/B cost measurement and the pruning soundness tests.
+	DisablePrune bool
 }
 
 // NewContext returns a context with fresh stats at the given confidence.

@@ -246,10 +246,25 @@ func (p *ParallelAggOp) Next() (*storage.Batch, error) {
 		workers = nMorsels
 	}
 
+	// Zone-map pruning: when the spine is sampler-free and a Filter sits
+	// directly above a base-table leaf, partitions whose zones refute the
+	// predicate are skipped — the filter would drop every one of their rows
+	// anyway, so the merged result is bit-identical; only the scanned bytes
+	// and tuple counts shrink. Morsel geometry stays on the global row grid
+	// (nMorsels is unchanged), so worker-count determinism is untouched; a
+	// fully pruned morsel simply yields no batches. Sampler pipelines never
+	// prune: their per-morsel RNG streams are keyed to raw row positions.
+	keep, leafBytes := []bool(nil), p.pipe.leafBytes
+	if p.pipe.leafBase && p.pipe.sampler == nil && !p.ctx.DisablePrune && len(p.pipe.chain) > 0 {
+		if f, ok := p.pipe.chain[0].(*plan.Filter); ok {
+			keep, leafBytes = pruneKeep(p.pipe.leaf, f.Pred)
+		}
+	}
+
 	// Charge the leaf scan once, exactly as the Volcano scan operators do.
 	switch {
 	case p.pipe.leafBase:
-		p.ctx.Stats.BaseBytes += p.pipe.leafBytes
+		p.ctx.Stats.BaseBytes += leafBytes
 	case !p.pipe.leafFree:
 		p.ctx.Stats.WarehouseBytes += p.pipe.leafBytes
 	}
@@ -266,7 +281,7 @@ func (p *ParallelAggOp) Next() (*storage.Batch, error) {
 				if i >= nMorsels {
 					return
 				}
-				results[i] = p.runMorsel(i, nMorsels, morselRows)
+				results[i] = p.runMorsel(i, nMorsels, morselRows, keep)
 			}
 		}()
 	}
@@ -318,8 +333,9 @@ func (p *ParallelAggOp) Schema() storage.Schema { return p.spec.schema }
 // Intervals implements IntervalReporter.
 func (p *ParallelAggOp) Intervals() [][]stats.Interval { return p.intervals }
 
-// runMorsel executes the pipeline over morsel i with fully local state.
-func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int) morselResult {
+// runMorsel executes the pipeline over morsel i with fully local state. keep
+// is the zone-prune survivor mask (nil = scan everything).
+func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int, keep []bool) morselResult {
 	mctx := &Context{
 		Confidence:         p.ctx.Confidence,
 		Stats:              &RunStats{},
@@ -331,7 +347,7 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int) morselResult {
 	}
 	lo := i * morselRows
 	hi := lo + morselRows
-	root.src.batches = p.pipe.leaf.ScanRange(lo, hi, storage.BatchSize)
+	root.src.batches = p.pipe.leaf.ScanRangePruned(lo, hi, storage.BatchSize, keep)
 
 	table := newAggTable(p.spec)
 	if err := root.op.Open(); err != nil {

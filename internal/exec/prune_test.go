@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Zone-map pruning at the executor layer. orders.amount equals the row
+// index, so the Build(3) layout clusters amount into three disjoint ranges
+// and a range predicate provably excludes whole partitions. Every test here
+// holds the same contract: pruning changes the scan-byte charge, never the
+// rows.
+
+// amountAbove is a filter the zone maps can reason about: it keeps only the
+// last of ordersTable's three partitions.
+func amountAbove(v float64) expr.Expr {
+	return &expr.Cmp{
+		Op: expr.GE,
+		L:  &expr.Col{Name: "orders.amount"},
+		R:  &expr.Const{Val: storage.FloatValue(v)},
+	}
+}
+
+func mustSameRows(t *testing.T, label string, a, b [][]storage.Value) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: row count %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		for c := range a[i] {
+			if !a[i][c].Equal(b[i][c]) {
+				t.Fatalf("%s: row %d col %d: %v vs %v", label, i, c, a[i][c], b[i][c])
+			}
+		}
+	}
+}
+
+// TestVolcanoPrunedScanMatchesUnpruned: the compiled Filter-over-Scan prunes
+// provably excluded partitions; rows are identical, bytes charge only the
+// surviving partitions.
+func TestVolcanoPrunedScanMatchesUnpruned(t *testing.T) {
+	tbl := ordersTable()
+	f := &plan.Filter{Child: &plan.Scan{Table: tbl}, Pred: amountAbove(700)}
+
+	on := NewContext(0.95)
+	pruned := runPlan(t, f, on)
+	off := NewContext(0.95)
+	off.DisablePrune = true
+	full := runPlan(t, f, off)
+
+	mustSameRows(t, "volcano prune on-vs-off", allRows(pruned), allRows(full))
+	if n := len(allRows(pruned)); n != 300 {
+		t.Fatalf("filter kept %d rows, want 300", n)
+	}
+	if off.Stats.BaseBytes != tbl.Bytes() {
+		t.Fatalf("unpruned charge = %d, want full %d", off.Stats.BaseBytes, tbl.Bytes())
+	}
+	// amount >= 700 zone-excludes partitions [0,334) and [334,667): only the
+	// last partition's bytes may be charged.
+	want := tbl.PartitionBytes(tbl.Partitions() - 1)
+	if on.Stats.BaseBytes != want {
+		t.Fatalf("pruned charge = %d, want last partition's %d", on.Stats.BaseBytes, want)
+	}
+}
+
+// TestVolcanoPruneAllPartitions: a predicate no row can satisfy prunes every
+// partition — zero rows, zero base bytes, no error.
+func TestVolcanoPruneAllPartitions(t *testing.T) {
+	ctx := NewContext(0.95)
+	f := &plan.Filter{Child: &plan.Scan{Table: ordersTable()}, Pred: amountAbove(1e9)}
+	if n := len(allRows(runPlan(t, f, ctx))); n != 0 {
+		t.Fatalf("impossible predicate returned %d rows", n)
+	}
+	if ctx.Stats.BaseBytes != 0 {
+		t.Fatalf("fully pruned scan charged %d bytes", ctx.Stats.BaseBytes)
+	}
+}
+
+// TestParallelAggPruneMatchesVolcano: the morsel-parallel aggregation path
+// prunes the same partitions as the Volcano path — identical rows AND
+// identical cost counters, pruning on or off. Counter identity between the
+// two runtimes is the repo-wide invariant that keeps plan costing honest.
+func TestParallelAggPruneMatchesVolcano(t *testing.T) {
+	mk := func(workers int, disable bool) (*Context, [][]storage.Value) {
+		ctx := NewContext(0.95)
+		ctx.Workers = workers
+		ctx.DisablePrune = disable
+		agg := &plan.Aggregate{
+			Child:   &plan.Filter{Child: &plan.Scan{Table: ordersTable()}, Pred: amountAbove(700)},
+			GroupBy: []string{"orders.cust"},
+			Aggs:    []plan.AggSpec{{Kind: stats.Sum, Col: "orders.amount"}},
+		}
+		return ctx, allRows(runPlan(t, agg, ctx))
+	}
+
+	volcano, vRows := mk(1, false)
+	parallel, pRows := mk(4, false)
+	mustSameRows(t, "parallel-vs-volcano pruned", pRows, vRows)
+	v, p := volcano.Stats, parallel.Stats
+	if v.BaseBytes != p.BaseBytes || v.WarehouseBytes != p.WarehouseBytes ||
+		v.CPUTuples != p.CPUTuples || v.ShuffleBytes != p.ShuffleBytes ||
+		v.OutputRows != p.OutputRows {
+		t.Fatalf("pruned counters diverge: volcano %+v vs parallel %+v", v, p)
+	}
+
+	_, fullRows := mk(4, true)
+	mustSameRows(t, "parallel prune on-vs-off", pRows, fullRows)
+	if parallel.Stats.BaseBytes >= ordersTable().Bytes() {
+		t.Fatalf("pruning charged %d bytes, not below full %d", parallel.Stats.BaseBytes, ordersTable().Bytes())
+	}
+}

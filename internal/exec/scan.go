@@ -1,14 +1,19 @@
 package exec
 
 import (
+	"github.com/tasterdb/taster/internal/expr"
 	"github.com/tasterdb/taster/internal/storage"
 	"github.com/tasterdb/taster/internal/synopses"
 )
 
 // TableScan reads a base table partition by partition, charging cold-scan
-// bytes to the run stats.
+// bytes to the run stats. When Prune is set (the predicate of the Filter
+// directly above the scan), partitions whose zone maps prove the predicate
+// unsatisfiable are skipped and their bytes never charged — the result
+// stream above the filter is unchanged, only the cost shrinks.
 type TableScan struct {
 	Table *storage.Table
+	Prune expr.Expr
 	ctx   *Context
 
 	batches []*storage.Batch
@@ -20,14 +25,44 @@ func NewTableScan(t *storage.Table, ctx *Context) *TableScan {
 	return &TableScan{Table: t, ctx: ctx}
 }
 
+// pruneKeep evaluates pred against every partition's zone map and returns
+// the survivor mask plus the surviving byte total. A nil mask means nothing
+// was pruned (scan everything); bytes then equals t.Bytes() exactly, so an
+// ineffective prune charges the same as no prune at all.
+func pruneKeep(t *storage.Table, pred expr.Expr) ([]bool, int64) {
+	if pred == nil {
+		return nil, t.Bytes()
+	}
+	sch := t.Schema()
+	keep := make([]bool, t.Partitions())
+	var bytes int64
+	pruned := false
+	for p := range keep {
+		if expr.ZonePrunes(pred, sch, t.Zone(p)) {
+			pruned = true
+			continue
+		}
+		keep[p] = true
+		bytes += t.PartitionBytes(p)
+	}
+	if !pruned {
+		return nil, bytes
+	}
+	return keep, bytes
+}
+
 // Open implements Operator.
 func (s *TableScan) Open() error {
 	s.batches = s.batches[:0]
+	keep, bytes := pruneKeep(s.Table, s.Prune)
 	for p := 0; p < s.Table.Partitions(); p++ {
+		if keep != nil && !keep[p] {
+			continue
+		}
 		s.batches = append(s.batches, s.Table.Scan(p, storage.BatchSize)...)
 	}
 	s.pos = 0
-	s.ctx.Stats.BaseBytes += s.Table.Bytes()
+	s.ctx.Stats.BaseBytes += bytes
 	return nil
 }
 

@@ -304,3 +304,30 @@ func TestServingExperimentSmoke(t *testing.T) {
 		t.Fatal("table rendering")
 	}
 }
+
+// TestPartitionPruningSpeedup is the PR's perf acceptance criterion: on the
+// time-clustered selective-predicate workload, zone-map pruning must cut
+// simulated time by at least 2x (it should do far better on scan bytes)
+// while leaving every answer bit-equal.
+func TestPartitionPruningSpeedup(t *testing.T) {
+	r, err := Partition(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultsEqual {
+		t.Fatal("pruning changed query answers")
+	}
+	if r.SimSpeedup < 2 {
+		t.Fatalf("pruning speedup %.2fx < 2x (pruned %.1f vs full %.1f sim seconds)",
+			r.SimSpeedup, r.PrunedSim, r.FullSim)
+	}
+	if r.BytesRatio < 2 {
+		t.Fatalf("scan-byte ratio %.2fx < 2x", r.BytesRatio)
+	}
+	if r.Partitions < 2 {
+		t.Fatalf("table tiled into %d partitions; pruning cannot fire", r.Partitions)
+	}
+	if !strings.Contains(r.Table(), "Partition pruning") {
+		t.Fatal("table rendering")
+	}
+}

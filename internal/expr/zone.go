@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"math"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// Zone-map pruning. ZonePrunes decides whether a scan may skip a partition
+// entirely given the partition's per-column [min, max] bounds. The check is
+// conservative by construction: only top-level AND-ed conjuncts of the
+// recognizable col-op-const / col-IN shapes are consulted, and any conjunct,
+// column or value pair the analysis does not fully understand contributes
+// nothing — it can only fail to prune, never prune wrongly. Soundness is
+// held by a property test over random predicates and partitions.
+
+// ZonePrunes reports whether pred provably rejects every row whose column
+// values lie within the zone's bounds — i.e. whether a scan can skip the
+// partition the zone summarizes without changing any query result. An empty
+// partition is always prunable; a nil predicate or nil zone never is.
+func ZonePrunes(pred Expr, sch storage.Schema, zone *storage.ZoneMap) bool {
+	if zone == nil {
+		return false
+	}
+	if zone.Rows == 0 {
+		return true
+	}
+	if pred == nil {
+		return false
+	}
+	for _, cj := range Conjuncts(pred) {
+		sc, ok := asSimple(cj)
+		if !ok {
+			continue
+		}
+		i := sch.Index(sc.col)
+		if i < 0 || i >= len(zone.Min) {
+			continue
+		}
+		if conjunctExcludes(sc, zone.Min[i], zone.Max[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// conjunctExcludes reports whether the conjunct is false for every value in
+// [mn, mx] — a single excluding conjunct of a conjunction prunes the whole
+// partition.
+func conjunctExcludes(sc simpleConjunct, mn, mx storage.Value) bool {
+	if sc.isIn {
+		if len(sc.in) == 0 {
+			return true
+		}
+		for _, v := range sc.in {
+			if !valueOutside(v, mn, mx) {
+				return false
+			}
+		}
+		return true
+	}
+	switch sc.op {
+	case EQ:
+		return valueOutside(sc.val, mn, mx)
+	case NE:
+		// Excludes only when every row holds exactly val: mn == val == mx.
+		cl, ok1 := zoneCmp(mn, sc.val)
+		ch, ok2 := zoneCmp(mx, sc.val)
+		return ok1 && ok2 && cl == 0 && ch == 0
+	case LT: // col < val fails everywhere iff mn >= val
+		c, ok := zoneCmp(mn, sc.val)
+		return ok && c >= 0
+	case LE: // col <= val fails everywhere iff mn > val
+		c, ok := zoneCmp(mn, sc.val)
+		return ok && c > 0
+	case GT: // col > val fails everywhere iff mx <= val
+		c, ok := zoneCmp(mx, sc.val)
+		return ok && c <= 0
+	case GE: // col >= val fails everywhere iff mx < val
+		c, ok := zoneCmp(mx, sc.val)
+		return ok && c < 0
+	}
+	return false
+}
+
+// valueOutside reports that v provably lies outside [mn, mx].
+func valueOutside(v, mn, mx storage.Value) bool {
+	if c, ok := zoneCmp(v, mn); ok && c < 0 {
+		return true
+	}
+	if c, ok := zoneCmp(v, mx); ok && c > 0 {
+		return true
+	}
+	return false
+}
+
+// maxExactInt bounds the int64 range float64 represents exactly (2^53);
+// mixed int/float comparisons beyond it are declared incomparable rather
+// than risking an off-by-one-ulp unsound prune.
+const maxExactInt = int64(1) << 53
+
+// zoneCmp is a three-way comparison of two values for pruning purposes.
+// ok is false when the pair cannot be compared soundly: mismatched
+// non-numeric types, NaN, or a mixed int/float pair outside float64's exact
+// integer range.
+func zoneCmp(a, b storage.Value) (c int, ok bool) {
+	switch {
+	case a.Typ == storage.Int64 && b.Typ == storage.Int64:
+		return cmpOrdered(a.I, b.I), true
+	case a.Typ == storage.Float64 && b.Typ == storage.Float64:
+		if math.IsNaN(a.F) || math.IsNaN(b.F) {
+			return 0, false
+		}
+		return cmpOrdered(a.F, b.F), true
+	case a.Typ == storage.Int64 && b.Typ == storage.Float64:
+		return cmpIntFloat(a.I, b.F)
+	case a.Typ == storage.Float64 && b.Typ == storage.Int64:
+		c, ok := cmpIntFloat(b.I, a.F)
+		return -c, ok
+	case a.Typ == storage.String && b.Typ == storage.String:
+		return cmpOrdered(a.S, b.S), true
+	case a.Typ == storage.Bool && b.Typ == storage.Bool:
+		return cmpOrdered(boolInt(a.B), boolInt(b.B)), true
+	}
+	return 0, false
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpIntFloat(i int64, f float64) (int, bool) {
+	if math.IsNaN(f) {
+		return 0, false
+	}
+	if i > maxExactInt || i < -maxExactInt {
+		return 0, false
+	}
+	return cmpOrdered(float64(i), f), true
+}

@@ -1,0 +1,131 @@
+package meta
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/plan"
+	"github.com/tasterdb/taster/internal/stats"
+)
+
+// internPart interns a uniform-sample descriptor scoped to one partition of
+// the table.
+func internPart(s *Store, table string, part int) *Entry {
+	e := s.Intern(Descriptor{
+		Kind:      plan.UniformSample,
+		Sig:       plan.Signature{Tables: []string{table}},
+		P:         0.1,
+		Partition: part,
+		Accuracy:  stats.DefaultAccuracy,
+	})
+	// Matching only considers materialized synopses.
+	s.SetLocation(e.Desc.ID, LocBuffer)
+	return e
+}
+
+// TestPartitionScopedStaleness: an append that lands entirely in the tail
+// partition leaves the sibling partitions' synopses at staleness 0 — the
+// regression the partition-scoped freshness epochs exist to prevent (the
+// whole-table path would have marked every synopsis of the relation).
+func TestPartitionScopedStaleness(t *testing.T) {
+	s := NewStore()
+	// sales tiled as [400, 400, 200]; per-partition samples built fresh.
+	s.ObserveVersion("sales", 0, 1000)
+	s.ObservePartitions("sales", []int64{400, 400, 200})
+	var ids [3]uint64
+	for p := 1; p <= 3; p++ {
+		e := internPart(s, "sales", p)
+		ids[p-1] = e.Desc.ID
+		rows := int64(400)
+		if p == 3 {
+			rows = 200
+		}
+		s.SetFreshness(ids[p-1], 0, map[string]int64{"sales": rows})
+	}
+
+	// 100 rows land in the tail: [400, 400, 300].
+	s.PublishAppendParts("sales", 1, 1100, 100, []int64{400, 400, 300})
+
+	if got := s.Staleness(ids[0]); got != 0 {
+		t.Fatalf("partition 1 staleness = %v, want 0 (append landed in tail)", got)
+	}
+	if got := s.Staleness(ids[1]); got != 0 {
+		t.Fatalf("partition 2 staleness = %v, want 0 (append landed in tail)", got)
+	}
+	if got, want := s.Staleness(ids[2]), 100.0/300.0; got != want {
+		t.Fatalf("tail partition staleness = %v, want %v", got, want)
+	}
+
+	// An append that opens a NEW partition: [400, 400, 400, 100]. The old
+	// tail absorbed 100 more rows, the new partition is nobody's scope yet.
+	s.PublishAppendParts("sales", 2, 1300, 200, []int64{400, 400, 400, 100})
+	if got := s.Staleness(ids[0]); got != 0 {
+		t.Fatalf("partition 1 staleness after growth = %v, want 0", got)
+	}
+	if got, want := s.Staleness(ids[2]), 200.0/400.0; got != want {
+		t.Fatalf("partition 3 staleness after growth = %v, want %v", got, want)
+	}
+}
+
+// TestPartitionPendingAttribution: in-flight rows (marked unseen but not yet
+// published into a layout) burden only the tail partition — they can land
+// nowhere else — plus any synopsis whose table has no known layout.
+func TestPartitionPendingAttribution(t *testing.T) {
+	s := NewStore()
+	s.ObserveVersion("sales", 0, 1000)
+	s.ObservePartitions("sales", []int64{500, 500})
+	head := internPart(s, "sales", 1)
+	tail := internPart(s, "sales", 2)
+	s.SetFreshness(head.Desc.ID, 0, map[string]int64{"sales": 500})
+	s.SetFreshness(tail.Desc.ID, 0, map[string]int64{"sales": 500})
+
+	s.MarkUnseen("sales", 250)
+	if got := s.Staleness(head.Desc.ID); got != 0 {
+		t.Fatalf("head partition charged for pending rows: %v", got)
+	}
+	if got, want := s.Staleness(tail.Desc.ID), 250.0/750.0; got != want {
+		t.Fatalf("tail pending staleness = %v, want %v", got, want)
+	}
+	// Publishing the layout moves the charge from pending to concrete.
+	s.PublishAppendParts("sales", 1, 1250, 250, []int64{500, 750})
+	if got := s.Staleness(head.Desc.ID); got != 0 {
+		t.Fatalf("head partition stale after publish: %v", got)
+	}
+	if got, want := s.Staleness(tail.Desc.ID), 250.0/750.0; got != want {
+		t.Fatalf("tail published staleness = %v, want %v", got, want)
+	}
+}
+
+// TestMatchSamplePartitionsCompleteSet: a cross-partition aggregate can only
+// be answered when EVERY partition has a usable sample; a partial set (or a
+// whole-table requirement) must not match partition-scoped entries.
+func TestMatchSamplePartitionsCompleteSet(t *testing.T) {
+	s := NewStore()
+	req := Requirements{
+		Sig:      plan.Signature{Tables: []string{"sales"}},
+		Accuracy: stats.DefaultAccuracy,
+	}
+
+	// Partitions 1 and 3 of 3 materialized: incomplete, no match.
+	internPart(s, "sales", 1)
+	internPart(s, "sales", 3)
+	if ms := s.MatchSamplePartitions(req, 3); ms != nil {
+		t.Fatalf("incomplete partition set matched: %v", ms)
+	}
+
+	// Partition 2 arrives: complete set, matches in partition order.
+	internPart(s, "sales", 2)
+	ms := s.MatchSamplePartitions(req, 3)
+	if len(ms) != 3 {
+		t.Fatalf("complete set match = %d entries, want 3", len(ms))
+	}
+	for i, m := range ms {
+		if m.Entry.Desc.Partition != i+1 {
+			t.Fatalf("match %d is partition %d, want %d", i, m.Entry.Desc.Partition, i+1)
+		}
+	}
+
+	// Partition-scoped entries never serve a whole-table requirement.
+	if ms := s.MatchSamples(req); len(ms) != 0 {
+		t.Fatalf("whole-table requirement matched partition-scoped entries: %v", ms)
+	}
+}

@@ -129,6 +129,27 @@ func fixtureSketchJoin() *synopses.SketchJoin {
 	return sj
 }
 
+// fixturePartitioned builds a deterministic partitioned-sample bundle (kind
+// 8): per-partition chunk-aligned mini-samples of a 3-partition table. The
+// embedded samples carry v2 (partition-aware) table envelopes, so this
+// fixture pins that layout in the golden CRCs and seeds the fuzzer with it.
+func fixturePartitioned() *synopses.PartitionedSample {
+	b := storage.NewBuilder("pt", storage.Schema{
+		{Name: "pt.k", Typ: storage.Int64},
+		{Name: "pt.v", Typ: storage.Float64},
+	})
+	for i := 0; i < 300; i++ {
+		b.Int(0, int64(i%23))
+		b.Float(1, float64(i%11)+0.5)
+	}
+	tbl := b.Build(1).Repartition(128)
+	parts := make([]*synopses.Sample, tbl.Partitions())
+	for i := range parts {
+		parts[i] = synopses.BuildPartitionSample("pt_s", tbl, i, 0.2, 42, []string{"pt.k"})
+	}
+	return &synopses.PartitionedSample{Table: "pt", PartRows: 128, Parts: parts}
+}
+
 // fixtures returns one instance of every synopsis type.
 func fixtures() map[string]Synopsis {
 	return map[string]Synopsis{
@@ -139,6 +160,7 @@ func fixtures() map[string]Synopsis {
 		"bloom":        fixtureBloom(),
 		"heavyhitters": fixtureSS(),
 		"sketchjoin":   fixtureSketchJoin(),
+		"partitioned":  fixturePartitioned(),
 	}
 }
 
@@ -176,14 +198,16 @@ func TestCodecRoundTrip(t *testing.T) {
 // Golden CRCs pin the byte-level format: a codec change that silently
 // alters the on-disk layout (breaking old warehouses) must fail here and
 // force a deliberate version bump.
+// Regenerated for codec version 2 (partition-aware table layout).
 var goldenCRC = map[string]uint32{
-	"sample":       0xf50d2b0b,
-	"cmsketch":     0xaa13696b,
-	"ams":          0xacdb6dde,
-	"fm":           0x633ec981,
-	"bloom":        0x5d1c4e89,
-	"heavyhitters": 0x8e797a2a,
-	"sketchjoin":   0x04ac2590,
+	"sample":       0xa5a4db1d,
+	"cmsketch":     0x54e515ce,
+	"ams":          0x4553ba84,
+	"fm":           0x35945572,
+	"bloom":        0x830316fc,
+	"heavyhitters": 0x3b79f647,
+	"sketchjoin":   0xda5006a8,
+	"partitioned":  0xfe927199,
 }
 
 func TestCodecGolden(t *testing.T) {

@@ -86,13 +86,18 @@ type EntryRecord struct {
 	SigOutput  []string `json:"sig_output,omitempty"`
 	// Filter is the binary expression encoding of the descriptor's filter
 	// predicate (EncodeExpr); empty means no filter.
-	Filter     []byte           `json:"filter,omitempty"`
-	StratCols  []string         `json:"strat_cols,omitempty"`
-	P          float64          `json:"p,omitempty"`
-	Delta      int              `json:"delta,omitempty"`
-	BuildKeys  []string         `json:"build_keys,omitempty"`
-	AggCol     string           `json:"agg_col,omitempty"`
-	AggCols    []string         `json:"agg_cols,omitempty"`
+	Filter    []byte   `json:"filter,omitempty"`
+	StratCols []string `json:"strat_cols,omitempty"`
+	P         float64  `json:"p,omitempty"`
+	Delta     int      `json:"delta,omitempty"`
+	BuildKeys []string `json:"build_keys,omitempty"`
+	AggCol    string   `json:"agg_col,omitempty"`
+	AggCols   []string `json:"agg_cols,omitempty"`
+	// Partition scopes the synopsis to one partition of its base relation
+	// (1-based; 0 = whole table). Dropping it on recovery would promote a
+	// partition-scoped sample to whole-table scope — a correctness bug —
+	// so it round-trips verbatim.
+	Partition  int              `json:"partition,omitempty"`
 	RelError   float64          `json:"rel_error,omitempty"`
 	Confidence float64          `json:"confidence,omitempty"`
 	EstSize    int64            `json:"est_size,omitempty"`
@@ -128,6 +133,7 @@ func EntryRecordOf(e *meta.Entry) (EntryRecord, error) {
 		BuildKeys:  d.BuildKeys,
 		AggCol:     d.AggCol,
 		AggCols:    d.AggCols,
+		Partition:  d.Partition,
 		RelError:   d.Accuracy.RelError,
 		Confidence: d.Accuracy.Confidence,
 		EstSize:    d.EstSizeBytes,
@@ -175,6 +181,7 @@ func (r EntryRecord) Entry() (meta.Descriptor, []meta.QueryBenefit, map[string]i
 		BuildKeys:    r.BuildKeys,
 		AggCol:       r.AggCol,
 		AggCols:      r.AggCols,
+		Partition:    r.Partition,
 		Accuracy:     stats.AccuracySpec{RelError: r.RelError, Confidence: r.Confidence},
 		EstSizeBytes: r.EstSize,
 		ActualSize:   r.ActualSize,

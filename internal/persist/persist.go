@@ -45,6 +45,8 @@ func Encode(s Synopsis) []byte {
 		return x.Encode()
 	case *synopses.SketchJoin:
 		return x.Encode()
+	case *synopses.PartitionedSample:
+		return x.Encode()
 	}
 	panic(fmt.Sprintf("persist: Encode: unknown synopsis type %T", s))
 }
@@ -71,6 +73,8 @@ func Decode(b []byte) (Synopsis, error) {
 		return synopses.DecodeSpaceSaving(b)
 	case synopses.KindSketchJoin:
 		return synopses.DecodeSketchJoin(b)
+	case synopses.KindPartitionedSample:
+		return synopses.DecodePartitionedSample(b)
 	}
 	return nil, fmt.Errorf("persist: unknown synopsis kind %d", kind)
 }

@@ -98,11 +98,10 @@ func (p *Planner) costFilteredJoinTree(q *Query, overrides map[string]scanEst, c
 		}
 		// The first FROM table is the probe spine of the morsel-parallel
 		// executor; every other branch is a serially drained build side.
-		if t.Name == q.Tables[0].Name {
-			cost.scanTable(t)
-		} else {
-			cost.scanTableSerial(t)
-		}
+		// Either way the executor zone-prunes partitions the table's filter
+		// provably rejects, so charge only the surviving partitions' share.
+		bytes, rows := p.prunedScanCharge(t, q.filterForTable(t.Name))
+		cost.scanBase(bytes, rows, t.Name != q.Tables[0].Name)
 		return p.est.tableEst(t, q.filterForTable(t.Name))
 	}
 

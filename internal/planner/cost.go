@@ -91,16 +91,26 @@ type planCost struct {
 }
 
 func (c *planCost) scanTable(t TableRef) {
-	c.baseBytes += t.Table.Bytes()
-	c.cpuTuples += int64(t.Table.NumRows())
+	c.scanBase(t.Table.Bytes(), int64(t.Table.NumRows()), false)
 }
 
 // scanTableSerial is scanTable for join build branches: their scan is
 // drained serially (drainBuild) before the morsel pool starts, so the CPU
 // never spreads across workers.
 func (c *planCost) scanTableSerial(t TableRef) {
-	c.baseBytes += t.Table.Bytes()
-	c.serialTuples += int64(t.Table.NumRows())
+	c.scanBase(t.Table.Bytes(), int64(t.Table.NumRows()), true)
+}
+
+// scanBase charges a base-table scan by explicit byte and row totals — the
+// zone-prune-aware costing path passes only the surviving partitions'
+// share, mirroring what the executor's pruned scans actually charge.
+func (c *planCost) scanBase(bytes, rows int64, serial bool) {
+	c.baseBytes += bytes
+	if serial {
+		c.serialTuples += rows
+	} else {
+		c.cpuTuples += rows
+	}
 }
 
 func (c *planCost) scanSynopsis(bytes int64, rows float64) {

@@ -11,6 +11,7 @@ import (
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/stats"
 	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/synopses"
 	"github.com/tasterdb/taster/internal/warehouse"
 )
 
@@ -71,6 +72,12 @@ type Planner struct {
 	// configured with an explicit worker count set it so plan choice
 	// reflects the parallel runtime.
 	Parallelism float64
+	// DisablePruning turns zone-map partition pruning off in scan costing,
+	// mirroring exec.Context.DisablePrune: estimated and charged scan bytes
+	// must describe the same executor behaviour or plan choice would chase a
+	// cost the run never pays (or vice versa). Results are unaffected either
+	// way; pruning is sound.
+	DisablePruning bool
 	// MaxStaleness is the bounded-staleness policy for synopsis reuse: a
 	// materialized synopsis whose staleness (fraction of source rows it has
 	// never seen) exceeds the bound is disqualified from reuse; within the
@@ -255,6 +262,27 @@ func (p *Planner) configureSampler(q *Query, strat []string, inRows float64, sel
 		return samplerConfig{}
 	}
 	return samplerConfig{kind: plan.DistinctSample, p: pr, delta: delta, ok: true}
+}
+
+// prunedScanCharge returns the scan bytes and tuples the executor will
+// charge for a filtered base-table scan: partitions whose zone maps refute
+// the filter are skipped by the pruned scans and cost nothing. With pruning
+// disabled (or no filter) the full table is charged, exactly as before.
+func (p *Planner) prunedScanCharge(t TableRef, filter expr.Expr) (bytes, rows int64) {
+	tbl := t.Table
+	if p.DisablePruning || filter == nil {
+		return tbl.Bytes(), int64(tbl.NumRows())
+	}
+	sch := tbl.Schema()
+	counts := tbl.PartitionRowCounts()
+	for pi := 0; pi < tbl.Partitions(); pi++ {
+		if expr.ZonePrunes(filter, sch, tbl.Zone(pi)) {
+			continue
+		}
+		bytes += tbl.PartitionBytes(pi)
+		rows += counts[pi]
+	}
+	return bytes, rows
 }
 
 // payloadCurrent reports whether the item a reuse candidate would bind from
@@ -571,6 +599,136 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sample #%d on %s", m.Entry.Desc.ID, fact.Name),
 		})
+	}
+
+	p.addPartitionedSampleReuse(q, ps, fact, req, sel, selAll, coverGroups, factOnSpine)
+}
+
+// addPartitionedSampleReuse adds the reuse candidate built from a complete
+// set of partition-scoped samples of the fact relation: one usable sample
+// per partition, merged in partition order, serves the same whole-table
+// requirement as a monolithic sample (the merge is exact — see
+// synopses.MergePartitionSamples). Staleness is enforced per partition:
+// one partition over the bound disqualifies the set, but appends landing
+// in other partitions never do. The candidate's cost penalty uses the
+// build-rows-weighted mean staleness across partitions.
+func (p *Planner) addPartitionedSampleReuse(q *Query, ps *PlanSet, fact TableRef, req meta.Requirements, sel, selAll float64, coverGroups int, factOnSpine bool) {
+	parts := fact.Table.Partitions()
+	if parts < 2 {
+		return
+	}
+	matches := p.Store.MatchSamplePartitions(req, parts)
+	if matches == nil {
+		return
+	}
+	// Every partition sample must share one sampler configuration, or the
+	// merged Horvitz-Thompson weights would mix estimators.
+	first := &matches[0].Entry.Desc
+	var (
+		samples            []*synopses.Sample
+		uses               []uint64
+		totalRows          int64
+		whBytes, loadBytes int64
+		staleNum, staleDen float64
+		inBufAll           = true
+		compensate         bool
+	)
+	for _, m := range matches {
+		d := &m.Entry.Desc
+		if d.Kind != first.Kind || d.P != first.P || d.Delta != first.Delta ||
+			strings.Join(d.StratCols, ",") != strings.Join(first.StratCols, ",") {
+			return
+		}
+		item, inBuffer, ok := ps.wh.Get(d.ID)
+		if !ok || item.Kind() != warehouse.SampleItem {
+			return
+		}
+		if !p.payloadCurrent(d.ID, item) {
+			return
+		}
+		stale := m.Entry.Staleness()
+		if !p.stalenessAllowed(stale) {
+			return
+		}
+		w := float64(d.BuildRows)
+		if w <= 0 {
+			w = 1
+		}
+		staleNum += stale * w
+		staleDen += w
+		totalRows += item.Rows
+		if !inBuffer {
+			inBufAll = false
+			whBytes += item.Size
+			if !item.Loaded() {
+				loadBytes += item.Size
+			}
+		}
+		smp, err := item.Sample()
+		if err != nil {
+			return // backing file lost or corrupt; next round re-tastes
+		}
+		samples = append(samples, smp)
+		uses = append(uses, d.ID)
+		if m.CompensateFilter != nil {
+			compensate = true
+		}
+	}
+	// Coverage feasibility on the merged sample, as for whole-table reuse.
+	if float64(totalRows)*selAll/float64(coverGroups) < float64(p.feasibilityRows(p.requiredK(q))) {
+		return
+	}
+	merged, err := synopses.MergePartitionSamples(fmt.Sprintf("partmerge_%s", fact.Name), samples)
+	if err != nil {
+		return
+	}
+	ss := &plan.SynopsisScan{
+		SynopsisID: uses[0],
+		Sample:     merged,
+		Label:      fact.Name,
+		InBuffer:   inBufAll,
+	}
+	var rbranch plan.Node = ss
+	if compensate && req.Filter != nil {
+		rbranch = &plan.Filter{Child: rbranch, Pred: req.Filter}
+	}
+	rroot, err := p.joinTree(q, map[string]plan.Node{fact.Name: rbranch}, true)
+	if err != nil {
+		return
+	}
+	rfull := p.finishPlan(q, rroot, nil)
+	var rcost planCost
+	rcost.warehouseBytes += whBytes
+	rcost.loadSynopsis(loadBytes)
+	sampleRows := float64(totalRows)
+	if factOnSpine {
+		rcost.cpuTuples += int64(sampleRows)
+	} else {
+		rcost.serialTuples += int64(sampleRows)
+	}
+	rOverrides := map[string]scanEst{fact.Name: {rows: sampleRows * sel, width: fact.Table.AvgRowBytes() + 8}}
+	rout := p.costFilteredJoinTree(q, rOverrides, &rcost)
+	rcost.aggWork(rout)
+	stale := 0.0
+	if staleDen > 0 {
+		stale = staleNum / staleDen
+	}
+	cost := rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale)
+	ps.Candidates = append(ps.Candidates, Candidate{
+		Root: rfull,
+		Cost: cost,
+		Uses: uses,
+		Desc: fmt.Sprintf("reuse %d-part sample on %s", parts, fact.Name),
+	})
+	// Credit the partition set with this query's savings. Without the
+	// benefit records the tuner's greedy cannot see the query as already
+	// covered, and a hypothetical whole-table build — a fresh descriptor,
+	// never the interned twin of a partition-scoped one — collects the full
+	// window gain as build credit and outbids the cheaper merged reuse.
+	for _, id := range uses {
+		if prev, ok := ps.ReuseCost[id]; !ok || cost < prev {
+			ps.ReuseCost[id] = cost
+		}
 	}
 }
 

@@ -12,15 +12,20 @@ import (
 // data. The layout is mirrored exactly by (*Table).EncodedBytes so storage
 // quotas charge what disk actually stores.
 //
-// Layout (all integers little-endian):
+// Layout (all integers little-endian). The header is partition-aware: the
+// per-partition row counts and epochs round-trip, so the disk tier can
+// spill and fault a table without flattening its partition layout or its
+// per-partition freshness state.
 //
 //	u32 len + name
 //	u32 partitions
+//	u32 partRows (per-partition row capacity; 0 = unbounded)
 //	u64 epoch
 //	u32 numCols
 //	u64 numRows
+//	per partition: u64 rows, u64 epoch
 //	per column: u32 len + name, u8 type
-//	per column payload:
+//	per column payload (rows concatenated in partition order):
 //	  Int64/Float64: 8 bytes per row
 //	  Bool:          1 byte per row
 //	  String:        per row u32 len + bytes
@@ -29,19 +34,21 @@ import (
 // It is the serialized-size half of the SizeBytes contract: synopsis
 // payloads are charged against storage quotas at their on-disk size.
 func (t *Table) EncodedBytes() int64 {
-	n := int64(4+len(t.Name)) + 4 + 8 + 4 + 8
+	n := int64(4+len(t.Name)) + 4 + 4 + 8 + 4 + 8 + 16*int64(len(t.parts))
 	for _, c := range t.schema {
 		n += 4 + int64(len(c.Name)) + 1
 	}
-	for _, v := range t.cols {
-		switch v.Typ {
-		case Int64, Float64:
-			n += int64(v.Len()) * 8
-		case Bool:
-			n += int64(v.Len())
-		case String:
-			for _, s := range v.Str {
-				n += 4 + int64(len(s))
+	for _, p := range t.parts {
+		for _, v := range p.cols {
+			switch v.Typ {
+			case Int64, Float64:
+				n += int64(v.Len()) * 8
+			case Bool:
+				n += int64(v.Len())
+			case String:
+				for _, s := range v.Str {
+					n += 4 + int64(len(s))
+				}
 			}
 		}
 	}
@@ -52,35 +59,43 @@ func (t *Table) EncodedBytes() int64 {
 // extended slice.
 func EncodeTable(dst []byte, t *Table) []byte {
 	dst = appendStr(dst, t.Name)
-	dst = appendU32(dst, uint32(t.parts))
+	dst = appendU32(dst, uint32(len(t.parts)))
+	dst = appendU32(dst, uint32(t.partRows))
 	dst = appendU64(dst, t.epoch)
 	dst = appendU32(dst, uint32(len(t.schema)))
 	dst = appendU64(dst, uint64(t.rows))
+	for _, p := range t.parts {
+		dst = appendU64(dst, uint64(p.rows))
+		dst = appendU64(dst, p.epoch)
+	}
 	for _, c := range t.schema {
 		dst = appendStr(dst, c.Name)
 		dst = append(dst, byte(c.Typ))
 	}
-	for _, v := range t.cols {
-		switch v.Typ {
-		case Int64:
-			for _, x := range v.I64 {
-				dst = appendU64(dst, uint64(x))
-			}
-		case Float64:
-			for _, x := range v.F64 {
-				dst = appendU64(dst, math.Float64bits(x))
-			}
-		case Bool:
-			for _, x := range v.B {
-				if x {
-					dst = append(dst, 1)
-				} else {
-					dst = append(dst, 0)
+	for i := range t.schema {
+		for _, p := range t.parts {
+			v := p.cols[i]
+			switch v.Typ {
+			case Int64:
+				for _, x := range v.I64 {
+					dst = appendU64(dst, uint64(x))
 				}
-			}
-		case String:
-			for _, s := range v.Str {
-				dst = appendStr(dst, s)
+			case Float64:
+				for _, x := range v.F64 {
+					dst = appendU64(dst, math.Float64bits(x))
+				}
+			case Bool:
+				for _, x := range v.B {
+					if x {
+						dst = append(dst, 1)
+					} else {
+						dst = append(dst, 0)
+					}
+				}
+			case String:
+				for _, s := range v.Str {
+					dst = appendStr(dst, s)
+				}
 			}
 		}
 	}
@@ -95,7 +110,11 @@ func DecodeTable(r *Reader) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: decode table: %w", err)
 	}
-	parts, err := r.U32()
+	nparts, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	partRows, err := r.U32()
 	if err != nil {
 		return nil, err
 	}
@@ -111,10 +130,35 @@ func DecodeTable(r *Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Plausibility bounds BEFORE any shape-sized allocation: every column
-	// costs ≥5 schema bytes and every row ≥1 payload byte per column, so a
-	// crafted header claiming a shape the remaining payload cannot possibly
-	// hold is rejected without allocating for it.
+	// Plausibility bounds BEFORE any shape-sized allocation: every partition
+	// costs 16 header bytes, every column ≥5 schema bytes and every row ≥1
+	// payload byte per column, so a crafted header claiming a shape the
+	// remaining payload cannot possibly hold is rejected without allocating
+	// for it.
+	if int64(nparts)*16 > int64(r.Remaining()) {
+		return nil, fmt.Errorf("storage: decode table %s: %d partitions exceed %d payload bytes", name, nparts, r.Remaining())
+	}
+	partCounts := make([]int, nparts)
+	partEpochs := make([]uint64, nparts)
+	var partSum uint64
+	for i := range partCounts {
+		pr, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		pe, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		if pr > nrows64 {
+			return nil, fmt.Errorf("storage: decode table %s: partition %d claims %d of %d rows", name, i, pr, nrows64)
+		}
+		partCounts[i], partEpochs[i] = int(pr), pe
+		partSum += pr
+	}
+	if partSum != nrows64 {
+		return nil, fmt.Errorf("storage: decode table %s: partition rows sum %d != %d total", name, partSum, nrows64)
+	}
 	if int64(ncols)*5 > int64(r.Remaining()) {
 		return nil, fmt.Errorf("storage: decode table %s: %d columns exceed %d payload bytes", name, ncols, r.Remaining())
 	}
@@ -186,11 +230,23 @@ func DecodeTable(r *Reader) (*Table, error) {
 		}
 		cols[i] = v
 	}
-	t, err := NewTable(name, schema, cols, int(parts))
-	if err != nil {
-		return nil, err
+	// Rebuild the recorded partition layout over the decoded columns
+	// (zero-copy slices), restoring each partition's epoch.
+	parts := make([]*Partition, len(partCounts))
+	lo := 0
+	for i, pr := range partCounts {
+		pc := make([]*Vector, len(cols))
+		for c, v := range cols {
+			pc[c] = v.Slice(lo, lo+pr)
+		}
+		parts[i] = &Partition{cols: pc, rows: pr, epoch: partEpochs[i]}
+		lo += pr
 	}
-	t.epoch = epoch
+	if len(parts) == 0 {
+		parts = []*Partition{{cols: cols}}
+	}
+	t := newTableFromParts(name, schema, parts, int(partRows), epoch)
+	t.colsView = cols
 	return t, nil
 }
 

@@ -45,9 +45,13 @@ type TableStats struct {
 // access to any table" behaviour from paper §III.
 func (t *Table) Stats() *TableStats {
 	t.statsOnce.Do(func() {
-		ts := &TableStats{Rows: t.rows, Columns: make([]ColumnStats, len(t.cols))}
-		for i, c := range t.cols {
-			ts.Columns[i] = computeColumnStats(c)
+		ts := &TableStats{Rows: t.rows, Columns: make([]ColumnStats, len(t.schema))}
+		chunks := make([]*Vector, len(t.parts))
+		for i := range t.schema {
+			for p, part := range t.parts {
+				chunks[p] = part.cols[i]
+			}
+			ts.Columns[i] = computeColumnStats(chunks)
 		}
 		t.stats = ts
 	})
@@ -59,9 +63,15 @@ func (t *Table) Stats() *TableStats {
 // give a number.
 const skewRatio = 3.0
 
-func computeColumnStats(c *Vector) ColumnStats {
-	n := c.Len()
+// computeColumnStats folds one column's per-partition chunks into a single
+// ColumnStats, iterating chunk by chunk so multi-partition tables never
+// materialize a whole-column copy just for statistics.
+func computeColumnStats(chunks []*Vector) ColumnStats {
 	var st ColumnStats
+	n := 0
+	for _, c := range chunks {
+		n += c.Len()
+	}
 	if n == 0 {
 		return st
 	}
@@ -69,22 +79,24 @@ func computeColumnStats(c *Vector) ColumnStats {
 	// canonical representation. Exact counting is fine at our scales; the
 	// paper computes the same statistics on a cluster.
 	freq := make(map[Value]int, 1024)
-	switch c.Typ {
-	case Int64:
-		for _, v := range c.I64 {
-			freq[Value{Typ: Int64, I: v}]++
-		}
-	case Float64:
-		for _, v := range c.F64 {
-			freq[Value{Typ: Float64, F: v}]++
-		}
-	case String:
-		for _, v := range c.Str {
-			freq[Value{Typ: String, S: v}]++
-		}
-	case Bool:
-		for _, v := range c.B {
-			freq[Value{Typ: Bool, B: v}]++
+	for _, c := range chunks {
+		switch c.Typ {
+		case Int64:
+			for _, v := range c.I64 {
+				freq[Value{Typ: Int64, I: v}]++
+			}
+		case Float64:
+			for _, v := range c.F64 {
+				freq[Value{Typ: Float64, F: v}]++
+			}
+		case String:
+			for _, v := range c.Str {
+				freq[Value{Typ: String, S: v}]++
+			}
+		case Bool:
+			for _, v := range c.B {
+				freq[Value{Typ: Bool, B: v}]++
+			}
 		}
 	}
 	st.Distinct = len(freq)
@@ -100,19 +112,21 @@ func computeColumnStats(c *Vector) ColumnStats {
 	avgGroup := float64(n) / float64(st.Distinct)
 	st.Skewed = float64(st.MaxGroup) > skewRatio*avgGroup && st.Distinct > 1
 
-	if c.Typ.Numeric() {
+	if chunks[0].Typ.Numeric() {
 		var sum, sumSq float64
 		st.Min = math.Inf(1)
 		st.Max = math.Inf(-1)
-		for i := 0; i < n; i++ {
-			v := c.Float(i)
-			sum += v
-			sumSq += v * v
-			if v < st.Min {
-				st.Min = v
-			}
-			if v > st.Max {
-				st.Max = v
+		for _, c := range chunks {
+			for i := 0; i < c.Len(); i++ {
+				v := c.Float(i)
+				sum += v
+				sumSq += v * v
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
 			}
 		}
 		st.Mean = sum / float64(n)
@@ -157,12 +171,14 @@ func (t *Table) GroupCount(cols []string) int {
 	}
 	seen := make(map[string]struct{}, 1024)
 	var key []byte
-	for r := 0; r < t.rows; r++ {
-		key = key[:0]
-		for _, i := range idx {
-			key = appendValueKey(key, t.cols[i], r)
+	for _, part := range t.parts {
+		for r := 0; r < part.rows; r++ {
+			key = key[:0]
+			for _, i := range idx {
+				key = appendValueKey(key, part.cols[i], r)
+			}
+			seen[string(key)] = struct{}{}
 		}
-		seen[string(key)] = struct{}{}
 	}
 	return len(seen)
 }
@@ -191,12 +207,14 @@ func (t *Table) MinGroupOf(cols []string) int {
 	}
 	counts := make(map[string]int, 1024)
 	var key []byte
-	for r := 0; r < t.rows; r++ {
-		key = key[:0]
-		for _, i := range idx {
-			key = appendValueKey(key, t.cols[i], r)
+	for _, part := range t.parts {
+		for r := 0; r < part.rows; r++ {
+			key = key[:0]
+			for _, i := range idx {
+				key = appendValueKey(key, part.cols[i], r)
+			}
+			counts[string(key)]++
 		}
-		counts[string(key)]++
 	}
 	minG := t.rows
 	for _, f := range counts {
@@ -237,10 +255,12 @@ func (t *Table) TopValues(col string, k int) []ValueCount {
 	if i < 0 {
 		return nil
 	}
-	c := t.cols[i]
 	freq := make(map[Value]int)
-	for r := 0; r < c.Len(); r++ {
-		freq[c.Get(r)]++
+	for _, part := range t.parts {
+		c := part.cols[i]
+		for r := 0; r < c.Len(); r++ {
+			freq[c.Get(r)]++
+		}
 	}
 	out := make([]ValueCount, 0, len(freq))
 	for v, f := range freq {

@@ -103,23 +103,23 @@ func TestTableScanRoundTrip(t *testing.T) {
 
 func TestPartitionRangesCoverAllRows(t *testing.T) {
 	for _, rows := range []int{0, 1, 7, 100, 1001} {
-		for _, parts := range []int{1, 2, 3, 8} {
-			tbl := buildTestTable(t, rows)
-			tbl.parts = parts
+		for _, partRows := range []int{0, 1, 3, 128} {
+			tbl := buildTestTable(t, rows).Repartition(partRows)
 			total := 0
 			prevHi := 0
-			for p := 0; p < parts; p++ {
+			for p := 0; p < tbl.Partitions(); p++ {
 				lo, hi := tbl.PartitionRange(p)
-				if lo != prevHi && lo < rows {
-					t.Fatalf("rows=%d parts=%d p=%d: gap lo=%d prevHi=%d", rows, parts, p, lo, prevHi)
+				if lo != prevHi {
+					t.Fatalf("rows=%d partRows=%d p=%d: gap lo=%d prevHi=%d", rows, partRows, p, lo, prevHi)
 				}
-				if hi > prevHi {
-					prevHi = hi
+				if partRows > 0 && hi-lo > partRows {
+					t.Fatalf("rows=%d partRows=%d p=%d: oversize partition [%d,%d)", rows, partRows, p, lo, hi)
 				}
+				prevHi = hi
 				total += hi - lo
 			}
 			if total != rows {
-				t.Fatalf("rows=%d parts=%d: covered %d", rows, parts, total)
+				t.Fatalf("rows=%d partRows=%d: covered %d", rows, partRows, total)
 			}
 		}
 	}
@@ -296,7 +296,7 @@ func TestPartitionTilingQuick(t *testing.T) {
 		}
 		tbl := b.Build(p)
 		covered := 0
-		for i := 0; i < p; i++ {
+		for i := 0; i < tbl.Partitions(); i++ {
 			lo, hi := tbl.PartitionRange(i)
 			if lo > hi || hi > n {
 				return false

@@ -5,53 +5,167 @@ import (
 	"sync"
 )
 
+// Partition is one horizontal slice of a table version: its own column
+// vectors, a version counter bumped only when an append touches this
+// partition, and a lazily computed zone map. Partitions are immutable once
+// published, so they are shared structurally between table versions —
+// Append clones only the tail partition it extends.
+type Partition struct {
+	cols  []*Vector
+	rows  int
+	epoch uint64 // version of the last append that touched this partition
+
+	zoneOnce sync.Once
+	zone     *ZoneMap
+}
+
+// Rows returns the partition's row count.
+func (p *Partition) Rows() int { return p.rows }
+
+// Epoch returns the version counter of the last append that touched this
+// partition. Freshness tracking is per partition: an append into the tail
+// leaves every other partition's epoch — and therefore every synopsis built
+// over it — untouched.
+func (p *Partition) Epoch() uint64 { return p.epoch }
+
+// Bytes returns the partition's payload size.
+func (p *Partition) Bytes() int64 {
+	var n int64
+	for _, c := range p.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
 // Table is an immutable columnar table *version*, horizontally divided into
-// partitions (the analogue of the paper's Spark/HDFS partitions). Statistics
-// are computed lazily on first access, exactly as the paper's engine computes
-// dataset statistics "on-the-fly during the first access to any table".
+// fixed-size partitions (the analogue of the paper's Spark/HDFS partitions
+// and of Tuple Bubbles' fixed-size bubbles). Statistics are computed lazily
+// on first access, exactly as the paper's engine computes dataset statistics
+// "on-the-fly during the first access to any table".
 //
 // Data evolution never mutates a Table in place: Append produces a new
 // version carrying a bumped epoch counter, and the Catalog swaps versions
-// atomically. Readers that resolved an older version keep scanning a frozen
-// snapshot — the executor's morsel dispenser, zero-copy scans and statistics
-// all stay race-free under concurrent ingestion.
+// atomically. Full partitions are shared between versions; only the tail
+// partition receiving rows is cloned, so appends cost O(tail + delta) rather
+// than O(table). Readers that resolved an older version keep scanning a
+// frozen snapshot — the executor's morsel dispenser, zero-copy scans and
+// statistics all stay race-free under concurrent ingestion.
 type Table struct {
-	Name   string
-	schema Schema
-	cols   []*Vector
-	rows   int
-	parts  int
-	epoch  uint64 // monotonically increasing version counter, bumped by Append
+	Name     string
+	schema   Schema
+	parts    []*Partition
+	offs     []int // offs[p] = first global row of partition p; len = parts+1
+	partRows int   // max rows per partition; 0 = unbounded (monolithic)
+	rows     int
+	epoch    uint64 // monotonically increasing version counter, bumped by Append
+
+	colsOnce sync.Once
+	colsView []*Vector // lazily concatenated whole-column view
 
 	statsOnce sync.Once
 	stats     *TableStats
 }
 
 // NewTable builds a table from fully populated column vectors. All vectors
-// must have identical lengths matching the schema.
+// must have identical lengths matching the schema. The partitions argument
+// is a target partition *count* (legacy interface): rows are divided into
+// ceil(rows/partitions)-row chunks, which also fixes the table's per-
+// partition row capacity for subsequent appends.
 func NewTable(name string, schema Schema, cols []*Vector, partitions int) (*Table, error) {
+	if err := checkCols(name, schema, cols); err != nil {
+		return nil, err
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	per := 0
+	if rows > 0 && partitions > 1 {
+		per = (rows + partitions - 1) / partitions
+	}
+	return newTableChunked(name, schema, cols, rows, per), nil
+}
+
+// NewTablePartRows builds a table from fully populated column vectors,
+// chunked into partitions of at most partRows rows each (0 = one unbounded
+// partition). This is the PartitionRows-configured constructor.
+func NewTablePartRows(name string, schema Schema, cols []*Vector, partRows int) (*Table, error) {
+	if err := checkCols(name, schema, cols); err != nil {
+		return nil, err
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+	}
+	if partRows < 0 {
+		partRows = 0
+	}
+	return newTableChunked(name, schema, cols, rows, partRows), nil
+}
+
+func checkCols(name string, schema Schema, cols []*Vector) error {
 	if len(cols) != len(schema) {
-		return nil, fmt.Errorf("storage: table %s: %d columns for %d schema entries", name, len(cols), len(schema))
+		return fmt.Errorf("storage: table %s: %d columns for %d schema entries", name, len(cols), len(schema))
 	}
 	rows := -1
 	for i, c := range cols {
 		if c.Typ != schema[i].Typ {
-			return nil, fmt.Errorf("storage: table %s column %s: vector type %s != schema type %s",
+			return fmt.Errorf("storage: table %s column %s: vector type %s != schema type %s",
 				name, schema[i].Name, c.Typ, schema[i].Typ)
 		}
 		if rows == -1 {
 			rows = c.Len()
 		} else if c.Len() != rows {
-			return nil, fmt.Errorf("storage: table %s: ragged columns (%d vs %d rows)", name, c.Len(), rows)
+			return fmt.Errorf("storage: table %s: ragged columns (%d vs %d rows)", name, c.Len(), rows)
 		}
 	}
-	if rows < 0 {
-		rows = 0
+	return nil
+}
+
+// newTableChunked slices monolithic columns into partitions of at most
+// partRows rows (0 = single partition). Slicing is zero-copy; the monolithic
+// vectors double as the whole-column view.
+func newTableChunked(name string, schema Schema, cols []*Vector, rows, partRows int) *Table {
+	t := &Table{Name: name, schema: schema, rows: rows, partRows: partRows, colsView: cols}
+	step := partRows
+	if step <= 0 || step > rows {
+		step = rows
 	}
-	if partitions < 1 {
-		partitions = 1
+	if step == 0 { // empty table: one empty partition keeps scans trivial
+		t.parts = []*Partition{{cols: cols}}
+		t.offs = []int{0, 0}
+		return t
 	}
-	return &Table{Name: name, schema: schema, cols: cols, rows: rows, parts: partitions}, nil
+	for lo := 0; lo < rows; lo += step {
+		hi := lo + step
+		if hi > rows {
+			hi = rows
+		}
+		pc := make([]*Vector, len(cols))
+		for i, c := range cols {
+			pc[i] = c.Slice(lo, hi)
+		}
+		t.parts = append(t.parts, &Partition{cols: pc, rows: hi - lo})
+		t.offs = append(t.offs, lo)
+	}
+	t.offs = append(t.offs, rows)
+	return t
+}
+
+// newTableFromParts assembles a table version directly from partitions
+// (used by Append and the codec). Partitions are adopted, not copied.
+func newTableFromParts(name string, schema Schema, parts []*Partition, partRows int, epoch uint64) *Table {
+	t := &Table{Name: name, schema: schema, parts: parts, partRows: partRows, epoch: epoch}
+	t.offs = make([]int, 0, len(parts)+1)
+	for _, p := range parts {
+		t.offs = append(t.offs, t.rows)
+		t.rows += p.rows
+	}
+	t.offs = append(t.offs, t.rows)
+	return t
 }
 
 // Schema returns the table schema.
@@ -61,7 +175,26 @@ func (t *Table) Schema() Schema { return t.schema }
 func (t *Table) NumRows() int { return t.rows }
 
 // Partitions returns the partition count.
-func (t *Table) Partitions() int { return t.parts }
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// PartRows returns the per-partition row capacity (0 = unbounded).
+func (t *Table) PartRows() int { return t.partRows }
+
+// Partition returns partition p.
+func (t *Table) Partition(p int) *Partition { return t.parts[p] }
+
+// PartitionEpoch returns the epoch of the last append touching partition p.
+func (t *Table) PartitionEpoch(p int) uint64 { return t.parts[p].epoch }
+
+// PartitionRowCounts returns the per-partition row counts in partition
+// order — the layout vector that per-partition freshness tracking records.
+func (t *Table) PartitionRowCounts() []int64 {
+	out := make([]int64, len(t.parts))
+	for i, p := range t.parts {
+		out[i] = int64(p.rows)
+	}
+	return out
+}
 
 // Epoch returns the table's version counter: 0 for a freshly built table,
 // incremented by every Append. Synopsis freshness tracking records the epoch
@@ -70,58 +203,138 @@ func (t *Table) Epoch() uint64 { return t.epoch }
 
 // Append returns a new table version containing this table's rows followed
 // by delta's rows, with the epoch incremented. The receiver is left fully
-// intact (readers holding it keep a consistent snapshot); column payloads
-// are copied so the two versions never share a mutable backing array.
+// intact (readers holding it keep a consistent snapshot). Full partitions
+// are shared structurally with the old version; only the tail partition
+// (if it has room) is cloned and extended, and overflow rows open fresh
+// partitions — so an append costs O(tail + delta), not O(table), and only
+// the partitions an append touches see their epoch bumped.
 // delta must have an identical schema.
-//
-// The copy makes each append O(current table size) — a deliberate
-// simplicity/safety tradeoff: batched appends amortize it, and the zero-
-// copy contract of Scan/Slice stays trivially sound. If continuous
-// fine-grained ingestion ever dominates, the upgrade path is chunked
-// columns that share the old version's immutable segments and append only
-// the delta.
 func (t *Table) Append(delta *Table) (*Table, error) {
 	if !t.schema.Equal(delta.schema) {
 		return nil, fmt.Errorf("storage: append to %s: schema mismatch", t.Name)
 	}
-	cols := make([]*Vector, len(t.cols))
-	for i, c := range t.cols {
-		nv := NewVector(c.Typ, c.Len()+delta.cols[i].Len())
-		nv.Extend(c)
-		nv.Extend(delta.cols[i])
-		cols[i] = nv
+	epoch := t.epoch + 1
+	parts := make([]*Partition, len(t.parts), len(t.parts)+1)
+	copy(parts, t.parts)
+
+	dRows := delta.rows
+	dCols := make([]*Vector, len(t.schema))
+	for i := range dCols {
+		dCols[i] = delta.Column(i)
 	}
-	nt, err := NewTable(t.Name, t.schema, cols, t.parts)
-	if err != nil {
-		return nil, err
+	taken := 0
+
+	// Extend the tail partition up to capacity, cloning its vectors so the
+	// old version's snapshot stays frozen.
+	if n := len(parts); n > 0 && dRows > 0 {
+		tail := parts[n-1]
+		room := dRows
+		if t.partRows > 0 {
+			room = t.partRows - tail.rows
+		}
+		if room > dRows {
+			room = dRows
+		}
+		if room > 0 || tail.rows == 0 {
+			if room < 0 {
+				room = 0
+			}
+			take := room
+			nc := make([]*Vector, len(tail.cols))
+			for i, c := range tail.cols {
+				nv := NewVector(c.Typ, c.Len()+take)
+				nv.Extend(c)
+				nv.Extend(dCols[i].Slice(0, take))
+				nc[i] = nv
+			}
+			parts[n-1] = &Partition{cols: nc, rows: tail.rows + take, epoch: epoch}
+			taken = take
+		}
 	}
-	nt.epoch = t.epoch + 1
-	return nt, nil
+
+	// Overflow rows open fresh partitions of partRows each.
+	step := t.partRows
+	if step <= 0 {
+		step = dRows - taken
+	}
+	for lo := taken; lo < dRows; lo += step {
+		hi := lo + step
+		if hi > dRows {
+			hi = dRows
+		}
+		pc := make([]*Vector, len(dCols))
+		for i, c := range dCols {
+			nv := NewVector(c.Typ, hi-lo)
+			nv.Extend(c.Slice(lo, hi))
+			pc[i] = nv
+		}
+		parts = append(parts, &Partition{cols: pc, rows: hi - lo, epoch: epoch})
+	}
+
+	return newTableFromParts(t.Name, t.schema, parts, t.partRows, epoch), nil
 }
 
-// Column returns the full column vector at position i.
-func (t *Table) Column(i int) *Vector { return t.cols[i] }
+// Repartition returns a version of the table re-chunked into partitions of
+// at most partRows rows (0 = one unbounded partition). Row contents, order
+// and the table epoch are preserved; per-partition epochs reset to the
+// table epoch (the new layout is uniformly as fresh as the table).
+func (t *Table) Repartition(partRows int) *Table {
+	if partRows < 0 {
+		partRows = 0
+	}
+	cols := make([]*Vector, len(t.schema))
+	for i := range cols {
+		cols[i] = t.Column(i)
+	}
+	nt := newTableChunked(t.Name, t.schema, cols, t.rows, partRows)
+	nt.epoch = t.epoch
+	for _, p := range nt.parts {
+		p.epoch = t.epoch
+	}
+	return nt
+}
 
-// PartitionRange returns the [lo, hi) row range of partition p.
+// Column returns the full column vector at position i. For multi-partition
+// tables the whole-column view is concatenated lazily on first use and
+// cached; row-at-a-time consumers (workload resampling, variational
+// subsamples) pay the materialization once. Scans never use this view.
+func (t *Table) Column(i int) *Vector {
+	t.colsOnce.Do(func() {
+		if t.colsView != nil {
+			return
+		}
+		if len(t.parts) == 1 {
+			t.colsView = t.parts[0].cols
+			return
+		}
+		view := make([]*Vector, len(t.schema))
+		for c := range view {
+			nv := NewVector(t.schema[c].Typ, t.rows)
+			for _, p := range t.parts {
+				nv.Extend(p.cols[c])
+			}
+			view[c] = nv
+		}
+		t.colsView = view
+	})
+	return t.colsView[i]
+}
+
+// PartitionRange returns the [lo, hi) global row range of partition p.
 func (t *Table) PartitionRange(p int) (lo, hi int) {
-	per := (t.rows + t.parts - 1) / t.parts
-	lo = p * per
-	hi = lo + per
-	if lo > t.rows {
-		lo = t.rows
-	}
-	if hi > t.rows {
-		hi = t.rows
-	}
-	return lo, hi
+	return t.offs[p], t.offs[p+1]
 }
+
+// PartitionBytes returns the payload size of partition p — the scan charge
+// for one partition, which is what zone-map pruning saves.
+func (t *Table) PartitionBytes(p int) int64 { return t.parts[p].Bytes() }
 
 // Bytes returns the total payload size of the table in bytes. This is the
 // quantity storage quotas and scan costs are charged against.
 func (t *Table) Bytes() int64 {
 	var n int64
-	for _, c := range t.cols {
-		n += c.Bytes()
+	for _, p := range t.parts {
+		n += p.Bytes()
 	}
 	return n
 }
@@ -141,15 +354,32 @@ func (t *Table) AvgRowBytes() float64 {
 // Scan returns batches of up to batchSize rows covering partition p.
 // The returned batches share storage with the table (zero copy).
 func (t *Table) Scan(p, batchSize int) []*Batch {
-	lo, hi := t.PartitionRange(p)
-	return t.ScanRange(lo, hi, batchSize)
+	part := t.parts[p]
+	var out []*Batch
+	for start := 0; start < part.rows; start += batchSize {
+		end := start + batchSize
+		if end > part.rows {
+			end = part.rows
+		}
+		out = append(out, sliceBatch(t.schema, part.cols, start, end))
+	}
+	return out
 }
 
-// ScanRange returns batches of up to batchSize rows covering rows [lo, hi).
-// Batches share storage with the table (zero copy). The morsel-driven
-// executor uses it to hand disjoint row ranges to workers independently of
-// the table's partition layout.
+// ScanRange returns batches of up to batchSize rows covering global rows
+// [lo, hi). Batches share storage with the table (zero copy) and never
+// cross a partition boundary. The morsel-driven executor uses it to hand
+// disjoint row ranges to workers: morsel boundaries are defined on global
+// row indices, independent of the physical partition layout, which is what
+// keeps results byte-identical across any PartitionRows setting.
 func (t *Table) ScanRange(lo, hi, batchSize int) []*Batch {
+	return t.ScanRangePruned(lo, hi, batchSize, nil)
+}
+
+// ScanRangePruned is ScanRange restricted to partitions where keep[p] is
+// true (nil keep = all). The executor passes the zone-map pruning verdict;
+// rows of pruned partitions are skipped without being read.
+func (t *Table) ScanRangePruned(lo, hi, batchSize int, keep []bool) []*Batch {
 	if lo < 0 {
 		lo = 0
 	}
@@ -157,18 +387,39 @@ func (t *Table) ScanRange(lo, hi, batchSize int) []*Batch {
 		hi = t.rows
 	}
 	var out []*Batch
-	for start := lo; start < hi; start += batchSize {
-		end := start + batchSize
-		if end > hi {
-			end = hi
+	for p, part := range t.parts {
+		plo, phi := t.offs[p], t.offs[p+1]
+		if phi <= lo || plo >= hi {
+			continue
 		}
-		b := &Batch{Schema: t.schema, Vecs: make([]*Vector, len(t.cols))}
-		for i, c := range t.cols {
-			b.Vecs[i] = c.Slice(start, end)
+		if keep != nil && !keep[p] {
+			continue
 		}
-		out = append(out, b)
+		s := lo - plo
+		if s < 0 {
+			s = 0
+		}
+		e := hi - plo
+		if e > part.rows {
+			e = part.rows
+		}
+		for start := s; start < e; start += batchSize {
+			end := start + batchSize
+			if end > e {
+				end = e
+			}
+			out = append(out, sliceBatch(t.schema, part.cols, start, end))
+		}
 	}
 	return out
+}
+
+func sliceBatch(schema Schema, cols []*Vector, start, end int) *Batch {
+	b := &Batch{Schema: schema, Vecs: make([]*Vector, len(cols))}
+	for i, c := range cols {
+		b.Vecs[i] = c.Slice(start, end)
+	}
+	return b
 }
 
 // ConcatTables concatenates same-schema tables in the given order into one
@@ -185,11 +436,11 @@ func ConcatTables(name string, parts []*Table, partitions int) (*Table, error) {
 		cols[i] = NewVector(c.Typ, 0)
 	}
 	for _, p := range parts {
-		if len(p.cols) != len(cols) {
+		if len(p.schema) != len(cols) {
 			return nil, fmt.Errorf("storage: ConcatTables %s: ragged part schemas", name)
 		}
-		for i, c := range p.cols {
-			cols[i].Extend(c)
+		for i := range cols {
+			cols[i].Extend(p.Column(i))
 		}
 	}
 	return NewTable(name, schema, cols, partitions)
@@ -259,7 +510,7 @@ type Catalog struct {
 	tables map[string]*Table
 	// appendLocks holds one mutex per table name, serializing appenders of
 	// the same table so the read-copy-swap in Append composes, while (a)
-	// the O(table) column copy runs outside mu — readers resolving tables
+	// the tail-partition clone runs outside mu — readers resolving tables
 	// never block on an in-flight append — and (b) unrelated tables ingest
 	// in parallel.
 	appendMu    sync.Mutex
@@ -290,9 +541,19 @@ func (c *Catalog) Register(t *Table) {
 	c.tables[t.Name] = t
 }
 
+// Repartition re-chunks every registered table into partitions of at most
+// partRows rows. Engines call it once at open to apply Config.PartitionRows.
+func (c *Catalog) Repartition(partRows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, t := range c.tables {
+		c.tables[n] = t.Repartition(partRows)
+	}
+}
+
 // Append atomically replaces the named table with a new version extended by
 // delta's rows (same schema), returning the new version. Appenders are
-// serialized (concurrent appends compose), but the column copy happens
+// serialized (concurrent appends compose), but the tail clone happens
 // outside the registry lock: concurrent readers resolve tables without
 // blocking and keep whichever version they already resolved.
 func (c *Catalog) Append(name string, delta *Table) (*Table, error) {

@@ -1,0 +1,53 @@
+package storage
+
+// ZoneMap summarizes one partition for predicate pruning: the per-column
+// minimum and maximum value plus the row count. A scan consults the zone
+// map before reading the partition — if the predicate provably rejects
+// every value in [Min, Max], the partition is skipped without touching its
+// payload. Zone maps are computed lazily on first use and cached on the
+// (immutable) partition, so shared partitions compute them once across
+// table versions.
+type ZoneMap struct {
+	Rows int
+	// Min and Max hold the column bounds indexed by schema position. For an
+	// empty partition both are zero Values and Rows is 0 (always prunable).
+	Min, Max []Value
+}
+
+// Zone returns the zone map of partition p, computing it on first call.
+func (t *Table) Zone(p int) *ZoneMap {
+	part := t.parts[p]
+	part.zoneOnce.Do(func() {
+		z := &ZoneMap{
+			Rows: part.rows,
+			Min:  make([]Value, len(part.cols)),
+			Max:  make([]Value, len(part.cols)),
+		}
+		for i, c := range part.cols {
+			z.Min[i], z.Max[i] = vectorBounds(c)
+		}
+		part.zone = z
+	})
+	return part.zone
+}
+
+// vectorBounds returns the min and max value of a vector under Value.Less
+// ordering (numeric order for Int64/Float64, lexicographic for String,
+// false<true for Bool). Zero Values for an empty vector.
+func vectorBounds(c *Vector) (mn, mx Value) {
+	n := c.Len()
+	if n == 0 {
+		return Value{}, Value{}
+	}
+	mn, mx = c.Get(0), c.Get(0)
+	for i := 1; i < n; i++ {
+		v := c.Get(i)
+		if v.Less(mn) {
+			mn = v
+		}
+		if mx.Less(v) {
+			mx = v
+		}
+	}
+	return mn, mx
+}

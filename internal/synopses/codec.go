@@ -21,18 +21,21 @@ import (
 // EnvelopeBytes is the fixed size of the codec envelope.
 const EnvelopeBytes = 8
 
-// CodecVersion is the current serialization format version.
-const CodecVersion = 1
+// CodecVersion is the current serialization format version. Version 2
+// introduced the partition-aware table layout (per-partition row counts and
+// epochs in the header) inside sample payloads.
+const CodecVersion = 2
 
 // Codec kind bytes identifying each synopsis type inside the envelope.
 const (
-	KindSample       byte = 1
-	KindCMSketch     byte = 2
-	KindAMS          byte = 3
-	KindFM           byte = 4
-	KindBloom        byte = 5
-	KindHeavyHitters byte = 6
-	KindSketchJoin   byte = 7
+	KindSample            byte = 1
+	KindCMSketch          byte = 2
+	KindAMS               byte = 3
+	KindFM                byte = 4
+	KindBloom             byte = 5
+	KindHeavyHitters      byte = 6
+	KindSketchJoin        byte = 7
+	KindPartitionedSample byte = 8
 )
 
 var codecMagic = [4]byte{'T', 'S', 'Y', 'N'}

@@ -1,0 +1,131 @@
+package synopses
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// The chunk-aligned sampling discipline's central claim: per-partition
+// mini-samples merged in partition order are BYTE-identical to a
+// whole-table sample at the same seed, for any partition layout. The
+// differential harness in internal/core observes this through query
+// results; these tests hold it at the synopsis layer where it is provable
+// byte by byte.
+
+// partEquivTable builds a deterministic fact-like table: int key, float
+// measure, string dimension.
+func partEquivTable(rows, parts int) *storage.Table {
+	b := storage.NewBuilder("pe", storage.Schema{
+		{Name: "pe.k", Typ: storage.Int64},
+		{Name: "pe.v", Typ: storage.Float64},
+		{Name: "pe.s", Typ: storage.String},
+	})
+	names := []string{"ae", "be", "ce", "de"}
+	for i := 0; i < rows; i++ {
+		b.Int(0, int64(i%97))
+		b.Float(1, float64(i%13)+0.25)
+		b.Str(2, names[i%len(names)])
+	}
+	return b.Build(parts)
+}
+
+// TestMergedPartitionSamplesEqualWholeTable: for several layouts — aligned,
+// chunk-misaligned (prime partition sizes), single-partition — building one
+// mini-sample per partition and merging in order reproduces the monolithic
+// sample byte for byte, and therefore yields the identical
+// Horvitz-Thompson estimate.
+func TestMergedPartitionSamplesEqualWholeTable(t *testing.T) {
+	const rows, seed, p = 10007, 42, 0.05
+	base := partEquivTable(rows, 1)
+	whole := BuildUniformRangeSample("pe_s", base, 0, rows, p, seed, []string{"pe.k"})
+	wholeBytes := whole.Encode()
+	wantTotal, err := estimatorTotal(whole, "pe.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Rows.NumRows() == 0 {
+		t.Fatal("whole-table sample is empty; equivalence is vacuous")
+	}
+
+	for _, partRows := range []int{389, 1000, ChunkRows, 3 * ChunkRows, rows} {
+		tbl := base.Repartition(partRows)
+		parts := make([]*Sample, tbl.Partitions())
+		for i := range parts {
+			parts[i] = BuildPartitionSample("pe_p", tbl, i, p, seed, []string{"pe.k"})
+		}
+		merged, err := MergePartitionSamples("pe_s", parts)
+		if err != nil {
+			t.Fatalf("partRows=%d: %v", partRows, err)
+		}
+		if got := merged.Encode(); string(got) != string(wholeBytes) {
+			t.Fatalf("partRows=%d: merged sample differs from whole-table sample (%d vs %d bytes)",
+				partRows, len(got), len(wholeBytes))
+		}
+		got, err := estimatorTotal(merged, "pe.v")
+		if err != nil {
+			t.Fatalf("partRows=%d: %v", partRows, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(wantTotal) {
+			t.Fatalf("partRows=%d: estimate %v != whole-table %v", partRows, got, wantTotal)
+		}
+	}
+}
+
+// FuzzMergePartitionSamples drives the equivalence over arbitrary tilings:
+// any two cut points split [0, rows) into three ranges whose range-samples,
+// merged in order, must be byte-identical to the whole-table sample — and
+// the merge must be associative (merging a pre-merged prefix gives the same
+// bytes). Also holds the validation edge: a SourceRows sum that would
+// overflow int is rejected as corruption, never wrapped.
+func FuzzMergePartitionSamples(f *testing.F) {
+	f.Add(uint16(1000), uint64(7), uint16(50), uint16(300), uint16(700))
+	f.Add(uint16(0), uint64(1), uint16(10), uint16(0), uint16(0))
+	f.Add(uint16(2048), uint64(99), uint16(999), uint16(4095), uint16(1))
+	f.Add(uint16(777), uint64(3), uint16(1), uint16(776), uint16(777))
+
+	f.Fuzz(func(t *testing.T, nRows uint16, seed uint64, pMille, cutA, cutB uint16) {
+		rows := int(nRows % 2049)
+		p := float64(pMille%1000+1) / 1000
+		a, b := int(cutA)%(rows+1), int(cutB)%(rows+1)
+		if a > b {
+			a, b = b, a
+		}
+		tbl := partEquivTable(rows, 1)
+		whole := BuildUniformRangeSample("fz", tbl, 0, rows, p, seed, nil)
+
+		s1 := BuildUniformRangeSample("fz1", tbl, 0, a, p, seed, nil)
+		s2 := BuildUniformRangeSample("fz2", tbl, a, b, p, seed, nil)
+		s3 := BuildUniformRangeSample("fz3", tbl, b, rows, p, seed, nil)
+
+		flat, err := MergePartitionSamples("fz", []*Sample{s1, s2, s3})
+		if err != nil {
+			t.Fatalf("merge [a b c]: %v", err)
+		}
+		if string(flat.Encode()) != string(whole.Encode()) {
+			t.Fatalf("rows=%d cuts=(%d,%d) p=%v: merged tiling differs from whole-table sample", rows, a, b, p)
+		}
+
+		pre, err := MergePartitionSamples("fz12", []*Sample{s1, s2})
+		if err != nil {
+			t.Fatalf("merge [a b]: %v", err)
+		}
+		nested, err := MergePartitionSamples("fz", []*Sample{pre, s3})
+		if err != nil {
+			t.Fatalf("merge [[a b] c]: %v", err)
+		}
+		if string(nested.Encode()) != string(flat.Encode()) {
+			t.Fatalf("rows=%d cuts=(%d,%d): merge is not associative", rows, a, b)
+		}
+
+		// Overflow guard: only reachable when a later part contributes rows.
+		if s3.SourceRows > 0 {
+			huge := *s1
+			huge.SourceRows = math.MaxInt
+			if _, err := MergeSamples("fz", []*Sample{&huge, s3}); err == nil {
+				t.Fatal("SourceRows overflow accepted")
+			}
+		}
+	})
+}

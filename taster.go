@@ -102,6 +102,13 @@ type Options struct {
 	// Workers caps the morsel-driven executor's intra-query parallelism;
 	// 0 means all CPUs. Results are byte-identical for any worker count.
 	Workers int
+	// PartitionRows tiles every registered table into fixed-size partitions
+	// of at most this many rows. Each partition carries a zone map
+	// (per-column min/max) that lets scans skip partitions a filter provably
+	// rejects, and appends that land in one partition leave the synopses of
+	// sibling partitions fully fresh. Query answers are bit-identical for
+	// any partitioning — only cost changes. 0 keeps tables monolithic.
+	PartitionRows int
 	// MaxStaleness is the bounded-staleness policy for reuse under online
 	// ingestion: the largest fraction of source rows a materialized synopsis
 	// may have missed (via Ingest) while still answering queries. 0 (the
@@ -179,6 +186,7 @@ func Open(cat *Catalog, opts Options) (*Engine, error) {
 		DefaultAccuracy: opts.DefaultAccuracy,
 		Seed:            opts.Seed,
 		Workers:         opts.Workers,
+		PartitionRows:   opts.PartitionRows,
 		MaxStaleness:    opts.MaxStaleness,
 		Synchronous:     opts.SynchronousTuning,
 		WarehouseDir:    opts.WarehouseDir,
