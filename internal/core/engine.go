@@ -852,6 +852,12 @@ func (e *Engine) PinSample(table string, s *synopses.Sample, stratCols, aggCols 
 // build discipline (see synopses.BuildUniformRangeSample) makes that merge
 // bit-identical to a monolithic sample at the same seed. Returns the
 // per-partition synopsis IDs in partition order.
+//
+// A single-partition table is pinned at whole-table scope instead: a
+// Partition=1 descriptor on a monolithic table could never serve a query
+// (MatchSamples matches partition scope exactly, and the merged reuse path
+// needs at least two partitions), so its bytes would hold warehouse budget
+// with zero benefit. The one sample built covers the whole table anyway.
 func (e *Engine) PinPartitionedSample(table string, prob float64, stratCols, aggCols []string, acc stats.AccuracySpec) ([]uint64, error) {
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
@@ -871,8 +877,13 @@ func (e *Engine) PinPartitionedSample(table string, prob float64, stratCols, agg
 	// the per-partition builds merge into exactly the whole-table sample.
 	seed := synopses.SeedFromString("pin-partitioned:"+table, e.cfg.Seed)
 	counts := tbl.PartitionRowCounts()
-	ids := make([]uint64, 0, tbl.Partitions())
-	for pi := 0; pi < tbl.Partitions(); pi++ {
+	parts := tbl.Partitions()
+	ids := make([]uint64, 0, parts)
+	for pi := 0; pi < parts; pi++ {
+		scope := pi + 1
+		if parts == 1 {
+			scope = 0 // monolithic table: pin at whole-table scope (see godoc)
+		}
 		desc := meta.Descriptor{
 			Kind:      plan.UniformSample,
 			Sig:       sig,
@@ -881,7 +892,7 @@ func (e *Engine) PinPartitionedSample(table string, prob float64, stratCols, agg
 			AggCols:   aggCols,
 			Accuracy:  acc,
 			Pinned:    true,
-			Partition: pi + 1,
+			Partition: scope,
 		}
 		entry := e.store.Intern(desc)
 		id := entry.Desc.ID

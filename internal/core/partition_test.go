@@ -169,6 +169,33 @@ func TestPartitionedPinServesMergedReuse(t *testing.T) {
 	}
 }
 
+// TestPinPartitionedSampleMonolithicFallsBackToWholeTable: pinning the
+// "per-partition" set on a single-partition table must degrade to one
+// whole-table sample. A Partition=1 descriptor on a monolithic table is
+// unreachable — MatchSamples matches partition scope exactly and the merged
+// reuse path needs at least two partitions — so without the fallback the
+// pinned bytes would hold warehouse budget while serving nothing.
+func TestPinPartitionedSampleMonolithicFallsBackToWholeTable(t *testing.T) {
+	e := partitionedEngine(1<<30, 0) // PartitionRows ≥ table: monolithic
+	ids := pinPartitioned(t, e)
+	if len(ids) != 1 {
+		t.Fatalf("pinned %d samples on a monolithic table, want 1", len(ids))
+	}
+	for _, ent := range e.Store().Materialized() {
+		if ent.Desc.ID == ids[0] && ent.Desc.Partition != 0 {
+			t.Fatalf("monolithic pin kept partition scope %d, want whole-table (0)", ent.Desc.Partition)
+		}
+	}
+	res, err := e.Execute(partQuery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedAllPartitions(res, ids) {
+		t.Fatalf("whole-table fallback pin never served; used=%v plan=%q",
+			res.Report.UsedSynopses, res.Report.PlanDesc)
+	}
+}
+
 // TestPartitionedIngestQuerySpillStorm races the partitioned engine end to
 // end: concurrent queries (zone-pruned scans, merged partition-sample
 // reuse, spill fault-ins off the tiny buffer) against appends that grow the

@@ -37,17 +37,21 @@ func ZonePrunes(pred Expr, sch storage.Schema, zone *storage.ZoneMap) bool {
 		if i < 0 || i >= len(zone.Min) {
 			continue
 		}
-		if conjunctExcludes(sc, zone.Min[i], zone.Max[i]) {
+		hasNaN := i < len(zone.HasNaN) && zone.HasNaN[i]
+		if conjunctExcludes(sc, zone.Min[i], zone.Max[i], hasNaN) {
 			return true
 		}
 	}
 	return false
 }
 
-// conjunctExcludes reports whether the conjunct is false for every value in
-// [mn, mx] — a single excluding conjunct of a conjunction prunes the whole
-// partition.
-func conjunctExcludes(sc simpleConjunct, mn, mx storage.Value) bool {
+// conjunctExcludes reports whether the conjunct is false for every row the
+// zone admits — a single excluding conjunct of a conjunction prunes the
+// whole partition. hasNaN widens the admitted set beyond [mn, mx] for float
+// columns: a NaN row compares false under every ordered operator and under
+// == (so EQ/IN/range exclusion stays sound), but true under !=, which makes
+// NE exclusion unsound the moment one NaN row exists.
+func conjunctExcludes(sc simpleConjunct, mn, mx storage.Value, hasNaN bool) bool {
 	if sc.isIn {
 		if len(sc.in) == 0 {
 			return true
@@ -63,7 +67,11 @@ func conjunctExcludes(sc simpleConjunct, mn, mx storage.Value) bool {
 	case EQ:
 		return valueOutside(sc.val, mn, mx)
 	case NE:
-		// Excludes only when every row holds exactly val: mn == val == mx.
+		// Excludes only when every row holds exactly val: mn == val == mx,
+		// and no NaN row hides outside the bounds (NaN != val selects it).
+		if hasNaN {
+			return false
+		}
 		cl, ok1 := zoneCmp(mn, sc.val)
 		ch, ok2 := zoneCmp(mx, sc.val)
 		return ok1 && ok2 && cl == 0 && ch == 0

@@ -593,12 +593,23 @@ func (p *Planner) addBaseSampleCandidates(q *Query, ps *PlanSet) {
 		rOverrides := map[string]scanEst{fact.Name: {rows: sampleRows * sel, width: fact.Table.AvgRowBytes() + 8}}
 		rout := p.costFilteredJoinTree(q, rOverrides, &rcost)
 		rcost.aggWork(rout)
+		cost := rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale)
 		ps.Candidates = append(ps.Candidates, Candidate{
 			Root: rfull,
-			Cost: rcost.seconds(p.Model, p.Parallelism) * p.stalenessPenalty(stale),
+			Cost: cost,
 			Uses: []uint64{m.Entry.Desc.ID},
 			Desc: fmt.Sprintf("reuse sample #%d on %s", m.Entry.Desc.ID, fact.Name),
 		})
+		// Credit the stored sample with this query's savings, exactly as the
+		// partitioned path below credits its set: without the benefit record
+		// the synchronous tuner cannot see the query as already covered, and
+		// a hypothetical build descriptor (a different intern whenever the
+		// stored sampler configuration differs from the query-sized one, e.g.
+		// a pinned hint) collects the full window gain as build credit and
+		// outbids the cheaper reuse.
+		if prev, ok := ps.ReuseCost[m.Entry.Desc.ID]; !ok || cost < prev {
+			ps.ReuseCost[m.Entry.Desc.ID] = cost
+		}
 	}
 
 	p.addPartitionedSampleReuse(q, ps, fact, req, sel, selAll, coverGroups, factOnSpine)

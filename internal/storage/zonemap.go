@@ -1,5 +1,7 @@
 package storage
 
+import "math"
+
 // ZoneMap summarizes one partition for predicate pruning: the per-column
 // minimum and maximum value plus the row count. A scan consults the zone
 // map before reading the partition — if the predicate provably rejects
@@ -11,7 +13,14 @@ type ZoneMap struct {
 	Rows int
 	// Min and Max hold the column bounds indexed by schema position. For an
 	// empty partition both are zero Values and Rows is 0 (always prunable).
+	// NaN rows are excluded from float bounds (NaN is unordered, so no
+	// [Min, Max] interval can witness it) and recorded in HasNaN instead.
 	Min, Max []Value
+	// HasNaN marks float columns holding at least one NaN row. Such a row
+	// lies outside the bounds yet satisfies any NE predicate (Go's != is
+	// true for NaN against every constant), so pruning logic that reasons
+	// "all rows equal Min==Max" must consult this flag.
+	HasNaN []bool
 }
 
 // Zone returns the zone map of partition p, computing it on first call.
@@ -19,12 +28,13 @@ func (t *Table) Zone(p int) *ZoneMap {
 	part := t.parts[p]
 	part.zoneOnce.Do(func() {
 		z := &ZoneMap{
-			Rows: part.rows,
-			Min:  make([]Value, len(part.cols)),
-			Max:  make([]Value, len(part.cols)),
+			Rows:   part.rows,
+			Min:    make([]Value, len(part.cols)),
+			Max:    make([]Value, len(part.cols)),
+			HasNaN: make([]bool, len(part.cols)),
 		}
 		for i, c := range part.cols {
-			z.Min[i], z.Max[i] = vectorBounds(c)
+			z.Min[i], z.Max[i], z.HasNaN[i] = vectorBounds(c)
 		}
 		part.zone = z
 	})
@@ -33,15 +43,24 @@ func (t *Table) Zone(p int) *ZoneMap {
 
 // vectorBounds returns the min and max value of a vector under Value.Less
 // ordering (numeric order for Int64/Float64, lexicographic for String,
-// false<true for Bool). Zero Values for an empty vector.
-func vectorBounds(c *Vector) (mn, mx Value) {
+// false<true for Bool), plus whether any float value is NaN. NaN values are
+// skipped when forming the bounds — Value.Less cannot order them, so they
+// would otherwise poison or silently escape the interval depending on
+// position. Zero Values for an empty vector; NaN bounds (refused by every
+// comparison downstream) for an all-NaN vector.
+func vectorBounds(c *Vector) (mn, mx Value, hasNaN bool) {
 	n := c.Len()
-	if n == 0 {
-		return Value{}, Value{}
-	}
-	mn, mx = c.Get(0), c.Get(0)
-	for i := 1; i < n; i++ {
+	seeded := false
+	for i := 0; i < n; i++ {
 		v := c.Get(i)
+		if v.Typ == Float64 && math.IsNaN(v.F) {
+			hasNaN = true
+			continue
+		}
+		if !seeded {
+			mn, mx, seeded = v, v, true
+			continue
+		}
 		if v.Less(mn) {
 			mn = v
 		}
@@ -49,5 +68,8 @@ func vectorBounds(c *Vector) (mn, mx Value) {
 			mx = v
 		}
 	}
-	return mn, mx
+	if !seeded && n > 0 {
+		mn, mx = c.Get(0), c.Get(0)
+	}
+	return mn, mx, hasNaN
 }
