@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race test-race bench bench-join bench-stream bench-serve bench-warmstart bench-partition
+.PHONY: all check fmt vet build test race test-race bench bench-join bench-stream bench-serve bench-warmstart bench-partition bench-execute profile-serve
 
 all: check
 
@@ -46,6 +46,20 @@ bench-stream:
 # asynchronous snapshot-published pipeline; emits BENCH_serving.json.
 bench-serve:
 	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 -queries 96
+
+# Steady-state serving-path microbenchmark with allocation accounting: one
+# warmed engine, repeated queries, parse + cache-hit planning + pooled
+# execution per op. TestExecuteServeAllocBudget holds the allocs/op line in
+# the regular test run; this target prints the numbers.
+bench-execute:
+	$(GO) test ./internal/core -run NONE -bench ExecuteServe -benchmem
+
+# CPU + allocation profiles of the serving sweep, for digging into the
+# fast-path hot spots (tuner rounds, join probe, filter, plan cache).
+# Inspect with: go tool pprof serve.cpu.pprof
+profile-serve:
+	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 \
+		-queries 96 -cpuprofile serve.cpu.pprof -memprofile serve.mem.pprof
 
 # Restart-recovery smoke: persists half the fig3 workload's warehouse to a
 # temp directory, restarts from it, and reports cold vs warm first-query

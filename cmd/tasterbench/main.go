@@ -7,6 +7,7 @@
 //	tasterbench [-experiment all|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tablei|streaming|serving|warmstart|partition]
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
 //	            [-seed 42] [-benchjson=true]
+//	            [-cpuprofile serve.cpu.pprof] [-memprofile serve.mem.pprof]
 //
 // The serving experiment is the concurrent-throughput sweep (inline vs.
 // asynchronous tuning across client counts); it measures wall time, so it
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/tasterdb/taster/internal/experiments"
@@ -35,21 +38,50 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "which experiment to run")
-		wl        = flag.String("workload", "tpch", "workload for fig3/streaming (tpch|tpcds|instacart)")
-		sf        = flag.Float64("sf", 0.004, "workload scale factor")
-		queries   = flag.Int("queries", 200, "query sequence length")
-		seed      = flag.Int64("seed", 42, "random seed")
-		benchjson = flag.Bool("benchjson", true, "write a BENCH_<experiment>.json perf summary")
+		exp        = flag.String("experiment", "all", "which experiment to run")
+		wl         = flag.String("workload", "tpch", "workload for fig3/streaming (tpch|tpcds|instacart)")
+		sf         = flag.Float64("sf", 0.004, "workload scale factor")
+		queries    = flag.Int("queries", 200, "query sequence length")
+		seed       = flag.Int64("seed", 42, "random seed")
+		benchjson  = flag.Bool("benchjson", true, "write a BENCH_<experiment>.json perf summary")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SF: *sf, Queries: *queries, Seed: *seed}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	out, err := run(*exp, *wl, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tasterbench:", err)
 		os.Exit(1)
+	}
+	if *memprofile != "" {
+		runtime.GC() // settle retained heap so the profile shows live objects
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: memprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	fmt.Print(out)
 	if *benchjson {

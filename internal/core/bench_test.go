@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/sqlparser"
+	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/workload"
+)
+
+// newServeBench builds a warmed asynchronous engine plus the query list the
+// serving benchmarks replay: every query executed once (so synopses are
+// observed, selected and materialized) and the tuner quiesced, leaving the
+// steady-state fast path — plan-cache hit, snapshot plan choice, pooled
+// execution — as the measured quantity.
+func newServeBench(tb testing.TB) (*Engine, *workload.Workload, []string) {
+	tb.Helper()
+	w := workload.TPCH(0.002, 3)
+	queries := w.Queries(48, 42)
+	bytes, rows := w.CostScale()
+	e := New(w.Catalog, Config{
+		Mode:          ModeTaster,
+		StorageBudget: bytes * 4,
+		BufferSize:    bytes,
+		CostModel:     storage.ScaledCostModel(bytes, rows),
+		Seed:          42,
+		Workers:       1,
+	})
+	for pass := 0; pass < 3; pass++ {
+		for _, sql := range queries {
+			q, err := sqlparser.Parse(sql, w.Catalog)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if _, err := e.Execute(q); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		e.Quiesce()
+	}
+	return e, w, queries
+}
+
+// BenchmarkExecuteServe measures the steady-state serving path per query:
+// parse + cache-hit planning + snapshot plan choice + pooled execution.
+// Run with -benchmem; TestExecuteServeAllocBudget holds the allocs/op line.
+func BenchmarkExecuteServe(b *testing.B) {
+	e, w, queries := newServeBench(b)
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := queries[i%len(queries)]
+		q, err := sqlparser.Parse(sql, w.Catalog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestExecuteServeAllocBudget is the CI allocation-regression tripwire: the
+// steady-state serving path must stay under an allocs/op budget. The budget
+// is ~1.6x the measured baseline (~1.55k allocs/op with the engine-wide
+// vector pool and the plan cache), so it tolerates noise and workload drift
+// but fails on a regression of the pooling or caching machinery itself.
+func TestExecuteServeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget benchmark skipped in -short mode")
+	}
+	const budget = 2_500 // allocs per served query, steady state
+	res := testing.Benchmark(BenchmarkExecuteServe)
+	if got := res.AllocsPerOp(); got > budget {
+		t.Fatalf("serving fast path allocates %d allocs/op, budget is %d — pooled execution or plan caching regressed", got, budget)
+	}
+}

@@ -122,6 +122,17 @@ type Config struct {
 	// default (false) serves queries lock-free against the published
 	// snapshot and applies tuning in the background.
 	Synchronous bool
+	// PlanCacheSize bounds the serving fast path's plan-set cache (in
+	// entries). Asynchronous ModeTaster memoizes candidate enumeration per
+	// (canonical query signature, table epochs, snapshot identity): a
+	// repeated query shape skips planner.PlanWith entirely and only re-runs
+	// plan choice against the published gains. Invalidation is by
+	// construction — ingests bump table epochs and warehouse rearrangements
+	// bump the snapshot identity, so stale entries are never consulted. 0
+	// (the default) means 4096 entries; negative disables caching.
+	// Synchronous and baseline modes never cache (their tuning rounds
+	// consume the plan set's query identity inline).
+	PlanCacheSize int
 	// ObservationQueue bounds the asynchronous tuning service's observation
 	// channel (default 1024). When the queue is full — the tuner is behind
 	// sustained traffic — new observations are dropped rather than blocking
@@ -210,6 +221,17 @@ type Engine struct {
 	// the baseline modes, which run no tuner).
 	svc *tuningService
 
+	// planCache memoizes plan sets for the lock-free serving path (nil when
+	// disabled or in modes without the asynchronous service).
+	planCache *planner.PlanCache
+
+	// vecPool recycles batch/vector memory across every query this engine
+	// serves (sync.Pool-backed, so concurrent Executes share it safely).
+	// Per-query pools would recycle only within one query and rebuild their
+	// capacity from scratch each time; the engine-wide pool keeps warm
+	// backing arrays across the whole serving workload.
+	vecPool *storage.VecPool
+
 	// db is the warehouse directory's disk store (nil without
 	// Config.WarehouseDir); persistErr remembers the first failed
 	// background checkpoint (written under tuneMu, surfaced by Close);
@@ -267,6 +289,9 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 	if cfg.ReportCap <= 0 {
 		cfg.ReportCap = 4096
 	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = 4096
+	}
 	if cfg.PartitionRows > 0 {
 		cat.Repartition(cfg.PartitionRows)
 	}
@@ -304,6 +329,7 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 		pl:      pl,
 		tn:      tuner.New(cfg.Tuner, store, wh),
 		reports: newReportRing(cfg.ReportCap),
+		vecPool: storage.NewVecPool(),
 		db:      db,
 	}
 	// Replay the manifest before the engine escapes: recovery runs
@@ -329,6 +355,9 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 	e.publishLocked(keep, gains)
 	if cfg.Mode == ModeTaster && !cfg.Synchronous {
 		e.svc = newTuningService(e, cfg.ObservationQueue)
+		if cfg.PlanCacheSize > 0 {
+			e.planCache = planner.NewPlanCache(cfg.PlanCacheSize)
+		}
 	}
 	return e, nil
 }
@@ -371,10 +400,29 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	var snap *tuningSnapshot
 	var ps *planner.PlanSet
 	var err error
-	if e.svc != nil {
+	switch {
+	case e.svc != nil && e.planCache != nil:
+		// Fast path: the cache key embeds the query's canonical signature,
+		// every bound table's epoch, and the snapshot identity, so a hit is
+		// guaranteed to be the plan set a cold PlanWith against this exact
+		// state would rebuild. Only candidate enumeration is skipped —
+		// plan choice below still scores against the live published gains,
+		// and the benefit window still records this repetition.
+		snap = e.snap.Load()
+		if err = q.Validate(); err != nil {
+			return nil, err
+		}
+		key := planner.CacheKey(q, snap.ident)
+		if hit, ok := e.planCache.Get(key); ok {
+			ps = hit
+			e.pl.RecordReuseBenefits(ps, q.ID)
+		} else if ps, err = e.pl.PlanWith(q, snap.wh); err == nil {
+			e.planCache.Put(key, ps)
+		}
+	case e.svc != nil:
 		snap = e.snap.Load()
 		ps, err = e.pl.PlanWith(q, snap.wh)
-	} else {
+	default:
 		ps, err = e.pl.Plan(q)
 	}
 	if err != nil {
@@ -458,6 +506,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	// it the sampled result — is reproducible under concurrent serving
 	// regardless of interleaving.
 	ctx := exec.NewContext(q.Accuracy.Confidence)
+	ctx.Pool = e.vecPool // engine-wide: recycles batches across queries
 	ctx.Workers = e.cfg.Workers
 	ctx.DisablePrune = e.cfg.DisablePruning
 	matNames := make(map[*plan.SynopsisOp]uint64)

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/tasterdb/taster/internal/meta"
 	"github.com/tasterdb/taster/internal/planner"
@@ -26,6 +27,19 @@ type tuningSnapshot struct {
 	staleness map[uint64]float64
 	window    int
 	version   uint64
+	// ident is the snapshot's *planning* identity: it advances only when
+	// the state the planner's candidate enumeration reads — the warehouse
+	// item set (pointer-wise, so refreshes count) or any materialized
+	// item's staleness — materially changed since the previous publish.
+	// Publishes that merely slid the window or recomputed gains carry the
+	// previous ident forward: those inputs feed plan *choice*, which the
+	// serving path re-runs on every query anyway. The plan cache keys on
+	// ident, so per-batch republishes under a steady workload do not evict
+	// it, while every rearrangement orphans stale entries by construction.
+	ident uint64
+	// viewStale is the staleness of every materialized item at publish
+	// time, kept for the next publish's ident comparison.
+	viewStale map[uint64]float64
 }
 
 // chooseFromSnapshot runs the §V plan-choice rule against published state:
@@ -65,15 +79,46 @@ func (e *Engine) publishLocked(keep map[uint64]bool, gains map[uint64]float64) {
 	for id := range keep {
 		ids = append(ids, id)
 	}
+	view := e.wh.View()
+	viewIDs := make([]uint64, 0, 16)
+	for _, it := range view.BufferItems() {
+		viewIDs = append(viewIDs, it.ID)
+	}
+	for _, it := range view.WarehouseItems() {
+		viewIDs = append(viewIDs, it.ID)
+	}
+	viewStale := e.store.StalenessOf(viewIDs)
+	prev := e.snap.Load()
 	e.snapVersion++
+	ident := e.snapVersion
+	if prev != nil && prev.wh.SameContents(view) && sameStaleMap(prev.viewStale, viewStale) {
+		ident = prev.ident
+	}
 	e.snap.Store(&tuningSnapshot{
-		wh:        e.wh.View(),
+		wh:        view,
 		keep:      keep,
 		gains:     gains,
 		staleness: e.store.StalenessOf(ids),
 		window:    e.tn.Window(),
 		version:   e.snapVersion,
+		ident:     ident,
+		viewStale: viewStale,
 	})
+}
+
+// sameStaleMap compares two staleness maps exactly: any drift in any
+// materialized item's staleness must advance the planning identity, since
+// the planner's staleness gate and cost penalty read it.
+func sameStaleMap(a, b map[uint64]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, s := range a {
+		if o, ok := b[id]; !ok || o != s {
+			return false
+		}
+	}
+	return true
 }
 
 // builtSynopsis is a byproduct built during execution, awaiting admission:
@@ -114,6 +159,11 @@ type TuningStats struct {
 	Promoted  int64
 	// SnapshotVersion is the version of the currently published snapshot.
 	SnapshotVersion uint64
+	// PlanCacheHits/Misses/Evictions account the serving fast path's
+	// plan-set cache (all zero when Config.PlanCacheSize disables it).
+	PlanCacheHits      int64
+	PlanCacheMisses    int64
+	PlanCacheEvictions int64
 }
 
 // tuningService is the engine's background tuner: a single goroutine
@@ -178,6 +228,31 @@ func (s *tuningService) loop() {
 		case <-s.done:
 			return
 		case o := <-s.obsCh:
+			// Pace the round so the batch can fill: under sustained traffic a
+			// hair-trigger service runs one micro-round per observation, and
+			// every warmup rearrangement then lands in its own publish — each
+			// of which can advance the snapshot identity that keys the plan
+			// cache, keeping hit windows pathologically short. Waiting one
+			// batch delay coalesces rearrangements into few publishes; tuning
+			// is off the query critical path, so the only cost is snapshot
+			// freshness lagging by at most the delay. Drain bypasses the
+			// pacing (the flush case below never waits).
+			select {
+			case <-s.done:
+				return
+			case ack := <-s.flushCh:
+				s.runBatch(s.gather(o))
+				for {
+					batch := s.gather(nil)
+					if len(batch) == 0 {
+						break
+					}
+					s.runBatch(batch)
+				}
+				close(ack)
+				continue
+			case <-time.After(tuneBatchDelay):
+			}
 			s.runBatch(s.gather(o))
 		case ack := <-s.flushCh:
 			// A flush must clear the whole backlog, not just one batch:
@@ -199,6 +274,12 @@ func (s *tuningService) loop() {
 // maxBatch bounds one round's observation count so a deep backlog still
 // publishes fresh snapshots at a steady cadence instead of one giant round.
 const maxBatch = 256
+
+// tuneBatchDelay is how long the service lets a batch fill after its first
+// observation arrives before running the round (see the pacing comment in
+// loop). It bounds how far published tuning state can lag the served
+// workload when traffic is light.
+const tuneBatchDelay = 20 * time.Millisecond
 
 // gather drains the queue non-blockingly into a batch seeded with head.
 func (s *tuningService) gather(head *observation) []*observation {
@@ -338,5 +419,11 @@ func (e *Engine) TuningStats() TuningStats {
 	e.tuneMu.Unlock()
 	st.Dropped = e.svc.dropped.Load()
 	st.SnapshotVersion = e.snap.Load().version
+	if e.planCache != nil {
+		cs := e.planCache.Stats()
+		st.PlanCacheHits = cs.Hits
+		st.PlanCacheMisses = cs.Misses
+		st.PlanCacheEvictions = cs.Evictions
+	}
 	return st
 }

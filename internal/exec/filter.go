@@ -10,6 +10,7 @@ type FilterOp struct {
 	Child Operator
 	Pred  expr.Expr
 	ctx   *Context
+	idx   []int // selection scratch, reused across batches
 }
 
 // NewFilterOp wraps child with a predicate.
@@ -27,18 +28,25 @@ func (f *FilterOp) Next() (*storage.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		idx, err := expr.EvalBool(f.Pred, b)
+		idx, err := expr.EvalBoolInto(f.Pred, b, f.idx[:0])
 		if err != nil {
 			return nil, err
 		}
+		f.idx = idx
+		// Charge every row the predicate evaluated, not just survivors:
+		// selective filters do the same CPU work per input row, and the
+		// fully-filtered batch below must not be free either.
+		f.ctx.Stats.CPUTuples += int64(b.Len())
 		if len(idx) == 0 {
+			f.ctx.Pool.Release(b)
 			continue
 		}
-		f.ctx.Stats.CPUTuples += int64(len(idx))
 		if len(idx) == b.Len() {
 			return b, nil
 		}
-		return b.Gather(idx), nil
+		out := b.GatherPooled(idx, f.ctx.Pool)
+		f.ctx.Pool.Release(b)
+		return out, nil
 	}
 }
 

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/expr"
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// batchFeed replays fixed batches as an operator, charging nothing itself so
+// tests can observe exactly what the operator under test charges.
+type batchFeed struct {
+	schema  storage.Schema
+	batches []*storage.Batch
+	pos     int
+}
+
+func (f *batchFeed) Open() error { f.pos = 0; return nil }
+func (f *batchFeed) Next() (*storage.Batch, error) {
+	if f.pos >= len(f.batches) {
+		return nil, nil
+	}
+	b := f.batches[f.pos]
+	f.pos++
+	return b, nil
+}
+func (f *batchFeed) Close() error           { return nil }
+func (f *batchFeed) Schema() storage.Schema { return f.schema }
+
+// TestFilterChargesEvaluatedRows: CPUTuples must count every row the
+// predicate evaluated — selective filters do per-input-row work, and a batch
+// where nothing survives is not free. (Regression: the charge used to be
+// len(idx), the survivor count, which understated CPU on selective filters
+// and charged zero for fully-filtered batches.)
+func TestFilterChargesEvaluatedRows(t *testing.T) {
+	schema := storage.Schema{{Name: "v", Typ: storage.Int64}}
+	mk := func(vals ...int64) *storage.Batch {
+		b := storage.NewBatch(schema, len(vals))
+		b.Vecs[0].I64 = append(b.Vecs[0].I64, vals...)
+		return b
+	}
+	// Three batches: all pass (4 rows), some pass (3 rows, 1 survivor), none
+	// pass (5 rows). 12 rows evaluated, 5 survive.
+	feed := &batchFeed{schema: schema, batches: []*storage.Batch{
+		mk(10, 11, 12, 13),
+		mk(10, 1, 2),
+		mk(1, 2, 3, 4, 5),
+	}}
+	ctx := NewContext(0.95)
+	pred := &expr.Cmp{Op: expr.GE, L: &expr.Col{Name: "v"}, R: expr.Int(10)}
+	f := NewFilterOp(feed, pred, ctx)
+	out, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := 0
+	for _, b := range out {
+		survived += b.Len()
+	}
+	if survived != 5 {
+		t.Fatalf("survivors = %d, want 5", survived)
+	}
+	if ctx.Stats.CPUTuples != 12 {
+		t.Fatalf("CPUTuples = %d, want 12 (rows evaluated, not %d survivors)",
+			ctx.Stats.CPUTuples, survived)
+	}
+}

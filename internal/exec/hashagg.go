@@ -214,6 +214,7 @@ func (a *HashAggOp) Next() (*storage.Batch, error) {
 		a.ctx.Stats.ShuffleBytes += batchBytes(b)
 		a.ctx.Stats.CPUTuples += int64(b.Len())
 		a.table.observe(b)
+		a.ctx.Pool.Release(b)
 	}
 	a.emitted = true
 

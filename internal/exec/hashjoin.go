@@ -116,7 +116,8 @@ func fnv1a(b []byte) uint64 {
 
 // drainBuild materializes an operator's full output in input order, charging
 // shuffle bytes (the build side of a hash join is exchanged in the simulated
-// cluster).
+// cluster). Consumed batches are released: the joinTable keeps only the
+// copied concatenation.
 func drainBuild(op Operator, ctx *Context) (*storage.Batch, error) {
 	rows := storage.NewBatch(op.Schema(), 0)
 	for {
@@ -131,6 +132,7 @@ func drainBuild(op Operator, ctx *Context) (*storage.Batch, error) {
 		for i := 0; i < b.Len(); i++ {
 			rows.AppendRow(b, i)
 		}
+		ctx.Pool.Release(b)
 	}
 }
 
@@ -231,6 +233,7 @@ func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable
 type joinProber struct {
 	spec  *joinSpec
 	table *joinTable
+	pool  *storage.VecPool
 
 	cur      *storage.Batch
 	curRow   int
@@ -270,7 +273,7 @@ func (p *joinProber) next(fetch func() (*storage.Batch, error)) (*storage.Batch,
 				p.pending = true
 			}
 			if p.matchPos < len(p.matches) && out == nil {
-				out = storage.NewBatch(p.spec.schema, joinBatchRows)
+				out = p.pool.GetBatch(p.spec.schema, joinBatchRows)
 			}
 			for p.matchPos < len(p.matches) {
 				if out.Len() >= joinBatchRows {
@@ -282,6 +285,9 @@ func (p *joinProber) next(fetch func() (*storage.Batch, error)) (*storage.Batch,
 			p.pending = false
 			p.curRow++
 		}
+		// The probe batch is fully emitted (emit copies values out), so its
+		// memory can be recycled before fetching the next one.
+		p.pool.Release(p.cur)
 		p.cur = nil
 	}
 }
@@ -356,7 +362,7 @@ func (j *HashJoinOp) Open() error {
 		return err
 	}
 	j.probeOpen = true
-	j.prober = joinProber{spec: j.spec, table: j.table}
+	j.prober = joinProber{spec: j.spec, table: j.table, pool: j.ctx.Pool}
 	return nil
 }
 
@@ -374,6 +380,7 @@ func (j *HashJoinOp) Next() (*storage.Batch, error) {
 				return nil, err
 			}
 			j.ctx.Stats.ShuffleBytes += batchBytes(b)
+			j.ctx.Pool.Release(b)
 		}
 	}
 	out, err := j.prober.next(func() (*storage.Batch, error) {

@@ -96,6 +96,11 @@ type Context struct {
 	// it never changes results, only the scan-byte and tuple charges — so the
 	// flag exists for A/B cost measurement and the pruning soundness tests.
 	DisablePrune bool
+	// Pool recycles batch/vector memory between operators of this run. Batches
+	// transfer ownership downstream; the final consumer releases after copying
+	// out (storage.VecPool documents the contract). A nil pool degrades every
+	// pool-aware operator to plain allocation, so results never depend on it.
+	Pool *storage.VecPool
 }
 
 // NewContext returns a context with fresh stats at the given confidence.
@@ -107,6 +112,7 @@ func NewContext(confidence float64) *Context {
 		Confidence:         confidence,
 		Stats:              &RunStats{},
 		MaterializeSamples: make(map[*plan.SynopsisOp]string),
+		Pool:               storage.NewVecPool(),
 	}
 }
 

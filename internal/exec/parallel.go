@@ -340,6 +340,7 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int, keep []bool) mors
 		Confidence:         p.ctx.Confidence,
 		Stats:              &RunStats{},
 		MaterializeSamples: p.ctx.MaterializeSamples,
+		Pool:               p.ctx.Pool, // sync.Pool-backed: safe across workers
 	}
 	root, err := buildMorselChain(p.pipe, p.joins, i, nMorsels, p.seed, mctx)
 	if err != nil {
@@ -365,6 +366,7 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int, keep []bool) mors
 		mctx.Stats.ShuffleBytes += batchBytes(b)
 		mctx.Stats.CPUTuples += int64(b.Len())
 		table.observe(b)
+		mctx.Pool.Release(b)
 	}
 	return morselResult{table: table, stats: *mctx.Stats}
 }
@@ -415,7 +417,7 @@ type morselProbeOp struct {
 
 // Open implements Operator.
 func (o *morselProbeOp) Open() error {
-	o.prober = joinProber{spec: o.st.spec, table: o.st.table}
+	o.prober = joinProber{spec: o.st.spec, table: o.st.table, pool: o.ctx.Pool}
 	return o.child.Open()
 }
 
@@ -432,6 +434,7 @@ func (o *morselProbeOp) Next() (*storage.Batch, error) {
 				return nil, err
 			}
 			o.ctx.Stats.ShuffleBytes += batchBytes(b)
+			o.ctx.Pool.Release(b)
 		}
 	}
 	out, err := o.prober.next(func() (*storage.Batch, error) {

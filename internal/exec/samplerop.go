@@ -79,7 +79,7 @@ func (s *SamplerOp) Next() (*storage.Batch, error) {
 		}
 		n := b.Len()
 		s.ctx.Stats.CPUTuples += int64(n)
-		out := storage.NewBatch(s.schema, n/4+1)
+		out := s.ctx.Pool.GetBatch(s.schema, n/4+1)
 		wcol := len(s.schema) - 1
 		for i := 0; i < n; i++ {
 			var d synopses.Decision
@@ -96,7 +96,11 @@ func (s *SamplerOp) Next() (*storage.Batch, error) {
 			}
 			out.Vecs[wcol].F64 = append(out.Vecs[wcol].F64, d.Weight)
 		}
+		// Sampling and materialization both copy rows out, so the input batch
+		// can be recycled whether or not any row passed.
+		s.ctx.Pool.Release(b)
 		if out.Len() == 0 {
+			s.ctx.Pool.Release(out)
 			continue
 		}
 		return out, nil

@@ -136,6 +136,7 @@ func (s *SketchJoinOp) Open() error {
 			}
 			s.sketch.AddRow(b.Vecs, keyIdx, aggIdx, i, w)
 		}
+		s.ctx.Pool.Release(b)
 	}
 	s.ctx.Stats.BuiltSketches = append(s.ctx.Stats.BuiltSketches, BuiltSketch{Op: s.Node, Sketch: s.sketch})
 	return nil
@@ -194,6 +195,7 @@ func (s *SketchJoinOp) Next() (*storage.Batch, error) {
 				}
 			}
 		}
+		s.ctx.Pool.Release(b)
 	}
 	s.emitted = true
 

@@ -1,0 +1,173 @@
+package storage
+
+import "sync"
+
+// VecPool recycles vector backing arrays and batch headers within one query
+// execution. The hot serving path produces thousands of short-lived batches
+// per query (filter gathers, join probe output, sampler output); without
+// recycling every chunk allocates fresh slices, and under concurrent serving
+// the allocator becomes the serialization point. The pool is type-segregated
+// (one free list per vector type, so an int64 backing array is never reused
+// as a float64 one) and sync.Pool-backed, so morsel workers may Get/Release
+// concurrently without locking discipline of their own.
+//
+// Ownership contract: a batch obtained from GetBatch is owned by whoever
+// holds it; ownership transfers downstream with the batch. The final
+// consumer calls Release exactly once when it has copied out (or finished
+// observing) every value. Release on a batch that did not come from a pool
+// is a no-op, so consumers may release unconditionally — scans handing out
+// table-owned storage are never recycled. Pooled memory must never escape
+// past the result boundary: Batch.Row boxes values (copying scalars and
+// string headers, which stay valid after the backing []string is reused), so
+// result assembly is already a copy-out.
+//
+// All methods are nil-receiver safe: a nil *VecPool allocates fresh memory
+// and ignores releases, keeping pool-free paths (tests, tools) identical in
+// behaviour.
+type VecPool struct {
+	i64     sync.Pool // *Vector with Typ Int64
+	f64     sync.Pool // *Vector with Typ Float64
+	str     sync.Pool // *Vector with Typ String
+	b       sync.Pool // *Vector with Typ Bool
+	batches sync.Pool // *Batch with Vecs emptied
+}
+
+// NewVecPool returns an empty pool.
+func NewVecPool() *VecPool { return &VecPool{} }
+
+// poolFor returns the free list for a vector type.
+func (p *VecPool) poolFor(t Type) *sync.Pool {
+	switch t {
+	case Int64:
+		return &p.i64
+	case Float64:
+		return &p.f64
+	case String:
+		return &p.str
+	case Bool:
+		return &p.b
+	}
+	return nil
+}
+
+// GetVector returns an empty vector of the given type, reusing a recycled
+// backing array when one is available (capacity hint n applies only to fresh
+// allocations; recycled arrays keep whatever capacity they grew to).
+func (p *VecPool) GetVector(t Type, n int) *Vector {
+	if p == nil {
+		return NewVector(t, n)
+	}
+	fl := p.poolFor(t)
+	if fl == nil {
+		return NewVector(t, n)
+	}
+	if v, ok := fl.Get().(*Vector); ok && v != nil {
+		return v
+	}
+	return NewVector(t, n)
+}
+
+// putVector recycles one vector. Lengths reset to zero; String payloads are
+// cleared first so recycled arrays do not pin the strings of a previous
+// batch beyond their lifetime.
+func (p *VecPool) putVector(v *Vector) {
+	if p == nil || v == nil {
+		return
+	}
+	switch v.Typ {
+	case Int64:
+		v.I64 = v.I64[:0]
+	case Float64:
+		v.F64 = v.F64[:0]
+	case String:
+		clear(v.Str)
+		v.Str = v.Str[:0]
+	case Bool:
+		v.B = v.B[:0]
+	default:
+		return
+	}
+	p.poolFor(v.Typ).Put(v)
+}
+
+// GetBatch returns an empty batch for the schema whose vectors come from the
+// pool's free lists. The batch is marked pooled: Release will recycle it.
+func (p *VecPool) GetBatch(schema Schema, n int) *Batch {
+	if p == nil {
+		return NewBatch(schema, n)
+	}
+	var b *Batch
+	if pb, ok := p.batches.Get().(*Batch); ok && pb != nil {
+		b = pb
+		b.Schema = schema
+		if cap(b.Vecs) < len(schema) {
+			b.Vecs = make([]*Vector, len(schema))
+		} else {
+			b.Vecs = b.Vecs[:len(schema)]
+		}
+	} else {
+		b = &Batch{Schema: schema, Vecs: make([]*Vector, len(schema))}
+	}
+	for i, c := range schema {
+		b.Vecs[i] = p.GetVector(c.Typ, n)
+	}
+	b.pooled = true
+	return b
+}
+
+// Release recycles a pooled batch's vectors and header. Batches that did not
+// come from GetBatch (table-owned scan output, operator-emitted results) are
+// left untouched, so callers release every consumed batch unconditionally.
+// Double release is a defended no-op: the pooled mark clears on first
+// release.
+func (p *VecPool) Release(b *Batch) {
+	if p == nil || b == nil || !b.pooled {
+		return
+	}
+	b.pooled = false
+	for i, v := range b.Vecs {
+		p.putVector(v)
+		b.Vecs[i] = nil
+	}
+	b.Vecs = b.Vecs[:0]
+	b.Schema = nil
+	p.batches.Put(b)
+}
+
+// GatherPooled is Batch.Gather into pool-backed vectors: the returned batch
+// is pooled (recycle with Release). A nil pool degrades to plain Gather.
+func (b *Batch) GatherPooled(idx []int, p *VecPool) *Batch {
+	if p == nil {
+		return b.Gather(idx)
+	}
+	out := p.GetBatch(b.Schema, len(idx))
+	for c, v := range b.Vecs {
+		out.Vecs[c].gatherAppend(v, idx)
+	}
+	return out
+}
+
+// gatherAppend appends src[idx[0]], src[idx[1]], ... onto v (same type).
+func (v *Vector) gatherAppend(src *Vector, idx []int) {
+	switch v.Typ {
+	case Int64:
+		for _, i := range idx {
+			v.I64 = append(v.I64, src.I64[i])
+		}
+	case Float64:
+		for _, i := range idx {
+			v.F64 = append(v.F64, src.F64[i])
+		}
+	case String:
+		for _, i := range idx {
+			v.Str = append(v.Str, src.Str[i])
+		}
+	case Bool:
+		for _, i := range idx {
+			v.B = append(v.B, src.B[i])
+		}
+	}
+}
+
+// Pooled reports whether the batch is pool-owned (diagnostics and tests).
+func (b *Batch) Pooled() bool { return b.pooled }

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func poolSchema() Schema {
+	return Schema{
+		{Name: "a", Typ: Int64},
+		{Name: "b", Typ: Float64},
+		{Name: "c", Typ: String},
+		{Name: "d", Typ: Bool},
+	}
+}
+
+// TestVecPoolRecycle: a released batch's backing arrays come back on the next
+// GetBatch, empty and type-correct.
+func TestVecPoolRecycle(t *testing.T) {
+	p := NewVecPool()
+	b := p.GetBatch(poolSchema(), 8)
+	if !b.Pooled() {
+		t.Fatal("GetBatch must mark the batch pooled")
+	}
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, 1, 2, 3)
+	b.Vecs[1].F64 = append(b.Vecs[1].F64, 1.5)
+	b.Vecs[2].Str = append(b.Vecs[2].Str, "x", "y")
+	b.Vecs[3].B = append(b.Vecs[3].B, true)
+	arr := &b.Vecs[0].I64[0]
+	p.Release(b)
+	if b.Pooled() {
+		t.Fatal("Release must clear the pooled mark")
+	}
+
+	b2 := p.GetBatch(poolSchema(), 8)
+	if b2.Len() != 0 {
+		t.Fatalf("recycled batch not empty: %d rows", b2.Len())
+	}
+	for i, c := range poolSchema() {
+		if b2.Vecs[i].Typ != c.Typ {
+			t.Fatalf("col %d: recycled type %v, want %v", i, b2.Vecs[i].Typ, c.Typ)
+		}
+	}
+	b2.Vecs[0].I64 = append(b2.Vecs[0].I64, 9)
+	if &b2.Vecs[0].I64[0] != arr {
+		t.Error("int64 backing array was not recycled")
+	}
+}
+
+// TestVecPoolNonPooledNoop: releasing a batch the pool never handed out must
+// leave it untouched (scan output is table-owned).
+func TestVecPoolNonPooledNoop(t *testing.T) {
+	p := NewVecPool()
+	b := NewBatch(poolSchema(), 4)
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, 7)
+	p.Release(b)
+	if len(b.Vecs) != 4 || b.Vecs[0].I64[0] != 7 {
+		t.Fatal("Release mutated a non-pooled batch")
+	}
+}
+
+// TestVecPoolDoubleReleaseNoop: the second release of the same batch must not
+// put its vectors on the free list twice (which would alias two consumers).
+func TestVecPoolDoubleReleaseNoop(t *testing.T) {
+	p := NewVecPool()
+	b := p.GetBatch(Schema{{Name: "a", Typ: Int64}}, 4)
+	p.Release(b)
+	p.Release(b) // must be a no-op
+	v1 := p.GetVector(Int64, 4)
+	v2 := p.GetVector(Int64, 4)
+	if v1 == v2 {
+		t.Fatal("double release put the same vector on the free list twice")
+	}
+}
+
+// TestVecPoolNilSafe: all methods degrade to plain allocation on a nil pool.
+func TestVecPoolNilSafe(t *testing.T) {
+	var p *VecPool
+	b := p.GetBatch(poolSchema(), 4)
+	if b == nil || b.Pooled() {
+		t.Fatal("nil pool GetBatch must return a fresh non-pooled batch")
+	}
+	p.Release(b) // must not panic
+	if v := p.GetVector(Int64, 4); v == nil || v.Typ != Int64 {
+		t.Fatal("nil pool GetVector must allocate")
+	}
+}
+
+// TestGatherPooled: pooled gather matches plain gather value-for-value.
+func TestGatherPooled(t *testing.T) {
+	src := NewBatch(poolSchema(), 4)
+	for i := int64(0); i < 4; i++ {
+		src.Vecs[0].I64 = append(src.Vecs[0].I64, i)
+		src.Vecs[1].F64 = append(src.Vecs[1].F64, float64(i)/2)
+		src.Vecs[2].Str = append(src.Vecs[2].Str, string(rune('a'+i)))
+		src.Vecs[3].B = append(src.Vecs[3].B, i%2 == 0)
+	}
+	idx := []int{3, 1}
+	p := NewVecPool()
+	got := src.GatherPooled(idx, p)
+	want := src.Gather(idx)
+	if !got.Pooled() {
+		t.Fatal("GatherPooled output must be pooled")
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), want.Len())
+	}
+	for r := 0; r < want.Len(); r++ {
+		for c := range want.Vecs {
+			if !got.Vecs[c].Get(r).Equal(want.Vecs[c].Get(r)) {
+				t.Fatalf("row %d col %d: %v vs %v", r, c, got.Vecs[c].Get(r), want.Vecs[c].Get(r))
+			}
+		}
+	}
+	if nilGather := src.GatherPooled(idx, nil); nilGather.Pooled() {
+		t.Fatal("nil-pool GatherPooled must not mark pooled")
+	}
+}
+
+// TestVecPoolConcurrent: hammering Get/Release from many goroutines must be
+// race-free (run under -race) and never hand the same live vector out twice.
+func TestVecPoolConcurrent(t *testing.T) {
+	p := NewVecPool()
+	sch := poolSchema()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.GetBatch(sch, 16)
+				b.Vecs[0].I64 = append(b.Vecs[0].I64, int64(w))
+				for r := 0; r < b.Vecs[0].Len(); r++ {
+					if b.Vecs[0].I64[r] != int64(w) {
+						t.Errorf("vector aliased across goroutines")
+						return
+					}
+				}
+				p.Release(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -179,6 +179,10 @@ func (v *Vector) Bytes() int64 {
 type Batch struct {
 	Schema Schema
 	Vecs   []*Vector
+	// pooled marks batches whose vectors come from a VecPool free list; only
+	// those are recycled by VecPool.Release (see pool.go for the ownership
+	// contract). Scan output handing out table-owned storage stays false.
+	pooled bool
 }
 
 // BatchSize is the default number of rows per batch produced by scans.

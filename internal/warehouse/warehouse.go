@@ -242,6 +242,34 @@ func (v *View) Has(id uint64) bool {
 	return ok
 }
 
+// SameContents reports whether two views hold the identical item set: the
+// same ids bound to the same immutable *Item payloads in the same tiers.
+// Item pointer equality is the right notion — a refresh swaps the pointer,
+// so two views agreeing pointer-wise bind exactly the same synopsis bytes.
+// Plan caching uses it to carry a snapshot identity across publishes that
+// did not rearrange the warehouse.
+func (v *View) SameContents(o *View) bool {
+	if v == o {
+		return true
+	}
+	if v == nil || o == nil {
+		return false
+	}
+	return sameTier(v.buffer, o.buffer) && sameTier(v.warehouse, o.warehouse)
+}
+
+func sameTier(a, b map[uint64]*Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, it := range a {
+		if b[id] != it {
+			return false
+		}
+	}
+	return true
+}
+
 // Usage returns (bufferUsed, warehouseUsed) bytes.
 func (v *View) Usage() (buffer, warehouse int64) { return v.bufUsed, v.whUsed }
 

@@ -134,6 +134,14 @@ type Options struct {
 	// applies retention decisions between queries; use Drain/Quiesce when a
 	// test or benchmark needs the tuner caught up.
 	SynchronousTuning bool
+	// PlanCacheSize bounds the serving fast path's plan-set cache, in
+	// entries: with the default asynchronous tuning, a repeated query
+	// shape skips planning entirely (the cache key covers the canonical
+	// query text, every bound table epoch and the published tuning
+	// snapshot's identity, so a stale hit is impossible by construction).
+	// 0 (the default) means 4096 entries; negative disables caching.
+	// Ignored with SynchronousTuning.
+	PlanCacheSize int
 }
 
 // Engine is a Taster instance. It is safe for concurrent use: queries
@@ -189,6 +197,7 @@ func Open(cat *Catalog, opts Options) (*Engine, error) {
 		PartitionRows:   opts.PartitionRows,
 		MaxStaleness:    opts.MaxStaleness,
 		Synchronous:     opts.SynchronousTuning,
+		PlanCacheSize:   opts.PlanCacheSize,
 		WarehouseDir:    opts.WarehouseDir,
 	})
 	if err != nil {
