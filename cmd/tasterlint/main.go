@@ -1,0 +1,131 @@
+// Command tasterlint is taster's invariant multichecker: five
+// repo-specific static analyzers that mechanically enforce the contracts
+// the differential tests can only spot-check —
+//
+//	detrand        no wall-clock or global RNG in determinism-critical packages
+//	mapiter        no order-sensitive range over a map without a dominating sort
+//	locksafe       Engine.Execute never reaches tuneMu; tuneMu never taken under a finer lock
+//	snapshotimmut  //taster:immutable types are frozen outside constructors
+//	poolsafe       VecPool results are released, returned or handed onward
+//
+// Usage:
+//
+//	tasterlint [-only detrand,mapiter] [-list] [module-dir]
+//
+// With no directory argument the module containing the current directory
+// is linted (the `make lint` entry point runs it at the repo root over
+// every package, ./... style). Exit status is 1 when any finding is
+// reported, 2 on usage or load errors.
+//
+// The analyzers are written against the in-repo go/analysis shim
+// (internal/lint); porting them onto golang.org/x/tools/go/analysis and
+// `go vet -vettool` when the dependency is vendorable is an import-path
+// change, not a rewrite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/lint"
+	"github.com/tasterdb/taster/internal/lint/detrand"
+	"github.com/tasterdb/taster/internal/lint/locksafe"
+	"github.com/tasterdb/taster/internal/lint/mapiter"
+	"github.com/tasterdb/taster/internal/lint/poolsafe"
+	"github.com/tasterdb/taster/internal/lint/snapshotimmut"
+)
+
+var all = []*lint.Analyzer{
+	detrand.Analyzer,
+	mapiter.Analyzer,
+	locksafe.Analyzer,
+	snapshotimmut.Analyzer,
+	poolsafe.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tasterlint [-only a,b] [-list] [module-dir]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tasterlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root := "."
+	if args := flag.Args(); len(args) == 1 {
+		root = strings.TrimSuffix(args[0], "/...")
+		if root == "." || root == "" {
+			root = "."
+		}
+	} else if len(flag.Args()) > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	root, err := moduleRoot(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tasterlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	prog, err := lint.Load(root, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tasterlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tasterlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot ascends from dir to the nearest directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

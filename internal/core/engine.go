@@ -446,6 +446,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		// the engine. Evictions and promotions apply under the same
 		// critical section so concurrent queries never see a half-applied
 		// synopsis set.
+		//taster:locked synchronous ModeTaster is the documented serialization point; the lock-free contract applies to the e.svc != nil branch, which never reaches here
 		e.tuneMu.Lock()
 		dec = e.tn.Tune(ps)
 		for _, id := range dec.Evict {
@@ -572,6 +573,10 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			built: built,
 		})
 	} else if len(built) > 0 {
+		// Inline byproduct admission runs only when no tuning service
+		// exists (synchronous mode again — the svc branch above enqueued
+		// instead and the lock-free path never reaches here).
+		//taster:locked synchronous-mode inline admission; the e.svc != nil serving path enqueues and never takes this branch
 		e.tuneMu.Lock()
 		changed := false
 		for _, b := range built {
@@ -604,7 +609,11 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 }
 
 // windowLen reads the tuner's current window length under the tuning lock.
+// Only the non-Taster baseline modes (Quickr, Offline, Exact) call this
+// from Execute — the asynchronous serving path reads the window from the
+// published snapshot instead.
 func (e *Engine) windowLen() int {
+	//taster:locked report-only read for baseline modes; the lock-free ModeTaster serving path reads snap.window and never calls windowLen
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
 	return e.tn.Window()

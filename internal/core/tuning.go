@@ -20,6 +20,8 @@ import (
 // keep a coherent — merely slightly stale — view of the world, which is
 // exactly the staleness budget asynchronous tuning trades for a lock-free
 // hot path. All fields are read-only after publish.
+//
+//taster:immutable
 type tuningSnapshot struct {
 	wh        *warehouse.View
 	keep      map[uint64]bool
@@ -76,6 +78,7 @@ func (e *Engine) republishLocked() {
 // orders publishes.
 func (e *Engine) publishLocked(keep map[uint64]bool, gains map[uint64]float64) {
 	ids := make([]uint64, 0, len(keep))
+	//taster:sorted ids only feeds StalenessOf, which returns a keyed map — element order cannot reach any output
 	for id := range keep {
 		ids = append(ids, id)
 	}

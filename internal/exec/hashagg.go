@@ -136,6 +136,7 @@ func (t *aggTable) emit(confidence float64) (*storage.Batch, [][]stats.Interval)
 	}
 
 	all := make([]*aggGroup, 0, len(t.groups))
+	//taster:sorted emission order is fixed by sortRowsByValues below — group keys are unique, so the value sort is total and launders map order
 	for _, g := range t.groups {
 		all = append(all, g)
 	}

@@ -200,6 +200,7 @@ func (s *SketchJoinOp) Next() (*storage.Batch, error) {
 	s.emitted = true
 
 	all := make([]*sjGroup, 0, len(groups))
+	//taster:sorted emission order is fixed by sortRowsByValues below — group keys are unique, so the value sort is total and launders map order
 	for _, g := range groups {
 		all = append(all, g)
 	}

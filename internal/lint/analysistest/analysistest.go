@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer over a golden fixture tree and
+// compares its findings against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the in-repo framework.
+//
+// A fixture is a directory of Go packages (loaded as module "fixture", so
+// fixtures may import each other as fixture/<sub>). A line expecting
+// diagnostics carries a comment of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// and the test fails on any missing or unexpected finding. Every analyzer
+// fixture must include at least one seeded violation — a fixture with no
+// want comments proves nothing about the analyzer's teeth.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE accepts either "double-quoted" (with \" escapes) or
+// `backtick-quoted` regexp fragments after want.
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads fixtureDir and checks analyzer a against its want comments.
+func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+	prog, err := lint.LoadAsModule(fixtureDir, "fixture", nil)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	expects := collectWants(t, prog)
+	if len(expects) == 0 {
+		t.Fatalf("fixture %s has no // want expectations: a golden suite must seed at least one violation", fixtureDir)
+	}
+	diags := lint.Run(prog, []*lint.Analyzer{a})
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if e := match(expects, pos, d.Message); e == nil {
+			t.Errorf("%s: unexpected %s finding: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func match(expects []*expectation, pos token.Position, msg string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.pattern.MatchString(msg) {
+			e.matched = true
+			return e
+		}
+	}
+	return nil
+}
+
+func collectWants(t *testing.T, prog *lint.Program) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					for _, q := range quoted {
+						pat := q[2] // backtick form, taken literally
+						if q[1] != "" || q[2] == "" {
+							pat = unescape(q[1])
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// unescape undoes the \" escaping inside a quoted want pattern.
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return s
+}
+
+// Diagnose is a debugging helper: it renders every finding of the
+// analyzers over fixtureDir (used while authoring fixtures).
+func Diagnose(fixtureDir string, as ...*lint.Analyzer) (string, error) {
+	prog, err := lint.LoadAsModule(fixtureDir, "fixture", nil)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, d := range lint.Run(prog, as) {
+		fmt.Fprintf(&b, "%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,90 @@
+// Package detrand flags nondeterministic inputs — wall-clock reads and the
+// global math/rand generator — inside taster's determinism-critical
+// packages (exec, planner, tuner, synopses, storage, expr).
+//
+// The engine's headline property is byte-identical answers at any worker
+// count, tiling, cache state or restart. That only holds because every
+// random choice derives from a plan-derived split seed and no plan, cost
+// or synopsis decision reads the clock. A single time.Now() in a cost
+// model or an unseeded rand.Intn in a sampler silently breaks the
+// differential tests in ways that may not reproduce under test workloads,
+// so the rule is enforced mechanically: wall-clock time must be injected
+// by the caller (internal/core owns the clock), and RNGs must be
+// constructed from an explicit seed threaded down from the plan.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/lint"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &lint.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock reads and global math/rand in determinism-critical packages",
+	Run:  run,
+}
+
+// criticalPkgs are the package base names whose outputs feed query
+// answers, plan choice or synopsis contents.
+var criticalPkgs = map[string]bool{
+	"exec": true, "planner": true, "tuner": true,
+	"synopses": true, "storage": true, "expr": true,
+}
+
+// forbiddenTime are the time-package functions that read the wall clock.
+// (time.Duration arithmetic and timer types are fine; it is the ambient
+// "now" that breaks reproducibility.)
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand and math/rand/v2 functions that build
+// an explicitly seeded generator — the sanctioned way to get randomness.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *lint.Pass) {
+	base := pass.Pkg.Path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	if !criticalPkgs[base] && !criticalPkgs[pass.Types.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions matter here: methods on
+			// rand.Rand or time.Time values are operating on state the
+			// caller already injected.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock read time.%s in determinism-critical package %s: inject the timestamp from the caller (internal/core owns the clock)",
+						fn.Name(), pass.Types.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand RNG (rand.%s) in determinism-critical package %s: construct a generator from a plan-derived seed and thread it down",
+						fn.Name(), pass.Types.Name())
+				}
+			}
+			return true
+		})
+	}
+}

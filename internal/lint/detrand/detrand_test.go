@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint/analysistest"
+	"github.com/tasterdb/taster/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer)
+}

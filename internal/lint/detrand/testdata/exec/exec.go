@@ -1,0 +1,37 @@
+// Package exec is a detrand fixture: its name places it in the
+// determinism-critical set, so wall-clock reads and global RNG use must be
+// flagged while injected clocks and seeded generators stay quiet.
+package exec
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: ambient wall-clock reads.
+func wallClock() (int64, time.Duration) {
+	now := time.Now()                // want `wall-clock read time.Now`
+	elapsed := time.Since(now)       // want `wall-clock read time.Since`
+	_ = time.Until(now.Add(elapsed)) // want `wall-clock read time.Until`
+	return now.UnixNano(), elapsed
+}
+
+// Bad: the global math/rand generator is seeded from outside the plan.
+func globalRNG() int {
+	x := rand.Intn(10)                 // want `global math/rand RNG \(rand.Intn\)`
+	f := rand.Float64()                // want `global math/rand RNG \(rand.Float64\)`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand RNG \(rand.Shuffle\)`
+	return x + int(f)
+}
+
+// Good: a generator constructed from an explicit seed, threaded by value.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // method on the injected generator: fine
+}
+
+// Good: wall-clock time injected by the caller.
+func injectedClock(now time.Time, budget time.Duration) bool {
+	deadline := now.Add(budget)
+	return deadline.After(now)
+}

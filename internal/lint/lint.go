@@ -1,0 +1,222 @@
+// Package lint is taster's in-repo static-analysis framework: the minimal
+// subset of golang.org/x/tools/go/analysis that the five repo-specific
+// analyzers (detrand, mapiter, locksafe, snapshotimmut, poolsafe) need,
+// implemented on the standard library alone.
+//
+// Why not x/tools itself: the build environment is hermetic (no module
+// proxy), so the analyzers are written against this shim instead. The shim
+// deliberately mirrors the x/tools API shape — an Analyzer with a Run
+// func(*Pass) and positional Diagnostics — so that porting to the real
+// go/analysis multichecker (and with it `go vet -vettool`) when x/tools
+// becomes vendorable is a mechanical change of import paths, not a
+// rewrite. Until then cmd/tasterlint is the driver and `make lint` the
+// entry point.
+//
+// Beyond the per-package Pass, the framework supports whole-program
+// analyzers (RunProgram): locksafe and snapshotimmut reason across package
+// boundaries (call graphs, annotated types referenced from other
+// packages), which the facts mechanism would provide under x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker. Exactly one of Run (per
+// package) or RunProgram (whole program, for cross-package reasoning) must
+// be set.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only flags.
+	Name string
+	// Doc is the one-paragraph description printed by `tasterlint -help`.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass)
+	// RunProgram analyzes the whole loaded program at once.
+	RunProgram func(*ProgramPass)
+}
+
+// Package is one loaded, type-checked package of the target module.
+type Package struct {
+	// Path is the full import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's resolution tables for Files.
+	Info *types.Info
+}
+
+// Program is a loaded module: every package, sharing one FileSet and one
+// type-checker universe (an object referenced from two packages is the
+// same *types.Object pointer, which is what lets locksafe stitch a
+// cross-package call graph).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// annotations caches per-file line→comment-text indexes.
+	annotations map[*ast.File]map[int]string
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	report   func(Diagnostic)
+}
+
+// ProgramPass carries the whole program through a RunProgram analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Fset     *token.FileSet
+	report   func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzers over the program and returns every finding
+// sorted by file position. Per-package analyzers visit packages in
+// deterministic (path-sorted) order; diagnostics are deduplicated so a
+// program-level analyzer revisiting a package cannot double-report.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	pkgs := append([]*Package(nil), prog.Packages...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, Fset: prog.Fset, report: collect})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{
+					Analyzer: a, Prog: prog, Pkg: pkg, Fset: prog.Fset,
+					Files: pkg.Files, Types: pkg.Types, Info: pkg.Info,
+					report: collect,
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}
+
+// annotationIndex builds the line→comment map for a file: for every
+// comment, the text of its last line is recorded under both that line and
+// the following line, so an annotation suppresses a construct written
+// either on the same line or on the line directly above it.
+func (prog *Program) annotationIndex(f *ast.File) map[int]string {
+	if prog.annotations == nil {
+		prog.annotations = make(map[*ast.File]map[int]string)
+	}
+	if idx, ok := prog.annotations[f]; ok {
+		return idx
+	}
+	idx := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			end := prog.Fset.Position(c.End()).Line
+			idx[end] += " " + c.Text
+			idx[end+1] += " " + c.Text
+		}
+	}
+	prog.annotations[f] = idx
+	return idx
+}
+
+// Annotated reports whether node carries the given //taster:<name>
+// annotation: a comment on the node's first line or the line immediately
+// above it containing the literal marker. Analyzers use this as their
+// audited escape hatch — the convention requires a justification after the
+// marker, which review sees next to the suppressed construct.
+func (prog *Program) Annotated(f *ast.File, node ast.Node, marker string) bool {
+	line := prog.Fset.Position(node.Pos()).Line
+	return containsMarker(prog.annotationIndex(f)[line], marker)
+}
+
+// DocAnnotated reports whether a declaration's doc comment carries the
+// marker (used for //taster:immutable on type declarations and
+// //taster:mutator on functions).
+func DocAnnotated(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if containsMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsMarker(text, marker string) bool {
+	for i := 0; i+len(marker) <= len(text); i++ {
+		if text[i:i+len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// FileOf returns the *ast.File of pkg containing pos.
+func (pkg *Package) FileOf(fset *token.FileSet, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// PackageOf returns the loaded package containing pos.
+func (prog *Program) PackageOf(pos token.Pos) *Package {
+	for _, pkg := range prog.Packages {
+		if pkg.FileOf(prog.Fset, pos) != nil {
+			return pkg
+		}
+	}
+	return nil
+}

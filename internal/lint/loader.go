@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks a module tree without the go/packages machinery: the
+// target module has no external dependencies, so every import is either
+// the standard library (resolved by the compiler's source importer, which
+// works hermetically from GOROOT) or a path inside the module itself
+// (resolved by mapping the import path onto a directory and recursing).
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	overlay map[string][]byte
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // import path → loaded module package
+	loading map[string]bool     // import cycle guard
+	errs    []error
+}
+
+// Load parses and type-checks every non-test package under root (a module
+// directory containing go.mod) and returns the program. overlay maps
+// absolute file paths to replacement contents; the meta-tests use it to
+// reintroduce seeded violations into real sources without touching disk.
+func Load(root string, overlay map[string][]byte) (*Program, error) {
+	modBytes, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint loader: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(modBytes), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint loader: no module line in %s/go.mod", root)
+	}
+	return LoadAsModule(root, modPath, overlay)
+}
+
+// LoadAsModule loads the package tree under root treating import paths
+// beginning with modPath as module-internal. The analysistest harness uses
+// it to load fixture trees that are not real modules.
+func LoadAsModule(root, modPath string, overlay map[string][]byte) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint loader: source importer unavailable")
+	}
+	ld := &loader{
+		fset: fset, root: abs, modPath: modPath, overlay: overlay,
+		std: std, pkgs: make(map[string]*Package), loading: make(map[string]bool),
+	}
+	dirs, err := ld.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		if _, err := ld.load(ld.importPathFor(dir), dir); err != nil {
+			ld.errs = append(ld.errs, err)
+		}
+	}
+	if len(ld.errs) > 0 {
+		msgs := make([]string, 0, len(ld.errs))
+		for _, e := range ld.errs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("lint loader: %s", strings.Join(msgs, "; "))
+	}
+	prog := &Program{Fset: fset}
+	for _, pkg := range ld.pkgs {
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// packageDirs walks the module for directories holding non-test Go files.
+// testdata trees (analyzer fixtures with seeded violations) and VCS
+// internals are skipped, matching the go tool's ./... expansion.
+func (ld *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(ld.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != ld.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func (ld *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.modPath
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel)
+}
+
+func (ld *loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, ld.modPath), "/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded (memoized) from their directories, everything else is delegated
+// to the stdlib source importer.
+func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.load(path, ld.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks one module package, memoized by import path.
+func (ld *loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := ld.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		var src any
+		if ld.overlay != nil {
+			if b, ok := ld.overlay[full]; ok {
+				src = b
+			}
+		}
+		f, err := parser.ParseFile(ld.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[importPath] = pkg
+	return pkg, nil
+}

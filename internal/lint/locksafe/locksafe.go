@@ -1,0 +1,341 @@
+// Package locksafe proves two locking invariants of the serving engine:
+//
+//  1. Nothing reachable from Engine.Execute acquires tuneMu. The
+//     asynchronous serving path is lock-free by design — tuning state
+//     arrives via the RCU-published snapshot — and a tuneMu acquisition
+//     smuggled into the call tree reintroduces the serialization point
+//     PR 4 removed. The deliberate, mode-gated exceptions (the
+//     synchronous-mode inline round) carry a `//taster:locked <why>`
+//     annotation, which turns every suppression into an audit point.
+//
+//  2. tuneMu is never acquired while any finer lock is held. tuneMu is
+//     the engine's outermost lock; taking it under a warehouse, catalog,
+//     metadata-store or plan-cache mutex inverts the lock order and is a
+//     deadlock waiting for the opposite interleaving.
+//
+// The pass builds a static call graph over the whole module (direct calls
+// and method calls resolved through the type checker; dynamic dispatch
+// through interfaces and function values is out of scope and documented as
+// such), finds every `<x>.tuneMu.Lock()` / `.RLock()` site, and walks the
+// graph from Engine.Execute. The lock-order rule replays each function's
+// lock/unlock/call events in source order, tracking the held set; calls
+// into functions that transitively acquire tuneMu count as acquisitions at
+// the call site.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/lint"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &lint.Analyzer{
+	Name:       "locksafe",
+	Doc:        "prove Engine.Execute never reaches a tuneMu acquisition and tuneMu is never taken under a finer lock",
+	RunProgram: run,
+}
+
+// mutexName is the field name of the engine-wide tuning mutex.
+const mutexName = "tuneMu"
+
+// funcInfo is one declared function's locking-relevant facts.
+type funcInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	pkg     *lint.Package
+	file    *ast.File
+	callees []calleeRef
+	// tuneSites are unsuppressed tuneMu acquisitions in this body.
+	tuneSites []token.Pos
+	// events are lock/unlock/call occurrences in source order, for the
+	// lock-order replay.
+	events []lockEvent
+}
+
+type calleeRef struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+type lockEvent struct {
+	pos token.Pos
+	// kind: "lock", "unlock", "call"
+	kind string
+	// mutex is the rendered owner expression ("e.tuneMu", "m.mu"); empty
+	// for calls.
+	mutex string
+	// deferred marks `defer x.Unlock()`, which releases at return and so
+	// never shrinks the held set mid-body.
+	deferred bool
+	// callee is set for kind "call".
+	callee *types.Func
+	// suppressed marks sites annotated //taster:locked.
+	suppressed bool
+}
+
+func run(pass *lint.ProgramPass) {
+	funcs := collect(pass)
+
+	// Transitive closure: which functions acquire tuneMu, directly or
+	// through any static callee. Suppressed sites still count for the
+	// lock-order rule (an annotated acquisition is still an acquisition)
+	// but not for reachability reporting.
+	acquires := map[*types.Func]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, fi := range funcs {
+			if acquires[fi.fn] {
+				continue
+			}
+			direct := len(fi.tuneSites) > 0 || hasSuppressedTune(fi)
+			if direct {
+				acquires[fi.fn] = true
+				changed = true
+				continue
+			}
+			for _, c := range fi.callees {
+				if acquires[c.fn] {
+					acquires[fi.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	reportReachability(pass, funcs)
+	reportLockOrder(pass, funcs, acquires)
+}
+
+func hasSuppressedTune(fi *funcInfo) bool {
+	for _, ev := range fi.events {
+		if ev.kind == "lock" && isTune(ev.mutex) && ev.suppressed {
+			return true
+		}
+	}
+	return false
+}
+
+func isTune(mutex string) bool {
+	return mutex == mutexName || strings.HasSuffix(mutex, "."+mutexName)
+}
+
+// collect builds per-function facts for every declared function in the
+// module.
+func collect(pass *lint.ProgramPass) map[*types.Func]*funcInfo {
+	funcs := make(map[*types.Func]*funcInfo)
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{fn: fn, decl: fd, pkg: pkg, file: file}
+				scanBody(pass, pkg, file, fd, fi)
+				funcs[fn] = fi
+			}
+		}
+	}
+	return funcs
+}
+
+// scanBody records lock events and call edges of one function body in
+// source order.
+func scanBody(pass *lint.ProgramPass, pkg *lint.Package, file *ast.File, fd *ast.FuncDecl, fi *funcInfo) {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if isSel {
+			if m, lockish := lockMethod(pkg, sel); lockish {
+				owner := types.ExprString(sel.X)
+				ev := lockEvent{pos: call.Pos(), mutex: owner, deferred: deferred[call]}
+				switch m {
+				case "Lock", "RLock":
+					ev.kind = "lock"
+					ev.suppressed = pass.Prog.Annotated(file, call, "taster:locked")
+					if isTune(owner) && !ev.suppressed {
+						fi.tuneSites = append(fi.tuneSites, call.Pos())
+					}
+				case "Unlock", "RUnlock":
+					ev.kind = "unlock"
+				}
+				fi.events = append(fi.events, ev)
+				return true
+			}
+		}
+		// Static call edge.
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee, _ = pkg.Info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			callee, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+		if callee != nil {
+			fi.callees = append(fi.callees, calleeRef{fn: callee, pos: call.Pos()})
+			fi.events = append(fi.events, lockEvent{
+				pos: call.Pos(), kind: "call", callee: callee,
+				deferred:   deferred[call],
+				suppressed: pass.Prog.Annotated(file, call, "taster:locked"),
+			})
+		}
+		return true
+	})
+	sort.SliceStable(fi.events, func(i, j int) bool { return fi.events[i].pos < fi.events[j].pos })
+}
+
+// lockMethod reports whether sel is a Lock/RLock/Unlock/RUnlock method
+// selection on a sync.Mutex or sync.RWMutex (direct or embedded).
+func lockMethod(pkg *lint.Package, sel *ast.SelectorExpr) (string, bool) {
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return name, true
+}
+
+// reportReachability walks the call graph from every Engine.Execute and
+// reports unsuppressed tuneMu acquisitions it can reach, with the call
+// chain in the message.
+func reportReachability(pass *lint.ProgramPass, funcs map[*types.Func]*funcInfo) {
+	var roots []*types.Func
+	for fn, fi := range funcs {
+		if fn.Name() != "Execute" {
+			continue
+		}
+		if recvNamed(fi.decl) == "Engine" {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	for _, root := range roots {
+		parent := map[*types.Func]*types.Func{root: nil}
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			fi := funcs[fn]
+			if fi == nil {
+				continue // declared outside the module (stdlib)
+			}
+			for _, pos := range fi.tuneSites {
+				pass.Reportf(pos,
+					"%s acquired on a path reachable from %s (%s): the serving path must stay lock-free; gate the acquisition off Execute's call tree or annotate //taster:locked <why>",
+					mutexName, root.FullName(), chain(parent, fn))
+			}
+			for _, c := range fi.callees {
+				if _, seen := parent[c.fn]; seen {
+					continue
+				}
+				parent[c.fn] = fn
+				queue = append(queue, c.fn)
+			}
+		}
+	}
+}
+
+// chain renders the BFS path root → … → fn.
+func chain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, f.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// reportLockOrder replays each function's events and flags tuneMu
+// acquisitions (direct, or via a call into a transitively-acquiring
+// function) while a finer lock is held.
+func reportLockOrder(pass *lint.ProgramPass, funcs map[*types.Func]*funcInfo, acquires map[*types.Func]bool) {
+	fns := make([]*types.Func, 0, len(funcs))
+	for fn := range funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcs[fns[i]].decl.Pos() < funcs[fns[j]].decl.Pos() })
+
+	for _, fn := range fns {
+		fi := funcs[fn]
+		held := map[string]bool{} // finer mutexes currently held
+		for _, ev := range fi.events {
+			switch ev.kind {
+			case "lock":
+				if isTune(ev.mutex) {
+					if len(held) > 0 && !ev.suppressed {
+						pass.Reportf(ev.pos,
+							"%s acquired while holding %s: %s is the engine's outermost lock and taking it under a finer lock inverts the lock order (deadlock risk)",
+							mutexName, heldList(held), mutexName)
+					}
+				} else if !ev.deferred {
+					held[ev.mutex] = true
+				}
+			case "unlock":
+				if !ev.deferred && !isTune(ev.mutex) {
+					delete(held, ev.mutex)
+				}
+			case "call":
+				if len(held) > 0 && acquires[ev.callee] && !ev.deferred && !ev.suppressed {
+					pass.Reportf(ev.pos,
+						"call to %s while holding %s: the callee (transitively) acquires %s, inverting the lock order (deadlock risk)",
+						ev.callee.Name(), heldList(held), mutexName)
+				}
+			}
+		}
+	}
+}
+
+func heldList(held map[string]bool) string {
+	var names []string
+	for m := range held {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// recvNamed returns the name of a method's receiver type, or "".
+func recvNamed(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint/analysistest"
+	"github.com/tasterdb/taster/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer)
+}

@@ -1,0 +1,90 @@
+// Package engine is the locksafe fixture: a miniature Engine whose
+// tuneMu must be unreachable from Execute and never taken under the
+// finer mu, with //taster:locked marking the sanctioned serialization
+// point.
+package engine
+
+import "sync"
+
+// Engine mirrors the real engine's two-lock shape: mu is a finer
+// structure lock, tuneMu the outermost tuning lock.
+type Engine struct {
+	mu     sync.Mutex
+	tuneMu sync.Mutex
+	n      int
+}
+
+// Bad: Execute reaches an unsuppressed tuneMu acquisition two hops down.
+func (e *Engine) Execute() int {
+	if e.n > 0 {
+		return e.ExecuteSync()
+	}
+	return e.helper()
+}
+
+func (e *Engine) helper() int {
+	return e.admit()
+}
+
+func (e *Engine) admit() int {
+	e.tuneMu.Lock() // want `tuneMu acquired on a path reachable from .*Execute → helper → admit`
+	defer e.tuneMu.Unlock()
+	return e.n
+}
+
+// Good: the synchronous-mode serialization point, annotated for audit.
+// The suppression keeps this acquisition off Execute's violation list
+// even though Execute calls it.
+func (e *Engine) ExecuteSync() int {
+	//taster:locked synchronous mode is the documented serialization point
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	return e.n
+}
+
+// Bad: tuneMu taken while the finer mu is held — inverted lock order.
+func (e *Engine) badOrder() {
+	e.mu.Lock()
+	e.tuneMu.Lock() // want `tuneMu acquired while holding e.mu`
+	e.n++
+	e.tuneMu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *Engine) retune() {
+	e.tuneMu.Lock()
+	e.n = 0
+	e.tuneMu.Unlock()
+}
+
+// Bad: calling into a tuneMu-acquiring helper while holding the finer mu
+// inverts the order one level removed.
+func (e *Engine) callUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retune() // want `call to retune while holding e.mu`
+}
+
+// Good: the finer lock is released before tuneMu is taken.
+func (e *Engine) sequential() {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	e.tuneMu.Lock()
+	e.n = 0
+	e.tuneMu.Unlock()
+}
+
+// Worker proves root scoping: an Execute on a non-Engine receiver may
+// own its own tuneMu without tripping the reachability rule.
+type Worker struct {
+	tuneMu sync.Mutex
+	w      int
+}
+
+// Good: not an Engine.Execute, so not a reachability root.
+func (w *Worker) Execute() int {
+	w.tuneMu.Lock()
+	defer w.tuneMu.Unlock()
+	return w.w
+}

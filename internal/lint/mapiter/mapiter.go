@@ -1,0 +1,368 @@
+// Package mapiter flags `range` loops over maps whose bodies are
+// order-sensitive: Go randomizes map iteration order per run, so any
+// observable output assembled inside such a loop — a slice built by
+// append, a hash or string builder fed per element, a float accumulated
+// with non-associative arithmetic, a last-write-wins variable — differs
+// between byte-identical runs and breaks taster's determinism contract.
+//
+// The canonical safe idiom is rescued automatically: appending the keys
+// (or values) to a slice and sorting that slice later in the same function
+// counts as a dominating sort. Everything else needs either the sort or an
+// explicit `//taster:sorted <why>` annotation on the range statement
+// explaining why order cannot leak (e.g. the loop feeds another map, or a
+// commutative integer reduction).
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/tasterdb/taster/internal/lint"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &lint.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag order-sensitive bodies of range-over-map loops lacking a dominating sort",
+	Run:  run,
+}
+
+// hashWriters are method names that feed element data into an
+// order-sensitive accumulator (hashes, strings.Builder, bytes.Buffer,
+// bufio.Writer all expose this surface).
+var hashWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// orderedSinks are package-level functions that serialize their arguments
+// into an ordered stream.
+var orderedSinks = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"binary.Write": true, "io.WriteString": true,
+}
+
+// sortCalls are the package-level sorting entry points that count as a
+// dominating sort for a slice built inside the loop.
+var sortCalls = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, f, fd)
+		}
+	}
+}
+
+func checkFunc(pass *lint.Pass, file *ast.File, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Prog.Annotated(file, rs, "taster:sorted") {
+			return true
+		}
+		checkRange(pass, fd, rs)
+		return true
+	})
+}
+
+// rangeVarObj returns the object bound to one range variable (key or
+// value), handling both `:=` definitions and assignment to a pre-declared
+// variable.
+func rangeVarObj(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+func checkRange(pass *lint.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	valObj := rangeVarObj(pass, rs.Value)
+	refs := func(e ast.Expr, obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// lastWriteWins decides whether a plain `=` whose RHS is rhs smuggles
+	// map order into the surviving value. Deriving from the KEY is always
+	// an identity leak (argmin/argmax winners, dedup survivors). Deriving
+	// from the VALUE is flagged only when the assigned value carries
+	// identity (pointer, struct, slice, map, interface): a pure min/max
+	// reduction over basic values (`if v < min { min = v }`) converges to
+	// the same result in any order and stays quiet. A compare-guarded
+	// basic value used as a proxy for identity elsewhere is the documented
+	// blind spot.
+	lastWriteWins := func(rhs ast.Expr) bool {
+		if refs(rhs, keyObj) {
+			return true
+		}
+		if !refs(rhs, valObj) {
+			return false
+		}
+		t := pass.Info.TypeOf(rhs)
+		if t == nil {
+			return false
+		}
+		switch t.Underlying().(type) {
+		case *types.Pointer, *types.Struct, *types.Slice, *types.Map, *types.Interface, *types.Chan:
+			return true
+		}
+		return false
+	}
+
+	type appendTarget struct {
+		expr string
+		pos  token.Pos
+	}
+	var appends []appendTarget
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// Nested ranges are analyzed by their own visit; their
+				// bodies should not double-report through this one.
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: receivers observe map iteration order; sort the keys first (or annotate //taster:sorted <why>)")
+		case *ast.CallExpr:
+			if name, ok := calleeName(pass, n); ok {
+				if orderedSinks[name] {
+					pass.Reportf(n.Pos(), "%s inside range over map feeds an ordered stream in map iteration order; sort the keys first (or annotate //taster:sorted <why>)", name)
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && hashWriters[sel.Sel.Name] {
+				if _, isSel := pass.Info.Selections[sel]; isSel {
+					pass.Reportf(n.Pos(), "%s call inside range over map feeds an order-sensitive accumulator in map iteration order; sort the keys first (or annotate //taster:sorted <why>)", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, lastWriteWins, func(tgt string, pos token.Pos) {
+				appends = append(appends, appendTarget{expr: tgt, pos: pos})
+			})
+		case *ast.IncDecStmt:
+			// Integer ++/-- is commutative; nothing to do.
+		}
+		return true
+	})
+
+	// Dominating-sort rescue: a sort call on the appended slice later in
+	// the same function (textually after the loop) launders the order.
+	for _, a := range appends {
+		if sortedAfter(pass, fd, rs.End(), a.expr) {
+			continue
+		}
+		pass.Reportf(a.pos, "append to %s inside range over map without a dominating sort: slice order follows map iteration order; sort %s after the loop (or annotate //taster:sorted <why>)", a.expr, a.expr)
+	}
+}
+
+// checkAssign classifies one assignment inside the loop body.
+func checkAssign(pass *lint.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, lastWriteWins func(ast.Expr) bool, recordAppend func(string, token.Pos)) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+
+		// s = append(s, ...) — the slice's final order is the map's.
+		if rhs != nil {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				recordAppend(types.ExprString(lhs), as.Pos())
+				continue
+			}
+		}
+
+		// Writes keyed by the loop variable into another map are
+		// commutative; everything below concerns non-map destinations.
+		if base := unwrapLHS(lhs); base != nil {
+			if t := pass.Info.TypeOf(base); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+		}
+
+		lt := pass.Info.TypeOf(lhs)
+		switch as.Tok {
+		case token.ADD_ASSIGN:
+			if lt == nil {
+				continue
+			}
+			b := lt.Underlying()
+			if bt, ok := b.(*types.Basic); ok {
+				if bt.Info()&types.IsString != 0 {
+					pass.Reportf(as.Pos(), "string concatenation onto %s inside range over map: result text follows map iteration order; sort the keys first (or annotate //taster:sorted <why>)", types.ExprString(lhs))
+				} else if bt.Info()&types.IsFloat != 0 {
+					pass.Reportf(as.Pos(), "float accumulation into %s inside range over map: floating-point addition is not associative, so the sum depends on map iteration order; sort the keys first (or annotate //taster:sorted <why>)", types.ExprString(lhs))
+				}
+			}
+		case token.QUO_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			if lt == nil {
+				continue
+			}
+			if bt, ok := lt.Underlying().(*types.Basic); ok && bt.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "float accumulation into %s inside range over map: floating-point arithmetic is not associative, so the result depends on map iteration order; sort the keys first (or annotate //taster:sorted <why>)", types.ExprString(lhs))
+			}
+		case token.ASSIGN:
+			// Plain overwrite of a variable that outlives the loop, with a
+			// value whose identity derives from the key: last-write-wins
+			// in map order (the argmax-with-ties bug class).
+			if rhs != nil && lastWriteWins(rhs) && outlivesLoop(pass, rs, lhs) {
+				pass.Reportf(as.Pos(), "last-write-wins assignment to %s inside range over map: the surviving value depends on map iteration order (argmax ties, dedup winners); sort the keys first (or annotate //taster:sorted <why>)", types.ExprString(lhs))
+			}
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name() == "append"
+	}
+	return false
+}
+
+// unwrapLHS peels index/star/paren layers off an assignment target and
+// returns the base expression whose type decides commutativity.
+func unwrapLHS(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			return x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// outlivesLoop reports whether the assignment target is a variable or
+// field declared outside the loop body (a write that survives the loop).
+// Assignments to loop-local temporaries are invisible outside one
+// iteration and therefore harmless.
+func outlivesLoop(pass *lint.Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		// A nil object means the ident is being defined here (`:=`); a
+		// declaration position inside the loop means a per-iteration
+		// temporary. Either way the write cannot survive the loop.
+		return obj != nil && obj.Pos() < rs.Pos()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true // fields and element writes always escape the iteration
+	}
+	return false
+}
+
+// calleeName renders a package-qualified callee like "fmt.Fprintf".
+func calleeName(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// sortedAfter reports whether a sorting call mentioning target appears in
+// fd after pos — the dominating-sort rescue.
+func sortedAfter(pass *lint.Pass, fd *ast.FuncDecl, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		name, ok := calleeName(pass, call)
+		if ok && sortCalls[name] {
+			for _, arg := range call.Args {
+				if mentionsExpr(arg, target) {
+					found = true
+					return false
+				}
+			}
+		}
+		// Method form: target.Sort() or sort on a wrapper of the target.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sort" {
+			if mentionsExpr(sel.X, target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsExpr reports whether the rendered expression contains target as
+// a syntactic component (exact render or a sub-expression render).
+func mentionsExpr(e ast.Expr, target string) bool {
+	if types.ExprString(e) == target {
+		return true
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok && types.ExprString(x) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

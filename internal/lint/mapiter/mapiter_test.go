@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint/analysistest"
+	"github.com/tasterdb/taster/internal/lint/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer)
+}

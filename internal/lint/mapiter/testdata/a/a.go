@@ -1,0 +1,136 @@
+// Package a is the mapiter fixture: order-sensitive map-range bodies must
+// be flagged, the collect-then-sort idiom and commutative reductions must
+// stay quiet, and the //taster:sorted annotation must suppress.
+package a
+
+import (
+	"sort"
+	"strings"
+)
+
+// Bad: slice built in map order with no dominating sort.
+func keysUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a dominating sort`
+	}
+	return out
+}
+
+// Good: the canonical collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Good: sort.Slice over the collected values also dominates.
+func valsSorted(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Bad: feeding a string builder in map order.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside range over map`
+	}
+	return b.String()
+}
+
+// Bad: string concatenation in map order.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation onto s inside range over map`
+	}
+	return s
+}
+
+// Bad: float accumulation is not associative.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total inside range over map`
+	}
+	return total
+}
+
+// Good: integer accumulation is commutative.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Good: keyed writes into another map commute.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Bad: argmin over the key — ties resolve in map order.
+func smallestValueKey(m map[string]int) string {
+	best := ""
+	min := int(^uint(0) >> 1)
+	for k, v := range m {
+		if v < min {
+			min = v
+			best = k // want `last-write-wins assignment to best inside range over map`
+		}
+	}
+	return best
+}
+
+// Good: pure min over basic values converges in any order.
+func minValue(m map[string]int) int {
+	min := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Bad: binding an identity-carrying value — which pointer survives
+// depends on iteration order.
+type item struct{ n int }
+
+func anyItem(m map[string]*item) *item {
+	var winner *item
+	for _, it := range m {
+		winner = it // want `last-write-wins assignment to winner inside range over map`
+	}
+	return winner
+}
+
+// Bad: channel receivers observe map order.
+func stream(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Good: suppressed with a justification.
+func idsForLookup(m map[uint64]bool) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	//taster:sorted ids only keys a map lookup downstream; order never reaches an output
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,145 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint"
+	"github.com/tasterdb/taster/internal/lint/detrand"
+	"github.com/tasterdb/taster/internal/lint/locksafe"
+	"github.com/tasterdb/taster/internal/lint/mapiter"
+	"github.com/tasterdb/taster/internal/lint/poolsafe"
+	"github.com/tasterdb/taster/internal/lint/snapshotimmut"
+)
+
+// The meta-tests load the real repository (not fixtures) and prove two
+// things the golden suites cannot: the shipped tree is clean under every
+// analyzer, and deleting a known guard from a real file turns tasterlint
+// red — i.e. the analyzers have teeth against this codebase, not just
+// against hand-built fixtures. Each load type-checks the whole module, so
+// the tests are skipped under -short (the fast `make race` path).
+
+var allAnalyzers = []*lint.Analyzer{
+	detrand.Analyzer,
+	mapiter.Analyzer,
+	locksafe.Analyzer,
+	snapshotimmut.Analyzer,
+	poolsafe.Analyzer,
+}
+
+// repoRoot locates the module root two levels up from internal/lint.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving repo root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// render formats diagnostics for failure messages.
+func render(prog *lint.Program, diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("\n  ")
+		b.WriteString(prog.Fset.Position(d.Pos).String())
+		b.WriteString(": ")
+		b.WriteString(d.Analyzer)
+		b.WriteString(": ")
+		b.WriteString(d.Message)
+	}
+	return b.String()
+}
+
+// mustRewrite asserts old occurs exactly once in the file and returns the
+// contents with old replaced by new — a meta-test that silently matched
+// nothing would prove nothing.
+func mustRewrite(t *testing.T, path, old, new string) []byte {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if n := strings.Count(string(src), old); n != 1 {
+		t.Fatalf("%s: expected exactly one occurrence of %q, found %d — the guard the meta-test deletes has moved; update the test", path, old, n)
+	}
+	return []byte(strings.Replace(string(src), old, new, 1))
+}
+
+// TestRepoClean is the suite's ground truth: the shipped tree produces
+// zero findings under all five analyzers.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta-test type-checks the whole module; skipped under -short")
+	}
+	root := repoRoot(t)
+	prog, err := lint.Load(root, nil)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if diags := lint.Run(prog, allAnalyzers); len(diags) > 0 {
+		t.Errorf("expected a clean tree, got %d findings:%s", len(diags), render(prog, diags))
+	}
+}
+
+// TestMetaSortGuardDeleted removes the dominating sort.Slice from
+// warehouse.listOf via overlay and asserts mapiter catches the regression
+// at that file.
+func TestMetaSortGuardDeleted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta-test type-checks the whole module; skipped under -short")
+	}
+	root := repoRoot(t)
+	target := filepath.Join(root, "internal", "warehouse", "warehouse.go")
+	// Swap the guard for a non-call reference so the sort import stays
+	// used and the tree still type-checks.
+	mutated := mustRewrite(t, target,
+		"sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })",
+		"_ = sort.SearchInts")
+	prog, err := lint.Load(root, map[string][]byte{target: mutated})
+	if err != nil {
+		t.Fatalf("loading mutated repo: %v", err)
+	}
+	diags := lint.Run(prog, []*lint.Analyzer{mapiter.Analyzer})
+	want := regexp.MustCompile(`append to out inside range over map`)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if pos.Filename == target && want.MatchString(d.Message) {
+			return // the analyzer caught the deleted guard
+		}
+	}
+	t.Errorf("deleting the listOf sort guard did not turn mapiter red; got:%s", render(prog, diags))
+}
+
+// TestMetaWallClockInjected adds a time.Now call to a planner source via
+// overlay and asserts detrand flags it.
+func TestMetaWallClockInjected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta-test type-checks the whole module; skipped under -short")
+	}
+	root := repoRoot(t)
+	target := filepath.Join(root, "internal", "planner", "build.go")
+	mutated := mustRewrite(t, target,
+		"import (\n\t\"fmt\"\n",
+		"import (\n\t\"fmt\"\n\t\"time\"\n")
+	mutated = append(mutated, []byte("\nfunc lintMetaWallClockProbe() int64 { return time.Now().UnixNano() }\n")...)
+	prog, err := lint.Load(root, map[string][]byte{target: mutated})
+	if err != nil {
+		t.Fatalf("loading mutated repo: %v", err)
+	}
+	diags := lint.Run(prog, []*lint.Analyzer{detrand.Analyzer})
+	want := regexp.MustCompile(`wall-clock read time\.Now`)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if pos.Filename == target && want.MatchString(d.Message) {
+			return
+		}
+	}
+	t.Errorf("injecting time.Now into planner did not turn detrand red; got:%s", render(prog, diags))
+}

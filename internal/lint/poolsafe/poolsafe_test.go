@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint/analysistest"
+	"github.com/tasterdb/taster/internal/lint/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", poolsafe.Analyzer)
+}

@@ -1,0 +1,176 @@
+// Package snapshotimmut enforces the publish-then-freeze contract on
+// taster's shared read-path types. The engine's lock-free serving story
+// depends on RCU discipline: a tuning snapshot, a warehouse view, a table
+// version or a zone map is built privately, published by one atomic store,
+// and never written again — readers holding an older pointer must see a
+// frozen object forever. A single post-publish field write is a data race
+// the race detector only catches if a test happens to interleave it, and a
+// determinism bug even when it doesn't.
+//
+// Types opt in with a `//taster:immutable` marker in their doc comment.
+// Field writes (including element writes through a field) to values of an
+// annotated type are then only legal inside constructor/builder functions
+// — recognized by name prefix (New/new, Build/build, make, decode/Decode,
+// read/Read, load/Load, open/Open, restore/Restore, from/From, clone/
+// Clone) — or inside functions annotated `//taster:mutator <why>`, the
+// audited escape hatch for sanctioned idioms like sync.Once-guarded lazy
+// caches.
+package snapshotimmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/tasterdb/taster/internal/lint"
+)
+
+// Analyzer is the snapshotimmut pass.
+var Analyzer = &lint.Analyzer{
+	Name:       "snapshotimmut",
+	Doc:        "forbid field writes to //taster:immutable types outside constructors and //taster:mutator functions",
+	RunProgram: run,
+}
+
+// builderPrefixes are the function-name prefixes recognized as
+// constructor/builder context (matched case-insensitively).
+var builderPrefixes = []string{
+	"new", "build", "make", "decode", "read", "load", "open", "restore", "from", "clone",
+}
+
+func run(pass *lint.ProgramPass) {
+	immutable := collectAnnotated(pass)
+	if len(immutable) == 0 {
+		return
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if isBuilder(fd) {
+					continue
+				}
+				checkFunc(pass, pkg, fd, immutable)
+			}
+		}
+	}
+}
+
+// collectAnnotated finds every type declaration carrying the
+// //taster:immutable marker anywhere in the program.
+func collectAnnotated(pass *lint.ProgramPass) map[*types.TypeName]bool {
+	set := make(map[*types.TypeName]bool)
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !lint.DocAnnotated(ts.Doc, "taster:immutable") && !lint.DocAnnotated(gd.Doc, "taster:immutable") {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						set[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func isBuilder(fd *ast.FuncDecl) bool {
+	if lint.DocAnnotated(fd.Doc, "taster:mutator") {
+		return true
+	}
+	name := strings.ToLower(fd.Name.Name)
+	for _, p := range builderPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *lint.ProgramPass, pkg *lint.Package, fd *ast.FuncDecl, immutable map[*types.TypeName]bool) {
+	report := func(lhs ast.Expr, tn *types.TypeName) {
+		pass.Reportf(lhs.Pos(),
+			"write to field of immutable type %s.%s outside a constructor/builder: published %s values are frozen (RCU readers hold them without locks); build a new value instead, or annotate the function //taster:mutator <why>",
+			tn.Pkg().Name(), tn.Name(), tn.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if tn := immutableFieldBase(pkg, lhs, immutable); tn != nil {
+					report(lhs, tn)
+				}
+			}
+		case *ast.IncDecStmt:
+			if tn := immutableFieldBase(pkg, n.X, immutable); tn != nil {
+				report(n.X, tn)
+			}
+		}
+		return true
+	})
+}
+
+// immutableFieldBase reports the annotated type when lhs writes a field of
+// an immutable value: `x.f = v`, `x.f[i] = v`, `*x.f = v` and chains
+// thereof. The *outermost* selector on an annotated base decides — writing
+// through a pointer stored in a field still mutates state reachable from
+// the published object.
+func immutableFieldBase(pkg *lint.Package, lhs ast.Expr, immutable map[*types.TypeName]bool) *types.TypeName {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			// Must be a field selection (not a qualified identifier or a
+			// method value).
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if tn := namedTypeName(pkg.Info.TypeOf(x.X)); tn != nil && immutable[tn] {
+					return tn
+				}
+			}
+			lhs = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedTypeName unwraps pointers and returns the defined type's name
+// object, if any.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Pointer); ok {
+		t = n.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

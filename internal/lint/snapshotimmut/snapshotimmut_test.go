@@ -1,0 +1,12 @@
+package snapshotimmut_test
+
+import (
+	"testing"
+
+	"github.com/tasterdb/taster/internal/lint/analysistest"
+	"github.com/tasterdb/taster/internal/lint/snapshotimmut"
+)
+
+func TestSnapshotimmut(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotimmut.Analyzer)
+}

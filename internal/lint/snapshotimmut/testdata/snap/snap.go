@@ -1,0 +1,72 @@
+// Package snap is the snapshotimmut fixture: a //taster:immutable type
+// may be written only inside builders or //taster:mutator functions.
+package snap
+
+// Snapshot is a published read-path value.
+//
+//taster:immutable
+type Snapshot struct {
+	count int
+	items []int
+	meta  *Meta
+}
+
+// Meta hangs off a Snapshot field; writes through the field still mutate
+// published state.
+type Meta struct {
+	gen int
+}
+
+// Good: builders construct privately before publication.
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{}
+	s.count = n
+	s.items = make([]int, n)
+	s.meta = &Meta{}
+	return s
+}
+
+// Good: decode-prefixed functions are builder context too.
+func decodeSnapshot(raw []int) *Snapshot {
+	s := &Snapshot{}
+	s.items = append(s.items, raw...)
+	return s
+}
+
+// Bad: a post-publication field write.
+func bump(s *Snapshot) {
+	s.count = s.count + 1 // want `write to field of immutable type snap.Snapshot outside a constructor/builder`
+}
+
+// Bad: increment is a write too.
+func bumpInc(s *Snapshot) {
+	s.count++ // want `write to field of immutable type snap.Snapshot outside a constructor/builder`
+}
+
+// Bad: element writes through a field mutate the published object.
+func poke(s *Snapshot) {
+	s.items[0] = 7 // want `write to field of immutable type snap.Snapshot outside a constructor/builder`
+}
+
+// Bad: writing through a pointer field reaches published state.
+func regen(s *Snapshot) {
+	s.meta.gen = 2 // want `write to field of immutable type snap.Snapshot outside a constructor/builder`
+}
+
+// Good: the audited escape hatch for sanctioned idioms.
+//
+//taster:mutator fixture: stands in for a sync.Once-guarded lazy cache
+func warm(s *Snapshot) {
+	s.count = len(s.items)
+}
+
+// Scratch is not annotated; its fields may be written anywhere.
+type Scratch struct {
+	n int
+}
+
+// Good: unannotated types are out of scope.
+func scribble(sc *Scratch) {
+	sc.n = 42
+	sc.n++
+}

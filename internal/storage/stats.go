@@ -43,6 +43,8 @@ type TableStats struct {
 // Stats returns the table statistics, computing them on first call. This is
 // the "statistics of the dataset ... calculated on-the-fly during the first
 // access to any table" behaviour from paper §III.
+//
+//taster:mutator sync.Once-guarded lazy cache: the single winning writer publishes via Once's happens-before edge, readers only ever see nil-then-frozen
 func (t *Table) Stats() *TableStats {
 	t.statsOnce.Do(func() {
 		ts := &TableStats{Rows: t.rows, Columns: make([]ColumnStats, len(t.schema))}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -10,6 +11,8 @@ import (
 // partition, and a lazily computed zone map. Partitions are immutable once
 // published, so they are shared structurally between table versions —
 // Append clones only the tail partition it extends.
+//
+//taster:immutable
 type Partition struct {
 	cols  []*Vector
 	rows  int
@@ -50,6 +53,8 @@ func (p *Partition) Bytes() int64 {
 // than O(table). Readers that resolved an older version keep scanning a
 // frozen snapshot — the executor's morsel dispenser, zero-copy scans and
 // statistics all stay race-free under concurrent ingestion.
+//
+//taster:immutable
 type Table struct {
 	Name     string
 	schema   Schema
@@ -278,6 +283,8 @@ func (t *Table) Append(delta *Table) (*Table, error) {
 // at most partRows rows (0 = one unbounded partition). Row contents, order
 // and the table epoch are preserved; per-partition epochs reset to the
 // table epoch (the new layout is uniformly as fresh as the table).
+//
+//taster:mutator construction: the epoch writes target the freshly built table before it escapes, never the receiver
 func (t *Table) Repartition(partRows int) *Table {
 	if partRows < 0 {
 		partRows = 0
@@ -298,6 +305,8 @@ func (t *Table) Repartition(partRows int) *Table {
 // tables the whole-column view is concatenated lazily on first use and
 // cached; row-at-a-time consumers (workload resampling, variational
 // subsamples) pay the materialization once. Scans never use this view.
+//
+//taster:mutator sync.Once-guarded lazy cache: the single winning writer publishes via Once's happens-before edge, readers only ever see nil-then-frozen
 func (t *Table) Column(i int) *Vector {
 	t.colsOnce.Do(func() {
 		if t.colsView != nil {
@@ -585,7 +594,9 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// Names returns all registered table names (unsorted).
+// Names returns all registered table names, sorted. Callers iterate the
+// catalog to repartition, checkpoint and report; sorting here means none
+// of them can accidentally inherit map iteration order.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -593,6 +604,7 @@ func (c *Catalog) Names() []string {
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

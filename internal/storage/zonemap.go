@@ -9,6 +9,8 @@ import "math"
 // payload. Zone maps are computed lazily on first use and cached on the
 // (immutable) partition, so shared partitions compute them once across
 // table versions.
+//
+//taster:immutable
 type ZoneMap struct {
 	Rows int
 	// Min and Max hold the column bounds indexed by schema position. For an
@@ -24,6 +26,8 @@ type ZoneMap struct {
 }
 
 // Zone returns the zone map of partition p, computing it on first call.
+//
+//taster:mutator sync.Once-guarded lazy cache: the zone map is built privately and cached once; the ZoneMap writes fill the fresh object before it is stored
 func (t *Table) Zone(p int) *ZoneMap {
 	part := t.parts[p]
 	part.zoneOnce.Do(func() {

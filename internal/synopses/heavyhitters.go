@@ -45,10 +45,15 @@ func (s *SpaceSaving) Inc(key uint64) uint64 {
 		return 1
 	}
 	// Evict the minimum-count key and inherit its count as error bound.
+	// Ties break toward the smallest key: several entries usually share
+	// the minimum count, and letting map iteration order pick the victim
+	// would make the summary's contents — and every count and encoding
+	// derived from it — differ between identical runs.
 	var minKey uint64
 	minCount := ^uint64(0)
+	//taster:sorted the strict (count, key) lexicographic argmin is total — every iteration order converges on the same victim
 	for k, e := range s.counts {
-		if e.count < minCount {
+		if e.count < minCount || (e.count == minCount && k < minKey) {
 			minCount, minKey = e.count, k
 		}
 	}
@@ -76,22 +81,22 @@ func (s *SpaceSaving) Count(key uint64) uint64 {
 	return minCount
 }
 
-// Top returns up to k (key, count) pairs with the highest counts.
+// Top returns up to k (key, count) pairs with the highest counts, ordered
+// by descending count with ascending key as the tie-break. The tie-break
+// does double duty: it fixes the order of equal-count entries AND decides
+// which of them survive the cut at k, neither of which may depend on map
+// iteration order.
 func (s *SpaceSaving) Top(k int) []KeyCount {
 	out := make([]KeyCount, 0, len(s.counts))
 	for key, e := range s.counts {
 		out = append(out, KeyCount{Key: key, Count: e.count})
 	}
-	// Simple selection; summaries are small by construction.
-	for i := 0; i < len(out) && i < k; i++ {
-		maxJ := i
-		for j := i + 1; j < len(out); j++ {
-			if out[j].Count > out[maxJ].Count {
-				maxJ = j
-			}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
 		}
-		out[i], out[maxJ] = out[maxJ], out[i]
-	}
+		return out[i].Key < out[j].Key
+	})
 	if len(out) > k {
 		out = out[:k]
 	}

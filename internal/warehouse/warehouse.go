@@ -216,6 +216,8 @@ func (t *tier) delete(id uint64) bool {
 // every mutation. All its reads are coherent with each other: a planner
 // holding one View sees the exact synopsis set some tuning round left
 // behind, never a half-applied rearrangement. Views must not be mutated.
+//
+//taster:immutable
 type View struct {
 	buffer    map[uint64]*Item
 	warehouse map[uint64]*Item
@@ -354,6 +356,8 @@ func (m *Manager) View() *View { return m.view.Load() }
 // ApplyMoves: a refresh must reach the live view BEFORE the metadata
 // store's freshness update lands, or the planner's payload-identity gate
 // (payloadCurrent) could see new metadata vouching for an old payload.
+//
+//taster:mutator construction: the View is filled privately and escapes only through the atomic Store that publishes it
 func (m *Manager) publishLocked() {
 	v := &View{
 		buffer:    make(map[uint64]*Item, len(m.buffer.items)),
