@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet lint staticcheck govulncheck build test race race-all test-race fuzz-smoke bench bench-join bench-stream bench-serve bench-warmstart bench-partition bench-execute profile-serve
+.PHONY: all check fmt vet lint staticcheck govulncheck build test race race-all test-race fuzz-smoke bench bench-join bench-stream bench-serve bench-warmstart bench-partition bench-execute bench-kernels profile-serve
 
 all: check
 
@@ -90,6 +90,13 @@ bench-serve:
 # the regular test run; this target prints the numbers.
 bench-execute:
 	$(GO) test ./internal/core -run NONE -bench ExecuteServe -benchmem
+
+# Per-stage ns/row microbenchmarks of the vectorized hot path: the compiled
+# selection-kernel filter vs the interpreted Eval fallback, and the hoisted
+# agg-major observe loop vs its row-major regression baseline (CI runs this
+# as a smoke test; the equivalence claims are pinned by regular tests).
+bench-kernels:
+	$(GO) test ./internal/exec -run NONE -bench 'BenchmarkFilter|BenchmarkAgg' -benchtime 200x
 
 # CPU + allocation profiles of the serving sweep, for digging into the
 # fast-path hot spots (tuner rounds, join probe, filter, plan cache).

@@ -5,6 +5,7 @@ import (
 
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/tuner"
 	"github.com/tasterdb/taster/internal/workload"
 )
 
@@ -25,6 +26,17 @@ func newServeBench(tb testing.TB) (*Engine, *workload.Workload, []string) {
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          42,
 		Workers:       1,
+		// Window the tuner over the whole repeating list (see the serving
+		// experiment): with fewer window slots than distinct shapes the keep
+		// set churns forever, the snapshot ident advances every round, and
+		// the benchmark measures cache-miss replanning instead of the
+		// steady-state fast path it exists to pin.
+		Tuner: tuner.Config{
+			Window:    2 * 48,
+			Alpha:     0.25,
+			Adaptive:  false,
+			MaxWindow: 2 * 48,
+		},
 	})
 	for pass := 0; pass < 3; pass++ {
 		for _, sql := range queries {
@@ -63,14 +75,15 @@ func BenchmarkExecuteServe(b *testing.B) {
 
 // TestExecuteServeAllocBudget is the CI allocation-regression tripwire: the
 // steady-state serving path must stay under an allocs/op budget. The budget
-// is ~1.6x the measured baseline (~1.55k allocs/op with the engine-wide
-// vector pool and the plan cache), so it tolerates noise and workload drift
-// but fails on a regression of the pooling or caching machinery itself.
+// is ~1.6x the measured baseline (~1.45k allocs/op with the engine-wide
+// vector pool, pooled selection vectors on the kernel filter path, and the
+// plan cache), so it tolerates noise and workload drift but fails on a
+// regression of the pooling or caching machinery itself.
 func TestExecuteServeAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation budget benchmark skipped in -short mode")
 	}
-	const budget = 2_500 // allocs per served query, steady state
+	const budget = 2_300 // allocs per served query, steady state
 	res := testing.Benchmark(BenchmarkExecuteServe)
 	if got := res.AllocsPerOp(); got > budget {
 		t.Fatalf("serving fast path allocates %d allocs/op, budget is %d — pooled execution or plan caching regressed", got, budget)

@@ -51,7 +51,7 @@ type diffRun struct {
 // huge value yields a single monolithic partition).
 func runDifferentialStream(t *testing.T, mode Mode, partitionRows, workers int, disablePrune bool) diffRun {
 	t.Helper()
-	return runDifferentialStreamPinned(t, mode, partitionRows, workers, disablePrune, 0)
+	return runDifferentialStreamFull(t, mode, partitionRows, workers, disablePrune, false, 0)
 }
 
 // runDifferentialStreamPinned additionally pins the planner's parallelism
@@ -62,6 +62,14 @@ func runDifferentialStream(t *testing.T, mode Mode, partitionRows, workers int, 
 // is the chosen plan's EXECUTION, and pinning parallelism isolates exactly
 // that claim.
 func runDifferentialStreamPinned(t *testing.T, mode Mode, partitionRows, workers int, disablePrune bool, planParallelism float64) diffRun {
+	t.Helper()
+	return runDifferentialStreamFull(t, mode, partitionRows, workers, disablePrune, false, planParallelism)
+}
+
+// runDifferentialStreamFull additionally exposes the kernel-disable switch:
+// disableKernels forces every filter onto the interpreted Eval fallback, the
+// reference semantics the compiled selection kernels must match bit-for-bit.
+func runDifferentialStreamFull(t *testing.T, mode Mode, partitionRows, workers int, disablePrune, disableKernels bool, planParallelism float64) diffRun {
 	t.Helper()
 	w := workload.TPCH(0.004, 3)
 	ops, err := w.Stream(diffStreamCfg)
@@ -78,6 +86,7 @@ func runDifferentialStreamPinned(t *testing.T, mode Mode, partitionRows, workers
 		Workers:        workers,
 		PartitionRows:  partitionRows,
 		DisablePruning: disablePrune,
+		DisableKernels: disableKernels,
 		// Serve within 15% drift: appends are 5% batches, so a strict
 		// fresh-only policy would disqualify everything after the first
 		// append and the reuse path would go untested.
@@ -110,11 +119,18 @@ func runDifferentialStreamPinned(t *testing.T, mode Mode, partitionRows, workers
 	return run
 }
 
-// mustEqualRuns asserts two runs are bit-identical: same values (via
-// storage.Value.Equal), same interval bits (via math.Float64bits, so NaN
-// payloads and signed zeros cannot hide behind ==), same reuse profile.
+// mustEqualRuns asserts two runs are bit-identical: same values (floats via
+// math.Float64bits, so NaN payloads and signed zeros cannot hide behind ==;
+// everything else via storage.Value.Equal), same interval bits, same reuse
+// profile.
 func mustEqualRuns(t *testing.T, label string, a, b diffRun) {
 	t.Helper()
+	valueEq := func(x, y storage.Value) bool {
+		if x.Typ == storage.Float64 && y.Typ == storage.Float64 {
+			return math.Float64bits(x.F) == math.Float64bits(y.F)
+		}
+		return x.Equal(y)
+	}
 	if len(a.rows) != len(b.rows) {
 		t.Fatalf("%s: row count differs: %d vs %d", label, len(a.rows), len(b.rows))
 	}
@@ -123,7 +139,7 @@ func mustEqualRuns(t *testing.T, label string, a, b diffRun) {
 			t.Fatalf("%s: row %d width differs: %d vs %d", label, i, len(a.rows[i]), len(b.rows[i]))
 		}
 		for c := range a.rows[i] {
-			if !a.rows[i][c].Equal(b.rows[i][c]) {
+			if !valueEq(a.rows[i][c], b.rows[i][c]) {
 				t.Fatalf("%s: row %d col %d differs: %v vs %v", label, i, c, a.rows[i][c], b.rows[i][c])
 			}
 		}
@@ -214,4 +230,112 @@ func TestDifferentialPruningSoundEndToEnd(t *testing.T) {
 	on := runDifferentialStream(t, ModeExact, 797, 4, false)
 	off := runDifferentialStream(t, ModeExact, 797, 4, true)
 	mustEqualRuns(t, "prune on-vs-off", on, off)
+}
+
+// TestDifferentialKernelsStream: the compiled selection-vector kernels must be
+// bit-identical to the interpreted Eval path over the full randomized stream —
+// in both engine modes, with appends landing mid-stream. The planner is NOT
+// pinned: plan costing keys on the predicate's static KernelCompilable shape,
+// never on the runtime switch, so both engines must choose identical plans and
+// any divergence here is a real kernel bug, not a plan-choice artifact.
+func TestDifferentialKernelsStream(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeTaster} {
+		on := runDifferentialStreamFull(t, mode, 797, 4, false, false, 0)
+		off := runDifferentialStreamFull(t, mode, 797, 4, false, true, 0)
+		mustEqualRuns(t, "kernels on-vs-off", on, off)
+	}
+}
+
+// nanCatalog builds a table whose float column carries the full IEEE bestiary
+// — NaN, ±Inf, −0.0 — interleaved with ordinary values, plus int, string and
+// group columns. This is the data the kernel NaN contract bites on: ordered
+// comparisons must drop NaN rows, <> must keep them, and NOT must be a set
+// complement rather than an operator negation.
+func nanCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	b := storage.NewBuilder("mets", storage.Schema{
+		{Name: "mets.grp", Typ: storage.Int64},
+		{Name: "mets.metric", Typ: storage.Float64},
+		{Name: "mets.qty", Typ: storage.Int64},
+		{Name: "mets.tag", Typ: storage.String},
+	})
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}
+	tags := []string{"alpha", "beta", "", "gamma"}
+	for i := 0; i < 20000; i++ {
+		b.Int(0, int64(i%8))
+		if i%11 == 0 {
+			b.Float(1, specials[(i/11)%len(specials)])
+		} else {
+			b.Float(1, float64(i%200)-50.5)
+		}
+		b.Int(2, int64(i%97))
+		b.Str(3, tags[i%len(tags)])
+	}
+	cat.Register(b.Build(4))
+	return cat
+}
+
+// nanQueries exercise every kernel shape over the NaN-bearing table: ordered
+// float compares (NaN must vanish), <> (NaN must survive), fused integer
+// conjuncts, string IN, and a BETWEEN that folds specials into a SUM so the
+// NaN propagates into the aggregate state where a single bit of drift shows.
+var nanQueries = []string{
+	`SELECT grp, SUM(metric), COUNT(*) FROM mets WHERE metric > 10 GROUP BY grp`,
+	`SELECT COUNT(*) FROM mets WHERE metric <> 50.5`,
+	`SELECT grp, COUNT(*) FROM mets WHERE metric <= 0 GROUP BY grp`,
+	`SELECT SUM(metric) FROM mets WHERE qty >= 10 AND qty < 60 AND grp = 3`,
+	`SELECT grp, COUNT(*) FROM mets WHERE tag IN ('alpha', '') GROUP BY grp`,
+	`SELECT SUM(metric), AVG(qty) FROM mets WHERE grp BETWEEN 2 AND 5`,
+	`SELECT grp, SUM(qty) FROM mets WHERE metric < 1000000 GROUP BY grp`,
+}
+
+// runNaNQueries executes the fixed NaN query set on a fresh exact-mode engine.
+func runNaNQueries(t *testing.T, workers int, disablePrune, disableKernels bool) diffRun {
+	t.Helper()
+	cat := nanCatalog()
+	e := New(cat, Config{
+		Mode:           ModeExact,
+		StorageBudget:  cat.TotalBytes(),
+		BufferSize:     cat.TotalBytes(),
+		CostModel:      storage.ScaledCostModel(cat.TotalBytes(), 20000),
+		Seed:           7,
+		Workers:        workers,
+		PartitionRows:  97,
+		DisablePruning: disablePrune,
+		DisableKernels: disableKernels,
+		Synchronous:    true,
+	})
+	var run diffRun
+	for _, sql := range nanQueries {
+		q, err := sqlparser.Parse(sql, cat)
+		if err != nil {
+			t.Fatalf("%v\nSQL: %s", err, sql)
+		}
+		res, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%v\nSQL: %s", err, sql)
+		}
+		run.rows = append(run.rows, res.Rows...)
+		run.used = append(run.used, len(res.Report.UsedSynopses))
+	}
+	return run
+}
+
+// TestDifferentialKernelsNaN: the ISSUE's acceptance matrix — kernels on vs
+// off over NaN-bearing columns at workers 1, 4 and 8, pruning on and off —
+// must be bit-equal everywhere, and every worker count must agree with every
+// other. Float rows compare Float64bits-strict, so a kernel that mis-sorts a
+// NaN row — or perturbs a NaN payload through the aggregate — cannot hide.
+func TestDifferentialKernelsNaN(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		var kernelRuns []diffRun
+		for _, workers := range []int{1, 4, 8} {
+			on := runNaNQueries(t, workers, prune, false)
+			off := runNaNQueries(t, workers, prune, true)
+			mustEqualRuns(t, "nan kernels on-vs-off", on, off)
+			kernelRuns = append(kernelRuns, on)
+		}
+		mustEqualRuns(t, "nan workers 1 vs 4", kernelRuns[0], kernelRuns[1])
+		mustEqualRuns(t, "nan workers 1 vs 8", kernelRuns[0], kernelRuns[2])
+	}
 }

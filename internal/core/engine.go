@@ -106,6 +106,13 @@ type Config struct {
 	// the partition experiment runs the same workload with pruning on and
 	// off and reports the scan-byte and simulated-time ratio.
 	DisablePruning bool
+	// DisableKernels forces the executor's filters onto the interpreted
+	// Eval fallback instead of the compiled selection-vector kernels. The
+	// kernels are bit-identical to the interpreter by contract, so this
+	// switch exists only for differential testing and benchmarking; it is
+	// invisible to the planner (plan choice keys on the predicate's static
+	// expr.KernelCompilable shape, never on this runtime switch).
+	DisableKernels bool
 	// MaxStaleness bounds synopsis staleness under online ingestion: a
 	// materialized synopsis that has missed more than this fraction of its
 	// source rows (see meta.Entry.Staleness) is disqualified from answering
@@ -510,6 +517,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	ctx.Pool = e.vecPool // engine-wide: recycles batches across queries
 	ctx.Workers = e.cfg.Workers
 	ctx.DisablePrune = e.cfg.DisablePruning
+	ctx.DisableKernels = e.cfg.DisableKernels
 	matNames := make(map[*plan.SynopsisOp]uint64)
 	keepSketch := make(map[*plan.SketchJoin]uint64)
 	for _, cs := range dec.Materialize {

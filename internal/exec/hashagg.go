@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/stats"
@@ -63,14 +64,44 @@ type aggGroup struct {
 // aggTable is one hash table of group accumulators — a complete aggregation
 // state that can observe batches and merge with tables built over disjoint
 // input partitions.
+//
+// The canonical state is groups, keyed by the deterministic groupKey byte
+// encoding — merge and emit only ever see that map. observe, the hot loop,
+// avoids building a byte key per row whenever every group column is
+// fixed-width (int64/float64/bool, at most two columns): rows resolve through
+// fixed1/fixed2, word-keyed dictionaries caching the canonical group pointer,
+// and only a dictionary miss pays for the byte key. The word encodings reuse
+// groupKey's value identity (float keys by IEEE bits, so -0.0 and every NaN
+// payload are distinct groups on both paths).
 type aggTable struct {
 	spec   *aggSpec
 	groups map[string]*aggGroup
 	key    []byte // scratch buffer
+
+	fixed1    map[uint64]*aggGroup    // one fixed-width group column
+	fixed2    map[[2]uint64]*aggGroup // two fixed-width group columns
+	rowGroups []*aggGroup             // per-batch scratch: each live row's group
 }
 
 func newAggTable(spec *aggSpec) *aggTable {
-	return &aggTable{spec: spec, groups: make(map[string]*aggGroup, 64)}
+	t := &aggTable{spec: spec, groups: make(map[string]*aggGroup, 64)}
+	// spec.schema leads with the group columns, so schema[i] is the type of
+	// group column i. String keys are variable-width and stay on the byte-key
+	// path.
+	fixed := len(spec.groupIdx) >= 1 && len(spec.groupIdx) <= 2
+	for i := range spec.groupIdx {
+		if spec.schema[i].Typ == storage.String {
+			fixed = false
+		}
+	}
+	if fixed {
+		if len(spec.groupIdx) == 1 {
+			t.fixed1 = make(map[uint64]*aggGroup, 64)
+		} else {
+			t.fixed2 = make(map[[2]uint64]*aggGroup, 64)
+		}
+	}
+	return t
 }
 
 func (t *aggTable) newGroup(b *storage.Batch, row int) *aggGroup {
@@ -86,26 +117,337 @@ func (t *aggTable) newGroup(b *storage.Batch, row int) *aggGroup {
 	return g
 }
 
-// observe folds one batch into the table.
+// observe folds one batch — honoring its selection vector — into the table.
+//
+// The loop is two-pass and aggregate-major: pass one resolves every live
+// row's group pointer (hot path: fixed-width word dictionaries; fallback:
+// per-row byte keys), pass two folds each aggregate column in a tight loop
+// with the weight-column and aggregate-column dispatch hoisted out of the row
+// loop. Each GroupAccumulator still executes Observe(y, w) on exactly the
+// same (y, w) sequence as the historical row-major interpreted loop —
+// accumulators are per (group, aggregate) and rows arrive in row order — so
+// the accumulated floating-point state is bit-identical.
 func (t *aggTable) observe(b *storage.Batch) {
-	n := b.Len()
-	for i := 0; i < n; i++ {
-		t.key = groupKey(t.key, b.Vecs, t.spec.groupIdx, i)
-		g, ok := t.groups[string(t.key)]
-		if !ok {
-			g = t.newGroup(b, i)
-			t.groups[string(t.key)] = g
-		}
-		w := 1.0
-		if t.spec.weightIdx >= 0 {
-			w = b.Vecs[t.spec.weightIdx].F64[i]
-		}
+	if b.Rows() == 0 {
+		return
+	}
+	sel := b.Sel
+	var wcol []float64
+	if t.spec.weightIdx >= 0 {
+		wcol = b.Vecs[t.spec.weightIdx].F64
+	}
+
+	if len(t.spec.groupIdx) == 0 {
+		// Ungrouped fast path: one group, each aggregate folds its raw
+		// column slice directly.
+		g := t.singleGroup()
 		for k := range t.spec.aggs {
-			y := 1.0
-			if ci := t.spec.aggIdx[k]; ci >= 0 {
-				y = b.Vecs[ci].Float(i)
+			observeSingle(g.accs[k], b, sel, t.spec.aggIdx[k], wcol)
+		}
+		return
+	}
+
+	gs := t.resolveGroups(b, sel)
+	for k := range t.spec.aggs {
+		observeGrouped(gs, k, b, sel, t.spec.aggIdx[k], wcol)
+	}
+}
+
+// singleGroup returns the table's sole group (no GROUP BY), creating it on
+// first use with the same empty key the byte-key path would produce.
+func (t *aggTable) singleGroup() *aggGroup {
+	g, ok := t.groups[""]
+	if !ok {
+		g = t.newGroup(nil, 0)
+		t.groups[""] = g
+	}
+	return g
+}
+
+// canonicalGroup resolves row i's group through the canonical byte-key map,
+// creating the group on first encounter.
+func (t *aggTable) canonicalGroup(b *storage.Batch, i int) *aggGroup {
+	t.key = groupKey(t.key, b.Vecs, t.spec.groupIdx, i)
+	g, ok := t.groups[string(t.key)]
+	if !ok {
+		g = t.newGroup(b, i)
+		t.groups[string(t.key)] = g
+	}
+	return g
+}
+
+// fixedWord encodes row i of a fixed-width group column as one word, with the
+// same value identity as groupKey's byte encoding.
+func fixedWord(v *storage.Vector, i int) uint64 {
+	switch v.Typ {
+	case storage.Int64:
+		return uint64(v.I64[i])
+	case storage.Float64:
+		return math.Float64bits(v.F64[i])
+	default: // Bool
+		if v.B[i] {
+			return 1
+		}
+		return 0
+	}
+}
+
+// resolveGroups maps every live row to its group pointer (returned slice is
+// the reused rowGroups scratch, indexed by live-row position). A run of equal
+// keys — common on clustered input — resolves once.
+func (t *aggTable) resolveGroups(b *storage.Batch, sel []int32) []*aggGroup {
+	gs := t.rowGroups[:0]
+	switch {
+	case t.fixed1 != nil:
+		v := b.Vecs[t.spec.groupIdx[0]]
+		var lastW uint64
+		var lastG *aggGroup
+		resolve := func(i int) {
+			w := fixedWord(v, i)
+			if lastG == nil || w != lastW {
+				g, ok := t.fixed1[w]
+				if !ok {
+					g = t.canonicalGroup(b, i)
+					t.fixed1[w] = g
+				}
+				lastW, lastG = w, g
 			}
-			g.accs[k].Observe(y, w)
+			gs = append(gs, lastG)
+		}
+		if sel == nil {
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				resolve(i)
+			}
+		} else {
+			for _, i := range sel {
+				resolve(int(i))
+			}
+		}
+	case t.fixed2 != nil:
+		v0 := b.Vecs[t.spec.groupIdx[0]]
+		v1 := b.Vecs[t.spec.groupIdx[1]]
+		var lastW [2]uint64
+		var lastG *aggGroup
+		resolve := func(i int) {
+			w := [2]uint64{fixedWord(v0, i), fixedWord(v1, i)}
+			if lastG == nil || w != lastW {
+				g, ok := t.fixed2[w]
+				if !ok {
+					g = t.canonicalGroup(b, i)
+					t.fixed2[w] = g
+				}
+				lastW, lastG = w, g
+			}
+			gs = append(gs, lastG)
+		}
+		if sel == nil {
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				resolve(i)
+			}
+		} else {
+			for _, i := range sel {
+				resolve(int(i))
+			}
+		}
+	default:
+		// Variable-width keys (string group columns or >2 columns): the
+		// canonical byte-key per row, as the interpreted loop always did.
+		if sel == nil {
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				gs = append(gs, t.canonicalGroup(b, i))
+			}
+		} else {
+			for _, i := range sel {
+				gs = append(gs, t.canonicalGroup(b, int(i)))
+			}
+		}
+	}
+	t.rowGroups = gs
+	return gs
+}
+
+// observeSingle folds one aggregate column of the batch into a single
+// accumulator — the ungrouped fast path. All dispatch (COUNT(*) vs column,
+// column type, weighted vs not, selection vs dense) happens before the row
+// loop; each loop body is Observe over raw slice reads. The non-numeric
+// default keeps the interpreted path's Vector.Float behaviour (it panics on
+// non-numeric columns, which resolveAggSpec rules out for everything but
+// COUNT over a column — whose y values it faithfully reproduces... by
+// panicking identically if ever reached with a string column).
+func observeSingle(acc *stats.GroupAccumulator, b *storage.Batch, sel []int32, ci int, wcol []float64) {
+	if ci < 0 { // COUNT(*): y = 1 per row
+		switch {
+		case wcol == nil && sel == nil:
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				acc.Observe(1, 1)
+			}
+		case wcol == nil:
+			for range sel {
+				acc.Observe(1, 1)
+			}
+		case sel == nil:
+			for _, w := range wcol {
+				acc.Observe(1, w)
+			}
+		default:
+			for _, i := range sel {
+				acc.Observe(1, wcol[i])
+			}
+		}
+		return
+	}
+	v := b.Vecs[ci]
+	switch v.Typ {
+	case storage.Float64:
+		col := v.F64
+		switch {
+		case wcol == nil && sel == nil:
+			for _, y := range col {
+				acc.Observe(y, 1)
+			}
+		case wcol == nil:
+			for _, i := range sel {
+				acc.Observe(col[i], 1)
+			}
+		case sel == nil:
+			for i, y := range col {
+				acc.Observe(y, wcol[i])
+			}
+		default:
+			for _, i := range sel {
+				acc.Observe(col[i], wcol[i])
+			}
+		}
+	case storage.Int64:
+		col := v.I64
+		switch {
+		case wcol == nil && sel == nil:
+			for _, y := range col {
+				acc.Observe(float64(y), 1)
+			}
+		case wcol == nil:
+			for _, i := range sel {
+				acc.Observe(float64(col[i]), 1)
+			}
+		case sel == nil:
+			for i, y := range col {
+				acc.Observe(float64(y), wcol[i])
+			}
+		default:
+			for _, i := range sel {
+				acc.Observe(float64(col[i]), wcol[i])
+			}
+		}
+	default:
+		if sel == nil {
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				w := 1.0
+				if wcol != nil {
+					w = wcol[i]
+				}
+				acc.Observe(v.Float(i), w)
+			}
+		} else {
+			for _, i := range sel {
+				w := 1.0
+				if wcol != nil {
+					w = wcol[i]
+				}
+				acc.Observe(v.Float(int(i)), w)
+			}
+		}
+	}
+}
+
+// observeGrouped is observeSingle with per-row accumulators: gs holds each
+// live row's group (live-row position aligned with sel), k selects the
+// aggregate.
+func observeGrouped(gs []*aggGroup, k int, b *storage.Batch, sel []int32, ci int, wcol []float64) {
+	if ci < 0 { // COUNT(*): y = 1 per row
+		switch {
+		case wcol == nil && sel == nil:
+			for _, g := range gs {
+				g.accs[k].Observe(1, 1)
+			}
+		case wcol == nil:
+			for _, g := range gs {
+				g.accs[k].Observe(1, 1)
+			}
+		case sel == nil:
+			for j, g := range gs {
+				g.accs[k].Observe(1, wcol[j])
+			}
+		default:
+			for j, i := range sel {
+				gs[j].accs[k].Observe(1, wcol[i])
+			}
+		}
+		return
+	}
+	v := b.Vecs[ci]
+	switch v.Typ {
+	case storage.Float64:
+		col := v.F64
+		switch {
+		case wcol == nil && sel == nil:
+			for j, g := range gs {
+				g.accs[k].Observe(col[j], 1)
+			}
+		case wcol == nil:
+			for j, i := range sel {
+				gs[j].accs[k].Observe(col[i], 1)
+			}
+		case sel == nil:
+			for j, g := range gs {
+				g.accs[k].Observe(col[j], wcol[j])
+			}
+		default:
+			for j, i := range sel {
+				gs[j].accs[k].Observe(col[i], wcol[i])
+			}
+		}
+	case storage.Int64:
+		col := v.I64
+		switch {
+		case wcol == nil && sel == nil:
+			for j, g := range gs {
+				g.accs[k].Observe(float64(col[j]), 1)
+			}
+		case wcol == nil:
+			for j, i := range sel {
+				gs[j].accs[k].Observe(float64(col[i]), 1)
+			}
+		case sel == nil:
+			for j, g := range gs {
+				g.accs[k].Observe(float64(col[j]), wcol[j])
+			}
+		default:
+			for j, i := range sel {
+				gs[j].accs[k].Observe(float64(col[i]), wcol[i])
+			}
+		}
+	default:
+		if sel == nil {
+			for j, g := range gs {
+				w := 1.0
+				if wcol != nil {
+					w = wcol[j]
+				}
+				g.accs[k].Observe(v.Float(j), w)
+			}
+		} else {
+			for j, i := range sel {
+				w := 1.0
+				if wcol != nil {
+					w = wcol[i]
+				}
+				gs[j].accs[k].Observe(v.Float(int(i)), w)
+			}
 		}
 	}
 }
@@ -213,7 +555,7 @@ func (a *HashAggOp) Next() (*storage.Batch, error) {
 			break
 		}
 		a.ctx.Stats.ShuffleBytes += batchBytes(b)
-		a.ctx.Stats.CPUTuples += int64(b.Len())
+		a.ctx.Stats.CPUTuples += int64(b.Rows())
 		a.table.observe(b)
 		a.ctx.Pool.Release(b)
 	}

@@ -34,6 +34,15 @@ type joinSpec struct {
 	rightCols   []int
 	outWeights  bool
 
+	// fixedKey marks a single-column join whose key type is identical and
+	// fixed-width (int64/float64/bool) on both sides: the table is then
+	// keyed by the fixedWord encoding instead of byte strings, removing the
+	// per-probe-row key build and string hashing. The type-identity
+	// requirement keeps the match relation exactly groupKey's: word
+	// encodings of different types can collide (uint64(n) vs Float64bits),
+	// but the byte keys carry a type tag and never match across types.
+	fixedKey bool
+
 	schema storage.Schema
 }
 
@@ -56,6 +65,10 @@ func resolveJoinSpec(ls, rs storage.Schema, leftKeys, rightKeys []string) (*join
 			return nil, fmt.Errorf("exec: hash join: right key %q not in %v", k, rs.Names())
 		}
 		j.rightKeys = append(j.rightKeys, i)
+	}
+	if len(j.leftKeys) == 1 {
+		lt, rt := ls[j.leftKeys[0]].Typ, rs[j.rightKeys[0]].Typ
+		j.fixedKey = lt == rt && lt != storage.String
 	}
 	j.leftWeight = ls.Index(synopses.WeightCol)
 	j.rightWeight = rs.Index(synopses.WeightCol)
@@ -91,16 +104,35 @@ func resolveJoinSpec(ls, rs storage.Schema, leftKeys, rightKeys []string) (*join
 type joinTable struct {
 	spec  *joinSpec
 	rows  *storage.Batch // all build rows concatenated, in input order
-	parts []map[string][]int
+	parts []map[string][]int32
+
+	// The spec.fixedKey fast path replaces parts with a CSR layout keyed by
+	// the single key column's fixedWord encoding: fixedIdx maps a word to a
+	// dense key id, and key k's match list is fixedRows[fixedOffs[k]:
+	// fixedOffs[k+1]] — one index array and one offset array total, no
+	// per-key slice allocations. Match lists are identical to the byte-keyed
+	// tables' (the word encoding is injective within the key type); only the
+	// build/probe hashing cost changes.
+	fixedIdx  map[uint64]int32
+	fixedOffs []int32
+	fixedRows []int32
 }
 
 func (t *joinTable) empty() bool { return t == nil || t.rows == nil || t.rows.Len() == 0 }
 
-func (t *joinTable) lookup(key []byte) []int {
+func (t *joinTable) lookup(key []byte) []int32 {
 	if len(t.parts) == 1 {
 		return t.parts[0][string(key)]
 	}
 	return t.parts[fnv1a(key)%uint64(len(t.parts))][string(key)]
+}
+
+func (t *joinTable) lookupWord(w uint64) []int32 {
+	k, ok := t.fixedIdx[w]
+	if !ok {
+		return nil
+	}
+	return t.fixedRows[t.fixedOffs[k]:t.fixedOffs[k+1]]
 }
 
 // fnv1a hashes key bytes to a partition; any stable byte hash works, the
@@ -119,21 +151,35 @@ func fnv1a(b []byte) uint64 {
 // cluster). Consumed batches are released: the joinTable keeps only the
 // copied concatenation.
 func drainBuild(op Operator, ctx *Context) (*storage.Batch, error) {
-	rows := storage.NewBatch(op.Schema(), 0)
+	// Collect first, copy second: the concatenation is then allocated at its
+	// final size in one shot (row-at-a-time appends from zero capacity paid a
+	// realloc cascade per query) and copied column-major.
+	var bufs []*storage.Batch
+	total := 0
 	for {
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
 		}
 		if b == nil {
-			return rows, nil
+			break
 		}
 		ctx.Stats.ShuffleBytes += batchBytes(b)
-		for i := 0; i < b.Len(); i++ {
-			rows.AppendRow(b, i)
+		bufs = append(bufs, b)
+		total += b.Rows()
+	}
+	rows := ctx.Pool.GetBatch(op.Schema(), total)
+	for _, b := range bufs {
+		for c, v := range rows.Vecs {
+			if b.Sel != nil {
+				v.AppendGather(b.Vecs[c], b.Sel)
+			} else {
+				v.Extend(b.Vecs[c])
+			}
 		}
 		ctx.Pool.Release(b)
 	}
+	return rows, nil
 }
 
 // buildJoinTable hashes the materialized build rows into `workers`
@@ -151,14 +197,18 @@ func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable
 	if workers < 1 {
 		workers = 1
 	}
+	if spec.fixedKey {
+		buildFixedJoinTable(t, rows)
+		return t
+	}
 	if workers == 1 {
-		m := make(map[string][]int, 1024)
+		m := make(map[string][]int32, 1024)
 		var key []byte
 		for i := 0; i < n; i++ {
 			key = groupKey(key, rows.Vecs, spec.rightKeys, i)
-			m[string(key)] = append(m[string(key)], i)
+			m[string(key)] = append(m[string(key)], int32(i))
 		}
-		t.parts = []map[string][]int{m}
+		t.parts = []map[string][]int32{m}
 		return t
 	}
 
@@ -201,7 +251,7 @@ func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable
 
 	// Phase 2: partition p concatenates its index lists in chunk order, so
 	// every match list is ascending regardless of which worker built it.
-	t.parts = make([]map[string][]int, workers)
+	t.parts = make([]map[string][]int32, workers)
 	var pnext int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -212,10 +262,10 @@ func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable
 				if p >= workers {
 					return
 				}
-				m := make(map[string][]int, n/workers+1)
+				m := make(map[string][]int32, n/workers+1)
 				for c := 0; c < nChunks; c++ {
 					for _, i := range chunkParts[c][p] {
-						m[keys[i]] = append(m[keys[i]], int(i))
+						m[keys[i]] = append(m[keys[i]], i)
 					}
 				}
 				t.parts[p] = m
@@ -224,6 +274,56 @@ func buildJoinTable(spec *joinSpec, rows *storage.Batch, workers int) *joinTable
 	}
 	wg.Wait()
 	return t
+}
+
+// buildFixedJoinTable is buildJoinTable's spec.fixedKey variant: a CSR build
+// keyed by the single key column's fixedWord instead of groupKey bytes.
+// fixedWord mirrors groupKey's per-type encoding (two's complement,
+// Float64bits, 0/1), so word equality is exactly byte-key equality within
+// the type and every match list comes out identical — ascending row order
+// falls out of the forward fill pass. The build is three O(n) integer passes
+// with a single map and three flat arrays; it is not worth parallelizing, so
+// the workers argument of the byte-keyed build has no analogue here.
+func buildFixedJoinTable(t *joinTable, rows *storage.Batch) {
+	n := rows.Len()
+	kv := rows.Vecs[t.spec.rightKeys[0]]
+
+	// Pass 1: assign dense key ids in first-appearance order.
+	idx := make(map[uint64]int32, 1024)
+	keyOf := make([]int32, n)
+	nk := int32(0)
+	for i := 0; i < n; i++ {
+		w := fixedWord(kv, i)
+		k, ok := idx[w]
+		if !ok {
+			k = nk
+			nk++
+			idx[w] = k
+		}
+		keyOf[i] = k
+	}
+
+	// Pass 2: per-key counts -> exclusive prefix offsets.
+	offs := make([]int32, nk+1)
+	for _, k := range keyOf {
+		offs[k+1]++
+	}
+	for k := int32(0); k < nk; k++ {
+		offs[k+1] += offs[k]
+	}
+
+	// Pass 3: fill each key's region in ascending row order, using a cursor
+	// copy of the offsets.
+	cur := make([]int32, nk)
+	copy(cur, offs[:nk])
+	rowIdx := make([]int32, n)
+	for i := 0; i < n; i++ {
+		k := keyOf[i]
+		rowIdx[cur[k]] = int32(i)
+		cur[k]++
+	}
+
+	t.fixedIdx, t.fixedOffs, t.fixedRows = idx, offs, rowIdx
 }
 
 // joinProber streams probe batches against a built joinTable, emitting joined
@@ -237,10 +337,18 @@ type joinProber struct {
 
 	cur      *storage.Batch
 	curRow   int
-	matches  []int
+	matches  []int32
 	matchPos int
 	pending  bool
 	key      []byte
+
+	// lrows/mrows accumulate the (probe row, build row) pairs of the output
+	// chunk under construction; flush gathers them into the output batch
+	// column-major, one type dispatch per column instead of one per value.
+	// lrows indices are relative to cur, so the pairs are flushed before cur
+	// is released.
+	lrows []int32
+	mrows []int32
 }
 
 // next pulls probe batches via fetch until it has filled one output chunk (or
@@ -267,51 +375,84 @@ func (p *joinProber) next(fetch func() (*storage.Batch, error)) (*storage.Batch,
 		}
 		for p.curRow < p.cur.Len() {
 			if !p.pending {
-				p.key = groupKey(p.key, p.cur.Vecs, p.spec.leftKeys, p.curRow)
-				p.matches = p.table.lookup(p.key)
+				if p.spec.fixedKey {
+					p.matches = p.table.lookupWord(fixedWord(p.cur.Vecs[p.spec.leftKeys[0]], p.curRow))
+				} else {
+					p.key = groupKey(p.key, p.cur.Vecs, p.spec.leftKeys, p.curRow)
+					p.matches = p.table.lookup(p.key)
+				}
 				p.matchPos = 0
 				p.pending = true
 			}
-			if p.matchPos < len(p.matches) && out == nil {
-				out = p.pool.GetBatch(p.spec.schema, joinBatchRows)
-			}
-			for p.matchPos < len(p.matches) {
-				if out.Len() >= joinBatchRows {
+			if p.matchPos < len(p.matches) {
+				if out == nil {
+					out = p.pool.GetBatch(p.spec.schema, joinBatchRows)
+				}
+				room := joinBatchRows - out.Len() - len(p.lrows)
+				take := len(p.matches) - p.matchPos
+				if take > room {
+					take = room
+				}
+				row := int32(p.curRow)
+				for _, m := range p.matches[p.matchPos : p.matchPos+take] {
+					p.lrows = append(p.lrows, row)
+					p.mrows = append(p.mrows, m)
+				}
+				p.matchPos += take
+				if p.matchPos < len(p.matches) {
+					// Chunk filled mid-fanout: emit it and resume this row's
+					// remaining matches on the next call.
+					p.flush(out)
 					return out, nil
 				}
-				p.emit(out, p.curRow, p.matches[p.matchPos])
-				p.matchPos++
 			}
 			p.pending = false
 			p.curRow++
+			if out != nil && out.Len()+len(p.lrows) >= joinBatchRows {
+				p.flush(out)
+				return out, nil
+			}
 		}
-		// The probe batch is fully emitted (emit copies values out), so its
-		// memory can be recycled before fetching the next one.
+		// The probe batch is fully consumed; gather any pairs still
+		// referencing it before its memory is recycled.
+		p.flush(out)
 		p.pool.Release(p.cur)
 		p.cur = nil
 	}
 }
 
-func (p *joinProber) emit(out *storage.Batch, row, m int) {
+// flush gathers the accumulated pairs into out column-major. Pair order is
+// exactly the row-at-a-time emit order, so output batches are byte-identical
+// to the pre-gather prober's.
+func (p *joinProber) flush(out *storage.Batch) {
+	if len(p.lrows) == 0 {
+		return
+	}
 	col := 0
 	for _, lc := range p.spec.leftCols {
-		out.Vecs[col].AppendFrom(p.cur.Vecs[lc], row)
+		out.Vecs[col].AppendGather(p.cur.Vecs[lc], p.lrows)
 		col++
 	}
 	for _, rc := range p.spec.rightCols {
-		out.Vecs[col].AppendFrom(p.table.rows.Vecs[rc], m)
+		out.Vecs[col].AppendGather(p.table.rows.Vecs[rc], p.mrows)
 		col++
 	}
 	if p.spec.outWeights {
-		w := 1.0
-		if p.spec.leftWeight >= 0 {
-			w *= p.cur.Vecs[p.spec.leftWeight].F64[row]
+		dst := out.Vecs[col].F64
+		lw, rw := p.spec.leftWeight, p.spec.rightWeight
+		for i, row := range p.lrows {
+			w := 1.0
+			if lw >= 0 {
+				w *= p.cur.Vecs[lw].F64[row]
+			}
+			if rw >= 0 {
+				w *= p.table.rows.Vecs[rw].F64[p.mrows[i]]
+			}
+			dst = append(dst, w)
 		}
-		if p.spec.rightWeight >= 0 {
-			w *= p.table.rows.Vecs[p.spec.rightWeight].F64[m]
-		}
-		out.Vecs[col].F64 = append(out.Vecs[col].F64, w)
+		out.Vecs[col].F64 = dst
 	}
+	p.lrows, p.mrows = p.lrows[:0], p.mrows[:0]
 }
 
 // HashJoinOp is the Volcano inner equi-join: it builds a hash table over the
@@ -386,6 +527,10 @@ func (j *HashJoinOp) Next() (*storage.Batch, error) {
 	out, err := j.prober.next(func() (*storage.Batch, error) {
 		b, err := j.Left.Next()
 		if b != nil {
+			// The prober walks rows by physical index; resolve any selection
+			// first (the dense batch's bytes equal the selection's SelBytes,
+			// so the shuffle charge is order-independent).
+			b = b.Materialize(j.ctx.Pool)
 			j.ctx.Stats.ShuffleBytes += batchBytes(b)
 		}
 		return b, err
@@ -396,8 +541,15 @@ func (j *HashJoinOp) Next() (*storage.Batch, error) {
 	return out, err
 }
 
-// Close implements Operator.
+// Close implements Operator. The build-side concatenation is pool-owned
+// (drainBuild); releasing it here recycles the largest per-query allocation
+// of the join. Emitted output only ever holds copies, never references into
+// it.
 func (j *HashJoinOp) Close() error {
+	if j.table != nil && j.table.rows != nil {
+		j.ctx.Pool.Release(j.table.rows)
+		j.table.rows = nil
+	}
 	errL := j.Left.Close()
 	errR := j.Right.Close()
 	if errL != nil {
@@ -409,8 +561,17 @@ func (j *HashJoinOp) Close() error {
 // Schema implements Operator.
 func (j *HashJoinOp) Schema() storage.Schema { return j.spec.schema }
 
+// batchBytes is the live-row payload size of a batch: selection-carrying
+// batches charge exactly what their gathered equivalent would, so shuffle
+// accounting is identical whether a filter attached a selection or gathered.
 func batchBytes(b *storage.Batch) int64 {
 	var n int64
+	if b.Sel != nil {
+		for _, v := range b.Vecs {
+			n += v.SelBytes(b.Sel)
+		}
+		return n
+	}
 	for _, v := range b.Vecs {
 		n += v.Bytes()
 	}

@@ -96,6 +96,13 @@ type Context struct {
 	// it never changes results, only the scan-byte and tuple charges — so the
 	// flag exists for A/B cost measurement and the pruning soundness tests.
 	DisablePrune bool
+	// DisableKernels forces every filter onto the interpreted Eval fallback
+	// instead of the compiled selection-vector kernels. The two paths are
+	// bit-identical — results and cost counters — so the flag exists only for
+	// the differential harness and kernel benchmarks. It is deliberately
+	// invisible to the planner: plan choice keys on the static
+	// expr.KernelCompilable, never on this switch.
+	DisableKernels bool
 	// Pool recycles batch/vector memory between operators of this run. Batches
 	// transfer ownership downstream; the final consumer releases after copying
 	// out (storage.VecPool documents the contract). A nil pool degrades every
@@ -138,6 +145,9 @@ func Run(op Operator) ([]*storage.Batch, error) {
 		if b == nil {
 			return out, nil
 		}
+		// Result boundary: resolve any selection vector so callers see dense
+		// batches (and the selection buffer returns to the pool).
+		b = b.Materialize(nil)
 		if b.Len() > 0 {
 			out = append(out, b)
 		}

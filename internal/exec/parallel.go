@@ -325,7 +325,17 @@ func (p *ParallelAggOp) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (p *ParallelAggOp) Close() error { return nil }
+func (p *ParallelAggOp) Close() error {
+	// Build-side concatenations are pool-owned (drainBuild); recycle them.
+	// Probe output only ever holds copies, never references into them.
+	for _, js := range p.joins {
+		if js.table != nil && js.table.rows != nil {
+			p.ctx.Pool.Release(js.table.rows)
+			js.table.rows = nil
+		}
+	}
+	return nil
+}
 
 // Schema implements Operator.
 func (p *ParallelAggOp) Schema() storage.Schema { return p.spec.schema }
@@ -364,7 +374,7 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int, keep []bool) mors
 			break
 		}
 		mctx.Stats.ShuffleBytes += batchBytes(b)
-		mctx.Stats.CPUTuples += int64(b.Len())
+		mctx.Stats.CPUTuples += int64(b.Rows())
 		table.observe(b)
 		mctx.Pool.Release(b)
 	}
@@ -440,6 +450,9 @@ func (o *morselProbeOp) Next() (*storage.Batch, error) {
 	out, err := o.prober.next(func() (*storage.Batch, error) {
 		b, err := o.child.Next()
 		if b != nil {
+			// Prober walks physical indices: resolve selections first, like
+			// the Volcano HashJoinOp (same bytes either way).
+			b = b.Materialize(o.ctx.Pool)
 			o.ctx.Stats.ShuffleBytes += batchBytes(b)
 		}
 		return b, err

@@ -77,6 +77,10 @@ func (s *SamplerOp) Next() (*storage.Batch, error) {
 			s.finishMaterialization()
 			return nil, nil
 		}
+		// The sampler's per-row decisions are keyed to dense row positions
+		// (reproducibility contract); resolve any selection so a filtered
+		// stream reads exactly as its gathered equivalent did.
+		b = b.Materialize(s.ctx.Pool)
 		n := b.Len()
 		s.ctx.Stats.CPUTuples += int64(n)
 		out := s.ctx.Pool.GetBatch(s.schema, n/4+1)

@@ -128,6 +128,7 @@ func (s *SketchJoinOp) Open() error {
 		if b == nil {
 			break
 		}
+		b = b.Materialize(s.ctx.Pool)
 		s.ctx.Stats.CPUTuples += int64(b.Len())
 		for i := 0; i < b.Len(); i++ {
 			w := 1.0
@@ -159,6 +160,7 @@ func (s *SketchJoinOp) Next() (*storage.Batch, error) {
 		if b == nil {
 			break
 		}
+		b = b.Materialize(s.ctx.Pool)
 		n := b.Len()
 		s.ctx.Stats.CPUTuples += int64(n)
 		for i := 0; i < n; i++ {

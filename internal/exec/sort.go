@@ -59,6 +59,7 @@ func (s *SortOp) Next() (*storage.Batch, error) {
 		if b == nil {
 			break
 		}
+		b = b.Materialize(s.ctx.Pool)
 		for i := 0; i < b.Len(); i++ {
 			all.AppendRow(b, i)
 		}

@@ -10,6 +10,7 @@ import (
 	"github.com/tasterdb/taster/internal/core"
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/storage"
+	"github.com/tasterdb/taster/internal/tuner"
 	"github.com/tasterdb/taster/internal/workload"
 )
 
@@ -155,40 +156,63 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 		Seed:          uint64(cfg.Seed),
 		Workers:       1,
 		Synchronous:   synchronous,
+		// The tuning window must cover the repeating query list: the default
+		// adaptive window tops out at 64 queries, and with more distinct
+		// shapes than window slots a synopsis serving the shapes currently
+		// outside the window loses its in-window benefits every round, gets
+		// evicted, and is re-admitted when its shape comes around again. That
+		// perpetual rearrangement advances the snapshot ident each round and
+		// shreds the plan cache (the historical 2-client 26% hit-rate
+		// anomaly). Two full cycles of the list let every shape stay
+		// benefit-visible, so the keep set — and with it the ident — goes
+		// quiescent once warm. Like the 4x storage budget above: this sweep
+		// measures serving concurrency, not retention churn.
+		Tuner: tuner.Config{
+			Window:    2 * len(queries),
+			Alpha:     0.25,
+			Adaptive:  false,
+			MaxWindow: 2 * len(queries),
+		},
 	})
 	defer eng.Close()
 
 	// Untimed warmup: serial passes over the query list until the warehouse
-	// stops rearranging (bounded), then a quiesce. The timed closed loop
-	// below then measures steady-state serving — the tuner's warmup pipeline
-	// (a synopsis is observed, then selected by a round, then materialized
-	// by a later repetition, then promoted) takes several passes to settle
-	// under asynchronous publish gating, and letting it smear across the
-	// timed passes would dominate run-to-run variance on short sweeps.
-	warmPass := func() (moves int64, err error) {
+	// stops rearranging AND the plan cache stops taking misses (bounded),
+	// then a quiesce. The timed closed loop below then measures steady-state
+	// serving — the tuner's warmup pipeline (a synopsis is observed, then
+	// selected by a round, then materialized by a later repetition, then
+	// promoted) takes several passes to settle under asynchronous publish
+	// gating, and letting it smear across the timed passes would dominate
+	// run-to-run variance on short sweeps. The miss condition matters
+	// separately from the move condition: the move count can plateau one
+	// pass before the snapshot identity that keys the plan cache stops
+	// advancing, and a sweep that starts timing in that window reports a
+	// collapsed hit rate for whichever client count drew the short straw
+	// (historically the 2-client row: 26% against 81%/89% neighbours).
+	warmPass := func() (st core.TuningStats, err error) {
 		for _, sql := range queries {
 			q, perr := sqlparser.Parse(sql, w.Catalog)
 			if perr != nil {
-				return 0, fmt.Errorf("serving warmup: %w\nSQL: %s", perr, sql)
+				return st, fmt.Errorf("serving warmup: %w\nSQL: %s", perr, sql)
 			}
 			if _, xerr := eng.Execute(q); xerr != nil {
-				return 0, fmt.Errorf("serving warmup: %w\nSQL: %s", xerr, sql)
+				return st, fmt.Errorf("serving warmup: %w\nSQL: %s", xerr, sql)
 			}
 		}
 		eng.Quiesce()
-		st := eng.TuningStats()
-		return st.Admitted + st.Refreshed + st.Evicted + st.Promoted, nil
+		return eng.TuningStats(), nil
 	}
-	prevMoves := int64(-1)
-	for pass := 0; pass < 6; pass++ {
-		moves, werr := warmPass()
+	prevMoves, prevMisses := int64(-1), int64(-1)
+	for pass := 0; pass < 12; pass++ {
+		wst, werr := warmPass()
 		if werr != nil {
 			return 0, core.TuningStats{}, werr
 		}
-		if moves == prevMoves {
+		moves := wst.Admitted + wst.Refreshed + wst.Evicted + wst.Promoted
+		if moves == prevMoves && wst.PlanCacheMisses == prevMisses {
 			break
 		}
-		prevMoves = moves
+		prevMoves, prevMisses = moves, wst.PlanCacheMisses
 	}
 	warm := eng.TuningStats() // subtracted below: report timed-loop cache behaviour only
 

@@ -1,0 +1,346 @@
+package expr
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/tasterdb/taster/internal/storage"
+)
+
+// kernelSchema covers every kernel-compilable column type.
+var kernelSchema = storage.Schema{
+	{Name: "i", Typ: storage.Int64},
+	{Name: "f", Typ: storage.Float64},
+	{Name: "s", Typ: storage.String},
+	{Name: "b", Typ: storage.Bool},
+}
+
+// kernelBatch builds a batch over kernelSchema from parallel value slices.
+func kernelBatch(is []int64, fs []float64, ss []string, bs []bool) *storage.Batch {
+	b := storage.NewBatch(kernelSchema, len(is))
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, is...)
+	b.Vecs[1].F64 = append(b.Vecs[1].F64, fs...)
+	b.Vecs[2].Str = append(b.Vecs[2].Str, ss...)
+	b.Vecs[3].B = append(b.Vecs[3].B, bs...)
+	return b
+}
+
+// edgeBatch is the standing edge-case fixture: NaN, ±Inf, ±0, empty strings,
+// int64 values beyond float64's 2^53 integer range.
+func edgeBatch() *storage.Batch {
+	return kernelBatch(
+		[]int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 53, (1 << 53) + 1, 42},
+		[]float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), 1.5, -1.5, 42},
+		[]string{"", "a", "ab", "b", "", "zzz", "a\x00b", "42"},
+		[]bool{true, false, true, false, true, false, true, false},
+	)
+}
+
+// oracleSelect is the interpreted reference: Eval's boolean vector restricted
+// to the candidate rows.
+func oracleSelect(t testing.TB, e Expr, b *storage.Batch, in []int32) []int32 {
+	t.Helper()
+	v, err := e.Eval(b)
+	if err != nil {
+		t.Fatalf("oracle Eval(%s): %v", e, err)
+	}
+	var out []int32
+	if in == nil {
+		for i, ok := range v.B {
+			if ok {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range in {
+		if v.B[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkKernel compiles e and compares Refine against the oracle, both dense
+// (in = nil) and under a sparse candidate selection.
+func checkKernel(t testing.TB, e Expr, b *storage.Batch) {
+	t.Helper()
+	f, ok := CompileFilter(e, b.Schema)
+	if !ok {
+		t.Fatalf("CompileFilter(%s): not compilable", e)
+	}
+	var sc Scratch
+	sparse := make([]int32, 0, b.Len())
+	for i := 0; i < b.Len(); i += 2 {
+		sparse = append(sparse, int32(i))
+	}
+	for _, in := range [][]int32{nil, sparse, {}} {
+		got := f.Refine(b, in, nil, &sc)
+		want := oracleSelect(t, e, b, in)
+		if len(got) != len(want) {
+			t.Fatalf("%s (in=%v): kernel %v, oracle %v", e, in, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("%s (in=%v): kernel %v, oracle %v", e, in, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelCmpAllOpsAllTypes(t *testing.T) {
+	b := edgeBatch()
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	for _, op := range ops {
+		// Every column type, constant on the right.
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "i"}, R: Int(1)}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "f"}, R: Float(0)}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "f"}, R: Float(math.NaN())}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "s"}, R: Str("a")}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "s"}, R: Str("")}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "b"}, R: &Const{Val: storage.BoolValue(true)}}, b)
+		// Mixed numeric: i64 column vs float constant (per-row coercion — the
+		// 2^53+1 row distinguishes integer from float compare), f64 column vs
+		// int constant.
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "i"}, R: Float(9007199254740992)}, b)
+		checkKernel(t, &Cmp{Op: op, L: &Col{Name: "f"}, R: Int(1)}, b)
+		// Constant on the left (mirrored operator).
+		checkKernel(t, &Cmp{Op: op, L: Int(1), R: &Col{Name: "i"}}, b)
+		checkKernel(t, &Cmp{Op: op, L: Float(1.5), R: &Col{Name: "f"}}, b)
+		checkKernel(t, &Cmp{Op: op, L: Str("ab"), R: &Col{Name: "s"}}, b)
+	}
+}
+
+func TestKernelNotIsComplementNotNegation(t *testing.T) {
+	b := edgeBatch()
+	// NOT(f < 5) must keep the NaN row; f >= 5 would drop it. The oracle
+	// agrees by construction; this test additionally pins the row set.
+	e := &Not{E: &Cmp{Op: LT, L: &Col{Name: "f"}, R: Float(5)}}
+	checkKernel(t, e, b)
+	f, _ := CompileFilter(e, b.Schema)
+	var sc Scratch
+	got := f.Refine(b, nil, nil, &sc)
+	hasNaN := false
+	for _, i := range got {
+		if math.IsNaN(b.Vecs[1].F64[i]) {
+			hasNaN = true
+		}
+	}
+	if !hasNaN {
+		t.Fatalf("NOT(f < 5) dropped the NaN row: %v", got)
+	}
+}
+
+func TestKernelConnectives(t *testing.T) {
+	b := edgeBatch()
+	lt := &Cmp{Op: LT, L: &Col{Name: "i"}, R: Int(50)}
+	gt := &Cmp{Op: GT, L: &Col{Name: "f"}, R: Float(0)}
+	eq := &Cmp{Op: EQ, L: &Col{Name: "s"}, R: Str("")}
+	checkKernel(t, &Logic{Op: And, L: lt, R: gt}, b)
+	checkKernel(t, &Logic{Op: Or, L: lt, R: gt}, b)
+	checkKernel(t, &Logic{Op: And, L: &Logic{Op: And, L: lt, R: gt}, R: eq}, b)
+	checkKernel(t, &Logic{Op: Or, L: &Logic{Op: Or, L: lt, R: gt}, R: eq}, b)
+	checkKernel(t, &Logic{Op: Or, L: &Logic{Op: And, L: lt, R: gt}, R: &Not{E: eq}}, b)
+	checkKernel(t, &Not{E: &Logic{Op: Or, L: lt, R: &Not{E: gt}}}, b)
+}
+
+func TestKernelIn(t *testing.T) {
+	b := edgeBatch()
+	checkKernel(t, &In{E: &Col{Name: "i"}, Vals: []storage.Value{
+		storage.IntValue(1), storage.IntValue(42), storage.FloatValue(0), // float never matches int64
+	}}, b)
+	checkKernel(t, &In{E: &Col{Name: "f"}, Vals: []storage.Value{
+		storage.FloatValue(math.NaN()), storage.FloatValue(1.5), storage.IntValue(42),
+	}}, b)
+	checkKernel(t, &In{E: &Col{Name: "s"}, Vals: []storage.Value{
+		storage.StringValue(""), storage.StringValue("zzz"),
+	}}, b)
+	checkKernel(t, &In{E: &Col{Name: "b"}, Vals: []storage.Value{
+		storage.BoolValue(false),
+	}}, b)
+	checkKernel(t, &In{E: &Col{Name: "i"}, Vals: nil}, b)
+}
+
+func TestKernelCompilableBoundary(t *testing.T) {
+	s := kernelSchema
+	compilable := []Expr{
+		&Cmp{Op: LT, L: &Col{Name: "f"}, R: Float(1)},
+		&Logic{Op: And, L: &Cmp{Op: LT, L: &Col{Name: "i"}, R: Int(1)}, R: &Cmp{Op: EQ, L: &Col{Name: "s"}, R: Str("x")}},
+		&Not{E: &In{E: &Col{Name: "i"}, Vals: []storage.Value{storage.IntValue(1)}}},
+	}
+	for _, e := range compilable {
+		if !KernelCompilable(e, s) {
+			t.Errorf("want compilable: %s", e)
+		}
+	}
+	notCompilable := []Expr{
+		&Cmp{Op: LT, L: &Col{Name: "i"}, R: &Col{Name: "f"}},                     // col vs col
+		&Cmp{Op: LT, L: &Bin{Op: Add, L: &Col{Name: "i"}, R: Int(1)}, R: Int(2)}, // arithmetic operand
+		&Cmp{Op: LT, L: &Col{Name: "missing"}, R: Int(1)},                        // unknown column
+		&Cmp{Op: EQ, L: &Col{Name: "s"}, R: Int(1)},                              // type mismatch
+		&In{E: &Bin{Op: Add, L: &Col{Name: "i"}, R: Int(1)}, Vals: nil},          // IN over expression
+		&Logic{Op: And, L: &Cmp{Op: LT, L: &Col{Name: "i"}, R: Int(1)}, R: &Cmp{Op: LT, L: &Col{Name: "i"}, R: &Col{Name: "i"}}},
+	}
+	for _, e := range notCompilable {
+		if KernelCompilable(e, s) {
+			t.Errorf("want not compilable: %s", e)
+		}
+	}
+}
+
+// TestKernelScratchReuse exercises buffer recycling across batches and nested
+// connectives (the Scratch free list must not alias live selections).
+func TestKernelScratchReuse(t *testing.T) {
+	b := edgeBatch()
+	e := &Logic{Op: Or,
+		L: &Logic{Op: And,
+			L: &Cmp{Op: GE, L: &Col{Name: "i"}, R: Int(0)},
+			R: &Not{E: &Cmp{Op: EQ, L: &Col{Name: "s"}, R: Str("")}}},
+		R: &Logic{Op: Or,
+			L: &Cmp{Op: NE, L: &Col{Name: "f"}, R: Float(42)},
+			R: &In{E: &Col{Name: "b"}, Vals: []storage.Value{storage.BoolValue(true)}}},
+	}
+	f, ok := CompileFilter(e, b.Schema)
+	if !ok {
+		t.Fatal("not compilable")
+	}
+	var sc Scratch
+	want := oracleSelect(t, e, b, nil)
+	for pass := 0; pass < 5; pass++ {
+		got := f.Refine(b, nil, nil, &sc)
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: kernel %v, oracle %v", pass, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("pass %d: kernel %v, oracle %v", pass, got, want)
+			}
+		}
+	}
+}
+
+// ---- fuzz targets: each typed kernel vs the scalar Eval oracle ----
+
+// fuzzFloats decodes a byte string into float64s, folding some bit patterns
+// onto the IEEE specials so NaN/±Inf appear far more often than raw bit
+// decoding would produce.
+func fuzzFloats(data []byte) []float64 {
+	var out []float64
+	for len(data) >= 8 {
+		bits := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		switch bits % 7 {
+		case 0:
+			out = append(out, math.NaN())
+		case 1:
+			out = append(out, math.Inf(1))
+		case 2:
+			out = append(out, math.Inf(-1))
+		case 3:
+			out = append(out, math.Copysign(0, -1))
+		default:
+			out = append(out, math.Float64frombits(bits))
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{0}
+	}
+	return out
+}
+
+func fuzzOp(b byte) CmpOp { return CmpOp(b % 6) }
+
+func FuzzKernelCmpF64(f *testing.F) {
+	f.Add(uint64(math.Float64bits(1.5)), byte(2), []byte("\x00\x01\x02\x03\x04\x05\x06\x07"))
+	f.Add(math.Float64bits(math.NaN()), byte(1), make([]byte, 64))
+	f.Add(math.Float64bits(math.Inf(-1)), byte(5), []byte("edgecasedgecase!"))
+	f.Fuzz(func(t *testing.T, cbits uint64, opb byte, data []byte) {
+		fs := fuzzFloats(data)
+		n := len(fs)
+		b := kernelBatch(make([]int64, n), fs, make([]string, n), make([]bool, n))
+		c := math.Float64frombits(cbits)
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: &Col{Name: "f"}, R: Float(c)}, b)
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: Float(c), R: &Col{Name: "f"}}, b)
+		checkKernel(t, &In{E: &Col{Name: "f"}, Vals: []storage.Value{storage.FloatValue(c), storage.FloatValue(fs[0])}}, b)
+	})
+}
+
+func FuzzKernelCmpI64(f *testing.F) {
+	f.Add(int64(0), byte(0), []byte("\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add(int64(math.MinInt64), byte(4), make([]byte, 32))
+	f.Fuzz(func(t *testing.T, c int64, opb byte, data []byte) {
+		var is []int64
+		for len(data) >= 8 {
+			is = append(is, int64(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+		if len(is) == 0 {
+			is = []int64{0}
+		}
+		n := len(is)
+		b := kernelBatch(is, make([]float64, n), make([]string, n), make([]bool, n))
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: &Col{Name: "i"}, R: Int(c)}, b)
+		// Mixed numeric: the same constant as a float, exercising coercion
+		// above 2^53.
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: &Col{Name: "i"}, R: Float(float64(c))}, b)
+		checkKernel(t, &In{E: &Col{Name: "i"}, Vals: []storage.Value{storage.IntValue(c), storage.IntValue(is[0])}}, b)
+	})
+}
+
+func FuzzKernelCmpStr(f *testing.F) {
+	f.Add("", byte(0), "a\x00b\xffc")
+	f.Add("needle", byte(3), "")
+	f.Fuzz(func(t *testing.T, c string, opb byte, data string) {
+		// Split data into short strings on a fixed stride, keeping empties.
+		var ss []string
+		for len(data) > 3 {
+			ss = append(ss, data[:3])
+			data = data[3:]
+		}
+		ss = append(ss, data, "")
+		n := len(ss)
+		b := kernelBatch(make([]int64, n), make([]float64, n), ss, make([]bool, n))
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: &Col{Name: "s"}, R: Str(c)}, b)
+		checkKernel(t, &Cmp{Op: fuzzOp(opb), L: Str(c), R: &Col{Name: "s"}}, b)
+		checkKernel(t, &In{E: &Col{Name: "s"}, Vals: []storage.Value{storage.StringValue(c), storage.StringValue(ss[0])}}, b)
+	})
+}
+
+// FuzzKernelTree drives whole compiled programs — connective nesting, NOT
+// complements, conjunct fusion — against the interpreter on an edge-heavy
+// batch.
+func FuzzKernelTree(f *testing.F) {
+	f.Add(uint64(0x1234), byte(3), int64(7), uint64(math.Float64bits(2.5)))
+	f.Add(uint64(0xffffffff), byte(6), int64(-1), math.Float64bits(math.NaN()))
+	f.Fuzz(func(t *testing.T, shape uint64, depth byte, ic int64, fbits uint64) {
+		b := edgeBatch()
+		fc := math.Float64frombits(fbits)
+		// Build a random tree: each shape bit pair picks a node kind.
+		var build func(d int) Expr
+		build = func(d int) Expr {
+			k := shape & 3
+			shape >>= 2
+			if d <= 0 || shape == 0 {
+				leaves := []Expr{
+					&Cmp{Op: fuzzOp(byte(shape)), L: &Col{Name: "i"}, R: Int(ic)},
+					&Cmp{Op: fuzzOp(byte(shape >> 1)), L: &Col{Name: "f"}, R: Float(fc)},
+					&Cmp{Op: fuzzOp(byte(shape >> 2)), L: &Col{Name: "s"}, R: Str("a")},
+					&In{E: &Col{Name: "f"}, Vals: []storage.Value{storage.FloatValue(fc)}},
+				}
+				return leaves[k]
+			}
+			switch k {
+			case 0:
+				return &Logic{Op: And, L: build(d - 1), R: build(d - 1)}
+			case 1:
+				return &Logic{Op: Or, L: build(d - 1), R: build(d - 1)}
+			case 2:
+				return &Not{E: build(d - 1)}
+			default:
+				return &Cmp{Op: fuzzOp(byte(shape)), L: &Col{Name: "f"}, R: Float(fc)}
+			}
+		}
+		checkKernel(t, build(int(depth%4)), b)
+	})
+}

@@ -6,13 +6,20 @@
 // per-batch allocations the pool exists to remove.
 //
 // The pass is an escape check, not a full path-sensitive proof: for every
-// `p.GetBatch(...)` / `p.GetVector(...)` call on a VecPool it demands that
-// the result either escapes the function (call argument — which covers
-// Release and copy-out helpers —, return statement, assignment into a
-// field/element/outer variable, composite literal, channel send) or the
-// call carries a `//taster:pooled <why>` annotation. Results that are
-// discarded outright, or bound to a local that is only ever read, are
-// exactly the leak shapes and are reported.
+// `p.GetBatch(...)` / `p.GetVector(...)` / `p.GetSel(...)` call on a
+// VecPool it demands that the result either escapes the function (call
+// argument — which covers Release, PutSel and copy-out helpers —, return
+// statement, assignment into a field/element/outer variable, composite
+// literal, channel send) or the call carries a `//taster:pooled <why>`
+// annotation. Results that are discarded outright, or bound to a local
+// that is only ever read, are exactly the leak shapes and are reported.
+//
+// Selection vectors ride the same contract as batches: the kernel filter
+// path hands survivors downstream as a (batch, sel) pair by storing the
+// pooled GetSel buffer into Batch.Sel — an assignment-into-field escape,
+// after which Release (which reclaims an attached Sel) or Materialize
+// owns the reclaim. A GetSel result that stays a read-only local is a
+// leaked sel buffer exactly like a leaked batch.
 package poolsafe
 
 import (
@@ -31,7 +38,7 @@ var Analyzer = &lint.Analyzer{
 }
 
 // getMethods are the pool's allocation entry points.
-var getMethods = map[string]bool{"GetBatch": true, "GetVector": true}
+var getMethods = map[string]bool{"GetBatch": true, "GetVector": true, "GetSel": true}
 
 func run(pass *lint.Pass) {
 	for _, f := range pass.Files {
@@ -45,7 +52,7 @@ func run(pass *lint.Pass) {
 	}
 }
 
-// isPoolGet reports whether call is <expr>.GetBatch/GetVector on a value
+// isPoolGet reports whether call is <expr>.GetBatch/GetVector/GetSel on a value
 // whose named type is VecPool (matching by name keeps the analyzer
 // honest in fixtures while binding to internal/storage in the real tree).
 func isPoolGet(pass *lint.Pass, call *ast.CallExpr) bool {

@@ -3,8 +3,12 @@
 // results are the leak shapes.
 package pool
 
-// Batch stands in for the real pooled batch.
-type Batch struct{ n int }
+// Batch stands in for the real pooled batch; Sel mirrors the selection
+// vector the kernel filter path attaches to hand survivors downstream.
+type Batch struct {
+	n   int
+	Sel []int32
+}
 
 // Len reports the batch size.
 func (b *Batch) Len() int { return b.n }
@@ -17,6 +21,12 @@ func (p *VecPool) GetBatch(n int) *Batch { return &Batch{n: n} }
 
 // GetVector vends a pooled vector.
 func (p *VecPool) GetVector(n int) []float64 { return make([]float64, n) }
+
+// GetSel vends a pooled selection-vector buffer.
+func (p *VecPool) GetSel(n int) []int32 { return make([]int32, 0, n) }
+
+// PutSel returns a selection buffer to the pool.
+func (p *VecPool) PutSel(sel []int32) {}
 
 // Release returns a batch to the pool.
 func (p *VecPool) Release(b *Batch) {}
@@ -80,4 +90,28 @@ func scratch(p *VecPool) int {
 func prewarm(p *VecPool) {
 	//taster:pooled fixture: warm-up primes the freelist, the result is deliberately dropped
 	p.GetBatch(64)
+}
+
+// Bad: a selection buffer that stays a read-only local leaks from the pool
+// exactly like a batch.
+func leakSel(p *VecPool) int {
+	sel := p.GetSel(8) // want `pooled GetSel result sel never escapes this function`
+	n := 0
+	for range sel {
+		n++
+	}
+	return n
+}
+
+// Good: the (batch, sel) hand-off — storing the pooled buffer into
+// Batch.Sel transfers ownership to the batch, whose Release reclaims it.
+func attachSel(p *VecPool, b *Batch) {
+	sel := p.GetSel(b.Len())
+	b.Sel = sel
+}
+
+// Good: survivors refined into the buffer, then returned to the pool.
+func refineAndPut(p *VecPool) {
+	sel := p.GetSel(4)
+	p.PutSel(sel)
 }

@@ -101,7 +101,11 @@ func (p *Planner) costFilteredJoinTree(q *Query, overrides map[string]scanEst, c
 		// Either way the executor zone-prunes partitions the table's filter
 		// provably rejects, so charge only the surviving partitions' share.
 		bytes, rows := p.prunedScanCharge(t, q.filterForTable(t.Name))
-		cost.scanBase(bytes, rows, t.Name != q.Tables[0].Name)
+		serial := t.Name != q.Tables[0].Name
+		cost.scanBase(bytes, rows, serial)
+		if f := q.filterForTable(t.Name); f != nil {
+			cost.filterWork(float64(rows), expr.KernelCompilable(f, t.Table.Schema()), serial)
+		}
 		return p.est.tableEst(t, q.filterForTable(t.Name))
 	}
 

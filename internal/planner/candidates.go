@@ -94,6 +94,14 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 	var cost planCost
 	joinEstOut := p.costUnfilteredJoinTree(q, &cost)
 	cost.samplerWork(joinEstOut.rows, true) // sampler above the join root: on the spine
+	// Filters lifted above the sampler evaluate over the sample stream; each
+	// is priced by its own table's schema (the joined schema keeps the
+	// qualified column names, so compilability carries over).
+	for _, t := range q.Tables {
+		if f := q.filterForTable(t.Name); f != nil {
+			cost.filterWork(outRows, expr.KernelCompilable(f, t.Table.Schema()), false)
+		}
+	}
 	// sel computed above for the sampler configuration.
 	cost.aggWork(scanEst{rows: math.Max(outRows*sel, 1), width: joinOut.width + 8})
 	ps.Candidates = append(ps.Candidates, Candidate{
@@ -163,6 +171,9 @@ func (p *Planner) addJoinSampleCandidates(q *Query, ps *PlanSet) {
 			}
 		} else {
 			rcost.cpuTuples += int64(sampleRows)
+		}
+		if m.CompensateFilter != nil {
+			rcost.filterWork(sampleRows, expr.KernelCompilable(m.CompensateFilter, smp.Rows.Schema()), false)
 		}
 		rcost.aggWork(scanEst{rows: math.Max(sampleRows*sel, 1), width: joinOut.width + 8})
 		ps.Candidates = append(ps.Candidates, Candidate{

@@ -87,7 +87,16 @@ type planCost struct {
 	diskLoadBytes int64
 	cpuTuples     int64
 	serialTuples  int64
-	shuffleBytes  int64
+	// vecTuples/serialVecTuples carry filter work running on the compiled
+	// selection-kernel path (expr.KernelCompilable predicates): per tuple it
+	// costs only the model's VectorizedFrac of the interpreted rate.
+	// Interpreter-bound filter work charges into cpuTuples/serialTuples at
+	// full rate. The split keys on the predicate's static shape, never on the
+	// runtime kernel-disable switch, so disabling kernels for a differential
+	// run cannot change plan choice.
+	vecTuples       int64
+	serialVecTuples int64
+	shuffleBytes    int64
 }
 
 func (c *planCost) scanTable(t TableRef) {
@@ -150,6 +159,23 @@ func (c *planCost) samplerWork(inRows float64, spine bool) {
 	}
 }
 
+// filterWork charges evaluating a filter predicate over its input rows.
+// vectorized says the predicate compiles to selection kernels (charged at the
+// model's vectorized fraction); serial says the filter sits on a serially
+// drained branch rather than the morsel-parallel spine.
+func (c *planCost) filterWork(rows float64, vectorized, serial bool) {
+	switch {
+	case vectorized && serial:
+		c.serialVecTuples += int64(rows)
+	case vectorized:
+		c.vecTuples += int64(rows)
+	case serial:
+		c.serialTuples += int64(rows)
+	default:
+		c.cpuTuples += int64(rows)
+	}
+}
+
 // sketchProbeWork charges probing a CM sketch per probe tuple. Sketch joins
 // run on the serial Volcano path, so this work does not shrink with the
 // executor's worker count.
@@ -165,6 +191,8 @@ func (c *planCost) sketchProbeWork(probeRows float64) {
 func (c *planCost) serializeCPU() {
 	c.serialTuples += c.cpuTuples
 	c.cpuTuples = 0
+	c.serialVecTuples += c.vecTuples
+	c.vecTuples = 0
 }
 
 // seconds converts accumulated work into simulated cluster time. The seek
@@ -176,6 +204,7 @@ func (c *planCost) seconds(m storage.CostModel, parallelism float64) float64 {
 		parallelism = 1
 	}
 	s := m.CPUSeconds(c.cpuTuples)/parallelism + m.CPUSeconds(c.serialTuples) +
+		m.VectorizedFrac()*(m.CPUSeconds(c.vecTuples)/parallelism+m.CPUSeconds(c.serialVecTuples)) +
 		m.ShuffleSeconds(c.shuffleBytes)
 	if c.baseBytes > 0 || c.warehouseBytes > 0 {
 		s += m.SeekSeconds

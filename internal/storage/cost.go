@@ -23,6 +23,13 @@ type CostModel struct {
 	// entirely, which is exactly the discount ChoosePlan needs to prefer
 	// warm copies over cold disk hits. Zero falls back to ScanBytesPerSec.
 	DiskLoadBytesPerSec float64
+	// VectorizedTupleFrac is the per-tuple cost of work running on the
+	// vectorized selection-kernel path, as a fraction of the interpreted
+	// per-tuple rate. The planner prices a filter by its static shape
+	// (expr.KernelCompilable): compilable predicates pay this fraction,
+	// interpreter-bound ones pay full rate. Zero falls back to 0.25, the
+	// measured filter-kernel speedup ballpark.
+	VectorizedTupleFrac float64
 }
 
 // DefaultCostModel returns the simulated cluster described above.
@@ -34,6 +41,7 @@ func DefaultCostModel() CostModel {
 		SeekSeconds:         0.5,
 		WarehouseReadFrac:   1.0,   // warehouse lives in the same HDFS in the paper
 		DiskLoadBytesPerSec: 1.5e9, // cold synopsis fault-in: a quarter of hot-path bandwidth
+		VectorizedTupleFrac: 0.25,
 	}
 }
 
@@ -59,6 +67,7 @@ func ScaledCostModel(totalBytes, totalRows int64) CostModel {
 		SeekSeconds:         0.5,
 		WarehouseReadFrac:   1.0,
 		DiskLoadBytesPerSec: scanBw / 4, // same 4:1 hot:cold ratio as the default model
+		VectorizedTupleFrac: 0.25,
 	}
 }
 
@@ -74,6 +83,15 @@ func (m CostModel) DiskLoadSeconds(bytes int64) float64 {
 		bw = m.ScanBytesPerSec
 	}
 	return m.SeekSeconds + float64(bytes)/bw
+}
+
+// VectorizedFrac returns the vectorized-path per-tuple cost fraction,
+// defaulting to 0.25 for legacy custom models that leave it zero.
+func (m CostModel) VectorizedFrac() float64 {
+	if m.VectorizedTupleFrac <= 0 {
+		return 0.25
+	}
+	return m.VectorizedTupleFrac
 }
 
 // ScanSeconds returns the cost of a cold sequential scan of n bytes.

@@ -30,6 +30,7 @@ type VecPool struct {
 	str     sync.Pool // *Vector with Typ String
 	b       sync.Pool // *Vector with Typ Bool
 	batches sync.Pool // *Batch with Vecs emptied
+	sels    sync.Pool // *[]int32 selection-vector scratch
 }
 
 // NewVecPool returns an empty pool.
@@ -90,6 +91,30 @@ func (p *VecPool) putVector(v *Vector) {
 	p.poolFor(v.Typ).Put(v)
 }
 
+// GetSel returns an empty selection-vector scratch buffer (capacity hint n
+// applies only to fresh allocations). The buffer follows the same ownership
+// contract as pooled vectors: attach it to a batch (Batch.Sel) and it is
+// reclaimed when the batch is released or materialized, or hand it back
+// directly with PutSel.
+func (p *VecPool) GetSel(n int) []int32 {
+	if p == nil {
+		return make([]int32, 0, n)
+	}
+	if s, ok := p.sels.Get().(*[]int32); ok && s != nil {
+		return (*s)[:0]
+	}
+	return make([]int32, 0, n)
+}
+
+// PutSel recycles a selection buffer obtained from GetSel.
+func (p *VecPool) PutSel(sel []int32) {
+	if p == nil || sel == nil {
+		return
+	}
+	sel = sel[:0]
+	p.sels.Put(&sel)
+}
+
 // GetBatch returns an empty batch for the schema whose vectors come from the
 // pool's free lists. The batch is marked pooled: Release will recycle it.
 func (p *VecPool) GetBatch(schema Schema, n int) *Batch {
@@ -111,17 +136,27 @@ func (p *VecPool) GetBatch(schema Schema, n int) *Batch {
 	for i, c := range schema {
 		b.Vecs[i] = p.GetVector(c.Typ, n)
 	}
+	b.Sel = nil
 	b.pooled = true
 	return b
 }
 
 // Release recycles a pooled batch's vectors and header. Batches that did not
-// come from GetBatch (table-owned scan output, operator-emitted results) are
-// left untouched, so callers release every consumed batch unconditionally.
-// Double release is a defended no-op: the pooled mark clears on first
-// release.
+// come from GetBatch (table-owned scan output, operator-emitted results)
+// keep their vectors, but an attached selection buffer is reclaimed either
+// way — filters attach pool-owned Sel buffers to table-owned scan batches,
+// and those must flow back like any pooled memory. Callers release every
+// consumed batch unconditionally. Double release is a defended no-op: the
+// pooled mark and Sel clear on first release.
 func (p *VecPool) Release(b *Batch) {
-	if p == nil || b == nil || !b.pooled {
+	if p == nil || b == nil {
+		return
+	}
+	if b.Sel != nil {
+		p.PutSel(b.Sel)
+		b.Sel = nil
+	}
+	if !b.pooled {
 		return
 	}
 	b.pooled = false
@@ -167,6 +202,25 @@ func (v *Vector) gatherAppend(src *Vector, idx []int) {
 			v.B = append(v.B, src.B[i])
 		}
 	}
+}
+
+// Materialize resolves a batch's selection vector into a dense batch holding
+// exactly the live rows, in selection order. The input batch is consumed:
+// its vectors (if pooled) and its selection buffer return to the pool. A
+// batch without a selection passes through untouched, so selection-oblivious
+// operators can materialize every input unconditionally — this is the
+// "gather only at pipeline breakers and result boundaries" half of the
+// selection-vector contract (FilterOp attaches, Materialize resolves).
+func (b *Batch) Materialize(p *VecPool) *Batch {
+	if b == nil || b.Sel == nil {
+		return b
+	}
+	out := p.GetBatch(b.Schema, len(b.Sel))
+	for c, v := range b.Vecs {
+		out.Vecs[c].AppendGather(v, b.Sel)
+	}
+	p.Release(b)
+	return out
 }
 
 // Pooled reports whether the batch is pool-owned (diagnostics and tests).

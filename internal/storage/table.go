@@ -20,6 +20,9 @@ type Partition struct {
 
 	zoneOnce sync.Once
 	zone     *ZoneMap
+
+	bytesOnce sync.Once
+	bytes     int64
 }
 
 // Rows returns the partition's row count.
@@ -31,13 +34,20 @@ func (p *Partition) Rows() int { return p.rows }
 // over it — untouched.
 func (p *Partition) Epoch() uint64 { return p.epoch }
 
-// Bytes returns the partition's payload size.
+// Bytes returns the partition's payload size, computed on first call and
+// cached (string columns make a fresh computation O(rows), and cost
+// accounting asks per query).
+//
+//taster:mutator sync.Once-guarded lazy cache: the single winning writer publishes the size via Once's happens-before edge
 func (p *Partition) Bytes() int64 {
-	var n int64
-	for _, c := range p.cols {
-		n += c.Bytes()
-	}
-	return n
+	p.bytesOnce.Do(func() {
+		var n int64
+		for _, c := range p.cols {
+			n += c.Bytes()
+		}
+		p.bytes = n
+	})
+	return p.bytes
 }
 
 // Table is an immutable columnar table *version*, horizontally divided into

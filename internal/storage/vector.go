@@ -75,6 +75,30 @@ func (v *Vector) AppendFrom(src *Vector, i int) {
 	}
 }
 
+// AppendGather appends src[rows[0]], src[rows[1]], ... onto v (same type):
+// the batched AppendFrom, one type dispatch per column per chunk instead of
+// one per value.
+func (v *Vector) AppendGather(src *Vector, rows []int32) {
+	switch v.Typ {
+	case Int64:
+		for _, r := range rows {
+			v.I64 = append(v.I64, src.I64[r])
+		}
+	case Float64:
+		for _, r := range rows {
+			v.F64 = append(v.F64, src.F64[r])
+		}
+	case String:
+		for _, r := range rows {
+			v.Str = append(v.Str, src.Str[r])
+		}
+	case Bool:
+		for _, r := range rows {
+			v.B = append(v.B, src.B[r])
+		}
+	}
+}
+
 // Extend appends all values of src (same type) onto v.
 func (v *Vector) Extend(src *Vector) {
 	switch v.Typ {
@@ -155,6 +179,26 @@ func (v *Vector) Gather(idx []int) *Vector {
 	return out
 }
 
+// SelBytes returns the in-memory size of the rows at sel, byte-identical to
+// Gather(sel).Bytes() without materializing: shuffle-byte charges on a
+// selection-carrying batch must equal the charges its gathered equivalent
+// would pay.
+func (v *Vector) SelBytes(sel []int32) int64 {
+	switch v.Typ {
+	case Int64, Float64:
+		return int64(len(sel)) * 8
+	case Bool:
+		return int64(len(sel))
+	case String:
+		var n int64
+		for _, i := range sel {
+			n += int64(len(v.Str[i])) + 16 // string header overhead
+		}
+		return n
+	}
+	return 0
+}
+
 // Bytes returns the in-memory size of the vector payload in bytes.
 func (v *Vector) Bytes() int64 {
 	switch v.Typ {
@@ -179,6 +223,15 @@ func (v *Vector) Bytes() int64 {
 type Batch struct {
 	Schema Schema
 	Vecs   []*Vector
+	// Sel is the batch's selection vector: when non-nil, only the rows at
+	// the listed physical indices — in that order, always ascending — are
+	// live; the vectors still hold every physical row. Vectorized filters
+	// attach a Sel instead of gathering survivors into fresh vectors, so a
+	// selective predicate costs no per-batch copy. Sel-aware consumers
+	// (the aggregation tables) iterate under it; every other consumer calls
+	// Materialize first. Sel buffers come from VecPool.GetSel and are
+	// reclaimed by Release/Materialize exactly like pooled vectors.
+	Sel []int32
 	// pooled marks batches whose vectors come from a VecPool free list; only
 	// those are recycled by VecPool.Release (see pool.go for the ownership
 	// contract). Scan output handing out table-owned storage stays false.
@@ -197,12 +250,24 @@ func NewBatch(schema Schema, n int) *Batch {
 	return b
 }
 
-// Len returns the number of rows in the batch.
+// Len returns the number of physical rows in the batch's vectors. Callers
+// iterating row data must honor Sel (or use Rows for the live count).
 func (b *Batch) Len() int {
 	if len(b.Vecs) == 0 {
 		return 0
 	}
 	return b.Vecs[0].Len()
+}
+
+// Rows returns the number of live rows: the selection length when a
+// selection vector is attached, the physical length otherwise. Cost counters
+// charge live rows so a selection-carrying batch and its gathered equivalent
+// account identically.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.Len()
 }
 
 // AppendRow copies row i of src into b. Schemas must be compatible.

@@ -22,6 +22,12 @@ type CMSketch struct {
 	hash  pairwise
 	cells []float64 // row-major: cells[row*w + col]
 	n     float64   // L1 norm of inserted weights
+	// occupied counts nonzero cells, maintained incrementally on both
+	// 0→nonzero and nonzero→0 transitions (the sketch-join's SUM plane takes
+	// signed measures, so cells can cancel back to exact zero).
+	// ExpectedErrorBound runs on the per-query serving path and must not
+	// rescan all w×d cells each call.
+	occupied int
 }
 
 // NewCMSketch returns a sketch with εN additive error at confidence 1−δ.
@@ -70,8 +76,14 @@ func (s *CMSketch) N() float64 { return s.n }
 // Add inserts key with the given non-negative weight.
 func (s *CMSketch) Add(key uint64, weight float64) {
 	for r := 0; r < s.d; r++ {
-		c := int(s.hash.at(r, key) % uint64(s.w))
-		s.cells[r*s.w+c] += weight
+		c := r*s.w + int(s.hash.at(r, key)%uint64(s.w))
+		old := s.cells[c]
+		s.cells[c] += weight
+		if old == 0 && s.cells[c] != 0 {
+			s.occupied++
+		} else if old != 0 && s.cells[c] == 0 {
+			s.occupied--
+		}
 	}
 	s.n += weight
 }
@@ -105,16 +117,10 @@ func (s *CMSketch) ErrorBound() float64 {
 // worst-case bound is hopelessly pessimistic for lightly loaded sketches —
 // exactly the regime the planner sizes sketch-joins into.
 func (s *CMSketch) ExpectedErrorBound() float64 {
-	occupied := 0
-	for _, c := range s.cells {
-		if c != 0 {
-			occupied++
-		}
-	}
-	if occupied == 0 {
+	if s.occupied == 0 {
 		return 0
 	}
-	fill := float64(occupied) / float64(len(s.cells))
+	fill := float64(s.occupied) / float64(len(s.cells))
 	return s.n / float64(s.w) * math.Pow(fill, float64(s.d))
 }
 
@@ -126,7 +132,13 @@ func (s *CMSketch) Merge(o *CMSketch) error {
 			s.w, s.d, s.seed, o.w, o.d, o.seed)
 	}
 	for i := range s.cells {
+		old := s.cells[i]
 		s.cells[i] += o.cells[i]
+		if old == 0 && s.cells[i] != 0 {
+			s.occupied++
+		} else if old != 0 && s.cells[i] == 0 {
+			s.occupied--
+		}
 	}
 	s.n += o.n
 	return nil
@@ -199,6 +211,9 @@ func decodeCMPayload(r *storage.Reader) (*CMSketch, error) {
 			return nil, err
 		}
 		s.cells[i] = v
+		if v != 0 {
+			s.occupied++
+		}
 	}
 	return s, nil
 }
