@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet lint staticcheck govulncheck build test race race-all test-race fuzz-smoke bench bench-join bench-stream bench-serve bench-warmstart bench-partition bench-execute bench-kernels profile-serve
+.PHONY: all check fmt vet lint staticcheck govulncheck build test race race-all test-race fuzz-smoke bench bench-join bench-stream bench-serve bench-warmstart bench-partition bench-execute bench-kernels profile-serve profile-trace smoke-metrics
 
 all: check
 
@@ -104,6 +104,35 @@ bench-kernels:
 profile-serve:
 	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 \
 		-queries 96 -cpuprofile serve.cpu.pprof -memprofile serve.mem.pprof
+
+# Runtime execution trace of the serving sweep: scheduler, GC and contention
+# timelines — the profile pair's complement for latency (not CPU) questions.
+# Inspect with: go tool trace serve.trace
+profile-trace:
+	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 \
+		-queries 96 -trace serve.trace
+
+# Live-metrics smoke: runs the serving sweep with the /metrics surface up,
+# scrapes it mid-run, and asserts the taster_ series are present and the
+# Prometheus text parses shape-wise (HELP/TYPE per family). CI runs this to
+# keep the export surface wired end to end.
+smoke-metrics:
+	@set -e; \
+	$(GO) run ./cmd/tasterbench -experiment serving -workload tpch -sf 0.002 \
+		-queries 96 -metrics-addr 127.0.0.1:9819 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 60); do \
+		if curl -sf http://127.0.0.1:9819/metrics >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	[ "$$up" = 1 ] || { echo "smoke-metrics: /metrics never came up"; exit 1; }; \
+	out=$$(curl -sf http://127.0.0.1:9819/metrics); \
+	echo "$$out" | grep -q '^# TYPE taster_queries_total counter' || { echo "smoke-metrics: missing taster_queries_total"; exit 1; }; \
+	echo "$$out" | grep -q '^# TYPE taster_query_latency_seconds histogram' || { echo "smoke-metrics: missing latency histogram"; exit 1; }; \
+	echo "$$out" | grep -q '^taster_snapshot_publishes_total ' || { echo "smoke-metrics: missing tuning series"; exit 1; }; \
+	curl -sf http://127.0.0.1:9819/debug/vars | grep -q '"taster_queries_total"' || { echo "smoke-metrics: /debug/vars missing series"; exit 1; }; \
+	echo "smoke-metrics: /metrics and /debug/vars healthy"; \
+	wait $$pid
 
 # Restart-recovery smoke: persists half the fig3 workload's warehouse to a
 # temp directory, restarts from it, and reports cold vs warm first-query

@@ -8,6 +8,15 @@
 //	            [-workload tpch|tpcds|instacart] [-sf 0.004] [-queries 200]
 //	            [-seed 42] [-benchjson=true]
 //	            [-cpuprofile serve.cpu.pprof] [-memprofile serve.mem.pprof]
+//	            [-trace serve.trace] [-metrics-addr :9090]
+//
+// -metrics-addr serves the engine metrics registry live while the run is in
+// flight: Prometheus text on /metrics, expvar-style JSON on /debug/vars. The
+// registry is threaded into the engines the wall-clock experiments build, so
+// `curl localhost:9090/metrics` during `make bench-serve` shows real serving
+// counters. -trace writes a runtime/trace of the whole run for `go tool
+// trace` (scheduler, GC and contention timelines — the profile pair's
+// complement).
 //
 // The serving experiment is the concurrent-throughput sweep (inline vs.
 // asynchronous tuning across client counts); it measures wall time, so it
@@ -28,27 +37,58 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"github.com/tasterdb/taster/internal/experiments"
+	"github.com/tasterdb/taster/internal/obs"
+	"github.com/tasterdb/taster/internal/obs/httpexport"
 )
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "which experiment to run")
-		wl         = flag.String("workload", "tpch", "workload for fig3/streaming (tpch|tpcds|instacart)")
-		sf         = flag.Float64("sf", 0.004, "workload scale factor")
-		queries    = flag.Int("queries", 200, "query sequence length")
-		seed       = flag.Int64("seed", 42, "random seed")
-		benchjson  = flag.Bool("benchjson", true, "write a BENCH_<experiment>.json perf summary")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		exp         = flag.String("experiment", "all", "which experiment to run")
+		wl          = flag.String("workload", "tpch", "workload for fig3/streaming (tpch|tpcds|instacart)")
+		sf          = flag.Float64("sf", 0.004, "workload scale factor")
+		queries     = flag.Int("queries", 200, "query sequence length")
+		seed        = flag.Int64("seed", 42, "random seed")
+		benchjson   = flag.Bool("benchjson", true, "write a BENCH_<experiment>.json perf summary")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		tracefile   = flag.String("trace", "", "write a runtime/trace of the run to this file (go tool trace)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live engine metrics on this address (/metrics, /debug/vars)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SF: *sf, Queries: *queries, Seed: *seed}
+
+	if *metricsAddr != "" {
+		mx := obs.NewMetrics()
+		cfg.Metrics = mx
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, httpexport.Handler(mx.Snapshot)); err != nil {
+				fmt.Fprintln(os.Stderr, "tasterbench: metrics-addr:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "tasterbench: serving metrics on %s (/metrics, /debug/vars)\n", *metricsAddr)
+	}
+
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tasterbench: trace:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -65,7 +105,7 @@ func main() {
 	}
 
 	start := time.Now()
-	out, err := run(*exp, *wl, cfg)
+	out, data, err := run(*exp, *wl, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tasterbench:", err)
 		os.Exit(1)
@@ -85,34 +125,20 @@ func main() {
 	}
 	fmt.Print(out)
 	if *benchjson {
-		if err := writeSummary(*exp, *wl, cfg, time.Since(start).Seconds(), out); err != nil {
+		if err := writeSummary(*exp, *wl, cfg, time.Since(start).Seconds(), out, data); err != nil {
 			fmt.Fprintln(os.Stderr, "tasterbench: bench summary:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// benchSummary is the machine-readable perf record one run emits.
-type benchSummary struct {
-	Experiment  string  `json:"experiment"`
-	Workload    string  `json:"workload"`
-	SF          float64 `json:"sf"`
-	Queries     int     `json:"queries"`
-	Seed        int64   `json:"seed"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Report      string  `json:"report"`
-}
-
-func writeSummary(exp, wl string, cfg experiments.Config, wall float64, report string) error {
-	b, err := json.MarshalIndent(benchSummary{
-		Experiment:  exp,
-		Workload:    wl,
-		SF:          cfg.SF,
-		Queries:     cfg.Queries,
-		Seed:        cfg.Seed,
-		WallSeconds: wall,
-		Report:      report,
-	}, "", "  ")
+// writeSummary emits the machine-readable perf record of one run in the
+// shared experiments.BenchEnvelope schema (every BENCH_*.json artifact has
+// the same shape, so CI diffs are mechanical). data carries the experiment's
+// structured result when it exposes one.
+func writeSummary(exp, wl string, cfg experiments.Config, wall float64, report string, data any) error {
+	env := experiments.NewBenchEnvelope(exp, wl, cfg, wall, report, data)
+	b, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -120,82 +146,44 @@ func writeSummary(exp, wl string, cfg experiments.Config, wall float64, report s
 	return os.WriteFile(name, append(b, '\n'), 0o644)
 }
 
-func run(exp, wl string, cfg experiments.Config) (string, error) {
+// run executes one experiment, returning the rendered report plus (when the
+// experiment exposes one) its structured result for the bench envelope.
+func run(exp, wl string, cfg experiments.Config) (string, any, error) {
+	type tabler interface{ Table() string }
+	wrap := func(f tabler, err error) (string, any, error) {
+		if err != nil {
+			return "", nil, err
+		}
+		return f.Table(), f, nil
+	}
 	switch exp {
 	case "all":
-		return experiments.RunAll(cfg)
+		out, err := experiments.RunAll(cfg)
+		return out, nil, err
 	case "fig3":
-		f, err := experiments.Figure3(wl, cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure3(wl, cfg))
 	case "fig4":
-		f, err := experiments.Figure4(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure4(cfg))
 	case "fig5":
-		f, err := experiments.Figure5(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure5(cfg))
 	case "fig6":
-		f, err := experiments.Figure6(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure6(cfg))
 	case "fig7":
-		f, err := experiments.Figure7(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure7(cfg))
 	case "fig8":
-		f, err := experiments.Figure8(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure8(cfg))
 	case "fig9":
-		f, err := experiments.Figure9(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Figure9(cfg))
 	case "tablei":
-		f, err := experiments.TableI(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.TableI(cfg))
 	case "streaming":
-		f, err := experiments.Streaming(wl, cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Streaming(wl, cfg))
 	case "serving":
-		f, err := experiments.Serving(wl, cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Serving(wl, cfg))
 	case "warmstart":
-		f, err := experiments.WarmStart(wl, cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.WarmStart(wl, cfg))
 	case "partition":
-		f, err := experiments.Partition(cfg)
-		if err != nil {
-			return "", err
-		}
-		return f.Table(), nil
+		return wrap(experiments.Partition(cfg))
 	}
-	return "", fmt.Errorf("unknown experiment %q", exp)
+	return "", nil, fmt.Errorf("unknown experiment %q", exp)
 }

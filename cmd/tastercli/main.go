@@ -5,11 +5,17 @@
 // Usage:
 //
 //	tastercli [-workload tpch|tpcds|instacart] [-sf 0.01] [-budget 0.5]
-//	          [-warehouse-dir DIR]
+//	          [-warehouse-dir DIR] [-explain] [-metrics-addr :9090]
 //
 // With -warehouse-dir the synopsis warehouse is disk-backed: quitting the
 // shell checkpoints it, and the next start with the same directory warm-
 // restarts — the synopses tasted in earlier sessions answer immediately.
+//
+// -explain prints an EXPLAIN-ANALYZE-style execution trace under every
+// query: per-operator rows in/out, selection density, batches, materialized
+// synopsis rows and stage durations. -metrics-addr serves the engine's live
+// metrics (Prometheus text on /metrics, JSON on /debug/vars) while the
+// shell runs.
 //
 // Commands: plain SQL (terminated by newline), ".synopses", ".budget N",
 // ".help", ".quit".
@@ -19,11 +25,14 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/obs"
+	"github.com/tasterdb/taster/internal/obs/httpexport"
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/storage"
 	"github.com/tasterdb/taster/internal/workload"
@@ -31,11 +40,13 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "tpch", "dataset to load")
-		sf     = flag.Float64("sf", 0.01, "scale factor")
-		budget = flag.Float64("budget", 0.5, "storage budget as a fraction of the dataset")
-		seed   = flag.Int64("seed", 42, "random seed")
-		whDir  = flag.String("warehouse-dir", "", "persistent warehouse directory (empty: in-memory, cold starts)")
+		wl          = flag.String("workload", "tpch", "dataset to load")
+		sf          = flag.Float64("sf", 0.01, "scale factor")
+		budget      = flag.Float64("budget", 0.5, "storage budget as a fraction of the dataset")
+		seed        = flag.Int64("seed", 42, "random seed")
+		whDir       = flag.String("warehouse-dir", "", "persistent warehouse directory (empty: in-memory, cold starts)")
+		explain     = flag.Bool("explain", false, "print a per-operator execution trace under every query")
+		metricsAddr = flag.String("metrics-addr", "", "serve live engine metrics on this address (/metrics, /debug/vars)")
 	)
 	flag.Parse()
 
@@ -51,6 +62,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(1)
 	}
+	var mx *obs.Metrics
+	if *metricsAddr != "" {
+		mx = obs.NewMetrics()
+	}
 	bytes, rows := w.CostScale()
 	eng, err := core.Open(w.Catalog, core.Config{
 		Mode:          core.ModeTaster,
@@ -60,10 +75,20 @@ func main() {
 		Seed:          uint64(*seed),
 		Synchronous:   true, // deterministic REPL: tuning applies before the prompt returns
 		WarehouseDir:  *whDir,
+		Metrics:       mx,
+		Trace:         *explain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tastercli:", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, httpexport.Handler(eng.MetricsSnapshot)); err != nil {
+				fmt.Fprintln(os.Stderr, "tastercli: metrics-addr:", err)
+			}
+		}()
+		fmt.Printf("taster> serving metrics on %s (/metrics, /debug/vars)\n", *metricsAddr)
 	}
 	defer func() {
 		// Checkpoint the warehouse so the next session warm-restarts.
@@ -149,4 +174,9 @@ func runSQL(eng *core.Engine, cat *storage.Catalog, sql string) {
 	}
 	fmt.Printf("  plan: %s  |  simulated %.2fs  |  wall %.1fms\n",
 		res.Report.PlanDesc, res.Report.SimSeconds, res.Report.WallSeconds*1000)
+	if res.Trace != "" {
+		for _, l := range strings.Split(strings.TrimRight(res.Trace, "\n"), "\n") {
+			fmt.Println("  " + l)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/storage"
 	"github.com/tasterdb/taster/internal/tuner"
@@ -13,8 +14,9 @@ import (
 // serving benchmarks replay: every query executed once (so synopses are
 // observed, selected and materialized) and the tuner quiesced, leaving the
 // steady-state fast path — plan-cache hit, snapshot plan choice, pooled
-// execution — as the measured quantity.
-func newServeBench(tb testing.TB) (*Engine, *workload.Workload, []string) {
+// execution — as the measured quantity. mx, when non-nil, enables the
+// metrics layer (BenchmarkExecuteServeObs measures its serving-path cost).
+func newServeBench(tb testing.TB, mx *obs.Metrics) (*Engine, *workload.Workload, []string) {
 	tb.Helper()
 	w := workload.TPCH(0.002, 3)
 	queries := w.Queries(48, 42)
@@ -26,6 +28,7 @@ func newServeBench(tb testing.TB) (*Engine, *workload.Workload, []string) {
 		CostModel:     storage.ScaledCostModel(bytes, rows),
 		Seed:          42,
 		Workers:       1,
+		Metrics:       mx,
 		// Window the tuner over the whole repeating list (see the serving
 		// experiment): with fewer window slots than distinct shapes the keep
 		// set churns forever, the snapshot ident advances every round, and
@@ -57,7 +60,7 @@ func newServeBench(tb testing.TB) (*Engine, *workload.Workload, []string) {
 // parse + cache-hit planning + snapshot plan choice + pooled execution.
 // Run with -benchmem; TestExecuteServeAllocBudget holds the allocs/op line.
 func BenchmarkExecuteServe(b *testing.B) {
-	e, w, queries := newServeBench(b)
+	e, w, queries := newServeBench(b, nil)
 	defer e.Close()
 	b.ReportAllocs()
 	b.ResetTimer()

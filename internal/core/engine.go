@@ -28,6 +28,7 @@ import (
 
 	"github.com/tasterdb/taster/internal/exec"
 	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/persist"
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/planner"
@@ -150,6 +151,25 @@ type Config struct {
 	// 4096). Sustained traffic overwrites the oldest reports; Reports()
 	// always returns the newest ReportCap entries, oldest first.
 	ReportCap int
+	// Metrics, when non-nil, is the registry every engine layer writes its
+	// counters into (plan cache, pool, disk tier, executor dispatch, tuning
+	// service, serving path). The registry is strictly write-only from the
+	// serving and tuning paths — no engine decision ever reads it — so
+	// enabling metrics cannot change any answer or plan choice. One registry
+	// may be shared by several engines. Nil (the default) compiles the whole
+	// layer down to nil-pointer tests.
+	Metrics *obs.Metrics
+	// Trace enables per-query execution traces: every Execute records
+	// per-operator row/batch/selectivity counters and stage durations and
+	// renders them as an EXPLAIN-ANALYZE tree on Result.Trace. Tracing
+	// observes the batch stream without touching it — traced and untraced
+	// runs are byte-identical (enforced by TestObsDifferential).
+	Trace bool
+	// Clock is the timing source for query latency, tuning-round durations
+	// and trace stage timings. Nil selects the wall clock, or the frozen
+	// clock under Config.Synchronous so deterministic runs stay
+	// byte-reproducible (all durations zero). Injected for tests.
+	Clock obs.Clock
 	// WarehouseDir makes the warehouse tier disk-backed and the engine
 	// restartable: synopses promoted to the warehouse are durably written
 	// there (payloads dropped from RAM, faulted back lazily on reuse), a
@@ -194,6 +214,9 @@ type Result struct {
 	Rows      [][]storage.Value
 	Intervals [][]stats.Interval
 	Report    Report
+	// Trace is the rendered per-operator execution trace (empty unless
+	// Config.Trace is set).
+	Trace string
 }
 
 // Engine is a Taster instance over a catalog.
@@ -246,6 +269,11 @@ type Engine struct {
 	db         *persist.Store
 	persistErr error
 	recovered  int
+
+	// mx is the metrics registry (Config.Metrics; nil disables the layer)
+	// and clock the injected timing source (always non-nil after Open).
+	mx    *obs.Metrics
+	clock obs.Clock
 }
 
 // New creates an engine. A zero CostModel or Tuner config is replaced by
@@ -309,6 +337,10 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 		if db, err = persist.OpenStore(cfg.WarehouseDir); err != nil {
 			return nil, err
 		}
+		if cfg.Metrics != nil {
+			// Before the spiller wraps it, so recovery fault-ins count too.
+			db.Obs = &cfg.Metrics.Disk
+		}
 		sp = diskSpiller{db}
 	}
 	store := meta.NewStore()
@@ -338,6 +370,22 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 		reports: newReportRing(cfg.ReportCap),
 		vecPool: storage.NewVecPool(),
 		db:      db,
+		mx:      cfg.Metrics,
+		clock:   cfg.Clock,
+	}
+	if e.clock == nil {
+		// Synchronous runs are the byte-deterministic configuration; freezing
+		// the clock keeps their latency histograms, round timings and traces
+		// reproducible (all durations zero). Asynchronous serving measures
+		// real wall time.
+		if cfg.Synchronous {
+			e.clock = obs.Frozen{}
+		} else {
+			e.clock = obs.Wall{}
+		}
+	}
+	if e.mx != nil {
+		e.vecPool.Obs = &e.mx.Pool
 	}
 	// Replay the manifest before the engine escapes: recovery runs
 	// single-threaded, so no lock ordering applies yet.
@@ -364,6 +412,9 @@ func Open(cat *storage.Catalog, cfg Config) (*Engine, error) {
 		e.svc = newTuningService(e, cfg.ObservationQueue)
 		if cfg.PlanCacheSize > 0 {
 			e.planCache = planner.NewPlanCache(cfg.PlanCacheSize)
+			if e.mx != nil {
+				e.planCache.Obs = &e.mx.PlanCache
+			}
 		}
 	}
 	return e, nil
@@ -390,8 +441,19 @@ func (e *Engine) Reports() []Report { return e.reports.list() }
 // goroutines; in the default asynchronous ModeTaster configuration it
 // acquires no engine-wide mutex — tuning state arrives via the published
 // snapshot and leaves as a queued observation.
-func (e *Engine) Execute(q *planner.Query) (*Result, error) {
+func (e *Engine) Execute(q *planner.Query) (res *Result, err error) {
 	start := time.Now()
+	if e.mx != nil {
+		mstart := e.clock.Now() //taster:clock serving metrics are recorded after the result is final and never feed it
+		defer func() {
+			if err != nil {
+				e.mx.QueryErrors.Inc()
+				return
+			}
+			e.mx.QueriesServed.Inc()
+			e.mx.QueryLatencySeconds.Observe(e.clock.Since(mstart).Seconds()) //taster:clock serving metrics are recorded after the result is final and never feed it
+		}()
+	}
 
 	q.ID = int(e.queryCount.Add(1)) - 1
 
@@ -406,7 +468,6 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	// choice, so both see the same instant of tuning state.
 	var snap *tuningSnapshot
 	var ps *planner.PlanSet
-	var err error
 	switch {
 	case e.svc != nil && e.planCache != nil:
 		// Fast path: the cache key embeds the query's canonical signature,
@@ -455,6 +516,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		// synopsis set.
 		//taster:locked synchronous ModeTaster is the documented serialization point; the lock-free contract applies to the e.svc != nil branch, which never reaches here
 		e.tuneMu.Lock()
+		roundStart := e.clock.Now() //taster:clock round timing is observability-only; the round's decisions never read it
 		dec = e.tn.Tune(ps)
 		for _, id := range dec.Evict {
 			if err := e.wh.Delete(id); err == nil {
@@ -469,6 +531,11 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 			}
 		}
 		rep.Window = e.tn.Window()
+		if e.mx != nil {
+			e.mx.TuningRounds.Inc()
+			e.mx.TuningBatchSize.Observe(1)
+			e.mx.TuningRoundSeconds.Observe(e.clock.Since(roundStart).Seconds()) //taster:clock round timing is observability-only; the round's decisions never read it
+		}
 		if e.db != nil && len(rep.Evicted)+len(rep.Promoted) > 0 {
 			// The round rearranged the warehouse (promotions spilled
 			// payload files, evictions removed them): index the new layout
@@ -518,6 +585,13 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	ctx.Workers = e.cfg.Workers
 	ctx.DisablePrune = e.cfg.DisablePruning
 	ctx.DisableKernels = e.cfg.DisableKernels
+	if e.mx != nil {
+		ctx.Obs = &e.mx.Exec
+	}
+	if e.cfg.Trace {
+		ctx.TraceNodes = make(map[plan.Node]*obs.TraceNode)
+		ctx.Clock = e.clock
+	}
 	matNames := make(map[*plan.SynopsisOp]uint64)
 	keepSketch := make(map[*plan.SketchJoin]uint64)
 	for _, cs := range dec.Materialize {
@@ -600,7 +674,7 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 		e.tuneMu.Unlock()
 	}
 
-	res := assemble(op, batches)
+	res = assemble(op, batches)
 	res.Report = rep
 	res.Report.SimSeconds = ctx.Stats.SimulatedSeconds(e.cfg.CostModel)
 	if e.cfg.Mode == ModeTaster {
@@ -612,8 +686,36 @@ func (e *Engine) Execute(q *planner.Query) (*Result, error) {
 	res.Report.WallSeconds = time.Since(start).Seconds()
 	res.Report.BufferBytes, res.Report.WarehouseBytes = e.wh.Usage()
 	res.Report.PlanTree = planTree
+	if ctx.TraceNodes != nil {
+		// Materialization counts attach per plan node after the run: rows for
+		// samples (the synopsis payload the node teed off), 1 per sketch.
+		built := make(map[plan.Node]int64)
+		for _, bs := range ctx.Stats.BuiltSamples {
+			built[bs.Op] += int64(bs.Sample.Rows.NumRows())
+		}
+		for _, bk := range ctx.Stats.BuiltSketches {
+			built[bk.Op]++
+		}
+		res.Trace = exec.BuildTraceTree(dec.Chosen.Root, ctx.TraceNodes, built).Render()
+	}
 	e.reports.push(res.Report)
 	return res, nil
+}
+
+// MetricsSnapshot samples the engine's metrics registry and fills in the
+// engine-level gauges the registry cannot know (warehouse occupancy,
+// plan-cache residency, published snapshot version). Safe to call
+// concurrently with Execute/Ingest/SetStorageBudget — every registry series
+// is atomic and the gauges read from their own synchronized sources. With no
+// Config.Metrics the counters are all zero and only the gauges are live.
+func (e *Engine) MetricsSnapshot() obs.MetricsSnapshot {
+	s := e.mx.Snapshot()
+	s.PlanCacheEntries = int64(e.planCache.Len())
+	if snap := e.snap.Load(); snap != nil {
+		s.SnapshotVersion = int64(snap.version)
+	}
+	s.BufferBytes, s.WarehouseBytes = e.wh.Usage()
+	return s
 }
 
 // windowLen reads the tuner's current window length under the tuning lock.
@@ -746,6 +848,10 @@ func (e *Engine) Ingest(table string, delta *storage.Table) (uint64, error) {
 	// rows twice and partition-scoped staleness can attribute the append to
 	// exactly the partitions it landed in.
 	e.store.PublishAppendParts(table, nt.Epoch(), int64(nt.NumRows()), added, nt.PartitionRowCounts())
+	if e.mx != nil {
+		e.mx.IngestBatches.Inc()
+		e.mx.IngestRows.Add(added)
+	}
 	if e.svc != nil || e.db != nil {
 		e.tuneMu.Lock()
 		if e.svc != nil {

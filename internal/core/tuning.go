@@ -94,8 +94,15 @@ func (e *Engine) publishLocked(keep map[uint64]bool, gains map[uint64]float64) {
 	prev := e.snap.Load()
 	e.snapVersion++
 	ident := e.snapVersion
-	if prev != nil && prev.wh.SameContents(view) && sameStaleMap(prev.viewStale, viewStale) {
+	carried := prev != nil && prev.wh.SameContents(view) && sameStaleMap(prev.viewStale, viewStale)
+	if carried {
 		ident = prev.ident
+	}
+	if e.mx != nil {
+		e.mx.SnapshotPublishes.Inc()
+		if carried {
+			e.mx.SnapshotIdentCarries.Inc()
+		}
 	}
 	e.snap.Store(&tuningSnapshot{
 		wh:        view,
@@ -205,9 +212,15 @@ func newTuningService(e *Engine, queue int) *tuningService {
 func (s *tuningService) enqueue(o *observation) bool {
 	select {
 	case s.obsCh <- o:
+		if mx := s.eng.mx; mx != nil {
+			mx.TuningQueueDepth.Set(int64(len(s.obsCh)))
+		}
 		return true
 	default:
 		s.dropped.Add(1)
+		if mx := s.eng.mx; mx != nil {
+			mx.TuningShed.Inc()
+		}
 		return false
 	}
 }
@@ -310,6 +323,7 @@ func (s *tuningService) runBatch(batch []*observation) {
 	e := s.eng
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
+	roundStart := e.clock.Now() //taster:clock round timing is observability-only; the round's decisions never read it
 
 	protect := make(map[uint64]bool)
 	obs := make([]tuner.Observation, 0, len(batch))
@@ -343,6 +357,11 @@ func (s *tuningService) runBatch(batch []*observation) {
 	s.stats.Promoted += int64(len(promoted))
 	s.stats.Rounds++
 	s.stats.Observations += int64(len(batch))
+	if e.mx != nil {
+		e.mx.TuningRounds.Inc()
+		e.mx.TuningBatchSize.Observe(float64(len(batch)))
+		e.mx.TuningRoundSeconds.Observe(e.clock.Since(roundStart).Seconds()) //taster:clock round timing is observability-only; the round's decisions never read it
+	}
 	e.publishLocked(dec.Keep, dec.Gains)
 	if e.db != nil {
 		// Durable index of this round's layout; payload files were written

@@ -9,8 +9,21 @@ import (
 
 // Compile lowers a logical plan into a physical operator tree. The seed
 // drives every random choice (sampling) so runs are reproducible; the
-// context collects cost counters and materialized byproducts.
+// context collects cost counters and materialized byproducts. With tracing
+// enabled (Context.TraceNodes non-nil) every compiled operator is wrapped
+// with a per-node trace recorder; the wrap observes the batch stream
+// without touching it, so traced and untraced runs are byte-identical.
 func Compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
+	op, err := compile(n, seed, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return traceWrap(op, n, ctx), nil
+}
+
+// compile is the per-node lowering; recursion goes through Compile so
+// every interior operator gets its trace wrap.
+func compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return NewTableScan(t.Table, ctx), nil
@@ -27,7 +40,7 @@ func Compile(n plan.Node, seed uint64, ctx *Context) (Operator, error) {
 		if sc, ok := t.Child.(*plan.Scan); ok && !ctx.DisablePrune {
 			ts := NewTableScan(sc.Table, ctx)
 			ts.Prune = t.Pred
-			return NewFilterOp(ts, t.Pred, ctx), nil
+			return NewFilterOp(traceWrap(ts, sc, ctx), t.Pred, ctx), nil
 		}
 		child, err := Compile(t.Child, seed, ctx)
 		if err != nil {

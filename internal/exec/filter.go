@@ -50,6 +50,7 @@ func (f *FilterOp) Next() (*storage.Batch, error) {
 		// only has its selected rows evaluated.
 		f.ctx.Stats.CPUTuples += int64(b.Rows())
 		if f.prog != nil {
+			f.ctx.Obs.Kernel()
 			in := b.Sel // nil = dense batch: kernels stream the raw columns
 			out := f.prog.Refine(b, in, f.ctx.Pool.GetSel(b.Len()), &f.sc)
 			if in != nil {
@@ -68,6 +69,7 @@ func (f *FilterOp) Next() (*storage.Batch, error) {
 			b.Sel = out
 			return b, nil
 		}
+		f.ctx.Obs.Fallback()
 		b = b.Materialize(f.ctx.Pool)
 		idx, err := expr.EvalBoolInto(f.Pred, b, f.idx[:0])
 		if err != nil {

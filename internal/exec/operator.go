@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/plan"
 	"github.com/tasterdb/taster/internal/stats"
 	"github.com/tasterdb/taster/internal/storage"
@@ -108,6 +109,24 @@ type Context struct {
 	// out (storage.VecPool documents the contract). A nil pool degrades every
 	// pool-aware operator to plain allocation, so results never depend on it.
 	Pool *storage.VecPool
+	// Obs receives the executor's dispatch counters (kernel-vs-fallback
+	// filter batches, zone-pruned partitions). Metrics are write-only from
+	// execution — nothing here reads them back — and every hook is safe on
+	// the nil default, so an engine without a metrics registry threads nil
+	// and pays one pointer test per batch. Morsel workers share the pointer;
+	// the counters are atomic.
+	Obs *obs.ExecObs
+	// TraceNodes, when non-nil, enables per-operator tracing: Compile wraps
+	// every compiled operator and records its counters into this map, keyed
+	// by the plan node it implements. Per-query state — never shared across
+	// runs or copied into morsel contexts (fused pipelines account their
+	// work at the enclosing traced operator).
+	TraceNodes map[plan.Node]*obs.TraceNode
+	// Clock times traced operators. Always non-nil (NewContext defaults to
+	// the frozen clock); the engine injects the wall clock only for
+	// asynchronous runs, so synchronous traces render with zero durations
+	// and stay byte-reproducible.
+	Clock obs.Clock
 }
 
 // NewContext returns a context with fresh stats at the given confidence.
@@ -120,6 +139,7 @@ func NewContext(confidence float64) *Context {
 		Stats:              &RunStats{},
 		MaterializeSamples: make(map[*plan.SynopsisOp]string),
 		Pool:               storage.NewVecPool(),
+		Clock:              obs.Frozen{},
 	}
 }
 

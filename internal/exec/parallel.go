@@ -258,6 +258,7 @@ func (p *ParallelAggOp) Next() (*storage.Batch, error) {
 	if p.pipe.leafBase && p.pipe.sampler == nil && !p.ctx.DisablePrune && len(p.pipe.chain) > 0 {
 		if f, ok := p.pipe.chain[0].(*plan.Filter); ok {
 			keep, leafBytes = pruneKeep(p.pipe.leaf, f.Pred)
+			p.ctx.Obs.Pruned(prunedCount(keep))
 		}
 	}
 
@@ -351,6 +352,8 @@ func (p *ParallelAggOp) runMorsel(i, nMorsels, morselRows int, keep []bool) mors
 		Stats:              &RunStats{},
 		MaterializeSamples: p.ctx.MaterializeSamples,
 		Pool:               p.ctx.Pool, // sync.Pool-backed: safe across workers
+		DisableKernels:     p.ctx.DisableKernels,
+		Obs:                p.ctx.Obs, // atomic counters: safe across workers
 	}
 	root, err := buildMorselChain(p.pipe, p.joins, i, nMorsels, p.seed, mctx)
 	if err != nil {

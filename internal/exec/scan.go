@@ -63,7 +63,20 @@ func (s *TableScan) Open() error {
 	}
 	s.pos = 0
 	s.ctx.Stats.BaseBytes += bytes
+	s.ctx.Obs.Pruned(prunedCount(keep))
 	return nil
+}
+
+// prunedCount counts the partitions a survivor mask skipped (0 for the nil
+// nothing-pruned mask).
+func prunedCount(keep []bool) int64 {
+	var n int64
+	for _, k := range keep {
+		if !k {
+			n++
+		}
+	}
+	return n
 }
 
 // Next implements Operator.

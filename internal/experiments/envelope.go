@@ -1,0 +1,41 @@
+package experiments
+
+// BenchSchemaVersion identifies the BenchEnvelope layout. Bump it whenever a
+// field is added, removed or re-typed, so CI artifact diffs across commits
+// can tell a schema change from a regression.
+const BenchSchemaVersion = 1
+
+// BenchEnvelope is the one schema every BENCH_<experiment>.json perf summary
+// is written in: a version stamp, the experiment identity, an echo of the
+// run configuration, the wall time, the rendered ASCII report, and — when
+// the experiment exposes one — its structured result (e.g. ServingResult
+// with per-client-count p50/p99 latencies). Keeping every emitter on this
+// envelope makes artifact diffs mechanical: same keys, same nesting, for
+// every experiment.
+type BenchEnvelope struct {
+	SchemaVersion int     `json:"schema_version"`
+	Experiment    string  `json:"experiment"`
+	Workload      string  `json:"workload"`
+	SF            float64 `json:"sf"`
+	Queries       int     `json:"queries"`
+	Seed          int64   `json:"seed"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Report        string  `json:"report"`
+	Data          any     `json:"data,omitempty"`
+}
+
+// NewBenchEnvelope stamps the shared envelope for one experiment run.
+func NewBenchEnvelope(experiment, workload string, cfg Config, wallSeconds float64, report string, data any) BenchEnvelope {
+	cfg = cfg.withDefaults()
+	return BenchEnvelope{
+		SchemaVersion: BenchSchemaVersion,
+		Experiment:    experiment,
+		Workload:      workload,
+		SF:            cfg.SF,
+		Queries:       cfg.Queries,
+		Seed:          cfg.Seed,
+		WallSeconds:   wallSeconds,
+		Report:        report,
+		Data:          data,
+	}
+}

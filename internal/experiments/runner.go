@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/storage"
 	"github.com/tasterdb/taster/internal/workload"
@@ -24,6 +25,12 @@ type Config struct {
 	SF      float64 // workload scale factor (default 0.004)
 	Queries int     // length of the query sequence (default 200, like §VI-A)
 	Seed    int64
+	// Metrics, when non-nil, is threaded into the engines the wall-clock
+	// experiments construct (currently the Serving sweep), so a live
+	// -metrics-addr export surface has real counters to show while a bench
+	// runs. The figure experiments stay metrics-free: they are the
+	// byte-reproducibility baseline.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

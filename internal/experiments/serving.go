@@ -34,6 +34,16 @@ type ServingRow struct {
 	// rearrangements.
 	HitRate float64
 	Dropped int64 // observations the async tuner shed under this load
+	// P50Millis/P99Millis are the async engine's per-query latency
+	// percentiles over the timed closed loop; InlineP50Millis/
+	// InlineP99Millis the inline engine's. Mean throughput alone cannot
+	// distinguish flat scaling (every query slower) from tail collapse (a
+	// few queries stall behind the tuning mutex) — the tail columns are
+	// what the ROADMAP's flat-scaling diagnosis needs.
+	P50Millis       float64
+	P99Millis       float64
+	InlineP50Millis float64
+	InlineP99Millis float64
 }
 
 // ServingResult is the concurrent-serving throughput experiment: a
@@ -63,11 +73,13 @@ func (s *ServingResult) Table() string {
 			fmt.Sprintf("%.2f", r.Efficiency),
 			fmt.Sprintf("%.0f%%", 100*r.HitRate),
 			fmt.Sprintf("%d", r.Dropped),
+			fmt.Sprintf("%.2f", r.P50Millis),
+			fmt.Sprintf("%.2f", r.P99Millis),
 		}
 	}
 	return fmt.Sprintf("Concurrent serving (%s, %d queries x %d passes/run, GOMAXPROCS=%d): closed-loop throughput\n",
 		s.Workload, s.Queries, s.Passes, s.MaxProcs) +
-		table([]string{"clients", "inline q/s", "async q/s", "speedup", "scaling eff", "cache hit", "shed obs"}, rows)
+		table([]string{"clients", "inline q/s", "async q/s", "speedup", "scaling eff", "cache hit", "shed obs", "p50 ms", "p99 ms"}, rows)
 }
 
 // servingClients is the closed-loop client sweep.
@@ -111,23 +123,29 @@ func Serving(wl string, cfg Config) (*ServingResult, error) {
 
 	var asyncBase float64
 	for _, clients := range servingClients {
-		inline, _, err := servingRun(w, queries, clients, cfg, true)
+		inline, err := servingRun(w, queries, clients, cfg, true)
 		if err != nil {
 			return nil, err
 		}
-		async, st, err := servingRun(w, queries, clients, cfg, false)
+		async, err := servingRun(w, queries, clients, cfg, false)
 		if err != nil {
 			return nil, err
 		}
-		row := ServingRow{Clients: clients, InlineQPS: inline, AsyncQPS: async, Dropped: st.Dropped}
-		if inline > 0 {
-			row.Speedup = async / inline
+		st := async.st
+		row := ServingRow{
+			Clients: clients, InlineQPS: inline.qps, AsyncQPS: async.qps,
+			Dropped:   st.Dropped,
+			P50Millis: async.p50Millis, P99Millis: async.p99Millis,
+			InlineP50Millis: inline.p50Millis, InlineP99Millis: inline.p99Millis,
+		}
+		if inline.qps > 0 {
+			row.Speedup = async.qps / inline.qps
 		}
 		if asyncBase == 0 {
-			asyncBase = async
+			asyncBase = async.qps
 		}
 		if asyncBase > 0 {
-			row.Efficiency = async / (float64(clients) * asyncBase)
+			row.Efficiency = async.qps / (float64(clients) * asyncBase)
 		}
 		if lookups := st.PlanCacheHits + st.PlanCacheMisses; lookups > 0 {
 			row.HitRate = float64(st.PlanCacheHits) / float64(lookups)
@@ -137,10 +155,20 @@ func Serving(wl string, cfg Config) (*ServingResult, error) {
 	return out, nil
 }
 
-// servingRun drives one engine with the given client count and returns its
-// closed-loop throughput plus the async tuning accounting (zero value for
-// synchronous engines, which run neither the service nor the plan cache).
-func servingRun(w *workload.Workload, queries []string, clients int, cfg Config, synchronous bool) (qps float64, st core.TuningStats, err error) {
+// servingMeasure is one servingRun's outcome: closed-loop throughput, the
+// per-query latency percentiles over the timed loop, and the async tuning
+// accounting (zero value for synchronous engines, which run neither the
+// service nor the plan cache).
+type servingMeasure struct {
+	qps       float64
+	p50Millis float64
+	p99Millis float64
+	st        core.TuningStats
+}
+
+// servingRun drives one engine with the given client count and measures its
+// timed closed loop.
+func servingRun(w *workload.Workload, queries []string, clients int, cfg Config, synchronous bool) (servingMeasure, error) {
 	bytes, rows := w.CostScale()
 	// The warehouse gets a comfortable budget (4x the dataset; the figure
 	// experiments keep their constrained quotas): storage pressure makes the
@@ -173,6 +201,10 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 			Adaptive:  false,
 			MaxWindow: 2 * len(queries),
 		},
+		// Thread the bench harness's registry through (nil disables the obs
+		// layer): a live -metrics-addr export shows real serving counters
+		// while the sweep runs.
+		Metrics: cfg.Metrics,
 	})
 	defer eng.Close()
 
@@ -206,7 +238,7 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 	for pass := 0; pass < 12; pass++ {
 		wst, werr := warmPass()
 		if werr != nil {
-			return 0, core.TuningStats{}, werr
+			return servingMeasure{}, werr
 		}
 		moves := wst.Admitted + wst.Refreshed + wst.Evicted + wst.Promoted
 		if moves == prevMoves && wst.PlanCacheMisses == prevMisses {
@@ -217,6 +249,9 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 	warm := eng.TuningStats() // subtracted below: report timed-loop cache behaviour only
 
 	total := servingPasses * len(queries)
+	// Per-query wall latency, recorded by work-item index: every i is claimed
+	// by exactly one client, so the slice needs no lock.
+	lats := make([]float64, total)
 	var next int64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
@@ -231,6 +266,7 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 					return
 				}
 				sql := queries[i%len(queries)]
+				qstart := time.Now()
 				q, perr := sqlparser.Parse(sql, w.Catalog)
 				if perr != nil {
 					firstErr.CompareAndSwap(nil, fmt.Errorf("serving: %w\nSQL: %s", perr, sql))
@@ -240,21 +276,28 @@ func servingRun(w *workload.Workload, queries []string, clients int, cfg Config,
 					firstErr.CompareAndSwap(nil, fmt.Errorf("serving: %w\nSQL: %s", xerr, sql))
 					return
 				}
+				lats[i] = time.Since(qstart).Seconds()
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 	if e, ok := firstErr.Load().(error); ok && e != nil {
-		return 0, core.TuningStats{}, e
+		return servingMeasure{}, e
 	}
 	eng.Quiesce() // settle the tuner before reading its accounting
 	if wall <= 0 {
 		wall = 1e-9
 	}
-	st = eng.TuningStats()
+	st := eng.TuningStats()
 	st.PlanCacheHits -= warm.PlanCacheHits
 	st.PlanCacheMisses -= warm.PlanCacheMisses
 	st.Dropped -= warm.Dropped
-	return float64(total) / wall, st, nil
+	cdf := NewCDF(lats)
+	return servingMeasure{
+		qps:       float64(total) / wall,
+		p50Millis: cdf.Percentile(50) * 1000,
+		p99Millis: cdf.Percentile(99) * 1000,
+		st:        st,
+	}, nil
 }

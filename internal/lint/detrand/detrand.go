@@ -46,12 +46,22 @@ var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
 }
 
-func run(pass *lint.Pass) {
-	base := pass.Pkg.Path
-	if i := strings.LastIndex(base, "/"); i >= 0 {
-		base = base[i+1:]
+// clockMethods are the obs.Clock reads. Unlike raw time.Now they are
+// injectable (Frozen under Synchronous), but a clock reading inside a
+// critical package is still a determinism hazard the moment its value
+// feeds a decision, so every call site must carry a //taster:clock
+// annotation justifying why the reading is answer-neutral.
+var clockMethods = map[string]bool{"Now": true, "Since": true}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
 	}
-	if !criticalPkgs[base] && !criticalPkgs[pass.Types.Name()] {
+	return path
+}
+
+func run(pass *lint.Pass) {
+	if base := pkgBase(pass.Pkg.Path); !criticalPkgs[base] && !criticalPkgs[pass.Types.Name()] {
 		return
 	}
 	for _, f := range pass.Files {
@@ -66,8 +76,16 @@ func run(pass *lint.Pass) {
 			}
 			// Only package-level functions matter here: methods on
 			// rand.Rand or time.Time values are operating on state the
-			// caller already injected.
+			// caller already injected. The one exception is the injected
+			// obs.Clock: its Now/Since reads are sanctioned only when the
+			// call site is annotated answer-neutral.
 			if fn.Type().(*types.Signature).Recv() != nil {
+				if clockMethods[fn.Name()] && pkgBase(fn.Pkg().Path()) == "obs" &&
+					!pass.Prog.Annotated(f, sel, "taster:clock") {
+					pass.Reportf(sel.Pos(),
+						"unannotated obs clock read (%s) in determinism-critical package %s: annotate the call site with the clock marker and a justification that the reading never feeds an answer, plan or synopsis",
+						fn.Name(), pass.Types.Name())
+				}
 				return true
 			}
 			switch fn.Pkg().Path() {

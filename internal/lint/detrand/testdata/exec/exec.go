@@ -6,6 +6,8 @@ package exec
 import (
 	"math/rand"
 	"time"
+
+	"fixture/obs"
 )
 
 // Bad: ambient wall-clock reads.
@@ -34,4 +36,25 @@ func seeded(seed int64) int {
 func injectedClock(now time.Time, budget time.Duration) bool {
 	deadline := now.Add(budget)
 	return deadline.After(now)
+}
+
+// Bad: reading the injected obs clock without the answer-neutrality
+// annotation — observability timings must be declared harmless per site.
+func obsClockUnannotated(c obs.Clock) time.Duration {
+	start := c.Now()      // want `unannotated obs clock read \(Now\)`
+	return c.Since(start) // want `unannotated obs clock read \(Since\)`
+}
+
+// Good: each read is annotated answer-neutral (interface and concrete).
+func obsClockAnnotated(c obs.Clock) time.Duration {
+	start := c.Now() //taster:clock trace timing only, never feeds an answer
+	var f obs.Frozen
+	_ = f.Now()           //taster:clock frozen stub, constant by construction
+	return c.Since(start) //taster:clock trace timing only, never feeds an answer
+}
+
+// Bad: the clock annotation sanctions only the injected obs clock — a raw
+// wall-clock read stays flagged no matter what the comment claims.
+func rawClockAnnotated() int64 {
+	return time.Now().UnixNano() //taster:clock not a valid excuse here // want `wall-clock read time.Now`
 }

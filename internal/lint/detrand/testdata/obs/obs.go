@@ -1,0 +1,23 @@
+// Package obs is a fixture stub of the engine's observability package: an
+// injectable clock whose Now/Since reads the detrand clock rule polices
+// inside determinism-critical packages. Only the shape matters — the rule
+// matches methods named Now/Since on types from a package whose base name
+// is "obs".
+package obs
+
+import "time"
+
+// Clock is the injectable time source.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+// Frozen is a Clock stuck at the zero time.
+type Frozen struct{}
+
+// Now implements Clock.
+func (Frozen) Now() time.Time { return time.Time{} }
+
+// Since implements Clock.
+func (Frozen) Since(time.Time) time.Duration { return 0 }

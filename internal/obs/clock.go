@@ -1,0 +1,41 @@
+package obs
+
+import "time"
+
+// Clock is the injected time source every obs timing goes through. The
+// engine picks the implementation once at Open: Wall for asynchronous
+// serving (latency histograms and trace durations measure real time) and
+// Frozen for synchronous byte-deterministic runs (all durations read as
+// zero, so rendered traces and exported histograms are reproducible and no
+// wall-clock read happens on the query path).
+//
+// Determinism contract: Clock values feed metrics and traces ONLY. Nothing
+// read from a Clock may reach plan choice, synopsis contents or query
+// results — the detrand analyzer enforces this in the critical packages by
+// flagging every Clock call site not annotated //taster:clock <why>.
+type Clock interface {
+	// Now returns the current reading.
+	Now() time.Time
+	// Since returns the elapsed time since a previous reading.
+	Since(t time.Time) time.Duration
+}
+
+// Wall reads the real wall clock.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Frozen is a clock that never advances: Now is always the zero time and
+// Since is always zero. Synchronous engines inject it so metric and trace
+// output is byte-identical across runs.
+type Frozen struct{}
+
+// Now implements Clock.
+func (Frozen) Now() time.Time { return time.Time{} }
+
+// Since implements Clock.
+func (Frozen) Since(time.Time) time.Duration { return 0 }

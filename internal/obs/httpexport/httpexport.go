@@ -1,0 +1,114 @@
+// Package httpexport serves an obs.MetricsSnapshot over HTTP: Prometheus
+// text exposition format on /metrics and an expvar-compatible JSON dump on
+// /debug/vars. It is the seed of tasterd's admin port — tasterbench and
+// tastercli mount it behind their -metrics-addr flags.
+//
+// The handler pulls a fresh snapshot per request from an injected source
+// function, so it composes with any snapshot provider: a single engine
+// (Engine.MetricsSnapshot), a shared registry spanning several engines
+// (Metrics.Snapshot), or a test fixture.
+package httpexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"github.com/tasterdb/taster/internal/obs"
+)
+
+// Handler returns an http.Handler serving the snapshot source: Prometheus
+// text on /metrics, expvar-style JSON on /debug/vars, and a plain index on /.
+func Handler(source func() obs.MetricsSnapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, source())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteVars(w, source())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "taster metrics endpoints: /metrics (Prometheus text), /debug/vars (expvar JSON)")
+	})
+	return mux
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers per family, cumulative le-buckets plus
+// _sum and _count for histograms. Output order is fixed by
+// MetricsSnapshot.Families, so the format is golden-testable.
+func WriteProm(w io.Writer, s obs.MetricsSnapshot) {
+	for _, f := range s.Families() {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help)
+		switch f.Kind {
+		case obs.KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", f.Name, f.Name, f.Value)
+		case obs.KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", f.Name, f.Name, f.Value)
+		case obs.KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", f.Name)
+			var cum int64
+			for i, bound := range f.Hist.Bounds {
+				if i < len(f.Hist.Counts) {
+					cum += f.Hist.Counts[i]
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.Name, promFloat(bound), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, f.Hist.Count)
+			fmt.Fprintf(w, "%s_sum %s\n", f.Name, promFloat(f.Hist.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", f.Name, f.Hist.Count)
+		}
+	}
+}
+
+// promFloat formats a float the way Prometheus clients do: shortest
+// round-trip representation, no exponent for the bucket ranges we use.
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteVars renders the snapshot as an expvar-compatible JSON object: one
+// key per family, scalars as numbers, histograms as objects carrying count,
+// sum, estimated p50/p90/p99 and the per-bucket counts keyed by upper bound.
+func WriteVars(w io.Writer, s obs.MetricsSnapshot) {
+	vars := make(map[string]any)
+	for _, f := range s.Families() {
+		switch f.Kind {
+		case obs.KindCounter, obs.KindGauge:
+			vars[f.Name] = f.Value
+		case obs.KindHistogram:
+			buckets := make(map[string]int64, len(f.Hist.Bounds)+1)
+			for i, bound := range f.Hist.Bounds {
+				if i < len(f.Hist.Counts) {
+					buckets[promFloat(bound)] = f.Hist.Counts[i]
+				}
+			}
+			if n := len(f.Hist.Counts); n > 0 {
+				buckets["+Inf"] = f.Hist.Counts[n-1]
+			}
+			vars[f.Name] = map[string]any{
+				"count":   f.Hist.Count,
+				"sum":     f.Hist.Sum,
+				"p50":     f.Hist.Quantile(0.50),
+				"p90":     f.Hist.Quantile(0.90),
+				"p99":     f.Hist.Quantile(0.99),
+				"buckets": buckets,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}

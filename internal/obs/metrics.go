@@ -1,0 +1,322 @@
+package obs
+
+// Metrics is the engine-wide registry: every counter the serving path,
+// tuning service, pool, disk tier and executor write. One registry may be
+// shared by several engines (the bench harness restarts engines per
+// configuration but keeps one registry alive for the export surface); all
+// fields are independently atomic, so cross-engine sharing needs no
+// coordination.
+//
+// Construct with NewMetrics — the zero value's histograms have no buckets
+// and ignore observations.
+type Metrics struct {
+	// PlanCache, Pool, Exec and Disk are the hook groups leaf packages
+	// receive as pointers (each is nil-safe, so an engine without metrics
+	// threads nil and every hook call is one pointer test).
+	PlanCache PlanCacheObs
+	Pool      PoolObs
+	Exec      ExecObs
+	Disk      DiskObs
+
+	// Serving path.
+	QueriesServed       Counter   // Execute calls that returned a result
+	QueryErrors         Counter   // Execute calls that returned an error
+	QueryLatencySeconds Histogram // per-query wall latency (Wall clock only)
+	IngestBatches       Counter   // Ingest calls accepted
+	IngestRows          Counter   // rows appended across all ingests
+
+	// Tuning service.
+	TuningRounds       Counter   // batched rounds run (inline rounds included)
+	TuningShed         Counter   // observations dropped at a full queue
+	TuningQueueDepth   Gauge     // queue occupancy after the last enqueue
+	TuningBatchSize    Histogram // observations folded per round
+	TuningRoundSeconds Histogram // wall time per round (Wall clock only)
+
+	// Snapshot publishes.
+	SnapshotPublishes    Counter // tuning snapshots swapped in
+	SnapshotIdentCarries Counter // publishes that carried the planning ident forward
+}
+
+// NewMetrics returns a ready registry with every histogram initialized.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.QueryLatencySeconds.init(latencyBuckets)
+	m.TuningBatchSize.init(batchSizeBuckets)
+	m.TuningRoundSeconds.init(latencyBuckets)
+	return m
+}
+
+// PlanCacheObs counts the serving fast path's plan-set cache traffic. The
+// cache increments these inside its own mutex; the counters stay atomic so
+// a shared registry never couples two engines' cache locks.
+type PlanCacheObs struct {
+	Hits      Counter
+	Misses    Counter
+	Evictions Counter
+}
+
+// Hit records a cache hit.
+func (o *PlanCacheObs) Hit() {
+	if o != nil {
+		o.Hits.Inc()
+	}
+}
+
+// Miss records a cache miss.
+func (o *PlanCacheObs) Miss() {
+	if o != nil {
+		o.Misses.Inc()
+	}
+}
+
+// Evict records an LRU eviction.
+func (o *PlanCacheObs) Evict() {
+	if o != nil {
+		o.Evictions.Inc()
+	}
+}
+
+// PoolObs counts the vector pool's batch traffic. Gets/Puts are counted at
+// batch granularity (the per-vector fast path stays atomic-free); Misses
+// count fresh allocations on any pool slow path — vectors, selection
+// buffers or batch headers the free lists could not serve — where the
+// allocation already dwarfs the atomic add.
+type PoolObs struct {
+	BatchGets   Counter
+	BatchPuts   Counter
+	AllocMisses Counter
+}
+
+// Get records one pooled-batch acquisition.
+func (o *PoolObs) Get() {
+	if o != nil {
+		o.BatchGets.Inc()
+	}
+}
+
+// Put records one pooled-batch release back to the free lists.
+func (o *PoolObs) Put() {
+	if o != nil {
+		o.BatchPuts.Inc()
+	}
+}
+
+// Miss records a fresh allocation the pool could not serve.
+func (o *PoolObs) Miss() {
+	if o != nil {
+		o.AllocMisses.Inc()
+	}
+}
+
+// ExecObs counts executor dispatch decisions: how many filter batches ran
+// on the compiled selection-vector kernels vs the interpreted fallback, and
+// how many partitions zone-map pruning skipped. Counters only — the
+// executor's outputs must not depend on the metrics layer, and these are
+// written from morsel workers concurrently (atomics make that safe).
+type ExecObs struct {
+	KernelFilterBatches   Counter
+	FallbackFilterBatches Counter
+	PrunedPartitions      Counter
+}
+
+// Kernel records one filter batch dispatched to the compiled kernels.
+func (o *ExecObs) Kernel() {
+	if o != nil {
+		o.KernelFilterBatches.Inc()
+	}
+}
+
+// Fallback records one filter batch on the interpreted Eval path.
+func (o *ExecObs) Fallback() {
+	if o != nil {
+		o.FallbackFilterBatches.Inc()
+	}
+}
+
+// Pruned records n partitions skipped by zone-map pruning.
+func (o *ExecObs) Pruned(n int64) {
+	if o != nil && n > 0 {
+		o.PrunedPartitions.Add(n)
+	}
+}
+
+// DiskObs counts the persistent warehouse tier's traffic: spills (item
+// writes), fault-ins (item reads), manifest checkpoints, and payload bytes
+// both ways.
+type DiskObs struct {
+	Spills         Counter
+	FaultIns       Counter
+	ManifestWrites Counter
+	WriteBytes     Counter
+	ReadBytes      Counter
+}
+
+// ItemWrite records one synopsis payload spilled (n payload bytes).
+func (o *DiskObs) ItemWrite(n int64) {
+	if o != nil {
+		o.Spills.Inc()
+		o.WriteBytes.Add(n)
+	}
+}
+
+// ItemRead records one synopsis payload faulted in (n payload bytes).
+func (o *DiskObs) ItemRead(n int64) {
+	if o != nil {
+		o.FaultIns.Inc()
+		o.ReadBytes.Add(n)
+	}
+}
+
+// Manifest records one manifest checkpoint (n manifest bytes).
+func (o *DiskObs) Manifest(n int64) {
+	if o != nil {
+		o.ManifestWrites.Inc()
+		o.WriteBytes.Add(n)
+	}
+}
+
+// Snapshot captures every registered series. Engine-level gauges that live
+// outside the registry (warehouse occupancy, plan-cache entries, snapshot
+// version) are zero here; Engine.MetricsSnapshot fills them in.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		QueriesServed:         m.QueriesServed.Value(),
+		QueryErrors:           m.QueryErrors.Value(),
+		QueryLatencySeconds:   m.QueryLatencySeconds.Snapshot(),
+		IngestBatches:         m.IngestBatches.Value(),
+		IngestRows:            m.IngestRows.Value(),
+		PlanCacheHits:         m.PlanCache.Hits.Value(),
+		PlanCacheMisses:       m.PlanCache.Misses.Value(),
+		PlanCacheEvictions:    m.PlanCache.Evictions.Value(),
+		TuningRounds:          m.TuningRounds.Value(),
+		TuningShed:            m.TuningShed.Value(),
+		TuningQueueDepth:      m.TuningQueueDepth.Value(),
+		TuningBatchSize:       m.TuningBatchSize.Snapshot(),
+		TuningRoundSeconds:    m.TuningRoundSeconds.Snapshot(),
+		SnapshotPublishes:     m.SnapshotPublishes.Value(),
+		SnapshotIdentCarries:  m.SnapshotIdentCarries.Value(),
+		WarehouseSpills:       m.Disk.Spills.Value(),
+		WarehouseFaultIns:     m.Disk.FaultIns.Value(),
+		ManifestWrites:        m.Disk.ManifestWrites.Value(),
+		DiskWriteBytes:        m.Disk.WriteBytes.Value(),
+		DiskReadBytes:         m.Disk.ReadBytes.Value(),
+		PoolBatchGets:         m.Pool.BatchGets.Value(),
+		PoolBatchPuts:         m.Pool.BatchPuts.Value(),
+		PoolAllocMisses:       m.Pool.AllocMisses.Value(),
+		KernelFilterBatches:   m.Exec.KernelFilterBatches.Value(),
+		FallbackFilterBatches: m.Exec.FallbackFilterBatches.Value(),
+		PrunedPartitions:      m.Exec.PrunedPartitions.Value(),
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of every engine metric — the one
+// read surface of the layer, consumed by the exporters and tests. Fields
+// marked (engine) are instantaneous gauges Engine.MetricsSnapshot samples
+// from live engine state rather than the registry.
+type MetricsSnapshot struct {
+	QueriesServed       int64
+	QueryErrors         int64
+	QueryLatencySeconds HistogramSnapshot
+	IngestBatches       int64
+	IngestRows          int64
+
+	PlanCacheHits      int64
+	PlanCacheMisses    int64
+	PlanCacheEvictions int64
+	PlanCacheEntries   int64 // (engine)
+
+	TuningRounds       int64
+	TuningShed         int64
+	TuningQueueDepth   int64
+	TuningBatchSize    HistogramSnapshot
+	TuningRoundSeconds HistogramSnapshot
+
+	SnapshotPublishes    int64
+	SnapshotIdentCarries int64
+	SnapshotVersion      int64 // (engine)
+
+	WarehouseSpills   int64
+	WarehouseFaultIns int64
+	ManifestWrites    int64
+	DiskWriteBytes    int64
+	DiskReadBytes     int64
+	BufferBytes       int64 // (engine)
+	WarehouseBytes    int64 // (engine)
+
+	PoolBatchGets   int64
+	PoolBatchPuts   int64
+	PoolAllocMisses int64
+
+	KernelFilterBatches   int64
+	FallbackFilterBatches int64
+	PrunedPartitions      int64
+}
+
+// Kind distinguishes exported series types.
+type Kind uint8
+
+// Series kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Family is one exported series: a name in Prometheus vocabulary, help
+// text, and either a scalar value or a histogram snapshot.
+type Family struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value int64
+	Hist  HistogramSnapshot
+}
+
+// Families enumerates the snapshot as exportable series, in a fixed order
+// (exporter output is part of the golden-tested surface).
+func (s MetricsSnapshot) Families() []Family {
+	c := func(name, help string, v int64) Family {
+		return Family{Name: name, Help: help, Kind: KindCounter, Value: v}
+	}
+	g := func(name, help string, v int64) Family {
+		return Family{Name: name, Help: help, Kind: KindGauge, Value: v}
+	}
+	h := func(name, help string, hs HistogramSnapshot) Family {
+		return Family{Name: name, Help: help, Kind: KindHistogram, Hist: hs}
+	}
+	return []Family{
+		c("taster_queries_total", "Queries served successfully.", s.QueriesServed),
+		c("taster_query_errors_total", "Queries that returned an error.", s.QueryErrors),
+		h("taster_query_latency_seconds", "Per-query wall latency (zero under a frozen clock).", s.QueryLatencySeconds),
+		c("taster_ingest_batches_total", "Ingest calls accepted.", s.IngestBatches),
+		c("taster_ingest_rows_total", "Rows appended across all ingests.", s.IngestRows),
+		c("taster_plan_cache_hits_total", "Plan-cache hits on the serving fast path.", s.PlanCacheHits),
+		c("taster_plan_cache_misses_total", "Plan-cache misses (cold candidate enumeration).", s.PlanCacheMisses),
+		c("taster_plan_cache_evictions_total", "Plan-cache LRU evictions.", s.PlanCacheEvictions),
+		g("taster_plan_cache_entries", "Plan-cache entries currently resident.", s.PlanCacheEntries),
+		c("taster_tuning_rounds_total", "Tuning rounds run (batched and inline).", s.TuningRounds),
+		c("taster_tuning_observations_shed_total", "Observations dropped at a full tuning queue.", s.TuningShed),
+		g("taster_tuning_queue_depth", "Observation-queue occupancy after the last enqueue.", s.TuningQueueDepth),
+		h("taster_tuning_batch_size", "Observations folded per tuning round.", s.TuningBatchSize),
+		h("taster_tuning_round_seconds", "Wall time per tuning round (zero under a frozen clock).", s.TuningRoundSeconds),
+		c("taster_snapshot_publishes_total", "Tuning snapshots published.", s.SnapshotPublishes),
+		c("taster_snapshot_ident_carries_total", "Publishes that carried the planning identity forward.", s.SnapshotIdentCarries),
+		g("taster_snapshot_version", "Version of the currently published tuning snapshot.", s.SnapshotVersion),
+		c("taster_warehouse_spills_total", "Synopsis payloads written to the disk tier.", s.WarehouseSpills),
+		c("taster_warehouse_faultins_total", "Synopsis payloads faulted back from the disk tier.", s.WarehouseFaultIns),
+		c("taster_warehouse_manifest_writes_total", "Manifest checkpoints written.", s.ManifestWrites),
+		c("taster_disk_write_bytes_total", "Payload and manifest bytes written to the disk tier.", s.DiskWriteBytes),
+		c("taster_disk_read_bytes_total", "Payload bytes read from the disk tier.", s.DiskReadBytes),
+		g("taster_buffer_bytes", "In-memory synopsis buffer occupancy.", s.BufferBytes),
+		g("taster_warehouse_bytes", "Warehouse tier occupancy.", s.WarehouseBytes),
+		c("taster_pool_batch_gets_total", "Pooled batches acquired from the vector pool.", s.PoolBatchGets),
+		c("taster_pool_batch_puts_total", "Pooled batches released back to the vector pool.", s.PoolBatchPuts),
+		c("taster_pool_alloc_misses_total", "Fresh allocations the pool free lists could not serve.", s.PoolAllocMisses),
+		c("taster_exec_kernel_filter_batches_total", "Filter batches dispatched to the compiled selection-vector kernels.", s.KernelFilterBatches),
+		c("taster_exec_fallback_filter_batches_total", "Filter batches on the interpreted Eval fallback.", s.FallbackFilterBatches),
+		c("taster_exec_pruned_partitions_total", "Partitions skipped by zone-map pruning.", s.PrunedPartitions),
+	}
+}

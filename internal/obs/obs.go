@@ -1,0 +1,76 @@
+// Package obs is the engine's observability layer: an engine-wide metrics
+// registry (atomic counters, gauges and fixed-bucket histograms), per-query
+// execution traces, and the snapshot type the export surfaces (Prometheus
+// text, expvar JSON) render.
+//
+// The layer is designed around one hard constraint — it must never be able
+// to change an answer:
+//
+//   - Metrics are write-only from the serving path. Nothing in planner,
+//     tuner or exec ever reads a counter; MetricsSnapshot is the only read
+//     API and it exists for exporters and tests.
+//   - All timings flow through an injected Clock. Engines running
+//     synchronously (the byte-deterministic experiment mode) inject Frozen,
+//     so no wall-clock read happens on the query path at all; asynchronous
+//     engines inject Wall. The detrand lint rule forbids raw time.Now in the
+//     determinism-critical packages and sanctions Clock call sites only
+//     under a //taster:clock annotation.
+//   - Every hook type is nil-receiver safe: an engine opened without a
+//     Metrics registry threads nil hooks everywhere and the whole layer
+//     compiles down to a pointer test per call site. The differential test
+//     in internal/core proves answers are byte-identical with the layer on
+//     and off.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops), so code
+// paths can thread optional counters without guarding every increment.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for the counter to stay monotone; the
+// type does not enforce it, exporters report whatever was accumulated).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depths, occupancy).
+// Nil-receiver safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

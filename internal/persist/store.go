@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/tasterdb/taster/internal/obs"
 )
 
 // Store is the warehouse's disk backing: a flat directory holding one
@@ -31,6 +33,11 @@ import (
 //     or the spill tore) is dropped, never served.
 type Store struct {
 	dir string
+
+	// Obs counts spills, fault-ins, manifest writes and the payload bytes
+	// moved. Write-only and nil-safe; set once right after OpenStore, before
+	// the store is shared.
+	Obs *obs.DiskObs
 }
 
 // OpenStore opens (creating if needed) a warehouse directory. Stale
@@ -83,7 +90,11 @@ func (s *Store) WriteItem(id uint64, payload []byte) error {
 	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload))
 	buf = append(buf, tmp[:4]...)
 	buf = append(buf, payload...)
-	return s.writeDurably(s.ItemPath(id), buf)
+	if err := s.writeDurably(s.ItemPath(id), buf); err != nil {
+		return err
+	}
+	s.Obs.ItemWrite(int64(len(payload)))
+	return nil
 }
 
 // ReadItem loads and validates one synopsis payload.
@@ -113,6 +124,7 @@ func (s *Store) ReadItem(id uint64) ([]byte, error) {
 	if crc32.ChecksumIEEE(payload) != want {
 		return nil, fmt.Errorf("persist: item %d: checksum mismatch", id)
 	}
+	s.Obs.ItemRead(int64(len(payload)))
 	return payload, nil
 }
 
@@ -157,7 +169,11 @@ func (s *Store) WriteManifest(m *Manifest) error {
 	if err != nil {
 		return fmt.Errorf("persist: marshal manifest: %w", err)
 	}
-	return s.writeDurably(filepath.Join(s.dir, manifestName), append(b, '\n'))
+	if err := s.writeDurably(filepath.Join(s.dir, manifestName), append(b, '\n')); err != nil {
+		return err
+	}
+	s.Obs.Manifest(int64(len(b)) + 1)
+	return nil
 }
 
 // LoadManifest reads the manifest; ok is false when none exists (a fresh

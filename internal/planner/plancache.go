@@ -8,6 +8,7 @@ import (
 
 	"github.com/tasterdb/taster/internal/expr"
 	"github.com/tasterdb/taster/internal/meta"
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/plan"
 )
 
@@ -85,6 +86,11 @@ type PlanCache struct {
 	ll    *list.List // front = most recent
 	byKey map[string]*list.Element
 	stats PlanCacheStats
+
+	// Obs mirrors the hit/miss/eviction counters into the engine-wide metrics
+	// registry. Write-only and nil-safe; the authoritative numbers for tuning
+	// decisions stay in stats.
+	Obs *obs.PlanCacheObs
 }
 
 type planCacheEntry struct {
@@ -109,9 +115,11 @@ func (c *PlanCache) Get(key string) (*PlanSet, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
 		c.stats.Misses++
+		c.Obs.Miss()
 		return nil, false
 	}
 	c.stats.Hits++
+	c.Obs.Hit()
 	c.ll.MoveToFront(el)
 	return el.Value.(*planCacheEntry).ps, true
 }
@@ -136,6 +144,7 @@ func (c *PlanCache) Put(key string, ps *PlanSet) {
 		c.ll.Remove(tail)
 		delete(c.byKey, tail.Value.(*planCacheEntry).key)
 		c.stats.Evictions++
+		c.Obs.Evict()
 	}
 }
 

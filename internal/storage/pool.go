@@ -1,6 +1,10 @@
 package storage
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/tasterdb/taster/internal/obs"
+)
 
 // VecPool recycles vector backing arrays and batch headers within one query
 // execution. The hot serving path produces thousands of short-lived batches
@@ -31,6 +35,11 @@ type VecPool struct {
 	b       sync.Pool // *Vector with Typ Bool
 	batches sync.Pool // *Batch with Vecs emptied
 	sels    sync.Pool // *[]int32 selection-vector scratch
+
+	// Obs counts pool traffic: batch gets/puts at batch granularity and
+	// allocation misses on the slow paths only, so the hot reuse path pays a
+	// single nil test. Write-only, nil-safe, never consulted by pool logic.
+	Obs *obs.PoolObs
 }
 
 // NewVecPool returns an empty pool.
@@ -65,6 +74,7 @@ func (p *VecPool) GetVector(t Type, n int) *Vector {
 	if v, ok := fl.Get().(*Vector); ok && v != nil {
 		return v
 	}
+	p.Obs.Miss()
 	return NewVector(t, n)
 }
 
@@ -103,6 +113,7 @@ func (p *VecPool) GetSel(n int) []int32 {
 	if s, ok := p.sels.Get().(*[]int32); ok && s != nil {
 		return (*s)[:0]
 	}
+	p.Obs.Miss()
 	return make([]int32, 0, n)
 }
 
@@ -121,6 +132,7 @@ func (p *VecPool) GetBatch(schema Schema, n int) *Batch {
 	if p == nil {
 		return NewBatch(schema, n)
 	}
+	p.Obs.Get()
 	var b *Batch
 	if pb, ok := p.batches.Get().(*Batch); ok && pb != nil {
 		b = pb
@@ -131,6 +143,7 @@ func (p *VecPool) GetBatch(schema Schema, n int) *Batch {
 			b.Vecs = b.Vecs[:len(schema)]
 		}
 	} else {
+		p.Obs.Miss()
 		b = &Batch{Schema: schema, Vecs: make([]*Vector, len(schema))}
 	}
 	for i, c := range schema {
@@ -160,6 +173,7 @@ func (p *VecPool) Release(b *Batch) {
 		return
 	}
 	b.pooled = false
+	p.Obs.Put()
 	for i, v := range b.Vecs {
 		p.putVector(v)
 		b.Vecs[i] = nil

@@ -30,6 +30,7 @@ import (
 
 	"github.com/tasterdb/taster/internal/baselines"
 	"github.com/tasterdb/taster/internal/core"
+	"github.com/tasterdb/taster/internal/obs"
 	"github.com/tasterdb/taster/internal/sqlparser"
 	"github.com/tasterdb/taster/internal/stats"
 	"github.com/tasterdb/taster/internal/storage"
@@ -142,7 +143,29 @@ type Options struct {
 	// 0 (the default) means 4096 entries; negative disables caching.
 	// Ignored with SynchronousTuning.
 	PlanCacheSize int
+	// Metrics, when non-nil, receives engine-wide operational counters:
+	// queries served, latency percentiles, plan-cache traffic, tuning
+	// rounds, warehouse spills, pool recycling, executor dispatch. The
+	// registry is write-only from the engine — enabling it never changes
+	// an answer — and one registry may be shared across engines. Read it
+	// with Engine.MetricsSnapshot or serve it live via obs/httpexport.
+	// Nil (the default) disables the layer entirely.
+	Metrics *Metrics
+	// Trace enables per-query execution traces: Result.Trace carries an
+	// EXPLAIN-ANALYZE-style tree of per-operator rows, batches, selection
+	// density, materialized synopsis rows and stage durations. Traced and
+	// untraced runs return byte-identical results.
+	Trace bool
 }
+
+// Metrics is the engine-wide metrics registry (see Options.Metrics).
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a point-in-time copy of every engine metric.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// NewMetrics returns a ready metrics registry to pass as Options.Metrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // Engine is a Taster instance. It is safe for concurrent use: queries
 // issued from many goroutines plan and execute in parallel (each one also
@@ -199,6 +222,8 @@ func Open(cat *Catalog, opts Options) (*Engine, error) {
 		Synchronous:     opts.SynchronousTuning,
 		PlanCacheSize:   opts.PlanCacheSize,
 		WarehouseDir:    opts.WarehouseDir,
+		Metrics:         opts.Metrics,
+		Trace:           opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -231,6 +256,9 @@ type Result struct {
 	Intervals [][]Interval
 	// Stats reports how the query was answered.
 	Stats QueryStats
+	// Trace is the rendered per-operator execution trace (empty unless
+	// Options.Trace is set).
+	Trace string
 }
 
 // QueryStats is per-query telemetry.
@@ -265,6 +293,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		Columns:   res.Columns,
 		Rows:      res.Rows,
 		Intervals: res.Intervals,
+		Trace:     res.Trace,
 		Stats: QueryStats{
 			Plan:             res.Report.PlanDesc,
 			PlanTree:         res.Report.PlanTree,
@@ -322,6 +351,12 @@ func (e *Engine) Hint(table string, stratCols, aggCols []string) error {
 	}}, storage.DefaultCostModel(), 1)
 	return err
 }
+
+// MetricsSnapshot samples the metrics registry plus the engine-level gauges
+// (warehouse occupancy, plan-cache residency, tuning snapshot version). Safe
+// to call concurrently with queries and ingests. Without Options.Metrics the
+// counters are all zero and only the gauges are live.
+func (e *Engine) MetricsSnapshot() MetricsSnapshot { return e.inner.MetricsSnapshot() }
 
 // WarehouseUsage returns (bufferBytes, warehouseBytes) currently occupied.
 func (e *Engine) WarehouseUsage() (buffer, warehouse int64) {
